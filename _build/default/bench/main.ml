@@ -1,0 +1,423 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured numbers).
+
+   Usage: main.exe [target ...]
+   Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
+            table3 ablation twotier nonclos legacy bisection strawman micro
+            all (default: all)
+
+   Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
+   ELMO_FULL=1 runs the paper's full million groups. *)
+
+let printf = Format.printf
+
+let hr title =
+  printf "@.============================================================@.";
+  printf "%s@." title;
+  printf "============================================================@."
+
+(* {1 Figures 4 and 5: scalability sweep} *)
+
+let r_values = [ 0; 3; 6; 9; 12 ]
+
+let print_points points =
+  printf "@.%-4s %-10s %-10s %-22s %-22s %-12s %-12s@." "R" "covered%"
+    "pure-p%" "leaf s-rules mean/max" "spine s-rules mean/max" "ovh 64B"
+    "ovh 1500B";
+  List.iter
+    (fun (p : Scalability.point) ->
+      let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 p.Scalability.total_groups) in
+      printf "%-4d %-10.1f %-10.1f %9.1f / %-10.0f %9.1f / %-10.0f %-12.1f %-12.1f@."
+        p.Scalability.r
+        (pct p.Scalability.covered)
+        (pct p.Scalability.covered_pure_prules)
+        p.Scalability.leaf_srules.Stats.mean p.Scalability.leaf_srules.Stats.max
+        p.Scalability.spine_srules.Stats.mean p.Scalability.spine_srules.Stats.max
+        (100.0 *. p.Scalability.overhead_64)
+        (100.0 *. p.Scalability.overhead_1500))
+    points;
+  match points with
+  | p :: _ ->
+      printf
+        "reference lines: unicast +%.0f%%, overlay +%.0f%% (transmissions vs ideal)@."
+        (100.0 *. p.Scalability.unicast_overhead)
+        (100.0 *. p.Scalability.overlay_overhead);
+      printf "header bytes: %a@." Stats.pp_summary p.Scalability.header_bytes;
+      printf "Li et al. entries: leaf %a@.                   spine %a@."
+        Stats.pp_summary p.Scalability.li_leaf_entries Stats.pp_summary
+        p.Scalability.li_spine_entries
+  | [] -> ()
+
+let fig4 () =
+  hr "Figure 4: P=12 placement, WVE group sizes";
+  let cfg = Scalability.default_config () in
+  printf "topology: %a; groups: %d; params: %a@." Topology.pp
+    cfg.Scalability.topo cfg.Scalability.total_groups Params.pp
+    cfg.Scalability.params;
+  print_points (Scalability.run cfg ~r_values)
+
+let fig5 () =
+  hr "Figure 5: P=1 placement (dispersed), WVE group sizes";
+  let cfg =
+    { (Scalability.default_config ()) with
+      Scalability.strategy = Vm_placement.Pack_up_to 1 }
+  in
+  print_points (Scalability.run cfg ~r_values)
+
+let uniform () =
+  hr "In-text: Uniform group-size distribution";
+  List.iter
+    (fun (label, strategy) ->
+      printf "@.--- %s ---@." label;
+      let cfg =
+        { (Scalability.default_config ()) with
+          Scalability.strategy; dist = Group_dist.Uniform }
+      in
+      print_points (Scalability.run cfg ~r_values:[ 0; 12 ]))
+    [ ("P=12", Vm_placement.Pack_up_to 12); ("P=1", Vm_placement.Pack_up_to 1) ]
+
+let constrained () =
+  hr "In-text: constrained s-rule capacity (10K) and reduced header budget";
+  let base = Scalability.default_config () in
+  let scale = base.Scalability.total_groups in
+  let fmax10k = max 50 (10_000 * scale / 1_000_000) in
+  List.iter
+    (fun (label, strategy, dist, params) ->
+      printf "@.--- %s ---@." label;
+      let cfg = { base with Scalability.strategy; dist; params } in
+      print_points (Scalability.run cfg ~r_values:[ 0; 6; 12 ]))
+    [
+      ( "P=1, WVE, Fmax=10K-scaled",
+        Vm_placement.Pack_up_to 1,
+        Group_dist.Wve,
+        Params.create ~fmax:fmax10k () );
+      ( "P=1, Uniform, Fmax=10K-scaled",
+        Vm_placement.Pack_up_to 1,
+        Group_dist.Uniform,
+        Params.create ~fmax:fmax10k () );
+      ( "P=1, WVE, Fmax=10K-scaled, header 125B (~10 leaf p-rules)",
+        Vm_placement.Pack_up_to 1,
+        Group_dist.Wve,
+        Params.create ~fmax:fmax10k ~header_budget:(Some 125) ~hmax_leaf:10 () );
+      ( "P=12, WVE, Fmax=10K-scaled, header 125B",
+        Vm_placement.Pack_up_to 12,
+        Group_dist.Wve,
+        Params.create ~fmax:fmax10k ~header_budget:(Some 125) ~hmax_leaf:10 () );
+    ]
+
+let twotier () =
+  hr "Extension: two-tier leaf-spine topology (paper: 'qualitatively similar')";
+  let topo = Topology.leaf_spine ~leaves:576 ~spines:16 ~hosts_per_leaf:48 in
+  let cfg = { (Scalability.default_config ()) with Scalability.topo } in
+  printf "topology: %a@." Topology.pp topo;
+  print_points (Scalability.run cfg ~r_values:[ 0; 6; 12 ])
+
+let nonclos () =
+  hr "Extension 5.1.2: non-Clos topologies (Xpander vs Jellyfish)";
+  let groups = min 2_000 ((Scalability.default_config ()).Scalability.total_groups) in
+  List.iter
+    (fun r ->
+      printf "@.R = %d:@." r;
+      List.iter
+        (fun res -> printf "%a@." Nonclos_exp.pp_result res)
+        (Nonclos_exp.run ~groups ~r ()))
+    [ 0; 12 ];
+  printf
+    "@.(paper's qualitative claim: symmetric topologies share bitmaps more readily than random ones)@."
+
+let legacy () =
+  hr "Extension 7: incremental deployment with legacy switches";
+  let cfg = Scalability.default_config () in
+  let topo = cfg.Scalability.topo in
+  let placement =
+    let rng = Rng.create cfg.Scalability.seed in
+    let tenant_sizes = Vm_placement.default_tenant_sizes rng cfg.Scalability.tenants in
+    Vm_placement.place rng topo ~strategy:cfg.Scalability.strategy ~host_capacity:20
+      ~tenant_sizes
+  in
+  let total_groups = min 20_000 cfg.Scalability.total_groups in
+  printf "@.%-18s %-14s %-22s %-14s@." "legacy leaves" "s-rule groups"
+    "leaf s-rules mean/max" "lost groups";
+  List.iter
+    (fun percent ->
+      let legacy_leaf l = l * 100 / Topology.num_leaves topo < percent in
+      let params = cfg.Scalability.params in
+      let srules = Srule_state.create topo ~fmax:params.Params.fmax in
+      let rng = Rng.create (cfg.Scalability.seed + 1) in
+      let with_srules = ref 0 in
+      let lost = ref 0 in
+      Workload.iter rng placement ~kind:cfg.Scalability.dist ~total_groups
+        (fun g ->
+          let tree = Tree.of_members topo (Array.to_list g.Workload.member_hosts) in
+          let enc = Encoding.encode ~legacy_leaf params srules tree in
+          if Encoding.srule_entries enc > 0 then incr with_srules;
+          (* A defaulted legacy leaf cannot parse the header: receivers lost. *)
+          match enc.Encoding.d_leaf.Clustering.default with
+          | Some (ids, _) when List.exists legacy_leaf ids -> incr lost
+          | Some _ | None -> ());
+      let occ = Stats.summarize (Stats.of_ints (Srule_state.leaf_occupancy srules)) in
+      printf "%-18s %-14d %9.1f / %-10.0f %-14d@."
+        (Printf.sprintf "%d%%" percent)
+        !with_srules occ.Stats.mean occ.Stats.max !lost)
+    [ 0; 25; 50 ];
+  printf
+    "(the paper's caveat reproduced: legacy group tables become the scalability bottleneck)@."
+
+let strawman () =
+  hr "Appendix A: match-action p-rule lookup vs parser-based matching";
+  printf "@.The appendix's example (ten 11-bit p-rules):@.%a@." Strawman.pp_cost
+    (Strawman.appendix_example ());
+  let topo = Topology.facebook_fabric () in
+  printf "@.A full downstream-leaf section on the 27k-host fabric:@.%a@."
+    Strawman.pp_cost
+    (Strawman.leaf_layer_cost topo Params.default)
+
+let bisection () =
+  hr "Extension (Table 3): bisection-bandwidth utilization, ECMP vs pinned trees";
+  let groups = min 20_000 ((Scalability.default_config ()).Scalability.total_groups) in
+  List.iter
+    (fun r -> printf "@.%a@." Bisection.pp_result r)
+    (Bisection.run ~groups ())
+
+(* {1 Table 2 and failures: control plane} *)
+
+let control_result = ref None
+
+let control () =
+  match !control_result with
+  | Some r -> r
+  | None ->
+      let cfg = Control_plane.default_config () in
+      let r = Control_plane.run cfg in
+      control_result := Some r;
+      r
+
+let table2 () =
+  hr "Table 2: control-plane updates per second under churn (P=1, WVE)";
+  let r = control () in
+  printf "%a@." Control_plane.pp_table2 r.Control_plane.churn
+
+let failures () =
+  hr "In-text 5.1.3b: spine and core failures";
+  let r = control () in
+  printf "%a@." Control_plane.pp_failures r
+
+(* {1 Figure 6 and sFlow: applications} *)
+
+let app_hosts topo rng n =
+  (* receivers spread across the fabric, source at host 0 *)
+  let hosts = Array.init (Topology.num_hosts topo - 1) (fun i -> i + 1) in
+  Rng.shuffle rng hosts;
+  Array.to_list (Array.sub hosts 0 n)
+
+let fig6 () =
+  hr "Figure 6: ZeroMQ-style pub-sub (requests/s and publisher CPU)";
+  let topo = Topology.facebook_fabric () in
+  let fabric = Fabric.create topo in
+  let rng = Rng.create 7 in
+  let subscribers = app_hosts topo rng 256 in
+  let sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  printf "@.%-6s %-24s %-24s %-10s@." "subs" "unicast rps / cpu%" "elmo rps / cpu%"
+    "delivered";
+  List.iter
+    (fun n ->
+      let subs = List.filteri (fun i _ -> i < n) subscribers in
+      let u = Pubsub.run fabric ~publisher:0 ~subscribers:subs Pubsub.Unicast in
+      let e = Pubsub.run fabric ~publisher:0 ~subscribers:subs Pubsub.Elmo in
+      printf "%-6d %10.0f / %-10.1f %10.0f / %-10.1f %-10b@." n
+        u.Pubsub.throughput_rps u.Pubsub.cpu_percent e.Pubsub.throughput_rps
+        e.Pubsub.cpu_percent e.Pubsub.all_delivered)
+    sizes
+
+let sflow () =
+  hr "In-text 5.2.2: sFlow host telemetry (agent egress bandwidth)";
+  let topo = Topology.facebook_fabric () in
+  let fabric = Fabric.create topo in
+  let rng = Rng.create 8 in
+  let collectors = app_hosts topo rng 64 in
+  printf "@.%-12s %-16s %-16s@." "collectors" "unicast Kbps" "elmo Kbps";
+  List.iter
+    (fun n ->
+      let cs = List.filteri (fun i _ -> i < n) collectors in
+      let u = Telemetry.run fabric ~agent:0 ~collectors:cs Telemetry.Unicast in
+      let e = Telemetry.run fabric ~agent:0 ~collectors:cs Telemetry.Elmo in
+      printf "%-12d %-16.1f %-16.1f@." n u.Telemetry.egress_kbps
+        e.Telemetry.egress_kbps)
+    [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* {1 Figure 7: hypervisor encapsulation} *)
+
+let fig7 () =
+  hr "Figure 7: hypervisor encapsulation throughput vs number of p-rules";
+  let topo = Topology.facebook_fabric () in
+  let points = Fig7.run topo [ 0; 5; 10; 15; 20; 25; 30 ] in
+  List.iter (fun p -> printf "%a@." Fig7.pp_point p) points;
+  printf
+    "(claim reproduced: single-write Gbps stays roughly flat while per-rule \
+     writes degrade with rule count)@."
+
+(* {1 Table 3 and the D1-D5 ablation} *)
+
+let table3 () =
+  hr "Table 3: scheme comparison (5,000-entry group tables, 325 B header)";
+  Comparison.pp_table Format.std_formatter
+    (Comparison.rows ~table_capacity:5_000 ~header_budget:325)
+
+let ablation () =
+  hr "Ablation: design decisions D1-D5 on the running example (Fig. 3a)";
+  List.iter (fun s -> printf "%a@." Ablation.pp_step s) (Ablation.run ());
+  let base = Scalability.default_config () in
+  let small = min 20_000 base.Scalability.total_groups in
+  let sweep label cfgs =
+    printf "@.%s (P=12, %dk groups):@." label (small / 1000);
+    printf "  %-24s %-10s %-10s %-12s %-14s@." "variant" "covered%" "pure-p%"
+      "hdr mean B" "ovh 1500B %";
+    List.iter
+      (fun (name, params) ->
+        let cfg =
+          { base with Scalability.total_groups = small; params }
+        in
+        let p = Scalability.run_point cfg ~r:12 in
+        printf "  %-24s %-10.1f %-10.1f %-12.1f %-14.1f@." name
+          (100.0 *. float_of_int p.Scalability.covered
+          /. float_of_int (max 1 p.Scalability.total_groups))
+          (100.0 *. float_of_int p.Scalability.covered_pure_prules
+          /. float_of_int (max 1 p.Scalability.total_groups))
+          p.Scalability.header_bytes.Stats.mean
+          (100.0 *. p.Scalability.overhead_1500))
+      cfgs
+  in
+  let fmax = max 50 (30_000 * small / 1_000_000) in
+  sweep "R-semantics ablation"
+    [
+      ("Sum (default)", Params.create ~r_semantics:Params.Sum ~fmax ());
+      ("Per_bitmap", Params.create ~r_semantics:Params.Per_bitmap ~fmax ());
+    ];
+  sweep "Kmax ablation (switches per shared p-rule)"
+    (List.map
+       (fun k ->
+         (Printf.sprintf "Kmax=%d" k, Params.create ~kmax:k ~fmax ()))
+       [ 1; 2; 4; 8 ]);
+  sweep "Header-budget ablation"
+    (List.map
+       (fun b ->
+         ( Printf.sprintf "budget=%dB" b,
+           Params.create ~header_budget:(Some b) ~fmax () ))
+       [ 125; 200; 325; 512 ])
+
+(* {1 Bechamel micro-benchmarks} *)
+
+let micro () =
+  hr "Micro-benchmarks (Bechamel): one kernel operation per table/figure";
+  let open Bechamel in
+  let open Toolkit in
+  let topo = Topology.facebook_fabric () in
+  let rng = Rng.create 11 in
+  let members =
+    Array.to_list (Array.init 60 (fun _ -> Rng.int rng (Topology.num_hosts topo)))
+    |> List.sort_uniq compare
+  in
+  let tree = Tree.of_members topo members in
+  let params = Params.default in
+  let srules = Srule_state.create topo ~fmax:params.Params.fmax in
+  let enc = Encoding.encode params srules tree in
+  let header = Encoding.header_for_sender enc ~sender:(List.hd members) in
+  let bytes = Header_codec.encode topo header in
+  let fabric = Fabric.create topo in
+  let tests =
+    [
+      (* Fig 4/5 kernel: one group's rule computation (the paper's
+         controller computes p-/s-rules in ~0.2 ms). *)
+      Test.make ~name:"fig4/5: encode group (Algorithm 1)"
+        (Staged.stage (fun () ->
+             let srules = Srule_state.create topo ~fmax:params.Params.fmax in
+             Encoding.encode params srules tree));
+      (* Table 2 kernel: header build for one sender. *)
+      Test.make ~name:"table2: header_for_sender"
+        (Staged.stage (fun () -> Encoding.header_for_sender enc ~sender:0));
+      (* Fig 7 kernel: wire encode/decode. *)
+      Test.make ~name:"fig7: Header_codec.encode"
+        (Staged.stage (fun () -> Header_codec.encode topo header));
+      Test.make ~name:"fig7: Header_codec.decode"
+        (Staged.stage (fun () -> Header_codec.decode topo bytes));
+      (* Fig 6 kernel: one multicast packet through the fabric. *)
+      Test.make ~name:"fig6: Fabric.inject"
+        (Staged.stage (fun () ->
+             Fabric.inject fabric ~sender:(List.hd members) ~group:1 ~header
+               ~payload:100));
+      (* Fig 4/5 right panel kernel: the analytic traffic model. *)
+      Test.make ~name:"fig4/5: Traffic.measure"
+        (Staged.stage (fun () -> Traffic.measure enc ~sender:(List.hd members)));
+      (* Table 2 kernel: one hypervisor flow-rule install (the paper quotes
+         hypervisors sustaining 40k updates/s, 80k batched). *)
+      Test.make ~name:"table2: Hypervisor.install_sender"
+        (Staged.stage
+           (let hv = Hypervisor.create fabric ~host:0 in
+            fun () -> Hypervisor.install_sender hv ~group:1 header));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"elmo" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          if t >= 1e6 then printf "%-45s %10.3f ms/op@." name (t /. 1e6)
+          else if t >= 1e3 then printf "%-45s %10.3f us/op@." name (t /. 1e3)
+          else printf "%-45s %10.1f ns/op@." name t
+      | Some [] | None -> printf "%-45s (no estimate)@." name)
+    rows;
+  printf
+    "@.(paper: controller computes p-/s-rules for a group in 0.20 ms +/- 0.45 \
+     ms)@."
+
+let targets =
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("uniform", uniform);
+    ("constrained", constrained);
+    ("table2", table2);
+    ("failures", failures);
+    ("fig6", fig6);
+    ("sflow", sflow);
+    ("fig7", fig7);
+    ("table3", table3);
+    ("ablation", ablation);
+    ("twotier", twotier);
+    ("nonclos", nonclos);
+    ("legacy", legacy);
+    ("bisection", bisection);
+    ("strawman", strawman);
+    ("micro", micro);
+  ]
+
+let all () = List.iter (fun (_, f) -> f ()) targets
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] -> all ()
+  | args ->
+      List.iter
+        (fun a ->
+          match List.assoc_opt a targets with
+          | Some f -> f ()
+          | None ->
+              printf "unknown target %S; available: %s all@." a
+                (String.concat " " (List.map fst targets));
+              exit 1)
+        args

@@ -1,0 +1,210 @@
+(* elmo-sim: command-line front-end to the simulation harness.
+
+   elmo-sim scalability --placement 12 --dist wve --groups 50000 -r 0 -r 12
+   elmo-sim churn --events 20000
+   elmo-sim failures --trials 10
+   elmo-sim ablation *)
+
+open Cmdliner
+
+let groups_arg =
+  let doc = "Number of multicast groups to simulate." in
+  Arg.(value & opt int 50_000 & info [ "groups"; "g" ] ~docv:"N" ~doc)
+
+let tenants_arg =
+  let doc = "Number of tenants." in
+  Arg.(value & opt int 3_000 & info [ "tenants" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let placement_arg =
+  let parse s =
+    match Vm_placement.strategy_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg "expected a positive rack bound or \"all\"")
+  in
+  let strategy_conv = Arg.conv ~docv:"P" (parse, Vm_placement.pp_strategy) in
+  let doc = "Placement strategy: max VMs of a tenant per rack (or \"all\")." in
+  Arg.(
+    value
+    & opt strategy_conv (Vm_placement.Pack_up_to 12)
+    & info [ "placement"; "P" ] ~docv:"P" ~doc)
+
+let dist_arg =
+  let parse s =
+    match Group_dist.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg "expected \"wve\" or \"uniform\"")
+  in
+  let dist_conv = Arg.conv ~docv:"DIST" (parse, Group_dist.pp_kind) in
+  let doc = "Group-size distribution (wve or uniform)." in
+  Arg.(value & opt dist_conv Group_dist.Wve & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let r_arg =
+  let doc = "Redundancy limit(s) R to sweep (repeatable)." in
+  Arg.(value & opt_all int [ 0; 6; 12 ] & info [ "r" ] ~docv:"R" ~doc)
+
+let fmax_arg =
+  let doc =
+    "Per-switch s-rule capacity. Defaults to 30,000 scaled by groups/1M."
+  in
+  Arg.(value & opt (some int) None & info [ "fmax" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc = "Header budget in bytes (0 disables budget-driven Hmax)." in
+  Arg.(value & opt int 325 & info [ "budget" ] ~docv:"BYTES" ~doc)
+
+let config groups tenants seed placement dist fmax budget =
+  let fmax =
+    match fmax with
+    | Some f -> f
+    | None -> max 50 (30_000 * groups / 1_000_000)
+  in
+  let header_budget = if budget = 0 then None else Some budget in
+  {
+    Scalability.topo = Topology.facebook_fabric ();
+    tenants;
+    total_groups = groups;
+    strategy = placement;
+    dist;
+    params = Params.create ~fmax ~header_budget ();
+    seed;
+  }
+
+let scalability_cmd =
+  let run groups tenants seed placement dist fmax budget rs =
+    let cfg = config groups tenants seed placement dist fmax budget in
+    Format.printf "topology: %a@.placement: %a  dist: %a  groups: %d  params: %a@."
+      Topology.pp cfg.Scalability.topo Vm_placement.pp_strategy placement
+      Group_dist.pp_kind dist groups Params.pp cfg.Scalability.params;
+    List.iter
+      (fun p -> Format.printf "@.%a@." Scalability.pp_point p)
+      (Scalability.run cfg ~r_values:rs)
+  in
+  let term =
+    Term.(
+      const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
+      $ dist_arg $ fmax_arg $ budget_arg $ r_arg)
+  in
+  Cmd.v
+    (Cmd.info "scalability"
+       ~doc:"Figures 4/5: encode all groups and report coverage, s-rules and \
+             traffic overhead across R values.")
+    term
+
+let churn_cmd =
+  let events_arg =
+    Arg.(value & opt int 20_000 & info [ "events" ] ~docv:"N" ~doc:"Membership events.")
+  in
+  let run groups tenants seed placement dist fmax budget events =
+    let base = config groups tenants seed placement dist fmax budget in
+    let cfg =
+      {
+        Control_plane.topo = base.Scalability.topo;
+        tenants = base.Scalability.tenants;
+        total_groups = base.Scalability.total_groups;
+        strategy = base.Scalability.strategy;
+        dist = base.Scalability.dist;
+        params = base.Scalability.params;
+        events;
+        events_per_second = 1_000.0;
+        failure_trials = 5;
+        seed = base.Scalability.seed;
+      }
+    in
+    let r = Control_plane.run cfg in
+    Format.printf "%a@.@.%a@." Control_plane.pp_table2 r.Control_plane.churn
+      Control_plane.pp_failures r
+  in
+  let term =
+    Term.(
+      const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
+      $ dist_arg $ fmax_arg $ budget_arg $ events_arg)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Table 2 and failure handling: per-switch update load under \
+             membership churn, plus spine/core failure impact.")
+    term
+
+let ablation_cmd =
+  let run () =
+    List.iter
+      (fun s -> Format.printf "%a@." Ablation.pp_step s)
+      (Ablation.run ())
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Header-size ablation of design decisions D1-D5 on the running \
+             example.")
+    Term.(const run $ const ())
+
+let nonclos_cmd =
+  let groups_small =
+    Arg.(value & opt int 1_000 & info [ "groups"; "g" ] ~docv:"N" ~doc:"Groups to encode.")
+  in
+  let r_single =
+    Arg.(value & opt int 12 & info [ "r" ] ~docv:"R" ~doc:"Redundancy limit.")
+  in
+  let run groups r seed =
+    List.iter
+      (fun res -> Format.printf "%a@.@." Nonclos_exp.pp_result res)
+      (Nonclos_exp.run ~groups ~r ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "nonclos"
+       ~doc:"Header-space utilization on non-Clos topologies (Xpander vs              Jellyfish), per the paper's 5.1.2 discussion.")
+    Term.(const run $ groups_small $ r_single $ seed_arg)
+
+let p4_cmd =
+  let role_arg =
+    let parse = function
+      | "leaf" -> Ok P4gen.Leaf
+      | "spine" -> Ok P4gen.Spine
+      | "core" -> Ok P4gen.Core
+      | _ -> Error (`Msg "expected leaf, spine or core")
+    in
+    let print ppf = function
+      | P4gen.Leaf -> Format.pp_print_string ppf "leaf"
+      | P4gen.Spine -> Format.pp_print_string ppf "spine"
+      | P4gen.Core -> Format.pp_print_string ppf "core"
+    in
+    Arg.(
+      value
+      & opt (Arg.conv ~docv:"ROLE" (parse, print)) P4gen.Leaf
+      & info [ "role" ] ~docv:"ROLE" ~doc:"Switch role: leaf, spine or core.")
+  in
+  let hypervisor_arg =
+    Arg.(value & flag & info [ "hypervisor" ] ~doc:"Emit the hypervisor-switch program instead.")
+  in
+  let id_arg =
+    Arg.(value & opt int 0 & info [ "id" ] ~docv:"ID" ~doc:"Switch identifier (leaf number / pod number).")
+  in
+  let example_arg =
+    Arg.(value & flag & info [ "example" ] ~doc:"Use the paper's running-example topology instead of the Facebook fabric.")
+  in
+  let run role hypervisor id example =
+    let topo =
+      if example then Topology.running_example () else Topology.facebook_fabric ()
+    in
+    let params = Params.default in
+    if hypervisor then
+      print_string (P4gen.hypervisor_switch_program topo params)
+    else print_string (P4gen.network_switch_program topo params ~role ~switch_id:id)
+  in
+  Cmd.v
+    (Cmd.info "p4"
+       ~doc:"Emit the generated P4-16 program for a switch (boot-time              configuration, paper footnote 3).")
+    Term.(const run $ role_arg $ hypervisor_arg $ id_arg $ example_arg)
+
+let main =
+  let info =
+    Cmd.info "elmo-sim" ~version:"1.0.0"
+      ~doc:"Simulation harness for Elmo: source-routed multicast for public \
+            clouds (SIGCOMM 2019)."
+  in
+  Cmd.group info [ scalability_cmd; churn_cmd; ablation_cmd; nonclos_cmd; p4_cmd ]
+
+let () = exit (Cmd.eval main)

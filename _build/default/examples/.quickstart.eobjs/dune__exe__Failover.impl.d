@@ -1,0 +1,1 @@
+examples/failover.ml: Controller Encoding Fabric Format List Option Params Topology Tree

@@ -1,0 +1,1 @@
+examples/mtrace.ml: Encoding Fabric Format List Params Srule_state Topology Tree

@@ -1,0 +1,1 @@
+examples/multidc_demo.ml: Fabric Format List Multidc Params Topology

@@ -1,0 +1,1 @@
+examples/multidc_demo.mli:

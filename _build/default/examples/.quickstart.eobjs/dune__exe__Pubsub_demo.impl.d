@@ -1,0 +1,1 @@
+examples/pubsub_demo.ml: Array Fabric Format List Pubsub Rng Topology

@@ -1,0 +1,1 @@
+examples/pubsub_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Dump Encoding Fabric Fmt Format Header_codec Params Prule Srule_state Topology Tree

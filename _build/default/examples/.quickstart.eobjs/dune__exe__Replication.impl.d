@@ -1,0 +1,1 @@
+examples/replication.ml: Array Ecmp Encoding Fabric Format List Params Reliable Srule_state Topology Tree

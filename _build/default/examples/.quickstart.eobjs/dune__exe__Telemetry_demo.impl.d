@@ -1,0 +1,1 @@
+examples/telemetry_demo.ml: Array Fabric Format List Rng Telemetry Topology

@@ -1,0 +1,35 @@
+(* sFlow-style host telemetry over Elmo vs unicast (the paper's §5.2.2
+   workload): an agent exports a metrics datagram to N collectors; agent
+   egress bandwidth is flat under Elmo and linear under unicast.
+
+   Run with: dune exec examples/telemetry_demo.exe *)
+
+let () =
+  let topo = Topology.facebook_fabric () in
+  let fabric = Fabric.create topo in
+  let rng = Rng.create 2 in
+  let agent = 100 in
+  let all_hosts =
+    Array.init (Topology.num_hosts topo) (fun i -> i)
+    |> Array.to_list
+    |> List.filter (fun x -> x <> agent)
+    |> Array.of_list
+  in
+  Rng.shuffle rng all_hosts;
+  let collectors = Array.to_list (Array.sub all_hosts 0 64) in
+  Format.printf "sFlow agent on host %d, %a@.@." agent Topology.pp topo;
+  Format.printf "%10s | %14s | %14s | %s@." "collectors" "unicast Kbps"
+    "Elmo Kbps" "datagrams per export (unicast vs Elmo)";
+  List.iter
+    (fun n ->
+      let cs = List.filteri (fun i _ -> i < n) collectors in
+      let u = Telemetry.run fabric ~agent ~collectors:cs Telemetry.Unicast in
+      let e = Telemetry.run fabric ~agent ~collectors:cs Telemetry.Elmo in
+      assert e.Telemetry.all_delivered;
+      Format.printf "%10d | %14.1f | %14.1f | %d vs %d@." n
+        u.Telemetry.egress_kbps e.Telemetry.egress_kbps
+        u.Telemetry.datagrams_per_export e.Telemetry.datagrams_per_export)
+    [ 1; 4; 16; 64 ];
+  Format.printf
+    "@.(paper: 370.4 Kbps at 64 unicast collectors vs a constant 5.8 Kbps \
+     with Elmo)@."

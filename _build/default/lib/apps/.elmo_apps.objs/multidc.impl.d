@@ -1,0 +1,1 @@
+lib/apps/multidc.ml: Array Encoding Fabric Fun Hashtbl List Option Params Srule_state Tree

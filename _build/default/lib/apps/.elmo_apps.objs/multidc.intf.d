@@ -1,0 +1,1 @@
+lib/apps/multidc.mli: Fabric Params

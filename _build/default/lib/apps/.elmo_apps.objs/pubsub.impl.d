@@ -1,0 +1,1 @@
+lib/apps/pubsub.ml: Encoding Fabric Float List Params Srule_state Tree Unicast_overlay

@@ -1,0 +1,1 @@
+lib/apps/reliable.ml: Array Encoding Fabric Hashtbl List Tree

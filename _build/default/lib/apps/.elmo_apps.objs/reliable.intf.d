@@ -1,0 +1,1 @@
+lib/apps/reliable.mli: Encoding Fabric

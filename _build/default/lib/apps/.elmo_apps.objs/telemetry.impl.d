@@ -1,0 +1,1 @@
+lib/apps/telemetry.ml: Encoding Fabric List Params Srule_state Tree Unicast_overlay

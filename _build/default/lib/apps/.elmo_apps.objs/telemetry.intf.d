@@ -1,0 +1,1 @@
+lib/apps/telemetry.mli: Fabric

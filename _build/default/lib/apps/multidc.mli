@@ -1,0 +1,38 @@
+(** Multi-datacenter multicast (§7, "Path to deployment").
+
+    The paper's scheme: a group spanning datacenters keeps an independent
+    Elmo encoding per datacenter; the source hypervisor multicasts locally
+    and sends one WAN {e unicast} to a relay hypervisor in each remote
+    datacenter with members, which re-multicasts using that datacenter's
+    p-/s-rules.
+
+    Each datacenter is a full {!Fabric}; members are (datacenter, host)
+    pairs. The relay of a datacenter is its lowest-numbered member host. *)
+
+type t
+
+val create : Params.t -> Fabric.t list -> t
+(** One fabric per datacenter. Raises [Invalid_argument] on an empty list. *)
+
+val datacenters : t -> int
+
+val add_group : t -> group:int -> (int * int) list -> unit
+(** [(dc, host)] members. Installs per-DC encodings and s-rules. Raises
+    [Invalid_argument] on an unknown datacenter index, a duplicate member,
+    or an existing group. *)
+
+val remove_group : t -> group:int -> unit
+
+type send_report = {
+  local : Fabric.report;  (** the sender datacenter's multicast *)
+  wan_unicasts : int;  (** one per remote datacenter with members *)
+  remote : (int * Fabric.report) list;  (** relay multicast per remote DC *)
+}
+
+val send : t -> group:int -> sender_dc:int -> sender:int -> send_report
+(** Raises [Not_found] for unknown groups. *)
+
+val deliveries_correct : t -> group:int -> sender_dc:int -> sender:int ->
+  send_report -> bool
+(** Every member other than the sender received exactly one copy, counting
+    WAN delivery to each relay. *)

@@ -1,0 +1,45 @@
+(** ZeroMQ-style publish-subscribe over the simulated fabric (§5.2.1,
+    Figure 6).
+
+    The structural quantity — how many packets the publisher's host must
+    emit per message — is {e measured} by running the workload: under
+    unicast the publisher opens one stream per subscriber and emits N
+    copies; under Elmo it emits exactly one packet, which the fabric
+    replicates (verified by injection through {!Fabric}). Wall-clock
+    throughput and CPU are then derived with a cost model calibrated to the
+    paper's testbed endpoints (a publisher VM sustains 185K requests/s to a
+    single subscriber at 4.9% CPU; per-subscriber connection state costs
+    grow linearly and saturate the VM's core).
+
+    Substitution note (DESIGN.md §3): the paper measures 9 physical servers
+    with PISCES; we replay the same workload on the packet-level simulator
+    and keep the published calibration points. *)
+
+type mode = Unicast | Elmo
+
+type measurement = {
+  subscribers : int;
+  packets_per_message : int;  (** emitted by the publisher host (measured) *)
+  fabric_transmissions : int;  (** total link traversals per message *)
+  throughput_rps : float;  (** requests/s sustained per subscriber *)
+  cpu_percent : float;  (** publisher VM CPU *)
+  all_delivered : bool;  (** every subscriber got the message exactly once *)
+}
+
+val single_subscriber_rps : float
+(** Calibration: 185,000 requests/s. *)
+
+val base_cpu_percent : float
+(** Calibration: 4.9% at one stream. *)
+
+val run :
+  Fabric.t -> publisher:int -> subscribers:int list -> mode -> measurement
+(** Simulates one message to [subscribers] (distinct hosts, publisher
+    excluded) and derives the steady-state rates. Raises [Invalid_argument]
+    on an empty subscriber list or a subscriber equal to the publisher. *)
+
+val sweep :
+  Fabric.t -> publisher:int -> subscribers:int list -> mode -> int list ->
+  measurement list
+(** [sweep fabric ~publisher ~subscribers mode sizes] measures prefixes of
+    the subscriber list with the given sizes (Figure 6's x-axis). *)

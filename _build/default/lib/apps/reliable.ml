@@ -1,0 +1,126 @@
+type receiver_state = {
+  received : (int, unit) Hashtbl.t;  (* sequence numbers held *)
+}
+
+type stats = {
+  data_sent : int;
+  repairs_sent : int;
+  naks : int;
+  duplicates_discarded : int;
+}
+
+type t = {
+  fabric : Fabric.t;
+  group : int;
+  sender : int;
+  encoding : Encoding.t;
+  receivers : (int, receiver_state) Hashtbl.t;
+  mutable next_seq : int;
+  mutable data_sent : int;
+  mutable repairs_sent : int;
+  mutable naks : int;
+  mutable duplicates : int;
+}
+
+let create fabric ~group ~sender encoding =
+  let receivers = Hashtbl.create 16 in
+  Array.iter
+    (fun h ->
+      if h <> sender then Hashtbl.replace receivers h { received = Hashtbl.create 16 })
+    encoding.Encoding.tree.Tree.members;
+  {
+    fabric;
+    group;
+    sender;
+    encoding;
+    receivers;
+    next_seq = 0;
+    data_sent = 0;
+    repairs_sent = 0;
+    naks = 0;
+    duplicates = 0;
+  }
+
+(* One multicast of sequence [seq]: receivers record it, deduplicating. *)
+let transmit t seq =
+  let header = Encoding.header_for_sender t.encoding ~sender:t.sender in
+  let report =
+    Fabric.inject t.fabric ~sender:t.sender ~group:t.group ~header ~payload:seq
+  in
+  List.iter
+    (fun (host, copies) ->
+      match Hashtbl.find_opt t.receivers host with
+      | None -> () (* spurious delivery to a non-member: hypervisor discards *)
+      | Some st ->
+          let dup_copies = if Hashtbl.mem st.received seq then copies else copies - 1 in
+          t.duplicates <- t.duplicates + max 0 dup_copies;
+          Hashtbl.replace st.received seq ())
+    report.Fabric.delivered
+
+let broadcast t ~payload:_ =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.data_sent <- t.data_sent + 1;
+  transmit t seq;
+  seq
+
+let missing_of st ~upto =
+  let rec go seq acc =
+    if seq < 0 then acc
+    else go (seq - 1) (if Hashtbl.mem st.received seq then acc else seq :: acc)
+  in
+  go (upto - 1) []
+
+let repair_round t =
+  (* Collect NAKs from every receiver, then retransmit the union once —
+     PGM's NAK suppression. *)
+  let wanted = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _host st ->
+      match missing_of st ~upto:t.next_seq with
+      | [] -> ()
+      | missing ->
+          t.naks <- t.naks + 1;
+          List.iter (fun seq -> Hashtbl.replace wanted seq ()) missing)
+    t.receivers;
+  let seqs = Hashtbl.fold (fun s () acc -> s :: acc) wanted [] |> List.sort compare in
+  List.iter
+    (fun seq ->
+      t.repairs_sent <- t.repairs_sent + 1;
+      transmit t seq)
+    seqs;
+  List.length seqs
+
+let complete t =
+  Hashtbl.fold
+    (fun _ st acc -> acc && missing_of st ~upto:t.next_seq = [])
+    t.receivers true
+
+let repair_until_complete ?(max_rounds = 16) t =
+  let rec go n =
+    if complete t then true
+    else if n = 0 then false
+    else begin
+      let sent = repair_round t in
+      if sent = 0 then complete t else go (n - 1)
+    end
+  in
+  go max_rounds
+
+let receivers t =
+  Hashtbl.fold (fun h _ acc -> h :: acc) t.receivers [] |> List.sort compare
+
+let delivered_in_order t host =
+  match Hashtbl.find_opt t.receivers host with
+  | None -> raise Not_found
+  | Some st ->
+      let rec go seq = if Hashtbl.mem st.received seq then go (seq + 1) else seq in
+      go 0
+
+let stats t =
+  {
+    data_sent = t.data_sent;
+    repairs_sent = t.repairs_sent;
+    naks = t.naks;
+    duplicates_discarded = t.duplicates;
+  }

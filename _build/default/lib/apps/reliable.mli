@@ -1,0 +1,51 @@
+(** PGM-style NAK-based reliable multicast layered over Elmo (§7,
+    "Reliability and security": "multicast protocols like PGM and SRM may be
+    layered on top of Elmo").
+
+    Elmo itself is best-effort: packets multipathed onto a failed switch are
+    lost until the controller reconfigures. This module adds the classic
+    recovery loop — sequence numbers on data packets, receivers detect gaps
+    and NAK them, the sender retransmits from its buffer as multicast, and
+    receivers deduplicate by sequence number — so the application sees
+    exactly-once, in-order delivery even across failure windows.
+
+    The session owns one sender and the group's receivers; transmissions go
+    through the packet-level {!Fabric}, so losses are the real losses the
+    simulated failures produce. *)
+
+type t
+
+val create : Fabric.t -> group:int -> sender:int -> Encoding.t -> t
+(** The encoding's s-rules must already be installed in the fabric
+    ({!Fabric.install_encoding}). Receivers are the tree members other than
+    the sender. *)
+
+type stats = {
+  data_sent : int;  (** original data multicasts *)
+  repairs_sent : int;  (** retransmission multicasts *)
+  naks : int;  (** gap reports processed *)
+  duplicates_discarded : int;  (** copies dropped by receiver dedup *)
+}
+
+val broadcast : t -> payload:int -> int
+(** Sends the next data packet; returns its sequence number. *)
+
+val repair_round : t -> int
+(** One NAK/retransmit cycle: collects every receiver's missing sequence
+    numbers and retransmits each missing sequence once (multicast, as PGM
+    does). Returns the number of retransmissions performed (0 = converged). *)
+
+val repair_until_complete : ?max_rounds:int -> t -> bool
+(** Runs repair rounds until every receiver holds every sequence (true) or
+    [max_rounds] (default 16) passes without convergence (false — e.g. a
+    receiver is unreachable because its leaf is down). *)
+
+val receivers : t -> int list
+val complete : t -> bool
+(** Every receiver holds every sequence sent so far. *)
+
+val delivered_in_order : t -> int -> int
+(** Length of the contiguous in-order prefix a receiver has delivered to the
+    application. Raises [Not_found] for non-receivers. *)
+
+val stats : t -> stats

@@ -1,0 +1,28 @@
+(** sFlow-style host telemetry over the simulated fabric (§5.2.2).
+
+    An sFlow agent periodically exports a metrics datagram to a set of
+    collectors. Under unicast the agent's host emits one datagram per
+    collector; under Elmo it emits one multicast datagram (replication
+    verified through {!Fabric}). Egress bandwidth at the agent's host is
+    datagram rate × size × emitted copies; the paper's calibration point is
+    5.8 Kbps for a single collector stream (370.4 Kbps for 64 unicast
+    collectors). *)
+
+type mode = Unicast | Elmo
+
+type measurement = {
+  collectors : int;
+  datagrams_per_export : int;  (** emitted by the agent host (measured) *)
+  egress_kbps : float;
+  all_delivered : bool;
+}
+
+val per_stream_kbps : float
+(** Calibration: 5.8 Kbps per collector stream. *)
+
+val run :
+  Fabric.t -> agent:int -> collectors:int list -> mode -> measurement
+
+val sweep :
+  Fabric.t -> agent:int -> collectors:int list -> mode -> int list ->
+  measurement list

@@ -1,0 +1,1 @@
+lib/baselines/bier_sgm.ml: Bitio Bitmap Int32 List

@@ -1,0 +1,1 @@
+lib/baselines/bier_sgm.mli:

@@ -1,0 +1,1 @@
+lib/baselines/ip_multicast.ml: Array List Topology Tree

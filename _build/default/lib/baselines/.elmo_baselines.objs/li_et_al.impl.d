@@ -1,0 +1,1 @@
+lib/baselines/li_et_al.ml: Array Bitmap Bytes Hashtbl List Option Topology Tree

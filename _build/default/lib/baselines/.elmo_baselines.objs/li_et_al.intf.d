@@ -1,0 +1,1 @@
+lib/baselines/li_et_al.mli: Topology Tree

@@ -1,0 +1,1 @@
+lib/baselines/unicast_overlay.ml: Array Bitmap List Topology Tree

@@ -1,0 +1,1 @@
+lib/baselines/unicast_overlay.mli: Topology Tree

@@ -1,0 +1,68 @@
+module Bier = struct
+  let fixed_header = 8
+
+  let header_bytes ~hosts =
+    if hosts <= 0 then invalid_arg "Bier.header_bytes";
+    fixed_header + ((hosts + 7) / 8)
+
+  let max_hosts ~header_budget =
+    if header_budget <= fixed_header then 0
+    else (header_budget - fixed_header) * 8
+
+  let encode ~hosts ~members =
+    let bm = Bitmap.create hosts in
+    List.iter (fun m -> Bitmap.set bm m) members;
+    let w = Bitio.Writer.create () in
+    Bitio.Writer.bits w 0 32 (* BFIR-id + entropy, zeroed *);
+    Bitio.Writer.bits w hosts 32;
+    Bitio.Writer.bitmap w bm;
+    Bitio.Writer.to_bytes w
+
+  let members_of ~hosts data =
+    let r = Bitio.Reader.of_bytes data in
+    let _ = Bitio.Reader.bits r 32 in
+    let stored = Bitio.Reader.bits r 32 in
+    if stored <> hosts then invalid_arg "Bier.members_of: width mismatch";
+    Bitmap.to_list (Bitio.Reader.bitmap r hosts)
+
+  let table_lookups_per_hop = 1
+end
+
+module Sgm = struct
+  let fixed_header = 4
+
+  let header_bytes ~members =
+    if members < 0 then invalid_arg "Sgm.header_bytes";
+    fixed_header + (4 * members)
+
+  let max_members ~header_budget = max 0 ((header_budget - fixed_header) / 4)
+
+  let encode ~members =
+    let w = Bitio.Writer.create () in
+    Bitio.Writer.bits w (List.length members) 32;
+    List.iter
+      (fun addr ->
+        Bitio.Writer.bits w (Int32.to_int (Int32.shift_right_logical addr 16)) 16;
+        Bitio.Writer.bits w (Int32.to_int addr land 0xFFFF) 16)
+      members;
+    Bitio.Writer.to_bytes w
+
+  let members_of data =
+    let r = Bitio.Reader.of_bytes data in
+    match Bitio.Reader.bits r 32 with
+    | exception Bitio.Reader.Truncated -> Error "truncated count"
+    | n -> (
+        if n < 0 || n > 1 lsl 24 then Error "implausible member count"
+        else
+          try
+            Ok
+              (List.init n (fun _ ->
+                   let hi = Bitio.Reader.bits r 16 in
+                   let lo = Bitio.Reader.bits r 16 in
+                   Int32.logor
+                     (Int32.shift_left (Int32.of_int hi) 16)
+                     (Int32.of_int lo)))
+          with Bitio.Reader.Truncated -> Error "truncated address list")
+
+  let table_lookups_per_hop ~members = members
+end

@@ -1,0 +1,53 @@
+(** The remaining source-routed comparators of Table 3, implemented:
+
+    {b BIER} (RFC 8279) encodes group members as a {e bit string} with one
+    bit per destination (bit-forwarding egress router ≙ host hypervisor
+    here). Under the same header budget as Elmo, the bit-string width caps
+    both the group size and the network size — the paper's "2.6K" cells —
+    and forwarding requires wildcard longest-prefix-style lookups over the
+    whole table per packet, infeasible in TCAM-based match-action pipelines.
+
+    {b SGM} (small group multicast, Boivie et al.) carries an explicit list
+    of member IP addresses; every hop looks each address up in the routing
+    table, so lookups per packet grow with group size — the "breaks the
+    line-rate invariant" argument — and the header budget caps groups at
+    under a hundred members.
+
+    Both encoders produce real byte counts (via {!Bitio}) so the Table 3
+    limits are computed, not quoted. *)
+
+module Bier : sig
+  val header_bytes : hosts:int -> int
+  (** Bit-string width = one bit per host, byte-padded, plus an 8-byte
+      BIER header. *)
+
+  val max_hosts : header_budget:int -> int
+  (** Largest network whose full bit string fits the budget — with the
+      paper's 325 B this is 2,536 ≈ the "2.6K" of Table 3. Group size is
+      capped by the same number. *)
+
+  val encode : hosts:int -> members:int list -> bytes
+  (** The on-wire bit string (for size/shape tests). Raises
+      [Invalid_argument] on an out-of-range member. *)
+
+  val members_of : hosts:int -> bytes -> int list
+
+  val table_lookups_per_hop : int
+  (** 1 wildcard lookup — but over a table that must return {e all} matching
+      entries, which TCAM match-action stages cannot do (§6). *)
+end
+
+module Sgm : sig
+  val header_bytes : members:int -> int
+  (** 4 bytes per IPv4 member address plus a 4-byte count/flags word. *)
+
+  val max_members : header_budget:int -> int
+  (** With 325 B: 80 members — Table 3's "<100". *)
+
+  val encode : members:int32 list -> bytes
+  val members_of : bytes -> (int32 list, string) result
+
+  val table_lookups_per_hop : members:int -> int
+  (** One routing-table lookup per member address at every hop — the
+      unbounded per-packet work that breaks line rate. *)
+end

@@ -1,0 +1,27 @@
+(** Native IP multicast baseline (§6, Table 3).
+
+    One group-table entry on {e every} physical switch of the group's tree,
+    no aggregation, no multipath (trees are pinned like a PIM shared tree).
+    The number of groups a datacenter can support is capped by the first
+    switch whose group table fills — the paper's "5K groups with a 5,000-
+    entry group table" row. *)
+
+type t
+
+val create : Topology.t -> t
+val add_group : t -> group:int -> Tree.t -> unit
+val remove_group : t -> group:int -> Tree.t -> unit
+
+val leaf_entries : t -> int array
+val spine_entries : t -> int array
+val core_entries : t -> int array
+
+val max_table_occupancy : t -> int
+(** Entries on the fullest switch — groups beyond
+    [group-table capacity − this] cannot be added. *)
+
+val groups_supported : table_capacity:int -> int
+(** Closed-form estimate used in the Table 3 reproduction: a popular
+    (spine/core) switch ends up with roughly one entry per group that
+    crosses it, so group count is capped by the group-table capacity itself
+    — the paper's "5K" row for a 5,000-entry table. *)

@@ -1,0 +1,51 @@
+(** Model of Li & Freedman, "Scaling IP Multicast on Datacenter Topologies"
+    (CoNEXT'13) — the paper's main state/update comparator ([83]).
+
+    Substitution note (DESIGN.md §3): the original system is closed source;
+    we reimplement its state model. Each group's tree is pinned to one spine
+    plane and one core (hash-based, no multipath); every switch on the tree
+    needs a group-table entry, but entries are {e aggregated}: groups with
+    the same output-port set at a switch share one entry (their
+    local-scope address aggregation). Entry counts per switch are therefore
+    the number of distinct port sets at that switch; [O(#groups)]
+    unicast flow-table entries for address translation are tracked
+    separately.
+
+    Churn: a membership event updates every tree switch whose port set
+    changes (leaf, pinned pod spine, pinned core), and de-/re-aggregation
+    cascades mean shared entries must be rewritten; we count direct switch
+    touches and report them per layer (Table 2, right column). *)
+
+type t
+
+val create : Topology.t -> t
+
+val plane_of_group : t -> int -> int
+(** Pinned spine plane (deterministic hash of the group id). *)
+
+val core_of_group : t -> int -> int
+
+val add_group : t -> group:int -> Tree.t -> unit
+(** Installs the group's pinned tree; aggregates entries. *)
+
+val remove_group : t -> group:int -> Tree.t -> unit
+
+type touch = { leaves : int list; spines : int list; cores : int list }
+(** Switches whose state an event touched. *)
+
+val update : t -> group:int -> old_tree:Tree.t option -> new_tree:Tree.t option -> touch
+(** Replaces the group's tree. If any switch's port set changed, the group's
+    aggregated local address must be reassigned, so the touch set is the
+    {e entire} old and new tree (the churn amplification the paper holds
+    against this scheme); an identical tree touches nothing. Either side may
+    be [None] (creation/deletion). *)
+
+val leaf_entries : t -> int array
+(** Distinct aggregated group-table entries per leaf switch. *)
+
+val spine_entries : t -> int array
+(** Per physical spine. *)
+
+val core_entries : t -> int array
+val flow_entries : t -> int
+(** O(#groups) translation flow entries (Table 3 "flow-table usage"). *)

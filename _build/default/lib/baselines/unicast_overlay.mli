@@ -1,0 +1,30 @@
+(** Host-based replication baselines (§5.1.2, §6): unicast and overlay
+    multicast.
+
+    Unicast: the sender transmits one copy per receiver along its shortest
+    path (2 links within a leaf, 4 within a pod, 6 across pods, counting the
+    host links).
+
+    Overlay multicast (the paper's §5 footnote): the source hypervisor
+    unicasts one copy to a relay host under each participating leaf; each
+    relay then unicasts to the other member hosts under its leaf. The source
+    acts as relay for its own leaf. *)
+
+type cost = {
+  transmissions : int;  (** total link traversals *)
+  source_packets : int;
+      (** packets the source host emits (the end-host CPU/egress-bandwidth
+          proxy: Elmo sends 1) *)
+}
+
+val unicast : Tree.t -> sender:int -> cost
+val overlay : Tree.t -> sender:int -> cost
+
+val path_links : Topology.t -> src:int -> dst:int -> int
+(** Links on the shortest unicast path between two hosts (0 if equal). *)
+
+val overhead_vs_ideal : Tree.t -> sender:int -> cost -> float
+(** [(transmissions − ideal) / ideal] with the ideal-multicast link count —
+    the horizontal reference lines of Fig. 4/5 (right). Payload-dominated:
+    host-based schemes add no Elmo header, so byte and transmission ratios
+    coincide. *)

@@ -1,0 +1,1 @@
+lib/bitmap/bitio.ml: Bitmap Buffer Bytes Char

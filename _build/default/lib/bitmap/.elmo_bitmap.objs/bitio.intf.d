@@ -1,0 +1,1 @@
+lib/bitmap/bitio.mli: Bitmap

@@ -1,0 +1,78 @@
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable cur : int; (* partial byte, bits fill from MSB *)
+    mutable used : int; (* bits used in [cur], 0..7 *)
+    mutable total : int;
+  }
+
+  let create () = { buf = Buffer.create 64; cur = 0; used = 0; total = 0 }
+
+  let bit t b =
+    if b then t.cur <- t.cur lor (1 lsl (7 - t.used));
+    t.used <- t.used + 1;
+    t.total <- t.total + 1;
+    if t.used = 8 then begin
+      Buffer.add_char t.buf (Char.chr t.cur);
+      t.cur <- 0;
+      t.used <- 0
+    end
+
+  let bits t value n =
+    if n < 0 || n > 62 then invalid_arg "Bitio.Writer.bits: width out of range";
+    if n < 62 && (value < 0 || value lsr n <> 0) then
+      invalid_arg "Bitio.Writer.bits: value does not fit";
+    for i = n - 1 downto 0 do
+      bit t (value land (1 lsl i) <> 0)
+    done
+
+  let bitmap t bm =
+    for i = 0 to Bitmap.width bm - 1 do
+      bit t (Bitmap.get bm i)
+    done
+
+  let align_byte t = while t.used <> 0 do bit t false done
+
+  let bit_length t = t.total
+
+  let to_bytes t =
+    let copy = { buf = Buffer.create 8; cur = t.cur; used = t.used; total = 0 } in
+    Buffer.add_buffer copy.buf t.buf;
+    align_byte copy;
+    Buffer.to_bytes copy.buf
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+
+  let bit t =
+    let byte = t.pos / 8 in
+    if byte >= Bytes.length t.data then raise Truncated;
+    let b = Char.code (Bytes.get t.data byte) land (1 lsl (7 - (t.pos mod 8))) <> 0 in
+    t.pos <- t.pos + 1;
+    b
+
+  let bits t n =
+    if n < 0 || n > 62 then invalid_arg "Bitio.Reader.bits: width out of range";
+    let acc = ref 0 in
+    for _ = 1 to n do
+      acc := (!acc lsl 1) lor (if bit t then 1 else 0)
+    done;
+    !acc
+
+  let bitmap t width =
+    let bm = Bitmap.create width in
+    for i = 0 to width - 1 do
+      if bit t then Bitmap.set bm i
+    done;
+    bm
+
+  let align_byte t = t.pos <- (t.pos + 7) / 8 * 8
+
+  let pos t = t.pos
+  let remaining t = (Bytes.length t.data * 8) - t.pos
+end

@@ -1,0 +1,47 @@
+(** Bit-granular serialization, the substrate for Elmo's wire format.
+
+    Elmo headers are not byte-aligned: a p-rule is a bitmap (width = port
+    count of the layer), a next-rule flag, and n-bit switch identifiers
+    (§3.1, Figure 2). Writer appends most-significant-bit-first fields;
+    Reader consumes them in the same order. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val bit : t -> bool -> unit
+  val bits : t -> int -> int -> unit
+  (** [bits w value n] appends the low [n] bits of [value], MSB first.
+      Raises [Invalid_argument] if [n < 0], [n > 62], or [value] does not fit
+      in [n] bits. *)
+
+  val bitmap : t -> Bitmap.t -> unit
+  (** Appends bitmap bits in index order (bit 0 first). *)
+
+  val align_byte : t -> unit
+  (** Pads with zero bits to the next byte boundary. *)
+
+  val bit_length : t -> int
+  val to_bytes : t -> bytes
+  (** Final padding to a whole byte with zeros. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val of_bytes : bytes -> t
+  val bit : t -> bool
+  val bits : t -> int -> int
+  val bitmap : t -> int -> Bitmap.t
+  (** [bitmap r width] reads [width] bits written by {!Writer.bitmap}. *)
+
+  val align_byte : t -> unit
+  val pos : t -> int
+  (** Current offset in bits. *)
+
+  val remaining : t -> int
+  (** Bits left, counting final padding. *)
+end

@@ -1,0 +1,122 @@
+(* Bits are stored little-endian within an int array: bit [i] lives in word
+   [i / word_bits] at position [i mod word_bits]. Trailing bits of the last
+   word are kept at zero as an invariant so popcount/equal can work
+   word-wise. *)
+
+let word_bits = 63 (* OCaml native ints; avoid the tag bit complications *)
+
+type t = { width : int; words : int array }
+
+let words_for width = (width + word_bits - 1) / word_bits
+
+let create width =
+  if width < 0 then invalid_arg "Bitmap.create: negative width";
+  { width; words = Array.make (max 1 (words_for width)) 0 }
+
+let width t = t.width
+let copy t = { width = t.width; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitmap: index out of bounds"
+
+let set t i =
+  check_index t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let clear t i =
+  check_index t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let get t i =
+  check_index t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let check_width a b =
+  if a.width <> b.width then invalid_arg "Bitmap: width mismatch"
+
+let map2 f a b =
+  check_width a b;
+  { width = a.width; words = Array.map2 f a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let union_into ~dst src =
+  check_width dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let subset a b =
+  check_width a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let hamming a b =
+  check_width a b;
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + popcount_word (w lxor b.words.(i))) a.words;
+  !acc
+
+let union_cost a acc_bm =
+  check_width a acc_bm;
+  let acc = ref 0 in
+  Array.iteri
+    (fun i w -> acc := !acc + popcount_word (w land lnot acc_bm.words.(i)))
+    a.words;
+  !acc
+
+let of_list width indices =
+  let t = create width in
+  List.iter (set t) indices;
+  t
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if get t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.width - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  !acc
+
+let union_all width ts = List.fold_left union (create width) ts
+
+let to_bytes t =
+  let nbytes = (t.width + 7) / 8 in
+  let b = Bytes.make nbytes '\000' in
+  for i = 0 to t.width - 1 do
+    if get t i then
+      Bytes.set b (i / 8)
+        (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+  done;
+  b
+
+let of_bytes width b =
+  let nbytes = (width + 7) / 8 in
+  if Bytes.length b < nbytes then invalid_arg "Bitmap.of_bytes: too short";
+  let t = create width in
+  for i = 0 to width - 1 do
+    if Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0 then set t i
+  done;
+  t
+
+let to_string t = String.init t.width (fun i -> if get t i then '1' else '0')
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,75 @@
+(** Fixed-width bit vectors used as switch output-port bitmaps.
+
+    A p-rule's payload is a bitmap over a switch's ports (§3.1 D1 of the
+    paper); sharing decisions are made on bitwise OR and Hamming distance of
+    these bitmaps (§3.2). Width is fixed at creation and all binary operations
+    require equal widths. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the all-zeros bitmap of [width] bits.
+    Raises [Invalid_argument] if [width < 0]. *)
+
+val width : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val clear : t -> int -> unit
+val get : t -> int -> bool
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val union : t -> t -> t
+(** Fresh bitwise OR. Raises [Invalid_argument] on width mismatch. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ORs [src] into [dst] in place. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] has the bits of [a] not in [b]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every bit of [a] is set in [b]. *)
+
+val hamming : t -> t -> int
+(** Number of differing bit positions. *)
+
+val union_cost : t -> t -> int
+(** [union_cost a acc] = popcount (union a acc) - popcount acc: how many new
+    bits [a] adds — the quantity minimized by approximate MIN-K-UNION. *)
+
+val of_list : int -> int list -> t
+(** [of_list width indices]. *)
+
+val to_list : t -> int list
+(** Indices of set bits, ascending. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Applies the function to each set-bit index, ascending. *)
+
+val union_all : int -> t list -> t
+(** [union_all width ts] ORs all bitmaps ([create width] if the list is
+    empty). *)
+
+val to_bytes : t -> bytes
+(** Little-endian packed bits, [ceil (width / 8)] bytes; for wire encoding. *)
+
+val of_bytes : int -> bytes -> t
+(** [of_bytes width b] inverse of {!to_bytes}. Raises [Invalid_argument] if
+    [b] is shorter than [ceil (width / 8)] bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as a binary string, bit 0 leftmost (matching Figure 3a's
+    "10", "01", "11" annotations). *)
+
+val to_string : t -> string

@@ -1,0 +1,218 @@
+type layer_load = { mean : float; max : float }
+
+type result = {
+  events : int;
+  elmo_hypervisor : layer_load;
+  elmo_leaf : layer_load;
+  elmo_spine : layer_load;
+  elmo_core : layer_load;
+  li_leaf : layer_load;
+  li_spine : layer_load;
+  li_core : layer_load;
+}
+
+let random_role rng =
+  match Rng.int rng 3 with
+  | 0 -> Controller.Sender
+  | 1 -> Controller.Receiver
+  | _ -> Controller.Both
+
+let setup_controller rng ctrl _placement groups =
+  Array.iter
+    (fun g ->
+      let members =
+        Array.to_list g.Workload.member_hosts
+        |> List.map (fun h -> (h, random_role rng))
+      in
+      ignore (Controller.add_group ctrl ~group:g.Workload.group_id members))
+    groups
+
+(* Weighted choice by initial group size (events per group proportional to
+   size, as in the paper). *)
+let weighted_picker groups =
+  let n = Array.length groups in
+  let prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) + Array.length groups.(i).Workload.member_hosts
+  done;
+  let total = prefix.(n) in
+  fun rng ->
+    let x = Rng.int rng total in
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if prefix.(mid) <= x then lo := mid else hi := mid
+    done;
+    groups.(!lo)
+
+let layer_load ~duration counts ~over =
+  let rates =
+    List.filter_map
+      (fun i ->
+        if over i then Some (float_of_int counts.(i) /. duration) else None)
+      (List.init (Array.length counts) Fun.id)
+  in
+  match rates with
+  | [] -> { mean = 0.0; max = 0.0 }
+  | _ ->
+      let arr = Array.of_list rates in
+      {
+        mean = Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr);
+        max = Array.fold_left Float.max 0.0 arr;
+      }
+
+let run rng ctrl placement groups ~events ~events_per_second ~li =
+  let topo = Controller.topology ctrl in
+  let pick = weighted_picker groups in
+  let hyp_counts = Array.make (Topology.num_hosts topo) 0 in
+  let leaf_counts = Array.make (Topology.num_leaves topo) 0 in
+  let spine_counts = Array.make (Topology.num_spines topo) 0 in
+  let li_leaf = Array.make (Topology.num_leaves topo) 0 in
+  let li_spine = Array.make (Topology.num_spines topo) 0 in
+  let li_core = Array.make (max 1 (Topology.num_cores topo)) 0 in
+  let tree_of group =
+    Option.map (fun e -> e.Encoding.tree) (Controller.encoding ctrl ~group)
+  in
+  let performed = ref 0 in
+  for _ = 1 to events do
+    let g = pick rng in
+    let group = g.Workload.group_id in
+    let members = Controller.members ctrl ~group in
+    let tenant = placement.Vm_placement.tenants.(g.Workload.tenant_id) in
+    let vms = tenant.Vm_placement.vm_hosts in
+    let member_set = Hashtbl.create (2 * List.length members) in
+    List.iter (fun (h, _) -> Hashtbl.replace member_set h ()) members;
+    (* Uniform non-member: rejection-sample the tenant's VMs, falling back
+       to an explicit scan when the group covers most of the tenant. *)
+    let pick_non_member () =
+      let n = Array.length vms in
+      if Hashtbl.length member_set >= n then None
+      else begin
+        let rec try_random attempts =
+          if attempts = 0 then begin
+            let rest =
+              Array.to_list vms
+              |> List.filter (fun h -> not (Hashtbl.mem member_set h))
+            in
+            Some (List.nth rest (Rng.int rng (List.length rest)))
+          end
+          else begin
+            let h = vms.(Rng.int rng n) in
+            if Hashtbl.mem member_set h then try_random (attempts - 1) else Some h
+          end
+        in
+        try_random 30
+      end
+    in
+    let want_join = members = [] || Rng.bool rng in
+    let old_tree = match li with Some _ -> tree_of group | None -> None in
+    let leave () =
+      match members with
+      | [] -> None
+      | _ :: _ ->
+          let host, _ = List.nth members (Rng.int rng (List.length members)) in
+          Some (Controller.leave ctrl ~group ~host)
+    in
+    let updates =
+      if want_join then
+        match pick_non_member () with
+        | Some host ->
+            Some (Controller.join ctrl ~group ~host ~role:(random_role rng))
+        | None -> leave ()
+      else leave ()
+    in
+    match updates with
+    | None -> ()
+    | Some u ->
+        incr performed;
+        List.iter (fun h -> hyp_counts.(h) <- hyp_counts.(h) + 1) u.Controller.hypervisors;
+        List.iter (fun l -> leaf_counts.(l) <- leaf_counts.(l) + 1) u.Controller.leaves;
+        List.iter
+          (fun p ->
+            List.iter
+              (fun s -> spine_counts.(s) <- spine_counts.(s) + 1)
+              (Topology.spines_of_pod topo p))
+          u.Controller.pods;
+        (match li with
+        | None -> ()
+        | Some li_state ->
+            let new_tree = tree_of group in
+            let touch =
+              Li_et_al.update li_state ~group ~old_tree ~new_tree
+            in
+            List.iter (fun l -> li_leaf.(l) <- li_leaf.(l) + 1) touch.Li_et_al.leaves;
+            List.iter (fun s -> li_spine.(s) <- li_spine.(s) + 1) touch.Li_et_al.spines;
+            List.iter (fun c -> li_core.(c) <- li_core.(c) + 1) touch.Li_et_al.cores)
+  done;
+  let duration = float_of_int !performed /. events_per_second in
+  let duration = if duration <= 0.0 then 1.0 else duration in
+  let host_active h = placement.Vm_placement.host_load.(h) > 0 in
+  let all _ = true in
+  {
+    events = !performed;
+    elmo_hypervisor = layer_load ~duration hyp_counts ~over:host_active;
+    elmo_leaf = layer_load ~duration leaf_counts ~over:all;
+    elmo_spine = layer_load ~duration spine_counts ~over:all;
+    elmo_core = { mean = 0.0; max = 0.0 };
+    li_leaf = layer_load ~duration li_leaf ~over:all;
+    li_spine = layer_load ~duration li_spine ~over:all;
+    li_core = layer_load ~duration li_core ~over:all;
+  }
+
+type failure_result = {
+  trials : int;
+  affected_fraction_mean : float;
+  affected_fraction_max : float;
+  rule_updates_per_hypervisor_mean : float;
+  rule_updates_per_hypervisor_max : float;
+}
+
+let failure_trials rng ctrl ~trials ~count ~fail ~recover =
+  if count = 0 || trials = 0 then
+    {
+      trials = 0;
+      affected_fraction_mean = 0.0;
+      affected_fraction_max = 0.0;
+      rule_updates_per_hypervisor_mean = 0.0;
+      rule_updates_per_hypervisor_max = 0.0;
+    }
+  else begin
+    let fractions = ref [] in
+    let updates = ref [] in
+    let max_updates = ref [] in
+    let total = float_of_int (max 1 (Controller.group_count ctrl)) in
+    for _ = 1 to trials do
+      let victim = Rng.int rng count in
+      let report : Controller.failure_report = fail victim in
+      fractions :=
+        (float_of_int report.Controller.affected_groups /. total) :: !fractions;
+      updates := report.Controller.rule_updates_mean :: !updates;
+      max_updates :=
+        float_of_int report.Controller.rule_updates_max :: !max_updates;
+      ignore (recover victim)
+    done;
+    let arr l = Array.of_list l in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+    let maxv a = Array.fold_left Float.max 0.0 a in
+    let f = arr !fractions and u = arr !updates and m = arr !max_updates in
+    {
+      trials;
+      affected_fraction_mean = mean f;
+      affected_fraction_max = maxv f;
+      rule_updates_per_hypervisor_mean = mean u;
+      rule_updates_per_hypervisor_max = maxv m;
+    }
+  end
+
+let spine_failures rng ctrl ~trials =
+  let topo = Controller.topology ctrl in
+  failure_trials rng ctrl ~trials ~count:(Topology.num_spines topo)
+    ~fail:(Controller.fail_spine ctrl)
+    ~recover:(Controller.recover_spine ctrl)
+
+let core_failures rng ctrl ~trials =
+  let topo = Controller.topology ctrl in
+  failure_trials rng ctrl ~trials ~count:(Topology.num_cores topo)
+    ~fail:(Controller.fail_core ctrl)
+    ~recover:(Controller.recover_core ctrl)

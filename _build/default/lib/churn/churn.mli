@@ -1,0 +1,63 @@
+(** Membership-churn and failure simulation (§5.1.3, Table 2).
+
+    Mirrors the paper's setup: every group member is randomly a sender,
+    receiver, or both; join events pick a uniformly random non-member VM of
+    the owning tenant, leave events a uniformly random member; the number of
+    events per group is proportional to group size (achieved by weighting
+    group choice by size). Updates are accounted per switch by the Elmo
+    controller and, in parallel, by the Li et al. baseline model over the
+    same event stream. *)
+
+type layer_load = { mean : float; max : float }
+(** Updates per second, over the switches of one layer. *)
+
+type result = {
+  events : int;
+  elmo_hypervisor : layer_load;
+  elmo_leaf : layer_load;
+  elmo_spine : layer_load;
+  elmo_core : layer_load;  (** always 0 — Elmo installs no core state *)
+  li_leaf : layer_load;
+  li_spine : layer_load;
+  li_core : layer_load;
+}
+
+val setup_controller :
+  Rng.t ->
+  Controller.t ->
+  Vm_placement.t ->
+  Workload.group array ->
+  unit
+(** Registers every workload group with the controller, assigning each
+    member host a uniformly random role. *)
+
+val run :
+  Rng.t ->
+  Controller.t ->
+  Vm_placement.t ->
+  Workload.group array ->
+  events:int ->
+  events_per_second:float ->
+  li:Li_et_al.t option ->
+  result
+(** Drives [events] membership events through a controller prepared by
+    {!setup_controller}. Mean and max are computed over the switches of each
+    layer (hypervisor means are over hosts that run at least one VM). When
+    [li] is given, the same event stream is replayed against it. *)
+
+type failure_result = {
+  trials : int;
+  affected_fraction_mean : float;
+  affected_fraction_max : float;
+  rule_updates_per_hypervisor_mean : float;
+      (** flow-rule updates per touched hypervisor, averaged over trials --
+          the paper's "hypervisor switches incur average (max) updates of
+          176.9 (1712) and 674.9 (1852) per failure event" metric *)
+  rule_updates_per_hypervisor_max : float;
+}
+
+val spine_failures : Rng.t -> Controller.t -> trials:int -> failure_result
+(** Fails [trials] random spines one at a time (recovering in between) and
+    measures group impact and hypervisor update fan-out (§5.1.3b). *)
+
+val core_failures : Rng.t -> Controller.t -> trials:int -> failure_result

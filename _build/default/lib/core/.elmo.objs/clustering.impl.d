@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Bitmap List Min_k_union Params Prule

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Bitmap Clustering Ecmp Encoding Fun Hashtbl List Logs Option Params Prule Srule_state Topology Tree

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Bitmap Encoding Logs Params Prule Srule_state Topology

@@ -1,0 +1,1 @@
+lib/core/ecmp.ml: Topology

@@ -1,0 +1,1 @@
+lib/core/ecmp.mli: Topology

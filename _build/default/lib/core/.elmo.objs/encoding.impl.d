@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Bitmap Clustering List Params Prule Srule_state Topology Tree

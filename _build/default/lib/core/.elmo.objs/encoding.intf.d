@@ -1,0 +1,1 @@
+lib/core/encoding.mli: Clustering Params Prule Srule_state Tree

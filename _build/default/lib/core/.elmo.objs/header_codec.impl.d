@@ -1,0 +1,1 @@
+lib/core/header_codec.ml: Bitio Bitmap Bytes List Prule Topology

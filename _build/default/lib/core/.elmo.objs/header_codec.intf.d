@@ -1,0 +1,1 @@
+lib/core/header_codec.mli: Prule Topology

@@ -1,0 +1,1 @@
+lib/core/min_k_union.ml: Array Bitmap List

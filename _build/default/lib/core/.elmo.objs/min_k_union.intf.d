@@ -1,0 +1,1 @@
+lib/core/min_k_union.mli: Bitmap

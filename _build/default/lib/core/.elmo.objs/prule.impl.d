@@ -1,0 +1,1 @@
+lib/core/prule.ml: Bitmap Format List Params Topology

@@ -1,0 +1,1 @@
+lib/core/prule.mli: Bitmap Format Params Topology

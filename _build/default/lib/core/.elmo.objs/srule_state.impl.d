@@ -1,0 +1,1 @@
+lib/core/srule_state.ml: Array Topology

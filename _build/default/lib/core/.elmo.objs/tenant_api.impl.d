@@ -1,0 +1,1 @@
+lib/core/tenant_api.ml: Array Controller Format Hashtbl Int32 List Option Result Vm_placement

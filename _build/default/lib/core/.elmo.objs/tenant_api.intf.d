@@ -1,0 +1,1 @@
+lib/core/tenant_api.mli: Controller Format Vm_placement

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Bitmap Clustering Encoding Prule Topology Tree

@@ -1,0 +1,113 @@
+type result = {
+  prules : Prule.prule list;
+  srules : (int * Bitmap.t) list;
+  default : (int list * Bitmap.t) option;
+}
+
+let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
+  if hmax <= 0 then invalid_arg "Clustering.run: hmax must be positive";
+  if kmax <= 0 then invalid_arg "Clustering.run: kmax must be positive";
+  if r < 0 then invalid_arg "Clustering.run: r must be non-negative";
+  match layer with
+  | [] -> { prules = []; srules = []; default = None }
+  | _ :: _ when List.length layer <= hmax ->
+      (* The layer fits in singleton p-rules: exact bitmaps, no redundancy.
+         Sharing exists to shrink the header (D3); when the header already
+         fits there is nothing to buy with spurious traffic. *)
+      {
+        prules =
+          List.map
+            (fun (id, bm) -> { Prule.bitmap = bm; switches = [ id ] })
+            layer;
+        srules = [];
+        default = None;
+      }
+  | _ :: _ ->
+      let unassigned = ref (Array.of_list layer) in
+      let prules = ref [] in
+      let nprules = ref 0 in
+      let k = ref kmax in
+      let remove indices =
+        (* [indices] are positions into the current [!unassigned] array. *)
+        let drop = Array.make (Array.length !unassigned) false in
+        List.iter (fun i -> drop.(i) <- true) indices;
+        let keep = ref [] in
+        Array.iteri
+          (fun i sw -> if not drop.(i) then keep := sw :: !keep)
+          !unassigned;
+        unassigned := Array.of_list (List.rev !keep)
+      in
+      let continue = ref true in
+      while !continue && Array.length !unassigned > 0 && !nprules < hmax do
+        let kk = min !k (Array.length !unassigned) in
+        let indices, output = Min_k_union.choose ~k:kk !unassigned in
+        let within_budget =
+          match (semantics : Params.r_semantics) with
+          | Per_bitmap ->
+              List.for_all
+                (fun i -> Bitmap.hamming (snd !unassigned.(i)) output <= r)
+                indices
+          | Sum ->
+              List.fold_left
+                (fun acc i -> acc + Bitmap.hamming (snd !unassigned.(i)) output)
+                0 indices
+              <= r
+        in
+        if within_budget then begin
+          let switches = List.map (fun i -> fst !unassigned.(i)) indices in
+          prules := { Prule.bitmap = output; switches } :: !prules;
+          incr nprules;
+          remove indices
+        end
+        else if kk = 1 then
+          (* A singleton always has distance 0; unreachable, but keep the
+             loop well-founded. *)
+          continue := false
+        else k := kk - 1
+      done;
+      (* Hmax exhausted (or nothing left): spill to s-rules, else default. *)
+      let leftovers =
+        Array.to_list !unassigned
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let srules = ref [] in
+      let default_switches = ref [] in
+      let default_bm = ref None in
+      List.iter
+        (fun (id, bm) ->
+          if has_srule_space id then srules := (id, bm) :: !srules
+          else begin
+            default_switches := id :: !default_switches;
+            match !default_bm with
+            | None -> default_bm := Some (Bitmap.copy bm)
+            | Some acc -> Bitmap.union_into ~dst:acc bm
+          end)
+        leftovers;
+      let default =
+        match !default_bm with
+        | None -> None
+        | Some bm -> Some (List.rev !default_switches, bm)
+      in
+      { prules = List.rev !prules; srules = List.rev !srules; default }
+
+let assigned_bitmap t id =
+  let in_prule =
+    List.find_opt (fun r -> List.mem id r.Prule.switches) t.prules
+  in
+  match in_prule with
+  | Some r -> Some r.Prule.bitmap
+  | None -> (
+      match List.assoc_opt id t.srules with
+      | Some bm -> Some bm
+      | None -> (
+          match t.default with
+          | Some (ids, bm) when List.mem id ids -> Some bm
+          | Some _ | None -> None))
+
+let redundancy layer t =
+  List.fold_left
+    (fun acc (id, exact) ->
+      match assigned_bitmap t id with
+      | None -> acc
+      | Some assigned -> acc + (Bitmap.popcount assigned - Bitmap.popcount exact))
+    0 layer

@@ -1,0 +1,47 @@
+(** Algorithm 1: expressing one downstream layer of a group's multicast tree
+    as p-rules, s-rules, and a default p-rule (§3.2).
+
+    Input is the layer's (switch identifier, exact output bitmap) pairs from
+    the multicast tree. When the layer fits in [hmax] singleton rules the
+    result is exact (sharing exists to shrink headers — D3 — and buys
+    nothing but spurious traffic below the budget); otherwise the algorithm
+    greedily groups up to [kmax] switches whose bitmaps stay within the
+    redundancy budget [r] of their OR (via approximate MIN-K-UNION, with
+    [r] interpreted per {!Params.r_semantics}), emits at most [hmax]
+    p-rules, spills remaining switches to s-rules where the switch still has
+    group-table space, and finally ORs whatever is left into the default
+    p-rule. *)
+
+type result = {
+  prules : Prule.prule list;
+      (** shared (or singleton) p-rules, in emission order *)
+  srules : (int * Bitmap.t) list;
+      (** per-switch s-rules: exact bitmaps, no redundancy *)
+  default : (int list * Bitmap.t) option;
+      (** switches folded into the default rule, and its OR bitmap *)
+}
+
+val run :
+  r:int ->
+  semantics:Params.r_semantics ->
+  hmax:int ->
+  kmax:int ->
+  has_srule_space:(int -> bool) ->
+  (int * Bitmap.t) list ->
+  result
+(** [run ~r ~semantics ~hmax ~kmax ~has_srule_space layer] never fails:
+    every input switch lands in exactly one of the three outputs. [has_srule_space id]
+    is consulted once per spilled switch, in ascending identifier order, so
+    the caller can account capacity as it is consumed. An empty input yields
+    the empty result. Raises [Invalid_argument] on non-positive [hmax]/[kmax]
+    or negative [r]. *)
+
+val assigned_bitmap : result -> int -> Bitmap.t option
+(** The bitmap switch [id] will forward on under this result: its (shared)
+    p-rule's bitmap, its s-rule bitmap, or the default bitmap if the switch
+    was folded into the default rule. [None] if the switch appears nowhere. *)
+
+val redundancy : (int * Bitmap.t) list -> result -> int
+(** Total extra port transmissions implied by sharing and the default rule
+    for one packet traversal: Σ over layer switches of
+    popcount(assigned) − popcount(exact). *)

@@ -1,0 +1,638 @@
+let log_src = Logs.Src.create "elmo.controller" ~doc:"Elmo controller events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type role = Sender | Receiver | Both
+
+type updates = {
+  hypervisors : int list;
+  leaves : int list;
+  pods : int list;
+}
+
+let no_updates = { hypervisors = []; leaves = []; pods = [] }
+
+let merge_updates a b =
+  {
+    hypervisors = List.sort_uniq compare (a.hypervisors @ b.hypervisors);
+    leaves = List.sort_uniq compare (a.leaves @ b.leaves);
+    pods = List.sort_uniq compare (a.pods @ b.pods);
+  }
+
+let spine_update_count topo u = List.length u.pods * topo.Topology.spines_per_pod
+
+type fabric_hooks = {
+  install_leaf : leaf:int -> group:int -> Bitmap.t -> unit;
+  remove_leaf : leaf:int -> group:int -> unit;
+  install_pod : pod:int -> group:int -> Bitmap.t -> unit;
+  remove_pod : pod:int -> group:int -> unit;
+}
+
+(* Failure-time replacement for the multipath flags of a sender pod's
+   upstream rules: explicit spine ports at the leaf, explicit core ports at
+   the spine (§3.3). [unicast = true] marks an uncoverable pod whose senders
+   degrade to unicast. *)
+type override = {
+  up_leaf_ports : Bitmap.t;
+  up_spine_ports : Bitmap.t option;
+  unicast : bool;
+}
+
+type group_state = {
+  mutable members : (int * role) list;  (* assoc host -> role, insertion order *)
+  mutable enc : Encoding.t option;
+  applied : (int, override) Hashtbl.t;
+      (* sender host -> override currently installed at its hypervisor; only
+         flows whose ECMP choice traverses a failed switch get one *)
+}
+
+type t = {
+  topo : Topology.t;
+  params : Params.t;
+  srules : Srule_state.t;
+  hooks : fabric_hooks option;
+  groups : (int, group_state) Hashtbl.t;
+  spine_ok : bool array;
+  core_ok : bool array;
+  link_ok : bool array;  (* leaf <-> pod-spine links, index leaf * spp + plane *)
+}
+
+let create ?fabric_hooks topo params =
+  {
+    topo;
+    params;
+    srules = Srule_state.create topo ~fmax:params.Params.fmax;
+    hooks = fabric_hooks;
+    groups = Hashtbl.create 1024;
+    spine_ok = Array.make (Topology.num_spines topo) true;
+    core_ok = Array.make (max 1 (Topology.num_cores topo)) true;
+    link_ok =
+      Array.make (Topology.num_leaves topo * topo.Topology.spines_per_pod) true;
+  }
+
+let topology t = t.topo
+let params t = t.params
+let srule_state t = t.srules
+
+let receivers st =
+  List.filter_map
+    (fun (h, r) -> match r with Receiver | Both -> Some h | Sender -> None)
+    st.members
+
+let senders st =
+  List.filter_map
+    (fun (h, r) -> match r with Sender | Both -> Some h | Receiver -> None)
+    st.members
+
+let find_group t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some st -> st
+  | None -> raise Not_found
+
+(* {1 Encoding lifecycle} *)
+
+let uninstall_enc t ~group enc =
+  Encoding.release t.srules enc;
+  match t.hooks with
+  | None -> ()
+  | Some hooks ->
+      List.iter
+        (fun (leaf, _) -> hooks.remove_leaf ~leaf ~group)
+        enc.Encoding.d_leaf.Clustering.srules;
+      List.iter
+        (fun (pod, _) -> hooks.remove_pod ~pod ~group)
+        enc.Encoding.d_spine.Clustering.srules
+
+let install_enc t ~group enc =
+  match t.hooks with
+  | None -> ()
+  | Some hooks ->
+      List.iter
+        (fun (leaf, bm) -> hooks.install_leaf ~leaf ~group bm)
+        enc.Encoding.d_leaf.Clustering.srules;
+      List.iter
+        (fun (pod, bm) -> hooks.install_pod ~pod ~group bm)
+        enc.Encoding.d_spine.Clustering.srules
+
+(* {1 Failure-recovery upstream assignment (§3.3)} *)
+
+let live_core_in_plane t plane =
+  let cpp = t.topo.Topology.cores_per_plane in
+  let rec go i =
+    if i >= cpp then None
+    else if t.core_ok.((plane * cpp) + i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let plane_reaches_pod t plane pod =
+  t.spine_ok.((pod * t.topo.Topology.spines_per_pod) + plane)
+
+let link_alive t ~leaf ~plane =
+  t.link_ok.((leaf * t.topo.Topology.spines_per_pod) + plane)
+
+(* Can plane [pl] deliver to every receiver leaf of [tree] inside pod [p]?
+   (Switch up, plus every spine->leaf link of the pod's participating
+   leaves, excluding [skip_leaf] — the sender's own leaf, already served.) *)
+let plane_serves_pod t tree ~plane ~pod ~skip_leaf =
+  plane_reaches_pod t plane pod
+  && List.for_all
+       (fun (l, _) ->
+         Topology.pod_of_leaf t.topo l <> pod || l = skip_leaf
+         || link_alive t ~leaf:l ~plane)
+       tree.Tree.leaf_bitmaps
+
+(* Failure-time upstream assignment (§3.3). Preference order:
+
+   1. A single plane that reaches the sender's spine, every receiver leaf
+      (links included) and, for cross-pod trees, a live core and every
+      target pod — exactly-once delivery, no redundancy.
+   2. A greedy set cover by several planes whose reachable pods jointly
+      cover the targets (the paper's "one or more spines and cores such
+      that the union of reachable hosts covers all recipients"). Leaves
+      reachable through more than one chosen plane receive duplicates,
+      which the transport above deduplicates.
+   3. Unicast fallback at the hypervisor. *)
+let choose_upstream t ~tree ~sender =
+  let spp = t.topo.Topology.spines_per_pod in
+  let sl = Topology.leaf_of_host t.topo sender in
+  let sp = Topology.pod_of_leaf t.topo sl in
+  let target_pods = List.filter (fun p -> p <> sp) (Tree.pods tree) in
+  let planes = List.init spp (fun i -> i) in
+  let uplink_ok pl = link_alive t ~leaf:sl ~plane:pl in
+  let plane_fully_serves pl =
+    uplink_ok pl
+    && plane_serves_pod t tree ~plane:pl ~pod:sp ~skip_leaf:sl
+    && (target_pods = []
+       || (live_core_in_plane t pl <> None
+          && List.for_all
+               (fun p -> plane_serves_pod t tree ~plane:pl ~pod:p ~skip_leaf:(-1))
+               target_pods))
+  in
+  match List.find_opt plane_fully_serves planes with
+  | Some pl ->
+      let up_leaf_ports = Bitmap.create spp in
+      Bitmap.set up_leaf_ports pl;
+      let up_spine_ports =
+        if target_pods = [] then None
+        else begin
+          let ports = Bitmap.create t.topo.Topology.cores_per_plane in
+          Bitmap.set ports (Option.get (live_core_in_plane t pl));
+          Some ports
+        end
+      in
+      Some { up_leaf_ports; up_spine_ports; unicast = false }
+  | None ->
+      (* Multi-plane greedy cover over target pods; in-pod leaves must be
+         reachable through at least one chosen plane. *)
+      let usable =
+        List.filter_map
+          (fun pl ->
+            if not (uplink_ok pl && plane_reaches_pod t pl sp) then None
+            else
+              match live_core_in_plane t pl with
+              | None -> None
+              | Some core_port ->
+                  let covered =
+                    List.filter
+                      (fun p ->
+                        plane_serves_pod t tree ~plane:pl ~pod:p ~skip_leaf:(-1))
+                      target_pods
+                  in
+                  Some (pl, core_port, covered))
+          planes
+      in
+      let rec cover remaining chosen =
+        if remaining = [] then Some (List.rev chosen)
+        else begin
+          let best =
+            List.fold_left
+              (fun acc ((_, _, covered) as cand) ->
+                let gain =
+                  List.length (List.filter (fun p -> List.mem p remaining) covered)
+                in
+                match acc with
+                | Some (best_gain, _) when best_gain >= gain -> acc
+                | _ when gain = 0 -> acc
+                | _ -> Some (gain, cand))
+              None usable
+          in
+          match best with
+          | None -> None
+          | Some (_, ((_, _, covered) as cand)) ->
+              let remaining =
+                List.filter (fun p -> not (List.mem p covered)) remaining
+              in
+              cover remaining (cand :: chosen)
+        end
+      in
+      let in_pod_leaves_covered chosen =
+        List.for_all
+          (fun (l, _) ->
+            Topology.pod_of_leaf t.topo l <> sp || l = sl
+            || List.exists (fun (pl, _, _) -> link_alive t ~leaf:l ~plane:pl) chosen)
+          tree.Tree.leaf_bitmaps
+      in
+      let unicast_override =
+        { up_leaf_ports = Bitmap.create spp; up_spine_ports = None; unicast = true }
+      in
+      (match cover target_pods [] with
+      | Some chosen when chosen <> [] && in_pod_leaves_covered chosen ->
+          let up_leaf_ports = Bitmap.create spp in
+          let up_spine_ports = Bitmap.create t.topo.Topology.cores_per_plane in
+          List.iter
+            (fun (pl, core_port, _) ->
+              Bitmap.set up_leaf_ports pl;
+              Bitmap.set up_spine_ports core_port)
+            chosen;
+          Some
+            {
+              up_leaf_ports;
+              up_spine_ports =
+                (if target_pods = [] then None else Some up_spine_ports);
+              unicast = false;
+            }
+      | Some _ | None -> Some unicast_override)
+
+let all_healthy t =
+  Array.for_all Fun.id t.spine_ok
+  && Array.for_all Fun.id t.core_ok
+  && Array.for_all Fun.id t.link_ok
+
+(* Does the (group, sender) flow's ECMP path traverse a failed switch or
+   link? This is the paper's notion of an "impacted" group member: only
+   those flows need their multipath flag disabled. *)
+let flow_impacted t ~group tree ~sender =
+  let topo = t.topo in
+  let sl = Topology.leaf_of_host topo sender in
+  let sp = Topology.pod_of_leaf topo sl in
+  let beyond_leaf =
+    List.exists (fun (l, _) -> l <> sl) tree.Tree.leaf_bitmaps
+  in
+  beyond_leaf
+  &&
+  let hash = Ecmp.flow_hash ~group ~sender in
+  let plane = Ecmp.spine_choice topo ~hash in
+  (not (link_alive t ~leaf:sl ~plane))
+  || (not (plane_serves_pod t tree ~plane ~pod:sp ~skip_leaf:sl))
+  ||
+  let target_pods = List.filter (fun p -> p <> sp) (Tree.pods tree) in
+  target_pods <> []
+  && (not t.core_ok.(Ecmp.core_choice topo ~hash ~plane)
+     || List.exists
+          (fun p -> not (plane_serves_pod t tree ~plane ~pod:p ~skip_leaf:(-1)))
+          target_pods)
+
+let refresh_overrides t ~group st =
+  Hashtbl.reset st.applied;
+  match st.enc with
+  | None -> ()
+  | Some enc ->
+      if not (all_healthy t) then begin
+        let tree = enc.Encoding.tree in
+        List.iter
+          (fun sender ->
+            if flow_impacted t ~group tree ~sender then begin
+              let ov =
+                match choose_upstream t ~tree ~sender with
+                | Some ov -> ov
+                | None ->
+                    {
+                      up_leaf_ports =
+                        Bitmap.create t.topo.Topology.spines_per_pod;
+                      up_spine_ports = None;
+                      unicast = true;
+                    }
+              in
+              Hashtbl.replace st.applied sender ov
+            end)
+          (senders st)
+      end
+
+(* {1 Group encoding and diffing} *)
+
+let encode_group t st =
+  let rcvs = receivers st in
+  if rcvs = [] then st.enc <- None
+  else begin
+    let tree = Tree.of_members t.topo rcvs in
+    st.enc <- Some (Encoding.encode t.params t.srules tree)
+  end
+
+let srule_diff old_srules new_srules =
+  let changed =
+    List.filter
+      (fun (id, bm) ->
+        match List.assoc_opt id old_srules with
+        | Some bm' -> not (Bitmap.equal bm bm')
+        | None -> true)
+      new_srules
+    |> List.map fst
+  in
+  let removed =
+    List.filter (fun (id, _) -> not (List.mem_assoc id new_srules)) old_srules
+    |> List.map fst
+  in
+  List.sort_uniq compare (changed @ removed)
+
+let clustering_equal (a : Clustering.result) (b : Clustering.result) =
+  a.Clustering.prules = b.Clustering.prules
+  && a.Clustering.default = b.Clustering.default
+
+(* Senders whose headers change when the tree changes but the common
+   downstream sections do not: locality-based (§3.1 D2b-c). *)
+let affected_senders t old_tree new_tree senders =
+  let pods_changed tr1 tr2 = Tree.pods tr1 <> Tree.pods tr2 in
+  let changed_leaves tr1 tr2 =
+    let bm1 = tr1.Tree.leaf_bitmaps and bm2 = tr2.Tree.leaf_bitmaps in
+    let ids = List.sort_uniq compare (List.map fst bm1 @ List.map fst bm2) in
+    List.filter
+      (fun l ->
+        match (List.assoc_opt l bm1, List.assoc_opt l bm2) with
+        | Some a, Some b -> not (Bitmap.equal a b)
+        | None, None -> false
+        | Some _, None | None, Some _ -> true)
+      ids
+  in
+  match (old_tree, new_tree) with
+  | None, _ | _, None -> senders
+  | Some ot, Some nt ->
+      if pods_changed ot nt then senders
+      else begin
+        let leaves = changed_leaves ot nt in
+        let pods =
+          List.sort_uniq compare (List.map (Topology.pod_of_leaf t.topo) leaves)
+        in
+        List.filter
+          (fun h ->
+            List.mem (Topology.leaf_of_host t.topo h) leaves
+            || List.mem (Topology.pod_of_host t.topo h) pods)
+          senders
+      end
+
+let reencode t ~group st ~changed_host =
+  let old_enc = st.enc in
+  let old_tree = Option.map (fun e -> e.Encoding.tree) old_enc in
+  (match old_enc with Some e -> uninstall_enc t ~group e | None -> ());
+  encode_group t st;
+  (match st.enc with Some e -> install_enc t ~group e | None -> ());
+  if Hashtbl.length st.applied > 0 || not (all_healthy t) then
+    refresh_overrides t ~group st;
+  let new_tree = Option.map (fun e -> e.Encoding.tree) st.enc in
+  let tree_changed =
+    match (old_tree, new_tree) with
+    | None, None -> false
+    | Some a, Some b ->
+        a.Tree.leaf_bitmaps <> b.Tree.leaf_bitmaps
+        || a.Tree.spine_bitmaps <> b.Tree.spine_bitmaps
+    | None, Some _ | Some _, None -> true
+  in
+  if not tree_changed then
+    { hypervisors = [ changed_host ]; leaves = []; pods = [] }
+  else begin
+    let common_changed =
+      match (old_enc, st.enc) with
+      | Some a, Some b ->
+          (not (clustering_equal a.Encoding.d_spine b.Encoding.d_spine))
+          || not (clustering_equal a.Encoding.d_leaf b.Encoding.d_leaf)
+      | None, Some _ | Some _, None -> true
+      | None, None -> false
+    in
+    let sender_hosts = senders st in
+    let hyp =
+      if common_changed then sender_hosts
+      else affected_senders t old_tree new_tree sender_hosts
+    in
+    let old_leaf_srules =
+      match old_enc with
+      | Some e -> e.Encoding.d_leaf.Clustering.srules
+      | None -> []
+    in
+    let new_leaf_srules =
+      match st.enc with
+      | Some e -> e.Encoding.d_leaf.Clustering.srules
+      | None -> []
+    in
+    let old_pod_srules =
+      match old_enc with
+      | Some e -> e.Encoding.d_spine.Clustering.srules
+      | None -> []
+    in
+    let new_pod_srules =
+      match st.enc with
+      | Some e -> e.Encoding.d_spine.Clustering.srules
+      | None -> []
+    in
+    {
+      hypervisors = List.sort_uniq compare (changed_host :: hyp);
+      leaves = srule_diff old_leaf_srules new_leaf_srules;
+      pods = srule_diff old_pod_srules new_pod_srules;
+    }
+  end
+
+(* {1 Public group lifecycle} *)
+
+let add_group t ~group members =
+  if Hashtbl.mem t.groups group then
+    invalid_arg "Controller.add_group: group exists";
+  Log.debug (fun m -> m "add_group %d with %d members" group (List.length members));
+  let hosts = List.map fst members in
+  if List.length (List.sort_uniq compare hosts) <> List.length hosts then
+    invalid_arg "Controller.add_group: duplicate member host";
+  let st = { members; enc = None; applied = Hashtbl.create 1 } in
+  Hashtbl.add t.groups group st;
+  encode_group t st;
+  (match st.enc with Some e -> install_enc t ~group e | None -> ());
+  if not (all_healthy t) then refresh_overrides t ~group st;
+  let srule_leaves, srule_pods =
+    match st.enc with
+    | Some e ->
+        ( List.map fst e.Encoding.d_leaf.Clustering.srules,
+          List.map fst e.Encoding.d_spine.Clustering.srules )
+    | None -> ([], [])
+  in
+  {
+    hypervisors = List.sort_uniq compare hosts;
+    leaves = srule_leaves;
+    pods = srule_pods;
+  }
+
+let remove_group t ~group =
+  let st = find_group t group in
+  (match st.enc with Some e -> uninstall_enc t ~group e | None -> ());
+  let srule_leaves, srule_pods =
+    match st.enc with
+    | Some e ->
+        ( List.map fst e.Encoding.d_leaf.Clustering.srules,
+          List.map fst e.Encoding.d_spine.Clustering.srules )
+    | None -> ([], [])
+  in
+  Hashtbl.remove t.groups group;
+  {
+    hypervisors = List.sort_uniq compare (List.map fst st.members);
+    leaves = srule_leaves;
+    pods = srule_pods;
+  }
+
+let join t ~group ~host ~role =
+  let st = find_group t group in
+  if List.mem_assoc host st.members then
+    invalid_arg "Controller.join: host already a member";
+  st.members <- st.members @ [ (host, role) ];
+  match role with
+  | Sender ->
+      (* The tree is unchanged; only the new sender's encap rule is
+         installed. *)
+      { hypervisors = [ host ]; leaves = []; pods = [] }
+  | Receiver | Both -> reencode t ~group st ~changed_host:host
+
+let leave t ~group ~host =
+  let st = find_group t group in
+  let role =
+    match List.assoc_opt host st.members with
+    | Some r -> r
+    | None -> raise Not_found
+  in
+  st.members <- List.remove_assoc host st.members;
+  match role with
+  | Sender -> { hypervisors = [ host ]; leaves = []; pods = [] }
+  | Receiver | Both -> reencode t ~group st ~changed_host:host
+
+let encoding t ~group = (find_group t group).enc
+let members t ~group = (find_group t group).members
+let group_count t = Hashtbl.length t.groups
+
+let header t ~group ~sender =
+  let st = find_group t group in
+  match st.enc with
+  | None -> None
+  | Some enc -> (
+      let base = Encoding.header_for_sender enc ~sender in
+      match Hashtbl.find_opt st.applied sender with
+      | None -> Some base
+      | Some ov when ov.unicast -> None
+      | Some ov ->
+          let u_leaf =
+            if base.Prule.u_leaf.Prule.multipath then
+              {
+                base.Prule.u_leaf with
+                Prule.multipath = false;
+                up = ov.up_leaf_ports;
+              }
+            else base.Prule.u_leaf
+          in
+          let u_spine =
+            match (base.Prule.u_spine, ov.up_spine_ports) with
+            | Some u, Some ports when u.Prule.multipath ->
+                Some { u with Prule.multipath = false; up = ports }
+            | u, _ -> u
+          in
+          Some { base with Prule.u_leaf; u_spine })
+
+(* {1 Failure events} *)
+
+type failure_report = {
+  affected_groups : int;
+  hypervisors_updated : int;
+  rule_updates_mean : float;
+  rule_updates_max : int;
+  unicast_fallbacks : int;
+}
+
+let overrides_snapshot st = Hashtbl.copy st.applied
+
+let override_equal a b =
+  Bitmap.equal a.up_leaf_ports b.up_leaf_ports
+  && a.unicast = b.unicast
+  &&
+  match (a.up_spine_ports, b.up_spine_ports) with
+  | None, None -> true
+  | Some x, Some y -> Bitmap.equal x y
+  | None, Some _ | Some _, None -> false
+
+let refresh_all t =
+  let affected = ref 0 in
+  let hyp_hosts = Hashtbl.create 256 in
+  let unicast = ref 0 in
+  Hashtbl.iter
+    (fun group st ->
+      let before = overrides_snapshot st in
+      refresh_overrides t ~group st;
+      (* A hypervisor is updated when its flow's override appears, changes,
+         or is withdrawn (multipath re-enabled after recovery). *)
+      let changed = ref [] in
+      let consider host ov_opt =
+        let changed_here =
+          match (Hashtbl.find_opt before host, ov_opt) with
+          | None, None -> false
+          | Some a, Some b -> not (override_equal a b)
+          | None, Some _ | Some _, None -> true
+        in
+        if changed_here && not (List.mem host !changed) then
+          changed := host :: !changed
+      in
+      Hashtbl.iter (fun host ov -> consider host (Some ov)) st.applied;
+      Hashtbl.iter
+        (fun host _ ->
+          if not (Hashtbl.mem st.applied host) then consider host None)
+        before;
+      if !changed <> [] then begin
+        incr affected;
+        List.iter
+          (fun h ->
+            Hashtbl.replace hyp_hosts h
+              (1 + Option.value ~default:0 (Hashtbl.find_opt hyp_hosts h)))
+          !changed;
+        if Hashtbl.fold (fun _ ov acc -> acc || ov.unicast) st.applied false
+        then incr unicast
+      end)
+    t.groups;
+  let hosts = Hashtbl.length hyp_hosts in
+  let total = Hashtbl.fold (fun _ n acc -> acc + n) hyp_hosts 0 in
+  let max_per_host = Hashtbl.fold (fun _ n acc -> max acc n) hyp_hosts 0 in
+  {
+    affected_groups = !affected;
+    hypervisors_updated = hosts;
+    rule_updates_mean =
+      (if hosts = 0 then 0.0 else float_of_int total /. float_of_int hosts);
+    rule_updates_max = max_per_host;
+    unicast_fallbacks = !unicast;
+  }
+
+let fail_spine t s =
+  Log.info (fun m -> m "spine %d failed; recomputing upstream assignments" s);
+  t.spine_ok.(s) <- false;
+  refresh_all t
+
+let recover_spine t s =
+  t.spine_ok.(s) <- true;
+  refresh_all t
+
+let fail_core t c =
+  Log.info (fun m -> m "core %d failed; recomputing upstream assignments" c);
+  t.core_ok.(c) <- false;
+  refresh_all t
+
+let link_index t ~leaf ~plane =
+  if
+    leaf < 0
+    || leaf >= Topology.num_leaves t.topo
+    || plane < 0
+    || plane >= t.topo.Topology.spines_per_pod
+  then invalid_arg "Controller: link out of range";
+  (leaf * t.topo.Topology.spines_per_pod) + plane
+
+let fail_link t ~leaf ~plane =
+  Log.info (fun m ->
+      m "link leaf %d <-> plane %d failed; recomputing upstream assignments"
+        leaf plane);
+  t.link_ok.(link_index t ~leaf ~plane) <- false;
+  refresh_all t
+
+let recover_link t ~leaf ~plane =
+  t.link_ok.(link_index t ~leaf ~plane) <- true;
+  refresh_all t
+
+let recover_core t c =
+  t.core_ok.(c) <- true;
+  refresh_all t

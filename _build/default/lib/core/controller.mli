@@ -1,0 +1,108 @@
+(** The logically-centralized Elmo controller (§2, §3.3, §5.1.3).
+
+    Owns group membership, computes each group's encoding (Algorithm 1),
+    tracks per-switch s-rule occupancy, and — the paper's control-plane
+    story — reports exactly which hypervisors and network switches must be
+    updated on every membership event, so churn experiments (Table 2) can
+    measure update load. It also models spine/core failure recovery:
+    multipath is disabled for affected groups and explicit upstream ports
+    are chosen by greedy set cover (§3.3), updating only sender hypervisors.
+
+    Members carry a role (sender, receiver, or both, §5.1.3a). The multicast
+    tree spans the {e receivers}; senders hold encapsulation flow rules. *)
+
+val log_src : Logs.src
+(** Controller events are logged under "elmo.controller" (info: failures;
+    debug: group operations). *)
+
+type role = Sender | Receiver | Both
+
+type updates = {
+  hypervisors : int list;  (** hosts whose hypervisor flow rules changed *)
+  leaves : int list;  (** leaf switches with group-table (s-rule) changes *)
+  pods : int list;
+      (** pods whose spines had s-rule changes (one update per physical
+          spine of the pod) *)
+}
+(** Core switches never appear: Elmo installs no core state. *)
+
+val no_updates : updates
+val merge_updates : updates -> updates -> updates
+val spine_update_count : Topology.t -> updates -> int
+(** Physical spine updates implied by [pods]. *)
+
+type fabric_hooks = {
+  install_leaf : leaf:int -> group:int -> Bitmap.t -> unit;
+  remove_leaf : leaf:int -> group:int -> unit;
+  install_pod : pod:int -> group:int -> Bitmap.t -> unit;
+  remove_pod : pod:int -> group:int -> unit;
+}
+(** Callbacks letting a dataplane (e.g. {e lib/dataplane}'s fabric) mirror
+    the controller's s-rule installs, playing the role of P4Runtime. *)
+
+type t
+
+val create : ?fabric_hooks:fabric_hooks -> Topology.t -> Params.t -> t
+(** By default the controller is stand-alone (pure state). *)
+
+val topology : t -> Topology.t
+val params : t -> Params.t
+val srule_state : t -> Srule_state.t
+
+(** {1 Group lifecycle} *)
+
+val add_group : t -> group:int -> (int * role) list -> updates
+(** Creates a group with initial (host, role) members. Raises
+    [Invalid_argument] if the group exists or a host repeats. *)
+
+val remove_group : t -> group:int -> updates
+
+val join : t -> group:int -> host:int -> role:role -> updates
+(** Adds a member. Raises [Not_found] for unknown groups,
+    [Invalid_argument] if the host is already a member. *)
+
+val leave : t -> group:int -> host:int -> updates
+(** Removes a member; removing the last one leaves an empty group (use
+    {!remove_group} to delete). Raises [Not_found] if absent. *)
+
+val encoding : t -> group:int -> Encoding.t option
+(** [None] when the group has no receivers. *)
+
+val members : t -> group:int -> (int * role) list
+val group_count : t -> int
+
+val header : t -> group:int -> sender:int -> Prule.header option
+(** The header [sender]'s hypervisor currently pushes, including any
+    failure-recovery upstream overrides. [None] if the group has no
+    receivers (degrade to unicast). *)
+
+(** {1 Failures (§3.3, §5.1.3b)} *)
+
+type failure_report = {
+  affected_groups : int;
+      (** groups with at least one flow whose ECMP path crossed the failed
+          switch (the paper's "impacted" groups) *)
+  hypervisors_updated : int;  (** distinct sender hypervisors touched *)
+  rule_updates_mean : float;
+      (** flow-rule updates per touched hypervisor (the paper's 176.9 /
+          674.9 "updates per failure event"), batched per host *)
+  rule_updates_max : int;
+  unicast_fallbacks : int;
+      (** groups for which no covering upstream assignment exists and whose
+          senders degrade to unicast *)
+}
+
+val fail_spine : t -> int -> failure_report
+val recover_spine : t -> int -> failure_report
+(** Re-enables multipath for groups that had overrides; same accounting. *)
+
+val fail_core : t -> int -> failure_report
+val recover_core : t -> int -> failure_report
+
+val fail_link : t -> leaf:int -> plane:int -> failure_report
+(** Leaf↔pod-spine link failure: the case where no single spine may reach
+    every receiver, so the upstream assignment is a genuine greedy set cover
+    over planes (§3.3); flows that no cover can serve degrade to unicast.
+    Raises [Invalid_argument] on an out-of-range link. *)
+
+val recover_link : t -> leaf:int -> plane:int -> failure_report

@@ -1,0 +1,19 @@
+let flow_hash ~group ~sender =
+  (* splitmix-style mix for a stable choice per (group, sender) flow *)
+  let z = (group * 0x9E3779B9) lxor (sender * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 15)) * 0x2545F491 in
+  abs (z lxor (z lsr 13))
+
+let spine_choice topo ~hash = hash mod topo.Topology.spines_per_pod
+
+let core_choice topo ~hash ~plane =
+  if Topology.is_two_tier topo then
+    invalid_arg "Ecmp.core_choice: two-tier topology has no cores";
+  (* Re-mix before reducing: [hash mod spines_per_pod] and
+     [hash mod cores_per_plane] are correlated whenever one modulus divides
+     the other (e.g. 4 and 12 on the Facebook fabric), which would collapse
+     the spine x core choice onto a diagonal and waste bisection
+     bandwidth. *)
+  let h = hash lxor (hash lsr 17) in
+  let h = abs (h * 0x2545F491) in
+  (plane * topo.Topology.cores_per_plane) + (h mod topo.Topology.cores_per_plane)

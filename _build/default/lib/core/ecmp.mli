@@ -1,0 +1,14 @@
+(** Deterministic per-flow ECMP hashing, shared by the data plane (to pick
+    the actual path of a packet) and the controller (to predict which flows
+    a failed switch impacts, §5.1.3b). A flow is identified by
+    (group, sender). *)
+
+val flow_hash : group:int -> sender:int -> int
+(** Non-negative, stable mix of the flow identifier. *)
+
+val spine_choice : Topology.t -> hash:int -> int
+(** Plane (spine index within the sender pod) the flow multipaths onto. *)
+
+val core_choice : Topology.t -> hash:int -> plane:int -> int
+(** Physical core the flow multipaths onto from a spine of [plane].
+    Raises [Invalid_argument] on a two-tier topology. *)

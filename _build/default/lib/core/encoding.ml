@@ -1,0 +1,198 @@
+type t = {
+  tree : Tree.t;
+  params : Params.t;
+  d_spine : Clustering.result;
+  d_leaf : Clustering.result;
+}
+
+(* Per-group Hmax within the byte budget (§3.2): worst-case rule sizes are
+   known a priori (Kmax identifiers each), the upstream and core sections are
+   fixed-size, and one default bitmap per layer is reserved. Spine rules are
+   budgeted first (a tree has at most [pods] of them); leaves get the rest. *)
+let budgeted_hmax topo (params : Params.t) tree =
+  match params.Params.header_budget with
+  | None -> (params.Params.hmax_spine, params.Params.hmax_leaf)
+  | Some budget_bytes ->
+      let total = budget_bytes * 8 in
+      let spine_rule = Prule.prule_bits topo `Spine ~nswitches:params.Params.kmax in
+      let leaf_rule = Prule.prule_bits topo `Leaf ~nswitches:params.Params.kmax in
+      let fixed =
+        Prule.uprule_bits
+          ~down_width:(Topology.leaf_downstream_width topo)
+          ~up_width:(Topology.leaf_upstream_width topo)
+        + 1
+        + (if Topology.is_two_tier topo then 0
+           else
+             Prule.uprule_bits
+               ~down_width:(Topology.spine_downstream_width topo)
+               ~up_width:(Topology.spine_upstream_width topo))
+        + 1
+        + Topology.core_downstream_width topo
+        + (2 * 1) (* section terminators *)
+        + Prule.default_rule_bits topo `Spine
+        + Prule.default_rule_bits topo `Leaf
+      in
+      let available = max 0 (total - fixed) in
+      let hmax_spine =
+        min params.Params.hmax_spine
+          (max 1 (min (Tree.pod_count tree) (available / spine_rule)))
+      in
+      let hmax_leaf =
+        min params.Params.hmax_leaf
+          (max 1 ((available - (hmax_spine * spine_rule)) / leaf_rule))
+      in
+      (hmax_spine, hmax_leaf)
+
+let no_legacy _ = false
+
+(* Merge the clustering of modern switches with forced s-rules (or default
+   fallback) for legacy ones. *)
+let with_legacy ~legacy ~reserve layer cluster =
+  let legacy_switches, modern = List.partition (fun (id, _) -> legacy id) layer in
+  let res = cluster modern in
+  List.fold_left
+    (fun acc (id, bm) ->
+      if reserve id then { acc with Clustering.srules = (id, bm) :: acc.Clustering.srules }
+      else begin
+        let default =
+          match acc.Clustering.default with
+          | None -> Some ([ id ], Bitmap.copy bm)
+          | Some (ids, dbm) ->
+              Bitmap.union_into ~dst:dbm bm;
+              Some (id :: ids, dbm)
+        in
+        { acc with Clustering.default }
+      end)
+    res legacy_switches
+
+let encode ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
+    (params : Params.t) srules tree =
+  let hmax_spine, hmax_leaf = budgeted_hmax tree.Tree.topo params tree in
+  let reserve_leaf l =
+    if Srule_state.leaf_has_space srules l then begin
+      Srule_state.reserve_leaf srules l;
+      true
+    end
+    else false
+  in
+  let d_leaf =
+    with_legacy ~legacy:legacy_leaf ~reserve:reserve_leaf tree.Tree.leaf_bitmaps
+      (Clustering.run ~r:params.r ~semantics:params.r_semantics ~hmax:hmax_leaf
+         ~kmax:params.kmax ~has_srule_space:reserve_leaf)
+  in
+  let reserve_pod p =
+    if Srule_state.pod_has_space srules p then begin
+      Srule_state.reserve_pod srules p;
+      true
+    end
+    else false
+  in
+  let d_spine =
+    (* On a two-tier fabric the only spine a packet visits is the sender's,
+       which forwards on the upstream rule — no downstream spine rules are
+       ever consulted. *)
+    if Topology.is_two_tier tree.Tree.topo then
+      { Clustering.prules = []; srules = []; default = None }
+    else
+      with_legacy ~legacy:legacy_pod ~reserve:reserve_pod tree.Tree.spine_bitmaps
+        (Clustering.run ~r:params.r ~semantics:params.r_semantics
+           ~hmax:hmax_spine ~kmax:params.kmax ~has_srule_space:reserve_pod)
+  in
+  { tree; params; d_spine; d_leaf }
+
+let release srules t =
+  List.iter (fun (l, _) -> Srule_state.release_leaf srules l) t.d_leaf.Clustering.srules;
+  List.iter (fun (p, _) -> Srule_state.release_pod srules p) t.d_spine.Clustering.srules
+
+let header_for_sender t ~sender =
+  let tree = t.tree in
+  let topo = tree.Tree.topo in
+  let sl = Topology.leaf_of_host topo sender in
+  let sp = Topology.pod_of_leaf topo sl in
+  let other_leaves_in_pod =
+    List.exists
+      (fun (l, _) -> l <> sl && Topology.pod_of_leaf topo l = sp)
+      tree.Tree.leaf_bitmaps
+  in
+  let other_pods = List.exists (fun (p, _) -> p <> sp) tree.Tree.spine_bitmaps in
+  let beyond_leaf = other_leaves_in_pod || other_pods in
+  (* Upstream leaf rule: local member ports minus the sender itself; the
+     source hypervisor delivers to co-resident member VMs directly. *)
+  let u_leaf_down =
+    match Tree.leaf_bitmap tree sl with
+    | None -> Bitmap.create (Topology.leaf_downstream_width topo)
+    | Some bm ->
+        let bm = Bitmap.copy bm in
+        Bitmap.clear bm (Topology.host_port_on_leaf topo sender);
+        bm
+  in
+  let u_leaf =
+    {
+      Prule.down = u_leaf_down;
+      up = Bitmap.create (Topology.leaf_upstream_width topo);
+      multipath = beyond_leaf;
+    }
+  in
+  let u_spine =
+    if not beyond_leaf then None
+    else begin
+      let down =
+        match Tree.spine_bitmap tree sp with
+        | None -> Bitmap.create (Topology.spine_downstream_width topo)
+        | Some bm ->
+            let bm = Bitmap.copy bm in
+            Bitmap.clear bm (Topology.leaf_port_on_spine topo sl);
+            bm
+      in
+      Some
+        {
+          Prule.down;
+          up = Bitmap.create (Topology.spine_upstream_width topo);
+          multipath = other_pods;
+        }
+    end
+  in
+  let core =
+    if not other_pods then None
+    else begin
+      let bm = Bitmap.copy tree.Tree.core_bitmap in
+      Bitmap.clear bm sp;
+      Some bm
+    end
+  in
+  let default_of = function
+    | Some (_, bm) -> Some bm
+    | None -> None
+  in
+  {
+    Prule.u_leaf;
+    u_spine;
+    core;
+    d_spine = t.d_spine.Clustering.prules;
+    d_spine_default = default_of t.d_spine.Clustering.default;
+    d_leaf = t.d_leaf.Clustering.prules;
+    d_leaf_default = default_of t.d_leaf.Clustering.default;
+  }
+
+let header_bytes t ~sender =
+  Prule.header_bytes t.tree.Tree.topo (header_for_sender t ~sender)
+
+let covered_by_prules t =
+  t.d_spine.Clustering.srules = []
+  && t.d_leaf.Clustering.srules = []
+  && t.d_spine.Clustering.default = None
+  && t.d_leaf.Clustering.default = None
+
+let covered_without_default t =
+  t.d_spine.Clustering.default = None && t.d_leaf.Clustering.default = None
+
+let uses_default t =
+  t.d_spine.Clustering.default <> None || t.d_leaf.Clustering.default <> None
+
+let srule_entries t =
+  let topo = t.tree.Tree.topo in
+  List.length t.d_leaf.Clustering.srules
+  + (List.length t.d_spine.Clustering.srules * topo.Topology.spines_per_pod)
+
+let prule_count t =
+  List.length t.d_spine.Clustering.prules + List.length t.d_leaf.Clustering.prules

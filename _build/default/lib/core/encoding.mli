@@ -1,0 +1,57 @@
+(** Per-group Elmo encoding: the common downstream rule sets plus per-sender
+    header construction (§3.1–3.2).
+
+    The downstream spine and leaf layers are clustered once per group
+    (Algorithm 1) and shared by all senders; the upstream leaf/spine rules
+    and the core rule are sender-specific and synthesized on demand by
+    {!header_for_sender} (§3.1 D2b–c). *)
+
+type t = {
+  tree : Tree.t;
+  params : Params.t;
+  d_spine : Clustering.result;  (** logical-spine layer, ids are pod numbers *)
+  d_leaf : Clustering.result;  (** leaf layer, ids are global leaf numbers *)
+}
+
+val encode :
+  ?legacy_leaf:(int -> bool) ->
+  ?legacy_pod:(int -> bool) ->
+  Params.t -> Srule_state.t -> Tree.t -> t
+(** Runs Algorithm 1 on both downstream layers, reserving s-rule space in
+    the given state as it goes (leaf layer first, as it dominates header
+    usage; then spine).
+
+    [legacy_leaf] / [legacy_pod] mark switches that cannot parse Elmo
+    headers (§7 incremental deployment): they are excluded from p-rule
+    clustering and served by group-table entries directly — their
+    group-table capacity remains the scalability bottleneck, exactly as the
+    paper notes. A legacy switch whose table is full falls to the default
+    p-rule, which it cannot read: those receivers are lost, surfacing as a
+    delivery failure in the data-plane simulator. Default: no legacy
+    switches. *)
+
+val release : Srule_state.t -> t -> unit
+(** Returns the encoding's s-rule reservations (used on group removal or
+    re-encoding during churn). *)
+
+val header_for_sender : t -> sender:int -> Prule.header
+(** The full header the sender's hypervisor pushes. [sender] is a host; it
+    need not host a member VM. *)
+
+val header_bytes : t -> sender:int -> int
+
+val covered_by_prules : t -> bool
+(** True when no s-rule and no default rule was needed (strict coverage). *)
+
+val covered_without_default : t -> bool
+(** True when no default rule was needed (s-rules allowed) — the paper's
+    "groups covered using non-default p-rules" metric (Fig. 4/5 left,
+    Table 1 "without using a default p-rule"). *)
+
+val uses_default : t -> bool
+val srule_entries : t -> int
+(** Physical group-table entries this encoding occupies (a pod-spine s-rule
+    counts once per physical spine of the pod). *)
+
+val prule_count : t -> int
+(** Downstream p-rules in the header (both layers, excluding defaults). *)

@@ -1,0 +1,202 @@
+let layer_widths topo = function
+  | `Spine -> (Topology.spine_downstream_width topo, Topology.spine_id_bits topo)
+  | `Leaf -> (Topology.leaf_downstream_width topo, Topology.leaf_id_bits topo)
+
+let write_uprule w ~down_width ~up_width (u : Prule.uprule) =
+  if Bitmap.width u.Prule.down <> down_width || Bitmap.width u.Prule.up <> up_width
+  then invalid_arg "Header_codec: upstream rule width mismatch";
+  Bitio.Writer.bitmap w u.Prule.down;
+  Bitio.Writer.bitmap w u.Prule.up;
+  Bitio.Writer.bit w u.Prule.multipath
+
+let write_section topo w layer rules default =
+  let width, id_bits = layer_widths topo layer in
+  List.iter
+    (fun (r : Prule.prule) ->
+      if r.Prule.switches = [] then
+        invalid_arg "Header_codec: p-rule with no switch identifiers";
+      if Bitmap.width r.Prule.bitmap <> width then
+        invalid_arg "Header_codec: p-rule bitmap width mismatch";
+      Bitio.Writer.bit w true;
+      Bitio.Writer.bitmap w r.Prule.bitmap;
+      let rec ids = function
+        | [] -> ()
+        | [ id ] ->
+            Bitio.Writer.bits w id id_bits;
+            Bitio.Writer.bit w false
+        | id :: rest ->
+            Bitio.Writer.bits w id id_bits;
+            Bitio.Writer.bit w true;
+            ids rest
+      in
+      ids r.Prule.switches)
+    rules;
+  Bitio.Writer.bit w false;
+  match default with
+  | None -> Bitio.Writer.bit w false
+  | Some bm ->
+      if Bitmap.width bm <> width then
+        invalid_arg "Header_codec: default bitmap width mismatch";
+      Bitio.Writer.bit w true;
+      Bitio.Writer.bitmap w bm
+
+let read_uprule r ~down_width ~up_width =
+  let down = Bitio.Reader.bitmap r down_width in
+  let up = Bitio.Reader.bitmap r up_width in
+  let multipath = Bitio.Reader.bit r in
+  { Prule.down; up; multipath }
+
+let read_section topo r layer =
+  let width, id_bits = layer_widths topo layer in
+  let rec rules acc =
+    if Bitio.Reader.bit r then begin
+      let bitmap = Bitio.Reader.bitmap r width in
+      let rec ids acc =
+        let id = Bitio.Reader.bits r id_bits in
+        if Bitio.Reader.bit r then ids (id :: acc) else List.rev (id :: acc)
+      in
+      rules ({ Prule.bitmap; switches = ids [] } :: acc)
+    end
+    else List.rev acc
+  in
+  let rules = rules [] in
+  let default =
+    if Bitio.Reader.bit r then Some (Bitio.Reader.bitmap r width) else None
+  in
+  (rules, default)
+
+let encoded_size topo h = Prule.header_bytes topo h
+
+type stage = Full | After_u_leaf | After_u_spine | After_core | After_d_spine
+
+(* Which sections remain at each stage, outermost first:
+   Full:          u_leaf, u_spine, core, d_spine, d_leaf
+   After_u_leaf:          u_spine, core, d_spine, d_leaf
+   After_u_spine:                  core, d_spine, d_leaf
+   After_core:                           d_spine, d_leaf
+   After_d_spine:                                 d_leaf *)
+
+let has_u_leaf = function Full -> true | _ -> false
+
+let has_u_spine = function Full | After_u_leaf -> true | _ -> false
+
+let has_core = function
+  | Full | After_u_leaf | After_u_spine -> true
+  | After_core | After_d_spine -> false
+
+let has_d_spine = function After_d_spine -> false | _ -> true
+
+let encode_stage topo stage (h : Prule.header) =
+  let w = Bitio.Writer.create () in
+  if has_u_leaf stage then
+    write_uprule w
+      ~down_width:(Topology.leaf_downstream_width topo)
+      ~up_width:(Topology.leaf_upstream_width topo)
+      h.Prule.u_leaf;
+  if has_u_spine stage then begin
+    match h.Prule.u_spine with
+    | None -> Bitio.Writer.bit w false
+    | Some u ->
+        Bitio.Writer.bit w true;
+        write_uprule w
+          ~down_width:(Topology.spine_downstream_width topo)
+          ~up_width:(Topology.spine_upstream_width topo)
+          u
+  end;
+  if has_core stage then begin
+    match h.Prule.core with
+    | None -> Bitio.Writer.bit w false
+    | Some bm ->
+        Bitio.Writer.bit w true;
+        Bitio.Writer.bitmap w bm
+  end;
+  if has_d_spine stage then
+    write_section topo w `Spine h.Prule.d_spine h.Prule.d_spine_default;
+  write_section topo w `Leaf h.Prule.d_leaf h.Prule.d_leaf_default;
+  Bitio.Writer.to_bytes w
+
+let empty_uprule topo =
+  {
+    Prule.down = Bitmap.create (Topology.leaf_downstream_width topo);
+    up = Bitmap.create (Topology.leaf_upstream_width topo);
+    multipath = false;
+  }
+
+let decode_stage topo stage data =
+  let r = Bitio.Reader.of_bytes data in
+  let u_leaf =
+    if has_u_leaf stage then
+      read_uprule r
+        ~down_width:(Topology.leaf_downstream_width topo)
+        ~up_width:(Topology.leaf_upstream_width topo)
+    else empty_uprule topo
+  in
+  let u_spine =
+    if has_u_spine stage && Bitio.Reader.bit r then
+      Some
+        (read_uprule r
+           ~down_width:(Topology.spine_downstream_width topo)
+           ~up_width:(Topology.spine_upstream_width topo))
+    else None
+  in
+  let core =
+    if has_core stage && Bitio.Reader.bit r then
+      Some (Bitio.Reader.bitmap r (Topology.core_downstream_width topo))
+    else None
+  in
+  let d_spine, d_spine_default =
+    if has_d_spine stage then read_section topo r `Spine else ([], None)
+  in
+  let d_leaf, d_leaf_default = read_section topo r `Leaf in
+  { Prule.u_leaf; u_spine; core; d_spine; d_spine_default; d_leaf; d_leaf_default }
+
+let stage_bits topo stage h =
+  match stage with
+  | Full -> Prule.header_bits topo h
+  | After_u_leaf -> Prule.remaining_bits_after topo h `U_leaf
+  | After_u_spine -> Prule.remaining_bits_after topo h `U_spine
+  | After_core -> Prule.remaining_bits_after topo h `Core
+  | After_d_spine -> Prule.remaining_bits_after topo h `D_spine
+
+let encode topo h = encode_stage topo Full h
+let decode topo data = decode_stage topo Full data
+
+let encode_parts topo (h : Prule.header) =
+  (* One byte-aligned buffer per section/rule - the unit of a "write call"
+     in the per-rule encapsulation path (§4.2). *)
+  let parts = ref [] in
+  let emit f =
+    let w = Bitio.Writer.create () in
+    f w;
+    parts := Bitio.Writer.to_bytes w :: !parts
+  in
+  emit (fun w ->
+      write_uprule w
+        ~down_width:(Topology.leaf_downstream_width topo)
+        ~up_width:(Topology.leaf_upstream_width topo)
+        h.Prule.u_leaf);
+  emit (fun w ->
+      match h.Prule.u_spine with
+      | None -> Bitio.Writer.bit w false
+      | Some u ->
+          Bitio.Writer.bit w true;
+          write_uprule w
+            ~down_width:(Topology.spine_downstream_width topo)
+            ~up_width:(Topology.spine_upstream_width topo)
+            u);
+  emit (fun w ->
+      match h.Prule.core with
+      | None -> Bitio.Writer.bit w false
+      | Some bm ->
+          Bitio.Writer.bit w true;
+          Bitio.Writer.bitmap w bm);
+  let emit_section layer rules default =
+    List.iter (fun r -> emit (fun w -> write_section topo w layer [ r ] None)) rules;
+    emit (fun w -> write_section topo w layer [] default)
+  in
+  emit_section `Spine h.Prule.d_spine h.Prule.d_spine_default;
+  emit_section `Leaf h.Prule.d_leaf h.Prule.d_leaf_default;
+  List.rev !parts
+
+let encode_per_rule_writes topo h =
+  Bytes.concat Bytes.empty (encode_parts topo h)

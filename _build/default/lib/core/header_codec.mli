@@ -1,0 +1,61 @@
+(** Wire format of the Elmo header (Figure 2), bit-exact with the size
+    accounting in {!Prule}.
+
+    Layout, MSB-first: the upstream leaf rule (down ports, up ports,
+    multipath flag); a presence bit then the upstream spine rule; a presence
+    bit then the core bitmap; the downstream spine section; the downstream
+    leaf section. A downstream section is a sequence of p-rules, each
+    introduced by a 1 bit and carrying its bitmap followed by identifiers
+    each trailed by a more-ids flag; a 0 bit terminates the sequence and a
+    presence bit introduces the optional default bitmap.
+
+    Serialization of headers produced by {!Encoding.header_for_sender} is
+    lossless: [decode topo (encode topo h) = h]. *)
+
+val encode : Topology.t -> Prule.header -> bytes
+(** Raises [Invalid_argument] if a p-rule has an empty switch list or a
+    bitmap of the wrong width for its layer. *)
+
+val decode : Topology.t -> bytes -> Prule.header
+(** Raises [Bitio.Reader.Truncated] on short input. Trailing padding bits
+    are ignored. *)
+
+val encoded_size : Topology.t -> Prule.header -> int
+(** Size in bytes without materializing (= {!Prule.header_bytes}). *)
+
+(** {1 Layer popping (D2d)}
+
+    Switches pop every section belonging to a layer the packet has passed.
+    A stage names the sections still on the wire; the P4 [type] field of
+    Figure 2a is modelled by carrying the stage alongside the packet. *)
+
+type stage =
+  | Full  (** as emitted by the sender hypervisor *)
+  | After_u_leaf  (** sender leaf → sender-pod spine *)
+  | After_u_spine  (** sender-pod spine → core *)
+  | After_core  (** core → downstream pod spine *)
+  | After_d_spine  (** any spine → downstream leaf *)
+
+val encode_stage : Topology.t -> stage -> Prule.header -> bytes
+(** Serializes only the sections remaining at [stage]; [encode_stage Full]
+    = {!encode}. *)
+
+val decode_stage : Topology.t -> stage -> bytes -> Prule.header
+(** Inverse of {!encode_stage}; popped sections come back empty ([None] /
+    [[]]). *)
+
+val stage_bits : Topology.t -> stage -> Prule.header -> int
+(** Exact bit length of [encode_stage] without materializing; agrees with
+    {!Prule.remaining_bits_after} for popped stages. *)
+
+val encode_parts : Topology.t -> Prule.header -> bytes list
+(** The header split into separately byte-aligned parts, one per section or
+    p-rule — the write-call units of the unoptimized encapsulation path. *)
+
+val encode_per_rule_writes : Topology.t -> Prule.header -> bytes
+(** Encodes the same header as {!encode}, but materializes every p-rule as a
+    separately padded buffer before concatenating — modelling a hypervisor
+    switch that issues one DMA write per header copy instead of one write
+    for the whole rule list (§4.2). Functionally equivalent on parse only in
+    size class, not bit-compatible; used by the Figure 7 benchmark to show
+    the per-rule-write throughput penalty. *)

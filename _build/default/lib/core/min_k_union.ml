@@ -1,0 +1,38 @@
+let choose ~k candidates =
+  let n = Array.length candidates in
+  if k <= 0 then invalid_arg "Min_k_union.choose: k must be positive";
+  if n = 0 then invalid_arg "Min_k_union.choose: no candidates";
+  if k > n then invalid_arg "Min_k_union.choose: k exceeds candidate count";
+  let chosen = Array.make n false in
+  (* Seed: smallest bitmap. *)
+  let seed = ref 0 in
+  let seed_count = ref max_int in
+  Array.iteri
+    (fun i (_, bm) ->
+      let c = Bitmap.popcount bm in
+      if c < !seed_count then begin
+        seed := i;
+        seed_count := c
+      end)
+    candidates;
+  chosen.(!seed) <- true;
+  let acc = Bitmap.copy (snd candidates.(!seed)) in
+  let picked = ref [ !seed ] in
+  for _ = 2 to k do
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    Array.iteri
+      (fun i (_, bm) ->
+        if not chosen.(i) then begin
+          let cost = Bitmap.union_cost bm acc in
+          if cost < !best_cost then begin
+            best := i;
+            best_cost := cost
+          end
+        end)
+      candidates;
+    chosen.(!best) <- true;
+    Bitmap.union_into ~dst:acc (snd candidates.(!best));
+    picked := !best :: !picked
+  done;
+  (List.rev !picked, acc)

@@ -1,0 +1,14 @@
+(** Approximate MIN-K-UNION (§3.2).
+
+    Given a collection of bitmaps, find [k] of them whose bitwise OR has the
+    fewest set bits. The exact problem is NP-hard; we use the standard greedy
+    approximation the paper cites: seed with the smallest bitmap, then
+    repeatedly add the bitmap contributing the fewest new bits. *)
+
+val choose : k:int -> (int * Bitmap.t) array -> int list * Bitmap.t
+(** [choose ~k candidates] returns the indices (into [candidates]) of the
+    chosen [k] elements and the OR of their bitmaps. Ties break toward lower
+    index, making results deterministic. Raises [Invalid_argument] if
+    [k <= 0], [candidates] is empty, or [k] exceeds the candidate count. The
+    [int] in each pair is an opaque tag preserved for the caller; selection
+    looks only at bitmaps. *)

@@ -1,0 +1,35 @@
+type r_semantics = Sum | Per_bitmap
+
+type t = {
+  r : int;
+  r_semantics : r_semantics;
+  hmax_leaf : int;
+  hmax_spine : int;
+  header_budget : int option;
+  kmax : int;
+  fmax : int;
+}
+
+let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
+    ?(header_budget = Some 325) ?(kmax = 2) ?(fmax = 30_000) () =
+  if r < 0 then invalid_arg "Params.create: r must be non-negative";
+  if hmax_leaf <= 0 then invalid_arg "Params.create: hmax_leaf must be positive";
+  if hmax_spine <= 0 then invalid_arg "Params.create: hmax_spine must be positive";
+  (match header_budget with
+  | Some b when b <= 0 -> invalid_arg "Params.create: header_budget must be positive"
+  | Some _ | None -> ());
+  if kmax <= 0 then invalid_arg "Params.create: kmax must be positive";
+  if fmax < 0 then invalid_arg "Params.create: fmax must be non-negative";
+  { r; r_semantics; hmax_leaf; hmax_spine; header_budget; kmax; fmax }
+
+let default = create ()
+let with_r t r = { t with r = (if r < 0 then invalid_arg "Params.with_r" else r) }
+
+let pp ppf t =
+  Format.fprintf ppf "R=%d(%s) Hmax=(leaf %d, spine %d%s) Kmax=%d Fmax=%d" t.r
+    (match t.r_semantics with Sum -> "sum" | Per_bitmap -> "per-bitmap")
+    t.hmax_leaf t.hmax_spine
+    (match t.header_budget with
+    | Some b -> Printf.sprintf ", budget %dB" b
+    | None -> "")
+    t.kmax t.fmax

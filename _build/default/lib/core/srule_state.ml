@@ -1,0 +1,45 @@
+type t = {
+  topo : Topology.t;
+  fmax : int;
+  leaf_used : int array;
+  pod_used : int array;
+}
+
+let create topo ~fmax =
+  if fmax < 0 then invalid_arg "Srule_state.create: fmax must be non-negative";
+  {
+    topo;
+    fmax;
+    leaf_used = Array.make (Topology.num_leaves topo) 0;
+    pod_used = Array.make topo.Topology.pods 0;
+  }
+
+let fmax t = t.fmax
+let leaf_has_space t l = t.leaf_used.(l) < t.fmax
+let pod_has_space t p = t.pod_used.(p) < t.fmax
+
+let reserve_leaf t l =
+  if not (leaf_has_space t l) then failwith "Srule_state.reserve_leaf: full";
+  t.leaf_used.(l) <- t.leaf_used.(l) + 1
+
+let reserve_pod t p =
+  if not (pod_has_space t p) then failwith "Srule_state.reserve_pod: full";
+  t.pod_used.(p) <- t.pod_used.(p) + 1
+
+let release_leaf t l =
+  if t.leaf_used.(l) <= 0 then failwith "Srule_state.release_leaf: underflow";
+  t.leaf_used.(l) <- t.leaf_used.(l) - 1
+
+let release_pod t p =
+  if t.pod_used.(p) <= 0 then failwith "Srule_state.release_pod: underflow";
+  t.pod_used.(p) <- t.pod_used.(p) - 1
+
+let leaf_occupancy t = Array.copy t.leaf_used
+
+let spine_occupancy t =
+  Array.init (Topology.num_spines t.topo) (fun s ->
+      t.pod_used.(s / t.topo.Topology.spines_per_pod))
+
+let total_srules t =
+  Array.fold_left ( + ) 0 t.leaf_used
+  + (Array.fold_left ( + ) 0 t.pod_used * t.topo.Topology.spines_per_pod)

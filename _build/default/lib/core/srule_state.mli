@@ -1,0 +1,37 @@
+(** Group-table (s-rule) occupancy of the network switches (§3.1 D5).
+
+    Each physical switch holds at most [fmax] s-rules. Downstream p-rules
+    address {e logical} switches, so an s-rule for a pod's logical spine must
+    be installed on every physical spine of the pod (any of them may receive
+    the packet under multipath); a leaf s-rule lands on that one leaf. We
+    therefore track leaf occupancy per leaf and spine occupancy per pod (the
+    per-physical-spine count equals its pod's count). *)
+
+type t
+
+val create : Topology.t -> fmax:int -> t
+
+val fmax : t -> int
+
+val leaf_has_space : t -> int -> bool
+val pod_has_space : t -> int -> bool
+(** Space on {e all} physical spines of the pod. *)
+
+val reserve_leaf : t -> int -> unit
+(** Raises [Failure] if the leaf is full (callers must check first). *)
+
+val reserve_pod : t -> int -> unit
+
+val release_leaf : t -> int -> unit
+(** Raises [Failure] on underflow. *)
+
+val release_pod : t -> int -> unit
+
+val leaf_occupancy : t -> int array
+(** Copy of the per-leaf s-rule counts. *)
+
+val spine_occupancy : t -> int array
+(** Per-physical-spine s-rule counts (derived from pod counts). *)
+
+val total_srules : t -> int
+(** Total installed s-rule entries across all physical switches. *)

@@ -1,0 +1,113 @@
+type error =
+  | Not_multicast_address
+  | No_such_tenant
+  | No_such_vm
+  | No_such_group
+  | Group_exists
+  | Quota_exceeded
+  | Already_member
+  | Not_a_member
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Not_multicast_address -> "not a multicast address (224.0.0.0/4)"
+    | No_such_tenant -> "no such tenant"
+    | No_such_vm -> "no such VM"
+    | No_such_group -> "no such group"
+    | Group_exists -> "group already exists"
+    | Quota_exceeded -> "tenant group quota exceeded"
+    | Already_member -> "VM is already a member"
+    | Not_a_member -> "VM is not a member")
+
+type t = {
+  ctrl : Controller.t;
+  placement : Vm_placement.t;
+  quota : int;
+  ids : (int * int32, int) Hashtbl.t;  (* (tenant, address) -> global id *)
+  tenant_counts : (int, int) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ctrl placement ~quota_per_tenant =
+  if quota_per_tenant <= 0 then invalid_arg "Tenant_api.create: quota";
+  {
+    ctrl;
+    placement;
+    quota = quota_per_tenant;
+    ids = Hashtbl.create 1024;
+    tenant_counts = Hashtbl.create 64;
+    next_id = 1;
+  }
+
+let is_multicast addr =
+  Int32.logand addr 0xF0000000l = 0xE0000000l
+
+let ( let* ) = Result.bind
+
+let check_tenant t tenant =
+  if tenant < 0 || tenant >= Array.length t.placement.Vm_placement.tenants then
+    Error No_such_tenant
+  else Ok ()
+
+let check_address addr =
+  if is_multicast addr then Ok () else Error Not_multicast_address
+
+let tenant_count t tenant =
+  Option.value ~default:0 (Hashtbl.find_opt t.tenant_counts tenant)
+
+let create_group t ~tenant ~address =
+  let* () = check_address address in
+  let* () = check_tenant t tenant in
+  if Hashtbl.mem t.ids (tenant, address) then Error Group_exists
+  else if tenant_count t tenant >= t.quota then Error Quota_exceeded
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.ids (tenant, address) id;
+    Hashtbl.replace t.tenant_counts tenant (tenant_count t tenant + 1);
+    ignore (Controller.add_group t.ctrl ~group:id []);
+    Ok ()
+  end
+
+let find_group t ~tenant ~address =
+  let* () = check_address address in
+  let* () = check_tenant t tenant in
+  match Hashtbl.find_opt t.ids (tenant, address) with
+  | Some id -> Ok id
+  | None -> Error No_such_group
+
+let delete_group t ~tenant ~address =
+  let* id = find_group t ~tenant ~address in
+  ignore (Controller.remove_group t.ctrl ~group:id);
+  Hashtbl.remove t.ids (tenant, address);
+  Hashtbl.replace t.tenant_counts tenant (tenant_count t tenant - 1);
+  Ok ()
+
+let host_of_vm t ~tenant ~vm =
+  let vms = t.placement.Vm_placement.tenants.(tenant).Vm_placement.vm_hosts in
+  if vm < 0 || vm >= Array.length vms then Error No_such_vm else Ok vms.(vm)
+
+let join t ~tenant ~address ~vm ~role =
+  let* id = find_group t ~tenant ~address in
+  let* host = host_of_vm t ~tenant ~vm in
+  match Controller.join t.ctrl ~group:id ~host ~role with
+  | updates -> Ok updates
+  | exception Invalid_argument _ -> Error Already_member
+
+let leave t ~tenant ~address ~vm =
+  let* id = find_group t ~tenant ~address in
+  let* host = host_of_vm t ~tenant ~vm in
+  match Controller.leave t.ctrl ~group:id ~host with
+  | updates -> Ok updates
+  | exception Not_found -> Error Not_a_member
+
+let group_id t ~tenant ~address = Hashtbl.find_opt t.ids (tenant, address)
+
+let groups_of_tenant t tenant =
+  Hashtbl.fold
+    (fun (tn, addr) _ acc -> if tn = tenant then addr :: acc else acc)
+    t.ids []
+  |> List.sort compare
+
+let group_count t = Hashtbl.length t.ids

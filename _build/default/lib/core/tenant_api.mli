@@ -1,0 +1,55 @@
+(** Tenant-facing group-management API (§2: "The logically-centralized
+    controller receives join and leave requests for multicast groups via an
+    application programming interface", like the APIs cloud providers expose
+    for VMs and load balancers).
+
+    This layer provides the {e address-space isolation} Table 3 credits Elmo
+    with: every tenant names groups by its own multicast IP addresses
+    (224.0.0.0/4), chosen independently of other tenants — two tenants using
+    the same 239.1.1.1 get two disjoint groups. Internally each
+    (tenant, address) pair maps to a unique global group identifier handed
+    to the {!Controller} (and carried on the wire as the VXLAN VNI).
+
+    Members are named by (tenant, VM index); the VM's host comes from the
+    placement. Per-tenant group quotas model the paper's "hundreds of
+    dedicated groups per tenant". *)
+
+type t
+
+type error =
+  | Not_multicast_address  (** outside 224.0.0.0/4 *)
+  | No_such_tenant
+  | No_such_vm
+  | No_such_group
+  | Group_exists
+  | Quota_exceeded
+  | Already_member
+  | Not_a_member
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : Controller.t -> Vm_placement.t -> quota_per_tenant:int -> t
+(** [quota_per_tenant] caps concurrent groups per tenant. *)
+
+val create_group :
+  t -> tenant:int -> address:int32 -> (unit, error) result
+
+val delete_group : t -> tenant:int -> address:int32 -> (unit, error) result
+(** Removes the group and all controller state. *)
+
+val join :
+  t -> tenant:int -> address:int32 -> vm:int -> role:Controller.role ->
+  (Controller.updates, error) result
+(** Adds the tenant's [vm]-th VM. The group must exist. *)
+
+val leave :
+  t -> tenant:int -> address:int32 -> vm:int ->
+  (Controller.updates, error) result
+
+val group_id : t -> tenant:int -> address:int32 -> int option
+(** The internal (wire) identifier, if the group exists. *)
+
+val groups_of_tenant : t -> int -> int32 list
+(** Addresses the tenant currently owns, ascending. *)
+
+val group_count : t -> int

@@ -1,0 +1,32 @@
+(** Analytic per-packet traffic accounting (§5.1.2, Fig. 4/5 right).
+
+    For one multicast packet from a given sender under a given encoding,
+    counts every link traversal (hypervisor→leaf, fabric hops, leaf→host
+    deliveries) and the Elmo header bytes carried on each hop — headers
+    shrink as layers are popped (D2d). Extra traversals arise from p-rule
+    sharing (OR-ed bitmaps) and from default p-rules; the exact tree gives
+    the ideal-multicast baseline.
+
+    The packet-level simulator in [lib/dataplane] performs the same
+    forwarding operationally; tests assert both agree. *)
+
+type counts = {
+  transmissions : int;  (** link traversals, including host deliveries *)
+  ideal_transmissions : int;  (** same packet under ideal multicast *)
+  header_bytes : int;  (** Σ over traversals of the header carried *)
+  delivered_hosts : int;  (** distinct hosts receiving the packet *)
+  spurious_hosts : int;  (** deliveries to hosts outside the group *)
+}
+
+val measure : Encoding.t -> sender:int -> counts
+
+val vxlan_encap_bytes : int
+(** Outer Ethernet + IP + UDP + VXLAN = 50 bytes, carried by ideal multicast
+    and Elmo alike (Elmo rides inside the same tunnel, §2). *)
+
+val overhead_ratio : ?encap:int -> counts -> payload:int -> float
+(** [(actual bytes − ideal bytes) / ideal bytes] where both sides carry
+    [payload + encap] per traversal ([encap] defaults to
+    {!vxlan_encap_bytes}) and Elmo additionally carries its header bytes;
+    this is the paper's "traffic overhead (ratio with ideal multicast)"
+    minus 1 (0.0 = ideal; the figures plot 1 + this). *)

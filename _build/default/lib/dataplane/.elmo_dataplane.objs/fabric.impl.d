@@ -1,0 +1,1 @@
+lib/dataplane/fabric.ml: Array Bitmap Bytes Clustering Ecmp Encoding Format Hashtbl Header_codec List Option Prule Topology Tree

@@ -1,0 +1,1 @@
+lib/dataplane/fabric.mli: Bitmap Encoding Format Prule Topology Tree

@@ -1,0 +1,1 @@
+lib/dataplane/hypervisor.ml: Bytes Ecmp Fabric Float Hashtbl Header_codec Int32 List Option Prule Topology Vxlan

@@ -1,0 +1,1 @@
+lib/dataplane/hypervisor.mli: Fabric Prule

@@ -1,0 +1,1 @@
+lib/dataplane/igmp.ml: Bytes Char Controller Format Hashtbl Int32 List Tenant_api

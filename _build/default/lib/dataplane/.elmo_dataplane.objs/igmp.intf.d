@@ -1,0 +1,1 @@
+lib/dataplane/igmp.mli: Controller Tenant_api

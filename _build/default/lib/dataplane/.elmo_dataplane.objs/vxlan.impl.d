@@ -1,0 +1,1 @@
+lib/dataplane/vxlan.ml: Bytes Char Int32

@@ -1,0 +1,290 @@
+type t = {
+  topo : Topology.t;
+  leaf_tables : (int, Bitmap.t) Hashtbl.t array;
+  spine_tables : (int, Bitmap.t) Hashtbl.t array;  (* per physical spine *)
+  spine_up : bool array;
+  core_up : bool array;
+  link_up : bool array;  (* leaf <-> pod spine links, index leaf * spp + plane *)
+  leaf_legacy : bool array;  (* cannot parse Elmo headers (§7) *)
+  spine_legacy : bool array;
+}
+
+let create topo =
+  {
+    topo;
+    leaf_tables = Array.init (Topology.num_leaves topo) (fun _ -> Hashtbl.create 8);
+    spine_tables = Array.init (Topology.num_spines topo) (fun _ -> Hashtbl.create 8);
+    spine_up = Array.make (Topology.num_spines topo) true;
+    core_up = Array.make (max 1 (Topology.num_cores topo)) true;
+    link_up =
+      Array.make (Topology.num_leaves topo * topo.Topology.spines_per_pod) true;
+    leaf_legacy = Array.make (Topology.num_leaves topo) false;
+    spine_legacy = Array.make (Topology.num_spines topo) false;
+  }
+
+let topology t = t.topo
+
+let install_leaf_srule t ~leaf ~group bm = Hashtbl.replace t.leaf_tables.(leaf) group bm
+let remove_leaf_srule t ~leaf ~group = Hashtbl.remove t.leaf_tables.(leaf) group
+
+let install_pod_srule t ~pod ~group bm =
+  List.iter
+    (fun s -> Hashtbl.replace t.spine_tables.(s) group bm)
+    (Topology.spines_of_pod t.topo pod)
+
+let remove_pod_srule t ~pod ~group =
+  List.iter
+    (fun s -> Hashtbl.remove t.spine_tables.(s) group)
+    (Topology.spines_of_pod t.topo pod)
+
+let install_encoding t ~group enc =
+  List.iter
+    (fun (leaf, bm) -> install_leaf_srule t ~leaf ~group bm)
+    enc.Encoding.d_leaf.Clustering.srules;
+  List.iter
+    (fun (pod, bm) -> install_pod_srule t ~pod ~group bm)
+    enc.Encoding.d_spine.Clustering.srules
+
+let remove_encoding t ~group enc =
+  List.iter
+    (fun (leaf, _) -> remove_leaf_srule t ~leaf ~group)
+    enc.Encoding.d_leaf.Clustering.srules;
+  List.iter
+    (fun (pod, _) -> remove_pod_srule t ~pod ~group)
+    enc.Encoding.d_spine.Clustering.srules
+
+let leaf_table_size t l = Hashtbl.length t.leaf_tables.(l)
+let spine_table_size t s = Hashtbl.length t.spine_tables.(s)
+
+let link_index t ~leaf ~plane =
+  if plane < 0 || plane >= t.topo.Topology.spines_per_pod then
+    invalid_arg "Fabric: plane out of range";
+  (leaf * t.topo.Topology.spines_per_pod) + plane
+
+let fail_link t ~leaf ~plane = t.link_up.(link_index t ~leaf ~plane) <- false
+let recover_link t ~leaf ~plane = t.link_up.(link_index t ~leaf ~plane) <- true
+let link_ok t ~leaf ~plane = t.link_up.((leaf * t.topo.Topology.spines_per_pod) + plane)
+
+let set_leaf_legacy t l v = t.leaf_legacy.(l) <- v
+let set_spine_legacy t s v = t.spine_legacy.(s) <- v
+
+let fail_spine t s = t.spine_up.(s) <- false
+let recover_spine t s = t.spine_up.(s) <- true
+let fail_core t c = t.core_up.(c) <- false
+let recover_core t c = t.core_up.(c) <- true
+
+type node =
+  | Host_node of int
+  | Leaf_node of int
+  | Spine_node of int
+  | Core_node of int
+
+type hop = { hop_from : node; hop_to : node; hop_header_bytes : int }
+
+type report = {
+  delivered : (int * int) list;
+  transmissions : int;
+  header_bytes : int;
+  lost : int;
+  trace : hop list;
+}
+
+let pp_node ppf = function
+  | Host_node h -> Format.fprintf ppf "host %d" h
+  | Leaf_node l -> Format.fprintf ppf "leaf %d" l
+  | Spine_node s -> Format.fprintf ppf "spine %d" s
+  | Core_node c -> Format.fprintf ppf "core %d" c
+
+let pp_trace ppf hops =
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "%a -> %a (%d header bytes)@." pp_node h.hop_from
+        pp_node h.hop_to h.hop_header_bytes)
+    hops
+
+(* Mutable accumulator threaded through one packet's traversal. *)
+type acc = {
+  mutable transmissions : int;
+  mutable header_bytes : int;
+  mutable lost : int;
+  hosts : (int, int) Hashtbl.t;
+  mutable trace : hop list;  (* reversed *)
+}
+
+let hop acc ~src ~dst bytes =
+  acc.transmissions <- acc.transmissions + 1;
+  acc.header_bytes <- acc.header_bytes + bytes;
+  acc.trace <- { hop_from = src; hop_to = dst; hop_header_bytes = bytes } :: acc.trace
+
+let deliver acc ~src host =
+  hop acc ~src ~dst:(Host_node host) 0;
+  let n = Option.value ~default:0 (Hashtbl.find_opt acc.hosts host) in
+  Hashtbl.replace acc.hosts host (n + 1)
+
+(* Find the p-rule addressed to [id] by scanning the rule list, as the
+   switch parser does (§4.1); then the group table; then the default. A
+   legacy switch cannot parse the header at all: group table or drop. *)
+let match_rule ~legacy rules id table group default =
+  if legacy then Hashtbl.find_opt table group
+  else
+    match List.find_opt (fun r -> List.mem id r.Prule.switches) rules with
+    | Some r -> Some r.Prule.bitmap
+    | None -> (
+        match Hashtbl.find_opt table group with
+        | Some bm -> Some bm
+        | None -> default)
+
+let inject t ~sender ~group ~header ~payload:_ =
+  let topo = t.topo in
+  let acc =
+    {
+      transmissions = 0;
+      header_bytes = 0;
+      lost = 0;
+      hosts = Hashtbl.create 16;
+      trace = [];
+    }
+  in
+  let hash = Ecmp.flow_hash ~group ~sender in
+  let encode stage = Header_codec.encode_stage topo stage header in
+  let sl = Topology.leaf_of_host topo sender in
+  let sp = Topology.pod_of_leaf topo sl in
+
+  (* Downstream leaf: parse the (already popped) header and forward. *)
+  let at_leaf_down leaf bytes =
+    let h = Header_codec.decode_stage topo Header_codec.After_d_spine bytes in
+    let fb =
+      match_rule ~legacy:t.leaf_legacy.(leaf) h.Prule.d_leaf leaf
+        t.leaf_tables.(leaf) group h.Prule.d_leaf_default
+    in
+    match fb with
+    | None -> ()
+    | Some bm ->
+        Bitmap.iter
+          (fun port ->
+            deliver acc ~src:(Leaf_node leaf)
+              ((leaf * topo.Topology.hosts_per_leaf) + port))
+          bm
+  in
+  (* Downstream spine (physical [s]) in pod [p]. *)
+  let at_spine_down s p bytes =
+    let h = Header_codec.decode_stage topo Header_codec.After_core bytes in
+    let fb =
+      match_rule ~legacy:t.spine_legacy.(s) h.Prule.d_spine p
+        t.spine_tables.(s) group h.Prule.d_spine_default
+    in
+    match fb with
+    | None -> ()
+    | Some bm ->
+        let to_leaf = encode Header_codec.After_d_spine in
+        let plane = s mod topo.Topology.spines_per_pod in
+        Bitmap.iter
+          (fun port ->
+            let leaf = (p * topo.Topology.leaves_per_pod) + port in
+            hop acc ~src:(Spine_node s) ~dst:(Leaf_node leaf)
+              (Bytes.length to_leaf);
+            if link_ok t ~leaf ~plane then at_leaf_down leaf to_leaf
+            else acc.lost <- acc.lost + 1)
+          bm
+  in
+  let at_core c bytes =
+    if not t.core_up.(c) then acc.lost <- acc.lost + 1
+    else begin
+      let h = Header_codec.decode_stage topo Header_codec.After_u_spine bytes in
+      match h.Prule.core with
+      | None -> ()
+      | Some bm ->
+          let plane = c / topo.Topology.cores_per_plane in
+          let to_spine = encode Header_codec.After_core in
+          Bitmap.iter
+            (fun p ->
+              let s = (p * topo.Topology.spines_per_pod) + plane in
+              hop acc ~src:(Core_node c) ~dst:(Spine_node s)
+                (Bytes.length to_spine);
+              if t.spine_up.(s) then at_spine_down s p to_spine
+              else acc.lost <- acc.lost + 1)
+            bm
+    end
+  in
+  (* Sender-pod spine (physical [s]): upstream processing. *)
+  let at_spine_up s bytes =
+    if not t.spine_up.(s) then acc.lost <- acc.lost + 1
+    else begin
+      let h = Header_codec.decode_stage topo Header_codec.After_u_leaf bytes in
+      match h.Prule.u_spine with
+      | None -> ()
+      | Some u ->
+          let to_leaf = encode Header_codec.After_d_spine in
+          let plane = s mod topo.Topology.spines_per_pod in
+          Bitmap.iter
+            (fun port ->
+              let leaf = (sp * topo.Topology.leaves_per_pod) + port in
+              hop acc ~src:(Spine_node s) ~dst:(Leaf_node leaf)
+                (Bytes.length to_leaf);
+              if link_ok t ~leaf ~plane then at_leaf_down leaf to_leaf
+              else acc.lost <- acc.lost + 1)
+            u.Prule.down;
+          let plane = s mod topo.Topology.spines_per_pod in
+          let to_core = encode Header_codec.After_u_spine in
+          let send_core c =
+            hop acc ~src:(Spine_node s) ~dst:(Core_node c) (Bytes.length to_core);
+            at_core c to_core
+          in
+          if u.Prule.multipath then begin
+            if topo.Topology.cores_per_plane > 0 then
+              send_core (Ecmp.core_choice topo ~hash ~plane)
+          end
+          else
+            Bitmap.iter
+              (fun port -> send_core ((plane * topo.Topology.cores_per_plane) + port))
+              u.Prule.up
+    end
+  in
+  (* Sender leaf: upstream processing of the full header. *)
+  let at_leaf_up bytes =
+    let h = Header_codec.decode_stage topo Header_codec.Full bytes in
+    let u = h.Prule.u_leaf in
+    Bitmap.iter
+      (fun port ->
+        deliver acc ~src:(Leaf_node sl)
+          ((sl * topo.Topology.hosts_per_leaf) + port))
+      u.Prule.down;
+    let to_spine = encode Header_codec.After_u_leaf in
+    let send_spine s =
+      hop acc ~src:(Leaf_node sl) ~dst:(Spine_node s) (Bytes.length to_spine);
+      if link_ok t ~leaf:sl ~plane:(s mod topo.Topology.spines_per_pod) then
+        at_spine_up s to_spine
+      else acc.lost <- acc.lost + 1
+    in
+    if u.Prule.multipath then
+      send_spine ((sp * topo.Topology.spines_per_pod) + Ecmp.spine_choice topo ~hash)
+    else if not (Bitmap.is_empty u.Prule.up) then
+      Bitmap.iter
+        (fun port -> send_spine ((sp * topo.Topology.spines_per_pod) + port))
+        u.Prule.up
+  in
+  let full = encode Header_codec.Full in
+  hop acc ~src:(Host_node sender) ~dst:(Leaf_node sl) (Bytes.length full);
+  at_leaf_up full;
+  let delivered =
+    Hashtbl.fold (fun h n l -> (h, n) :: l) acc.hosts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    delivered;
+    transmissions = acc.transmissions;
+    header_bytes = acc.header_bytes;
+    lost = acc.lost;
+    trace = List.rev acc.trace;
+  }
+
+let deliveries_correct report ~tree ~sender =
+  let expected =
+    Array.to_list tree.Tree.members |> List.filter (fun h -> h <> sender)
+  in
+  List.for_all
+    (fun h ->
+      match List.assoc_opt h report.delivered with
+      | Some 1 -> true
+      | Some _ | None -> false)
+    expected

@@ -1,0 +1,102 @@
+(** Packet-level model of the Elmo data plane (§4.1).
+
+    Every network switch is simulated operationally: the serialized header
+    is parsed at each hop exactly as a P4 parser would (match own identifier
+    against the p-rule list of the packet's current stage), s-rules live in
+    per-physical-switch group tables, default p-rules catch the rest, and
+    each hop pops the layers the next hop no longer needs, shrinking the
+    packet on the wire.
+
+    This is the executable ground truth against which the analytic model in
+    {!Traffic} is validated (they must produce identical transmission and
+    header-byte counts), and the substrate the example applications run on. *)
+
+type t
+
+val create : Topology.t -> t
+(** All group tables empty, no failures. *)
+
+val topology : t -> Topology.t
+
+(** {1 Group tables (s-rules)} *)
+
+val install_leaf_srule : t -> leaf:int -> group:int -> Bitmap.t -> unit
+val remove_leaf_srule : t -> leaf:int -> group:int -> unit
+
+val install_pod_srule : t -> pod:int -> group:int -> Bitmap.t -> unit
+(** Installs on every physical spine of the pod. *)
+
+val remove_pod_srule : t -> pod:int -> group:int -> unit
+
+val install_encoding : t -> group:int -> Encoding.t -> unit
+(** Installs all s-rules of a group's encoding. *)
+
+val remove_encoding : t -> group:int -> Encoding.t -> unit
+
+val leaf_table_size : t -> int -> int
+val spine_table_size : t -> int -> int
+(** Physical spine's group-table occupancy. *)
+
+(** {1 Incremental deployment (§7)} *)
+
+val fail_link : t -> leaf:int -> plane:int -> unit
+(** Takes down the (bidirectional) link between [leaf] and its pod's spine
+    of the given plane; packets traversing it in either direction are lost.
+    Raises [Invalid_argument] on an out-of-range plane. *)
+
+val recover_link : t -> leaf:int -> plane:int -> unit
+
+val set_leaf_legacy : t -> int -> bool -> unit
+(** A legacy leaf cannot parse Elmo headers: it forwards on its group-table
+    entry alone and drops on a miss. *)
+
+val set_spine_legacy : t -> int -> bool -> unit
+(** Per physical spine. *)
+
+(** {1 Failures} *)
+
+val fail_spine : t -> int -> unit
+(** Marks a physical spine down: packets hashed onto it are lost. *)
+
+val recover_spine : t -> int -> unit
+val fail_core : t -> int -> unit
+val recover_core : t -> int -> unit
+
+(** {1 Injection} *)
+
+type node =
+  | Host_node of int
+  | Leaf_node of int
+  | Spine_node of int  (** physical spine *)
+  | Core_node of int
+
+type hop = { hop_from : node; hop_to : node; hop_header_bytes : int }
+(** One link traversal, in transmission order — the per-packet telemetry an
+    INT deployment would collect (§7 "Monitoring"). *)
+
+type report = {
+  delivered : (int * int) list;
+      (** (host, copies) for every host that received the packet, ascending *)
+  transmissions : int;  (** link traversals including host deliveries *)
+  header_bytes : int;  (** Σ over traversals of Elmo header bytes carried *)
+  lost : int;  (** copies dropped at failed switches *)
+  trace : hop list;
+      (** full per-hop path of every copy (INT-style); [transmissions]
+          always equals [List.length trace] *)
+}
+
+val pp_node : Format.formatter -> node -> unit
+val pp_trace : Format.formatter -> hop list -> unit
+(** Traceroute-style rendering of a multicast packet's replication tree. *)
+
+val inject :
+  t -> sender:int -> group:int -> header:Prule.header -> payload:int -> report
+(** Sends one packet from [sender]'s hypervisor with the given Elmo header.
+    ECMP hashing is deterministic in [(group, sender)]. [payload] only sizes
+    the report; forwarding decisions never read it. *)
+
+val deliveries_correct :
+  report -> tree:Tree.t -> sender:int -> bool
+(** True iff every group member other than the sender received exactly one
+    copy (spurious deliveries to non-members are allowed — the receiving
+    hypervisor discards them, §2). *)

@@ -1,0 +1,165 @@
+type rules = {
+  header : Prule.header;
+  blob : bytes;  (* pre-serialized header, written in one call *)
+  parts : bytes list;  (* per-rule write units, for the unoptimized path *)
+}
+
+type bucket = {
+  rate : float;  (* tokens per second *)
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+type t = {
+  fabric : Fabric.t;
+  host : int;
+  senders : (int, rules) Hashtbl.t;
+  receivers : (int, int) Hashtbl.t;  (* group -> local member VMs *)
+  limits : (int, bucket) Hashtbl.t;
+  mutable policy_drops : int;
+}
+
+let create fabric ~host =
+  let topo = Fabric.topology fabric in
+  if host < 0 || host >= Topology.num_hosts topo then
+    invalid_arg "Hypervisor.create: host out of range";
+  {
+    fabric;
+    host;
+    senders = Hashtbl.create 16;
+    receivers = Hashtbl.create 16;
+    limits = Hashtbl.create 4;
+    policy_drops = 0;
+  }
+
+let host t = t.host
+
+let install_sender t ~group header =
+  let topo = Fabric.topology t.fabric in
+  Hashtbl.replace t.senders group
+    {
+      header;
+      blob = Header_codec.encode topo header;
+      parts = Header_codec.encode_parts topo header;
+    }
+
+let remove_sender t ~group = Hashtbl.remove t.senders group
+
+let install_receiver t ~group ~vms =
+  if vms <= 0 then invalid_arg "Hypervisor.install_receiver: vms";
+  Hashtbl.replace t.receivers group vms
+
+let remove_receiver t ~group = Hashtbl.remove t.receivers group
+
+let set_rate_limit t ~group ~packets_per_second ~burst =
+  if packets_per_second <= 0.0 || burst <= 0 then
+    invalid_arg "Hypervisor.set_rate_limit";
+  Hashtbl.replace t.limits group
+    {
+      rate = packets_per_second;
+      burst = float_of_int burst;
+      tokens = float_of_int burst;
+      last = 0.0;
+    }
+
+let clear_rate_limit t ~group = Hashtbl.remove t.limits group
+
+let admit t ~group ~now =
+  match Hashtbl.find_opt t.limits group with
+  | None -> true
+  | Some b ->
+      let elapsed = Float.max 0.0 (now -. b.last) in
+      b.tokens <- Float.min b.burst (b.tokens +. (elapsed *. b.rate));
+      b.last <- now;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        true
+      end
+      else begin
+        t.policy_drops <- t.policy_drops + 1;
+        false
+      end
+
+let policy_drops t = t.policy_drops
+
+let sender_groups t =
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.senders [] |> List.sort compare
+
+let flow_rules t = Hashtbl.length t.senders + Hashtbl.length t.receivers
+
+let encap t ~group ~payload =
+  match Hashtbl.find_opt t.senders group with
+  | None -> None
+  | Some r ->
+      let hl = Bytes.length r.blob in
+      let packet = Bytes.create (hl + Bytes.length payload) in
+      Bytes.blit r.blob 0 packet 0 hl;
+      Bytes.blit payload 0 packet hl (Bytes.length payload);
+      Some packet
+
+let encap_per_rule t ~group ~payload =
+  match Hashtbl.find_opt t.senders group with
+  | None -> None
+  | Some r ->
+      let hl = List.fold_left (fun acc p -> acc + Bytes.length p) 0 r.parts in
+      let packet = Bytes.create (hl + Bytes.length payload) in
+      let pos = ref 0 in
+      List.iter
+        (fun part ->
+          Bytes.blit part 0 packet !pos (Bytes.length part);
+          pos := !pos + Bytes.length part)
+        r.parts;
+      Bytes.blit payload 0 packet !pos (Bytes.length payload);
+      Some packet
+
+(* Outer addressing derived from the host id: deterministic, collision-free
+   within a fabric. *)
+let mac_of_host h = 0x020000000000 lor h
+let ip_of_host h = Int32.of_int (0x0A000000 lor h)
+
+let encap_vxlan t ~group ~payload =
+  match encap t ~group ~payload with
+  | None -> None
+  | Some inner ->
+      let vx =
+        {
+          Vxlan.src_mac = mac_of_host t.host;
+          dst_mac = 0x01005E000000 lor (group land 0x7FFFFF);
+          src_ip = ip_of_host t.host;
+          dst_ip = Int32.of_int (0xE0000000 lor (group land 0xFFFFFF));
+          src_port = 49152 + (Ecmp.flow_hash ~group ~sender:t.host mod 16384);
+          vni = group land Vxlan.max_vni;
+        }
+      in
+      Some (Vxlan.encode vx ~inner)
+
+let decap_vxlan t packet =
+  match Vxlan.decode packet with
+  | Error _ -> None
+  | Ok (vx, inner) -> (
+      let group = vx.Vxlan.vni in
+      match Hashtbl.find_opt t.receivers group with
+      | None -> None
+      | Some vms ->
+          (* The network leaf strips the Elmo stack before the host (4.1);
+             packets built locally by encap_vxlan still carry it, so strip
+             symmetrically using the sender rule's known header length. *)
+          let header_len =
+            match Hashtbl.find_opt t.senders group with
+            | Some r -> Bytes.length r.blob
+            | None -> 0
+          in
+          let payload =
+            Bytes.sub inner header_len (Bytes.length inner - header_len)
+          in
+          Some (group, vms, payload))
+
+let send t ~group ~payload =
+  match Hashtbl.find_opt t.senders group with
+  | None -> None
+  | Some r ->
+      Some (Fabric.inject t.fabric ~sender:t.host ~group ~header:r.header ~payload)
+
+let deliver t ~group =
+  Option.value ~default:0 (Hashtbl.find_opt t.receivers group)

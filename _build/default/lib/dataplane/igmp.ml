@@ -1,0 +1,149 @@
+type message_type =
+  | Membership_query
+  | Membership_report_v1
+  | Membership_report_v2
+  | Leave_group
+
+let type_code = function
+  | Membership_query -> 0x11
+  | Membership_report_v1 -> 0x12
+  | Membership_report_v2 -> 0x16
+  | Leave_group -> 0x17
+
+let type_of_code = function
+  | 0x11 -> Some Membership_query
+  | 0x12 -> Some Membership_report_v1
+  | 0x16 -> Some Membership_report_v2
+  | 0x17 -> Some Leave_group
+  | _ -> None
+
+type message = { msg_type : message_type; max_resp_time : int; group : int32 }
+
+let checksum b =
+  let sum = ref 0 in
+  for i = 0 to (Bytes.length b / 2) - 1 do
+    (* the checksum field (offset 2) counts as zero *)
+    if i <> 1 then
+      sum :=
+        !sum
+        + ((Char.code (Bytes.get b (2 * i)) lsl 8)
+          lor Char.code (Bytes.get b ((2 * i) + 1)))
+  done;
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let encode m =
+  if m.max_resp_time < 0 || m.max_resp_time > 0xFF then
+    invalid_arg "Igmp.encode: max_resp_time out of range";
+  let b = Bytes.make 8 '\000' in
+  Bytes.set b 0 (Char.chr (type_code m.msg_type));
+  Bytes.set b 1 (Char.chr m.max_resp_time);
+  for i = 0 to 3 do
+    Bytes.set b (4 + i)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical m.group (8 * (3 - i))) land 0xFF))
+  done;
+  let c = checksum b in
+  Bytes.set b 2 (Char.chr (c lsr 8));
+  Bytes.set b 3 (Char.chr (c land 0xFF));
+  b
+
+let decode b =
+  if Bytes.length b <> 8 then Error "IGMPv2 message must be 8 bytes"
+  else begin
+    match type_of_code (Char.code (Bytes.get b 0)) with
+    | None -> Error "unknown IGMP type"
+    | Some msg_type ->
+        let stored =
+          (Char.code (Bytes.get b 2) lsl 8) lor Char.code (Bytes.get b 3)
+        in
+        if stored <> checksum b then Error "bad IGMP checksum"
+        else begin
+          let group = ref 0l in
+          for i = 0 to 3 do
+            group :=
+              Int32.logor
+                (Int32.shift_left !group 8)
+                (Int32.of_int (Char.code (Bytes.get b (4 + i))))
+          done;
+          Ok { msg_type; max_resp_time = Char.code (Bytes.get b 1); group = !group }
+        end
+  end
+
+module Snooper = struct
+  type t = {
+    api : Tenant_api.t;
+    members : (int * int, (int32, float) Hashtbl.t) Hashtbl.t;
+        (* (tenant, vm) -> joined address -> last report time *)
+  }
+
+  let create api = { api; members = Hashtbl.create 64 }
+
+  type outcome =
+    | Joined of Controller.updates
+    | Left of Controller.updates
+    | Ignored of string
+
+  let vm_groups t ~tenant ~vm =
+    match Hashtbl.find_opt t.members (tenant, vm) with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.add t.members (tenant, vm) tbl;
+        tbl
+
+  let handle ?(now = 0.0) t ~tenant ~vm ~role packet =
+    match decode packet with
+    | Error e -> Ignored e
+    | Ok { msg_type = Membership_query; _ } ->
+        (* Answered from snooper state; nothing reaches the network — the
+           broadcast-domain-wide query flood of classic IGMP is absorbed. *)
+        Ignored "query answered from snooping state"
+    | Ok { msg_type = Membership_report_v1 | Membership_report_v2; group; _ } -> (
+        let joined = vm_groups t ~tenant ~vm in
+        if Hashtbl.mem joined group then begin
+          Hashtbl.replace joined group now;
+          Ignored "already joined (report refresh)"
+        end
+        else begin
+          match Tenant_api.join t.api ~tenant ~address:group ~vm ~role with
+          | Ok updates ->
+              Hashtbl.replace joined group now;
+              Joined updates
+          | Error e -> Ignored (Format.asprintf "%a" Tenant_api.pp_error e)
+        end)
+    | Ok { msg_type = Leave_group; group; _ } -> (
+        let joined = vm_groups t ~tenant ~vm in
+        if not (Hashtbl.mem joined group) then Ignored "not a member"
+        else begin
+          match Tenant_api.leave t.api ~tenant ~address:group ~vm with
+          | Ok updates ->
+              Hashtbl.remove joined group;
+              Left updates
+          | Error e -> Ignored (Format.asprintf "%a" Tenant_api.pp_error e)
+        end)
+
+  let expire t ~now ~ttl =
+    let expired = ref [] in
+    Hashtbl.iter
+      (fun (tenant, vm) joined ->
+        Hashtbl.iter
+          (fun group last ->
+            if now -. last > ttl then expired := (tenant, vm, group) :: !expired)
+          joined)
+      t.members;
+    List.filter
+      (fun (tenant, vm, group) ->
+        match Tenant_api.leave t.api ~tenant ~address:group ~vm with
+        | Ok _ | Error _ ->
+            Hashtbl.remove (vm_groups t ~tenant ~vm) group;
+            true)
+      !expired
+    |> List.sort compare
+
+  let membership t ~tenant ~vm =
+    match Hashtbl.find_opt t.members (tenant, vm) with
+    | None -> []
+    | Some tbl -> Hashtbl.fold (fun a _ acc -> a :: acc) tbl [] |> List.sort compare
+end

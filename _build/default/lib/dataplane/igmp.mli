@@ -1,0 +1,62 @@
+(** IGMPv2 message codec and hypervisor-side snooping.
+
+    The paper's tenants "issue standard IP multicast data packets" and run
+    applications "without modification" (§1, §5.2): VMs signal membership
+    with ordinary IGMP, the hypervisor switch intercepts it, and the
+    controller API is invoked on the VM's behalf — no tenant-visible Elmo.
+
+    This module provides the 8-byte IGMPv2 wire codec (RFC 2236: type,
+    max-response-time, checksum, group address) and {!Snooper}, which folds
+    a VM's IGMP traffic into {!Tenant_api} calls. *)
+
+type message_type =
+  | Membership_query
+  | Membership_report_v1
+  | Membership_report_v2
+  | Leave_group
+
+type message = { msg_type : message_type; max_resp_time : int; group : int32 }
+
+val encode : message -> bytes
+(** 8 bytes with a valid one's-complement checksum. Raises
+    [Invalid_argument] if [max_resp_time] is out of byte range. *)
+
+val decode : bytes -> (message, string) result
+(** Verifies length, known type, and checksum. *)
+
+val checksum : bytes -> int
+(** RFC 1071 checksum over the buffer with the checksum field zeroed
+    (exposed for tests). *)
+
+module Snooper : sig
+  (** Per-hypervisor IGMP snooping: translates a VM's reports and leaves
+      into tenant-API membership changes. Queries are answered by state, so
+      the "chatty" periodic traffic the paper criticizes in classic IGMP
+      (§1) never leaves the host. *)
+
+  type t
+
+  val create : Tenant_api.t -> t
+
+  type outcome =
+    | Joined of Controller.updates
+    | Left of Controller.updates
+    | Ignored of string  (** queries, duplicates, unknown groups… *)
+
+  val handle :
+    ?now:float ->
+    t -> tenant:int -> vm:int -> role:Controller.role -> bytes -> outcome
+  (** Processes one IGMP packet from the given VM at time [now] (seconds,
+      default 0). Reports join the VM to the tenant's group for the
+      message's address (which must already be created through the API) and
+      refresh its soft state; leaves remove it. Malformed packets and API
+      errors are [Ignored] with a reason. *)
+
+  val expire : t -> now:float -> ttl:float -> (int * int * int32) list
+  (** IGMPv2 soft state: memberships not refreshed by a report within [ttl]
+      seconds of [now] are left on the VM's behalf; returns the expired
+      (tenant, vm, address) triples. *)
+
+  val membership : t -> tenant:int -> vm:int -> int32 list
+  (** Addresses this VM currently belongs to, ascending (snooper state). *)
+end

@@ -1,0 +1,128 @@
+type t = {
+  src_mac : int;
+  dst_mac : int;
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  vni : int;
+}
+
+let eth_len = 14
+let ip_len = 20
+let udp_len = 8
+let vxlan_len = 8
+let overhead_bytes = eth_len + ip_len + udp_len + vxlan_len
+let udp_port = 4789
+let max_vni = 0xFFFFFF
+
+let set16 b pos v =
+  Bytes.set b pos (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr (v land 0xFF))
+
+let get16 b pos =
+  (Char.code (Bytes.get b pos) lsl 8) lor Char.code (Bytes.get b (pos + 1))
+
+let set32 b pos v =
+  set16 b pos (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
+  set16 b (pos + 2) (Int32.to_int v land 0xFFFF)
+
+let get32 b pos =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (get16 b pos)) 16)
+    (Int32.of_int (get16 b (pos + 2)))
+
+let set_mac b pos v =
+  for i = 0 to 5 do
+    Bytes.set b (pos + i) (Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+  done
+
+let get_mac b pos =
+  let acc = ref 0 in
+  for i = 0 to 5 do
+    acc := (!acc lsl 8) lor Char.code (Bytes.get b (pos + i))
+  done;
+  !acc
+
+let ipv4_checksum b ~pos =
+  let sum = ref 0 in
+  for i = 0 to (ip_len / 2) - 1 do
+    (* the checksum field itself (offset 10) counts as zero *)
+    if i <> 5 then sum := !sum + get16 b (pos + (2 * i))
+  done;
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let encode t ~inner =
+  if t.vni < 0 || t.vni > max_vni then invalid_arg "Vxlan.encode: vni out of range";
+  if t.src_port < 0 || t.src_port > 0xFFFF then
+    invalid_arg "Vxlan.encode: src_port out of range";
+  let total = overhead_bytes + Bytes.length inner in
+  let b = Bytes.make total '\000' in
+  (* Ethernet *)
+  set_mac b 0 t.dst_mac;
+  set_mac b 6 t.src_mac;
+  set16 b 12 0x0800;
+  (* IPv4 *)
+  let ip = eth_len in
+  Bytes.set b ip '\x45' (* version 4, IHL 5 *);
+  set16 b (ip + 2) (total - eth_len);
+  Bytes.set b (ip + 8) '\x40' (* TTL 64 *);
+  Bytes.set b (ip + 9) '\x11' (* UDP *);
+  set32 b (ip + 12) t.src_ip;
+  set32 b (ip + 16) t.dst_ip;
+  set16 b (ip + 10) (ipv4_checksum b ~pos:ip);
+  (* UDP (checksum 0: permitted for VXLAN over IPv4) *)
+  let udp = ip + ip_len in
+  set16 b udp t.src_port;
+  set16 b (udp + 2) udp_port;
+  set16 b (udp + 4) (total - eth_len - ip_len);
+  (* VXLAN *)
+  let vx = udp + udp_len in
+  Bytes.set b vx '\x08' (* I flag *);
+  Bytes.set b (vx + 4) (Char.chr ((t.vni lsr 16) land 0xFF));
+  Bytes.set b (vx + 5) (Char.chr ((t.vni lsr 8) land 0xFF));
+  Bytes.set b (vx + 6) (Char.chr (t.vni land 0xFF));
+  Bytes.blit inner 0 b overhead_bytes (Bytes.length inner);
+  b
+
+let decode b =
+  if Bytes.length b < overhead_bytes then Error "packet shorter than outer stack"
+  else begin
+    let ip = eth_len in
+    if get16 b 12 <> 0x0800 then Error "not IPv4"
+    else if Bytes.get b ip <> '\x45' then Error "unexpected IP version/IHL"
+    else if Bytes.get b (ip + 9) <> '\x11' then Error "not UDP"
+    else if get16 b (ip + 10) <> ipv4_checksum b ~pos:ip then
+      Error "bad IPv4 header checksum"
+    else begin
+      let udp = ip + ip_len in
+      if get16 b (udp + 2) <> udp_port then Error "not VXLAN (UDP port)"
+      else begin
+        let vx = udp + udp_len in
+        if Char.code (Bytes.get b vx) land 0x08 = 0 then Error "VXLAN I flag unset"
+        else begin
+          let vni =
+            (Char.code (Bytes.get b (vx + 4)) lsl 16)
+            lor (Char.code (Bytes.get b (vx + 5)) lsl 8)
+            lor Char.code (Bytes.get b (vx + 6))
+          in
+          let t =
+            {
+              dst_mac = get_mac b 0;
+              src_mac = get_mac b 6;
+              src_ip = get32 b (ip + 12);
+              dst_ip = get32 b (ip + 16);
+              src_port = get16 b udp;
+              vni;
+            }
+          in
+          let inner =
+            Bytes.sub b overhead_bytes (Bytes.length b - overhead_bytes)
+          in
+          Ok (t, inner)
+        end
+      end
+    end
+  end

@@ -1,0 +1,40 @@
+(** VXLAN outer encapsulation (§2: the hypervisor switch tunnels multicast
+    packets, e.g. VXLAN [RFC 7348], with the Elmo header stacked on top; the
+    multicast group identifier rides in the 24-bit VNI, which network
+    switches use for s-rule lookups).
+
+    The outer stack is Ethernet (14 B) + IPv4 (20 B, with a real header
+    checksum) + UDP (8 B, destination port 4789) + VXLAN (8 B) = 50 bytes —
+    the constant the traffic model charges to every transmission
+    ({!Traffic.vxlan_encap_bytes}). *)
+
+type t = {
+  src_mac : int;  (** low 48 bits used *)
+  dst_mac : int;
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;  (** UDP source (entropy for underlay ECMP) *)
+  vni : int;  (** 24-bit virtual network / multicast group identifier *)
+}
+
+val overhead_bytes : int
+(** 50; equals {!Traffic.vxlan_encap_bytes}. *)
+
+val udp_port : int
+(** 4789, the IANA VXLAN port. *)
+
+val max_vni : int
+(** [2^24 - 1]. *)
+
+val encode : t -> inner:bytes -> bytes
+(** Full outer packet around [inner] (Elmo header + original frame).
+    Raises [Invalid_argument] if [vni] or [src_port] is out of range. *)
+
+val decode : bytes -> (t * bytes, string) result
+(** Parses the outer stack and returns it with the inner bytes. Checks the
+    ethertype, IP protocol, UDP port, VXLAN I-flag and the IPv4 header
+    checksum; returns [Error] with a reason otherwise. *)
+
+val ipv4_checksum : bytes -> pos:int -> int
+(** One's-complement checksum of the 20-byte IPv4 header at [pos], with the
+    checksum field taken as zero (exposed for tests). *)

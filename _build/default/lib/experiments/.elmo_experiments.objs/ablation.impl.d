@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Encoding Format List Params Prule Srule_state Topology Tree

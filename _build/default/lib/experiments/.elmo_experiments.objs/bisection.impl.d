@@ -1,0 +1,1 @@
+lib/experiments/bisection.ml: Array Ecmp Format Group_dist Rng Stats Topology Tree Vm_placement Workload

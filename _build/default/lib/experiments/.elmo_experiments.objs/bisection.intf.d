@@ -1,0 +1,1 @@
+lib/experiments/bisection.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/experiments/comparison.ml: Bier_sgm Format Ip_multicast List Printf

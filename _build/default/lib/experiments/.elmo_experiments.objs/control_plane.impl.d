@@ -1,0 +1,1 @@
+lib/experiments/control_plane.ml: Array Churn Controller Encoding Format Group_dist Li_et_al Params Rng Scalability Topology Vm_placement Workload

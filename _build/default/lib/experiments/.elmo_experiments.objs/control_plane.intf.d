@@ -1,0 +1,1 @@
+lib/experiments/control_plane.mli: Churn Format Group_dist Params Topology Vm_placement

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Bitmap Bytes Fabric Format Hypervisor List Prule Sys Topology Unix

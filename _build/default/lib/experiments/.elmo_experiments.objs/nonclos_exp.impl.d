@@ -1,0 +1,1 @@
+lib/experiments/nonclos_exp.ml: Array Flat_encoding Format Graph_topology Group_dist List Rng Stats

@@ -1,0 +1,1 @@
+lib/experiments/nonclos_exp.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Array Encoding Format Group_dist Li_et_al List Params Rng Srule_state Stats Sys Topology Traffic Tree Unicast_overlay Vm_placement Workload

@@ -1,0 +1,1 @@
+lib/experiments/scalability.mli: Format Group_dist Params Stats Topology Vm_placement

@@ -1,0 +1,1 @@
+lib/experiments/strawman.ml: Format Params Prule

@@ -1,0 +1,1 @@
+lib/experiments/strawman.mli: Format Params Topology

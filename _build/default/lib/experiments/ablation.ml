@@ -1,0 +1,88 @@
+(* Design-decision ablation (§3.1 D1-D5) on the paper's running example
+   (Figure 3a): header size under progressively enabled optimizations, plus
+   the s-rule/default trade-off. The paper's ladder is 161 -> 83 -> 62 bits
+   with its ad-hoc accounting; ours uses the implemented wire format. *)
+
+type step = {
+  label : string;
+  header_bits : int;
+  prules : int;
+  srules : int;
+  default_used : bool;
+}
+
+let example_group topo =
+  (* Figure 3a: Ha,Hb under L0; Hk under L5; Hm,Hn under L6; Hp under L7. *)
+  let h = topo.Topology.hosts_per_leaf in
+  [ 0; 1; (5 * h) + 2; (6 * h) + 4; (6 * h) + 5; (7 * h) + 7 ]
+
+(* D1 baseline: one rule per physical switch on the tree, each carrying a
+   full-port bitmap and a physical switch identifier; no layering, so no
+   popping and no upstream/downstream split. *)
+let d1_bits topo tree =
+  let phys_id_bits = Topology.bits_needed (Topology.num_switches topo) in
+  let leaf_ports = Topology.leaf_downstream_width topo + Topology.leaf_upstream_width topo in
+  let spine_ports =
+    Topology.spine_downstream_width topo + Topology.spine_upstream_width topo
+  in
+  let core_ports = Topology.core_downstream_width topo in
+  (* Every physical switch that may carry the packet needs its own rule:
+     the tree's leaves, every spine of each participating pod, and — under
+     multipath — every core. *)
+  (Tree.leaf_count tree * (leaf_ports + phys_id_bits))
+  + List.length (List.concat_map (Topology.spines_of_pod topo) (Tree.pods tree))
+    * (spine_ports + phys_id_bits)
+  + (Topology.num_cores topo * (core_ports + phys_id_bits))
+
+let encode_with topo params members ~fmax =
+  let tree = Tree.of_members topo members in
+  let srules = Srule_state.create topo ~fmax in
+  let enc = Encoding.encode params srules tree in
+  let header = Encoding.header_for_sender enc ~sender:(List.hd members) in
+  (enc, Prule.header_bits topo header)
+
+let run () =
+  let topo = Topology.running_example () in
+  let members = example_group topo in
+  let tree = Tree.of_members topo members in
+  let step label params fmax =
+    let enc, bits = encode_with topo params members ~fmax in
+    {
+      label;
+      header_bits = bits;
+      prules = Encoding.prule_count enc;
+      srules = Encoding.srule_entries enc;
+      default_used = Encoding.uses_default enc;
+    }
+  in
+  let no_budget = None in
+  [
+    {
+      label = "D1: per-physical-switch rules";
+      header_bits = d1_bits topo tree;
+      prules =
+        Tree.leaf_count tree
+        + (Tree.pod_count tree * topo.Topology.spines_per_pod)
+        + Topology.num_cores topo;
+      srules = 0;
+      default_used = false;
+    };
+    step "D2: logical topology, singleton p-rules"
+      (Params.create ~r:0 ~hmax_leaf:64 ~hmax_spine:64 ~header_budget:no_budget ())
+      0;
+    step "D3: bitmap sharing (R=2 per bitmap, Kmax=2)"
+      (Params.create ~r:2 ~r_semantics:Params.Per_bitmap ~hmax_leaf:2
+         ~hmax_spine:2 ~header_budget:no_budget ())
+      0;
+    step "D4: Hmax=2, R=0, no s-rules (default p-rule)"
+      (Params.create ~r:0 ~hmax_leaf:2 ~hmax_spine:2 ~header_budget:no_budget ())
+      0;
+    step "D5: Hmax=2, R=0, s-rule capacity 1"
+      (Params.create ~r:0 ~hmax_leaf:2 ~hmax_spine:2 ~header_budget:no_budget ())
+      1;
+  ]
+
+let pp_step ppf s =
+  Format.fprintf ppf "%-45s %4d bits  (%d p-rules, %d s-rules%s)" s.label
+    s.header_bits s.prules s.srules
+    (if s.default_used then ", default used" else "")

@@ -1,0 +1,19 @@
+(** Header-size ablation of design decisions D1–D5 (§3.1) on the paper's
+    running example (Figure 3a). The paper's ladder is 161 → 83 → 62 bits
+    under its own accounting; this module reports the same ladder under the
+    implemented wire format, plus the D4 (default p-rule) and D5 (s-rule)
+    states of Figure 3a's table. *)
+
+type step = {
+  label : string;
+  header_bits : int;
+  prules : int;
+  srules : int;
+  default_used : bool;
+}
+
+val example_group : Topology.t -> int list
+(** The Figure 3a multicast group on the running-example topology. *)
+
+val run : unit -> step list
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,75 @@
+type result = {
+  scheme : string;
+  flows : int;
+  link_load : Stats.summary;
+  imbalance : float;
+}
+
+(* Same deterministic pinning the baselines use. *)
+let pinned_hash g =
+  let z = (g * 0x9E3779B9) lxor 0x5bd1e995 in
+  abs ((z lxor (z lsr 13)) * 0xC2B2AE35)
+
+let run ?(groups = 20_000) ?(senders_per_group = 3) ?(seed = 42) () =
+  let topo = Topology.facebook_fabric () in
+  let placement_rng = Rng.create seed in
+  let tenant_sizes = Vm_placement.default_tenant_sizes placement_rng 3_000 in
+  let placement =
+    (* Dispersed placement: most groups are cross-pod, so the core layer
+       actually carries the workload. *)
+    Vm_placement.place placement_rng topo ~strategy:(Vm_placement.Pack_up_to 1)
+      ~host_capacity:20 ~tenant_sizes
+  in
+  let cpp = topo.Topology.cores_per_plane in
+  let num_links = Topology.num_spines topo * cpp in
+  (* Upstream spine->core link: spine s uses only its plane's cores, so the
+     link index is (s, core-within-plane). *)
+  let elmo_load = Array.make num_links 0 in
+  let pinned_load = Array.make num_links 0 in
+  let flows = ref 0 in
+  let workload_rng = Rng.create (seed + 1) in
+  let sender_rng = Rng.create (seed + 2) in
+  Workload.iter workload_rng placement ~kind:Group_dist.Wve ~total_groups:groups
+    (fun g ->
+      let members = g.Workload.member_hosts in
+      let tree = Tree.of_members topo (Array.to_list members) in
+      if Tree.pod_count tree > 1 then begin
+        let nsenders = min senders_per_group (Array.length members) in
+        let senders = Rng.sample_without_replacement sender_rng nsenders members in
+        Array.iter
+          (fun sender ->
+            incr flows;
+            let sp = Topology.pod_of_host topo sender in
+            (* Elmo: per-flow ECMP. *)
+            let hash = Ecmp.flow_hash ~group:g.Workload.group_id ~sender in
+            let plane = Ecmp.spine_choice topo ~hash in
+            let spine = (sp * topo.Topology.spines_per_pod) + plane in
+            let core_port = Ecmp.core_choice topo ~hash ~plane mod cpp in
+            elmo_load.((spine * cpp) + core_port) <-
+              elmo_load.((spine * cpp) + core_port) + 1;
+            (* Pinned: one plane and core per group, whatever the sender. *)
+            let ph = pinned_hash g.Workload.group_id in
+            let pplane = ph mod topo.Topology.spines_per_pod in
+            let pspine = (sp * topo.Topology.spines_per_pod) + pplane in
+            let pcore_port = ph / 7 mod cpp in
+            pinned_load.((pspine * cpp) + pcore_port) <-
+              pinned_load.((pspine * cpp) + pcore_port) + 1)
+          senders
+      end);
+  let summarize name load =
+    let s = Stats.summarize (Stats.of_ints load) in
+    {
+      scheme = name;
+      flows = !flows;
+      link_load = s;
+      imbalance = (if s.Stats.mean > 0.0 then s.Stats.max /. s.Stats.mean else 0.0);
+    }
+  in
+  [ summarize "Elmo (per-flow ECMP)" elmo_load;
+    summarize "Pinned trees (IP multicast / Li et al.)" pinned_load ]
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d cross-pod flows over spine->core links@ load: %a@ \
+     imbalance (max/mean): %.2f@]"
+    r.scheme r.flows Stats.pp_summary r.link_load r.imbalance

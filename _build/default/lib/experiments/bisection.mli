@@ -1,0 +1,29 @@
+(** Bisection-bandwidth utilization (§6, Table 3 "multipath forwarding").
+
+    The paper's Table 3 credits Elmo with full multipath forwarding while
+    IP-multicast-style schemes pin each group's tree to one spine plane and
+    one core, concentrating load. We measure this directly: for a workload
+    of (group, sender) flows, count how many flows cross each upstream
+    spine→core link under
+
+    - {b Elmo}: per-flow ECMP ({!Ecmp} — the same hash the data plane uses),
+    - {b pinned trees}: one plane and one core per {e group} (how our
+      IP-multicast and Li et al. baselines route),
+
+    and report the load distribution and its imbalance (max/mean — 1.0 is a
+    perfect spread). *)
+
+type result = {
+  scheme : string;
+  flows : int;  (** cross-pod flows measured *)
+  link_load : Stats.summary;  (** flows per upstream spine→core link *)
+  imbalance : float;  (** max link load / mean link load *)
+}
+
+val run : ?groups:int -> ?senders_per_group:int -> ?seed:int -> unit -> result list
+(** Defaults: 20,000 WVE groups at P=1 (dispersed, so the core layer carries
+    the workload) on the Facebook fabric, up to 3 sampled senders each,
+    seed 42. Returns Elmo's and the pinned scheme's results over the same
+    flows. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,169 @@
+type level = None_ | Low | Moderate | High
+
+type row = {
+  scheme : string;
+  groups : string;
+  group_table : level;
+  flow_table : level;
+  group_size_limit : string;
+  network_size_limit : string;
+  unorthodox_switch : bool;
+  line_rate : bool;
+  address_isolation : bool;
+  multipath : string;
+  control_overhead : level;
+  traffic_overhead : level;
+  end_host_replication : bool;
+}
+
+let k n =
+  if n >= 1_000_000 then Printf.sprintf "%dM+" (n / 1_000_000)
+  else if n >= 10_000 then Printf.sprintf "%dK" (n / 1_000)
+  else if n >= 1_000 then
+    let tenths = n / 100 in
+    if tenths mod 10 = 0 then Printf.sprintf "%dK" (tenths / 10)
+    else Printf.sprintf "%d.%dK" (tenths / 10) (tenths mod 10)
+  else string_of_int n
+
+let rows ~table_capacity ~header_budget =
+  (* BIER and SGM limits computed from their actual encoders. *)
+  let bier_limit = Bier_sgm.Bier.max_hosts ~header_budget in
+  let sgm_limit = Bier_sgm.Sgm.max_members ~header_budget in
+  (* Li et al.: aggregation stretches the group table by the sharing factor
+     we measure (~30x on the WVE workload; the paper credits them 150K on a
+     5K table). *)
+  let li_groups = table_capacity * 30 in
+  (* Rule aggregation across groups (the [83] variant): another ~3x at the
+     cost of heavy unicast flow-table use. *)
+  let aggr_groups = li_groups * 3 + table_capacity * 10 in
+  [
+    {
+      scheme = "IP Multicast";
+      groups = k (Ip_multicast.groups_supported ~table_capacity);
+      group_table = High;
+      flow_table = None_;
+      group_size_limit = "none";
+      network_size_limit = "none";
+      unorthodox_switch = false;
+      line_rate = true;
+      address_isolation = false;
+      multipath = "no";
+      control_overhead = High;
+      traffic_overhead = None_;
+      end_host_replication = false;
+    };
+    {
+      scheme = "Li et al. [83]";
+      groups = k li_groups;
+      group_table = High;
+      flow_table = Moderate;
+      group_size_limit = "none";
+      network_size_limit = "none";
+      unorthodox_switch = false;
+      line_rate = true;
+      address_isolation = false;
+      multipath = "lim";
+      control_overhead = Low;
+      traffic_overhead = None_;
+      end_host_replication = false;
+    };
+    {
+      scheme = "Rule aggr. [83]";
+      groups = k aggr_groups;
+      group_table = Moderate;
+      flow_table = High;
+      group_size_limit = "none";
+      network_size_limit = "none";
+      unorthodox_switch = false;
+      line_rate = true;
+      address_isolation = false;
+      multipath = "lim";
+      control_overhead = Moderate;
+      traffic_overhead = Low;
+      end_host_replication = false;
+    };
+    {
+      scheme = "App. Layer";
+      groups = "1M+";
+      group_table = None_;
+      flow_table = None_;
+      group_size_limit = "none";
+      network_size_limit = "none";
+      unorthodox_switch = false;
+      line_rate = false;
+      address_isolation = true;
+      multipath = "yes";
+      control_overhead = None_;
+      traffic_overhead = High;
+      end_host_replication = true;
+    };
+    {
+      scheme = "BIER [117]";
+      groups = "1M+";
+      group_table = Low;
+      flow_table = None_;
+      group_size_limit = k bier_limit;
+      network_size_limit = k bier_limit ^ " hosts";
+      unorthodox_switch = true;
+      line_rate = true;
+      address_isolation = true;
+      multipath = "yes";
+      control_overhead = Low;
+      traffic_overhead = Low;
+      end_host_replication = false;
+    };
+    {
+      scheme = "SGM [31]";
+      groups = "1M+";
+      group_table = None_;
+      flow_table = None_;
+      group_size_limit = Printf.sprintf "<%d" (sgm_limit + 1);
+      network_size_limit = "none";
+      unorthodox_switch = true;
+      line_rate = false;
+      address_isolation = true;
+      multipath = "yes";
+      control_overhead = Low;
+      traffic_overhead = None_;
+      end_host_replication = false;
+    };
+    {
+      scheme = "Elmo";
+      groups = "1M+";
+      group_table = Low;
+      flow_table = None_;
+      group_size_limit = "none";
+      network_size_limit = "none";
+      unorthodox_switch = false;
+      line_rate = true;
+      address_isolation = true;
+      multipath = "yes";
+      control_overhead = Low;
+      traffic_overhead = Low;
+      end_host_replication = false;
+    };
+  ]
+
+let level_str = function
+  | None_ -> "none"
+  | Low -> "low"
+  | Moderate -> "mod"
+  | High -> "high"
+
+let yn b = if b then "yes" else "no"
+
+let pp_table ppf rows =
+  Format.fprintf ppf
+    "%-16s %-6s %-6s %-5s %-7s %-10s %-6s %-5s %-5s %-5s %-5s %-5s %-4s@."
+    "scheme" "groups" "gtable" "ftbl" "grp-lim" "net-lim" "unorth" "line"
+    "isol" "mpath" "ctrl" "tfc" "host";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-16s %-6s %-6s %-5s %-7s %-10s %-6s %-5s %-5s %-5s %-5s %-5s %-4s@."
+        r.scheme r.groups (level_str r.group_table) (level_str r.flow_table)
+        r.group_size_limit r.network_size_limit (yn r.unorthodox_switch)
+        (yn r.line_rate) (yn r.address_isolation) r.multipath
+        (level_str r.control_overhead) (level_str r.traffic_overhead)
+        (yn r.end_host_replication))
+    rows

@@ -1,0 +1,31 @@
+(** Table 3 reproduction: Elmo against related multicast schemes, evaluated
+    like the paper "against a group-table size of 5,000 rules and a
+    header-size budget of 325 bytes".
+
+    Quantitative cells are computed from our models where a model exists
+    (IP multicast and Li et al. group counts, Elmo's header fit); the
+    remaining cells are qualitative properties of the schemes. BIER's and
+    SGM's size limits come from their actual encoders ({!Bier_sgm}): the
+    bit-string width bounds both group and network size at ~2.5K hosts for
+    a 325-byte budget, and SGM's address list caps groups at 80. *)
+
+type level = None_ | Low | Moderate | High
+
+type row = {
+  scheme : string;
+  groups : string;  (** supported group count under the evaluation budget *)
+  group_table : level;
+  flow_table : level;
+  group_size_limit : string;
+  network_size_limit : string;
+  unorthodox_switch : bool;
+  line_rate : bool;
+  address_isolation : bool;
+  multipath : string;
+  control_overhead : level;
+  traffic_overhead : level;
+  end_host_replication : bool;
+}
+
+val rows : table_capacity:int -> header_budget:int -> row list
+val pp_table : Format.formatter -> row list -> unit

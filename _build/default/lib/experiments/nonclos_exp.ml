@@ -1,0 +1,78 @@
+type result = {
+  label : string;
+  groups : int;
+  covered_in_budget : int;
+  header_bytes : Stats.summary;
+  sharing : Stats.summary;
+}
+
+let budget_bytes = 325
+
+let run ?(switches = 1_125) ?(degree = 24) ?(hosts_per_switch = 24)
+    ?(groups = 2_000) ?(r = 12) ?(seed = 42) () =
+  let topos =
+    [
+      ("Xpander (symmetric)", Graph_topology.xpander ~switches ~degree ~hosts_per_switch);
+      ( "Jellyfish (random)",
+        Graph_topology.jellyfish (Rng.create seed) ~switches ~degree
+          ~hosts_per_switch );
+    ]
+  in
+  List.map
+    (fun (label, topo) ->
+      let kmax = 2 in
+      let width = Graph_topology.port_width topo in
+      let idb = Graph_topology.id_bits topo in
+      let rule_bits = 1 + width + (kmax * (idb + 1)) in
+      let hmax = max 1 (((budget_bytes * 8) - (2 + width)) / rule_bits) in
+      let rng = Rng.create (seed + 1) in
+      let covered = ref 0 in
+      let sizes = ref [] in
+      let sharing = ref [] in
+      for _ = 1 to groups do
+        let size = Group_dist.base_sample rng Group_dist.Wve in
+        (* Tenant-style locality: members live on the BFS-nearest switches
+           of a random centre (two hosts per switch on average), the same
+           policy on both topologies. *)
+        let centre = Rng.int rng topo.Graph_topology.num_switches in
+        let region_switches =
+          min topo.Graph_topology.num_switches (max 1 ((size + 1) / 2))
+        in
+        let region = Graph_topology.nearest_switches topo ~root:centre region_switches in
+        let region_hosts =
+          Array.concat
+            (List.map
+               (fun s ->
+                 Array.init hosts_per_switch (fun i -> (s * hosts_per_switch) + i))
+               region)
+        in
+        let members =
+          Rng.sample_without_replacement rng
+            (min size (Array.length region_hosts))
+            region_hosts
+          |> Array.to_list |> List.sort_uniq compare
+        in
+        let root = Graph_topology.switch_of_host topo (List.hd members) in
+        let tree = Flat_encoding.Flat_tree.of_members topo ~root members in
+        let enc = Flat_encoding.encode ~r ~hmax ~kmax topo tree in
+        let bytes = Flat_encoding.header_bytes enc in
+        if Flat_encoding.covered enc && bytes <= budget_bytes then incr covered;
+        sizes := float_of_int bytes :: !sizes;
+        sharing := Flat_encoding.switches_per_rule enc :: !sharing
+      done;
+      {
+        label;
+        groups;
+        covered_in_budget = !covered;
+        header_bytes = Stats.summarize (Array.of_list !sizes);
+        sharing = Stats.summarize (Array.of_list !sharing);
+      })
+    topos
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d/%d groups (%.1f%%) within the %dB budget@ \
+     header bytes: %a@ switches per p-rule: %a@]"
+    r.label r.covered_in_budget r.groups
+    (100.0 *. float_of_int r.covered_in_budget /. float_of_int (max 1 r.groups))
+    budget_bytes Stats.pp_summary r.header_bytes Stats.pp_summary r.sharing

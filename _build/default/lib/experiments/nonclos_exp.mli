@@ -1,0 +1,32 @@
+(** Non-Clos header-utilization experiment (§5.1.2 closing paragraph).
+
+    On a 27,000-host expander built from 48-port switches with network
+    degree 24 (the paper's parameters), encode a WVE-sized workload on a
+    symmetric (Xpander-like circulant) and an asymmetric (Jellyfish random
+    regular) topology and compare header-space utilization: fraction of
+    groups within the 325-byte budget, header-size distribution, and bitmap
+    sharing degree. The paper's claim: the symmetric topology still supports
+    the workload within budget; random asymmetry spoils sharing. *)
+
+type result = {
+  label : string;
+  groups : int;
+  covered_in_budget : int;  (** header ≤ 325 B without a default rule *)
+  header_bytes : Stats.summary;
+  sharing : Stats.summary;  (** switches per p-rule *)
+}
+
+val run :
+  ?switches:int ->
+  ?degree:int ->
+  ?hosts_per_switch:int ->
+  ?groups:int ->
+  ?r:int ->
+  ?seed:int ->
+  unit ->
+  result list
+(** Defaults: 1,125 switches × degree 24 × 24 hosts = 27,000 hosts,
+    2,000 groups, R = 12, seed 42. Returns one result per topology
+    (Xpander, Jellyfish). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,63 @@
+type rmt = {
+  tcam_blocks_per_stage : int;
+  tcam_rows : int;
+  tcam_bits : int;
+  sram_blocks_per_stage : int;
+  sram_rows : int;
+  sram_bits : int;
+  stages : int;
+}
+
+let rmt =
+  {
+    tcam_blocks_per_stage = 16;
+    tcam_rows = 2_000;
+    tcam_bits = 40;
+    sram_blocks_per_stage = 106;
+    sram_rows = 1_000;
+    sram_bits = 112;
+    stages = 16;
+  }
+
+type cost = {
+  prules : int;
+  prule_bits : int;
+  tcam_blocks : int;
+  tcam_entries_used : int;
+  tcam_entries_provisioned : int;
+  waste_percent : float;
+  sram_stages_needed : int;
+}
+
+let strawman_cost ?(chip = rmt) ~rule_bits ~prules () =
+  if prules <= 0 || rule_bits <= 0 then invalid_arg "Strawman.strawman_cost";
+  let total_bits = rule_bits * prules in
+  let tcam_blocks = (total_bits + chip.tcam_bits - 1) / chip.tcam_bits in
+  let provisioned = chip.tcam_rows in
+  {
+    prules;
+    prule_bits = rule_bits;
+    tcam_blocks;
+    tcam_entries_used = prules;
+    tcam_entries_provisioned = provisioned;
+    waste_percent =
+      100.0 *. float_of_int (provisioned - prules) /. float_of_int provisioned;
+    sram_stages_needed = prules;
+  }
+
+let appendix_example () = strawman_cost ~rule_bits:11 ~prules:10 ()
+
+let leaf_layer_cost ?(chip = rmt) topo (params : Params.t) =
+  strawman_cost ~chip
+    ~rule_bits:(Prule.prule_bits topo `Leaf ~nswitches:params.Params.kmax)
+    ~prules:params.Params.hmax_leaf ()
+
+let pp_cost ppf c =
+  Format.fprintf ppf
+    "@[<v>%d p-rules x %d bits as match keys:@ \
+     TCAM: %d blocks ganged into one %d-entry table, %d entries used \
+     (%.1f%% wasted)@ \
+     SRAM alternative: %d of 16 ingress stages, one rule each@ \
+     parser-based design (4.1): 0 match-stage blocks@]"
+    c.prules c.prule_bits c.tcam_blocks c.tcam_entries_provisioned
+    c.tcam_entries_used c.waste_percent c.sram_stages_needed

@@ -1,0 +1,48 @@
+(** Appendix A reproduction: the cost of looking p-rules up in match-action
+    stages instead of the parser.
+
+    The paper's strawman puts the p-rule list in front of a match-action
+    table. Because p-rules are {e headers}, the table must match on all of
+    them at once (width, not depth), and RMT-style chips provision match
+    stages as fixed blocks — 106 SRAM blocks of 1,000 × 112 b and 16 TCAM
+    blocks of 2,000 × 40 b per stage. Matching N p-rules with wildcards
+    needs ⌈N·w / 40⌉ TCAM blocks ganged into one 2,000-row table of which
+    only N rows are used: the appendix's example wastes 99.5% of the
+    entries. The alternative burns one whole stage per rule. This module
+    computes those numbers for any topology/parameter choice, next to the
+    parser-based design's cost (zero match-stage resources). *)
+
+type rmt = {
+  tcam_blocks_per_stage : int;  (** 16 *)
+  tcam_rows : int;  (** 2,000 *)
+  tcam_bits : int;  (** 40 *)
+  sram_blocks_per_stage : int;  (** 106 *)
+  sram_rows : int;  (** 1,000 *)
+  sram_bits : int;  (** 112 *)
+  stages : int;  (** 16 ingress stages *)
+}
+
+val rmt : rmt
+(** The RMT figures the paper cites. *)
+
+type cost = {
+  prules : int;
+  prule_bits : int;  (** width of one p-rule match key *)
+  tcam_blocks : int;  (** blocks ganged to match all rules in one stage *)
+  tcam_entries_used : int;
+  tcam_entries_provisioned : int;
+  waste_percent : float;
+  sram_stages_needed : int;  (** stages if eschewing TCAM (one rule/stage) *)
+}
+
+val strawman_cost : ?chip:rmt -> rule_bits:int -> prules:int -> unit -> cost
+
+val appendix_example : unit -> cost
+(** The appendix's own numbers: ten 11-bit p-rules → 3 TCAM blocks, 10 of
+    2,000 entries used, 99.5% waste. *)
+
+val leaf_layer_cost : ?chip:rmt -> Topology.t -> Params.t -> cost
+(** The cost of the strawman for a real downstream-leaf section (hmax_leaf
+    rules of this library's wire width). *)
+
+val pp_cost : Format.formatter -> cost -> unit

@@ -1,0 +1,1 @@
+lib/nonclos/flat_encoding.ml: Array Bitmap Clustering Graph_topology Hashtbl List Params Prule

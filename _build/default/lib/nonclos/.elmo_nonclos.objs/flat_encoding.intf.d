@@ -1,0 +1,1 @@
+lib/nonclos/flat_encoding.mli: Bitmap Clustering Graph_topology Params

@@ -1,0 +1,1 @@
+lib/nonclos/graph_topology.ml: Array Float Fun Hashtbl List Queue Rng Topology

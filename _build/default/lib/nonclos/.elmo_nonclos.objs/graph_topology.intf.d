@@ -1,0 +1,1 @@
+lib/nonclos/graph_topology.mli: Rng

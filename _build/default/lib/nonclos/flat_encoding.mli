@@ -1,0 +1,54 @@
+(** Source-routed multicast on flat (non-Clos) topologies.
+
+    Without tiers there is no logical topology, no layer ordering, and no
+    header popping: the encoding is one section of p-rules over the whole
+    multicast tree — each participating switch needs its output-port bitmap
+    (network ports toward BFS-tree children plus member host ports), shared
+    across switches by the same Algorithm 1 clustering the Clos encoder
+    uses. This is what the paper's §5.1.2 closing paragraph sketches; the
+    interesting quantity is header size, which depends on how often two
+    switches' bitmaps coincide — frequent on symmetric topologies, rare on
+    random ones. *)
+
+module Flat_tree : sig
+  type t = {
+    topo : Graph_topology.t;
+    root : int;  (** the sender's switch *)
+    bitmaps : (int * Bitmap.t) list;
+        (** per participating switch, ascending id; width {!Graph_topology.port_width} *)
+    members : int array;  (** member hosts, sorted *)
+  }
+
+  val of_members : Graph_topology.t -> root:int -> int list -> t
+  (** Shortest-path (BFS) tree from [root] covering the members' switches.
+      Raises [Invalid_argument] on an empty or out-of-range member list. *)
+
+  val transmissions : t -> int
+  (** Link traversals of one packet delivered along the exact tree,
+      including the sender-host uplink and host deliveries. *)
+end
+
+type t = {
+  tree : Flat_tree.t;
+  rules : Clustering.result;
+}
+
+val encode :
+  ?r:int -> ?semantics:Params.r_semantics -> ?hmax:int -> ?kmax:int ->
+  Graph_topology.t -> Flat_tree.t -> t
+(** Clusters the tree's bitmaps into shared p-rules (defaults: [r = 0],
+    [Sum], [hmax = 64], [kmax = 2]); the leftovers beyond [hmax] fold into
+    the default rule (no s-rules in the flat model — the point under study
+    is header-space utilization). *)
+
+val header_bits : t -> int
+(** One rule = marker + port bitmap + identifiers (as in the Clos wire
+    format), plus the section terminator and optional default. *)
+
+val header_bytes : t -> int
+
+val switches_per_rule : t -> float
+(** Mean sharing degree — the symmetry dividend the paper describes. *)
+
+val covered : t -> bool
+(** No default rule needed. *)

@@ -1,0 +1,186 @@
+type t = {
+  num_switches : int;
+  degree : int;
+  hosts_per_switch : int;
+  adj : int array array;
+}
+
+let validate_params ~switches ~degree ~hosts_per_switch =
+  if switches <= 0 then invalid_arg "Graph_topology: switches must be positive";
+  if degree <= 0 then invalid_arg "Graph_topology: degree must be positive";
+  if degree >= switches then invalid_arg "Graph_topology: degree >= switches";
+  if hosts_per_switch <= 0 then
+    invalid_arg "Graph_topology: hosts_per_switch must be positive"
+
+let xpander ~switches ~degree ~hosts_per_switch =
+  validate_params ~switches ~degree ~hosts_per_switch;
+  if degree mod 2 <> 0 then invalid_arg "Graph_topology.xpander: degree must be even";
+  (* Circulant with geometrically spaced offsets (a Cayley graph of Z_n):
+     vertex-transitive — port [2k] means "+offset_k" at every switch — with
+     logarithmic diameter, the two properties the paper's symmetric-expander
+     argument needs. Offsets grow as n^(k / (d/2)), deduplicated. *)
+  let half = degree / 2 in
+  let offsets = Array.make half 0 in
+  let prev = ref 0 in
+  for k = 0 to half - 1 do
+    let geometric =
+      int_of_float
+        (Float.round
+           (Float.pow (float_of_int switches) (float_of_int k /. float_of_int half)))
+    in
+    let off = min ((switches - 1) / 2) (max (!prev + 1) geometric) in
+    offsets.(k) <- off;
+    prev := off
+  done;
+  if Array.length (Array.of_seq (List.to_seq (List.sort_uniq compare (Array.to_list offsets)))) < half
+  then invalid_arg "Graph_topology.xpander: too dense for distinct offsets";
+  let adj =
+    Array.init switches (fun i ->
+        Array.init degree (fun port ->
+            let offset = offsets.(port / 2) in
+            if port mod 2 = 0 then (i + offset) mod switches
+            else (i - offset + switches) mod switches))
+  in
+  { num_switches = switches; degree; hosts_per_switch; adj }
+
+let jellyfish rng ~switches ~degree ~hosts_per_switch =
+  validate_params ~switches ~degree ~hosts_per_switch;
+  if switches * degree mod 2 <> 0 then
+    invalid_arg "Graph_topology.jellyfish: switches * degree must be even";
+  (* Pairing model: shuffle stubs, pair them up, then repair self-loops and
+     parallel edges with random edge swaps. *)
+  let stubs = Array.make (switches * degree) 0 in
+  let idx = ref 0 in
+  for s = 0 to switches - 1 do
+    for _ = 1 to degree do
+      stubs.(!idx) <- s;
+      incr idx
+    done
+  done;
+  let edges = Array.make (switches * degree / 2) (0, 0) in
+  let seen = Hashtbl.create (Array.length edges * 2) in
+  let edge_key a b = (min a b * switches) + max a b in
+  let bad e = fst e = snd e || Hashtbl.mem seen (edge_key (fst e) (snd e)) in
+  let build () =
+    Hashtbl.reset seen;
+    Rng.shuffle rng stubs;
+    for i = 0 to Array.length edges - 1 do
+      edges.(i) <- (stubs.(2 * i), stubs.((2 * i) + 1))
+    done;
+    (* Repair pass: swap endpoints of conflicting edges with random others.
+       Re-run from scratch if repair stalls (vanishingly rare for d << n). *)
+    let attempts = ref 0 in
+    let ok = ref false in
+    while (not !ok) && !attempts < 100 * Array.length edges do
+      Hashtbl.reset seen;
+      let conflict = ref None in
+      Array.iteri
+        (fun i e ->
+          if !conflict = None then
+            if bad e then conflict := Some i
+            else Hashtbl.replace seen (edge_key (fst e) (snd e)) ())
+        edges;
+      match !conflict with
+      | None -> ok := true
+      | Some i ->
+          incr attempts;
+          let j = Rng.int rng (Array.length edges) in
+          let a1, a2 = edges.(i) and b1, b2 = edges.(j) in
+          edges.(i) <- (a1, b2);
+          edges.(j) <- (b1, a2)
+    done;
+    !ok
+  in
+  let rec try_build n =
+    if n = 0 then failwith "Graph_topology.jellyfish: could not build a simple graph"
+    else if build () then ()
+    else try_build (n - 1)
+  in
+  try_build 20;
+  let adj = Array.init switches (fun _ -> Array.make degree (-1)) in
+  let fill = Array.make switches 0 in
+  Array.iter
+    (fun (a, b) ->
+      adj.(a).(fill.(a)) <- b;
+      fill.(a) <- fill.(a) + 1;
+      adj.(b).(fill.(b)) <- a;
+      fill.(b) <- fill.(b) + 1)
+    edges;
+  { num_switches = switches; degree; hosts_per_switch; adj }
+
+let num_hosts t = t.num_switches * t.hosts_per_switch
+
+let switch_of_host t h =
+  if h < 0 || h >= num_hosts t then invalid_arg "Graph_topology: host out of range";
+  h / t.hosts_per_switch
+
+let host_port t h =
+  if h < 0 || h >= num_hosts t then invalid_arg "Graph_topology: host out of range";
+  t.degree + (h mod t.hosts_per_switch)
+
+let port_width t = t.degree + t.hosts_per_switch
+let id_bits t = Topology.bits_needed t.num_switches
+
+let neighbour t ~switch ~port =
+  if port < 0 || port >= t.degree then
+    invalid_arg "Graph_topology.neighbour: not a network port";
+  t.adj.(switch).(port)
+
+let port_towards t ~switch ~neighbour =
+  let rec go port =
+    if port >= t.degree then raise Not_found
+    else if t.adj.(switch).(port) = neighbour then port
+    else go (port + 1)
+  in
+  go 0
+
+let bfs_parents t ~root =
+  let parents = Array.make t.num_switches (-2) in
+  parents.(root) <- -1;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    Array.iter
+      (fun n ->
+        if parents.(n) = -2 then begin
+          parents.(n) <- s;
+          Queue.add n q
+        end)
+      t.adj.(s)
+  done;
+  if Array.exists (fun p -> p = -2) parents then
+    failwith "Graph_topology.bfs_parents: disconnected graph";
+  parents
+
+let nearest_switches t ~root n =
+  if n > t.num_switches then invalid_arg "Graph_topology.nearest_switches";
+  let seen = Array.make t.num_switches false in
+  seen.(root) <- true;
+  let q = Queue.create () in
+  Queue.add root q;
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < n && not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    out := s :: !out;
+    incr count;
+    Array.iter
+      (fun nb ->
+        if not seen.(nb) then begin
+          seen.(nb) <- true;
+          Queue.add nb q
+        end)
+      t.adj.(s)
+  done;
+  List.rev !out
+
+let is_regular t =
+  Array.for_all
+    (fun row ->
+      Array.length row = t.degree
+      && Array.for_all (fun n -> n >= 0 && n < t.num_switches) row
+      && List.length (List.sort_uniq compare (Array.to_list row)) = t.degree)
+    t.adj
+  && Array.for_all Fun.id
+       (Array.mapi (fun i row -> not (Array.mem i row)) t.adj)

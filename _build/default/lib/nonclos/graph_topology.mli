@@ -1,0 +1,62 @@
+(** Non-Clos, flat switch topologies (§5.1.2's closing discussion).
+
+    The paper argues Elmo can encode multicast on expander-style datacenter
+    topologies: a {e symmetric} network (Xpander-like) still supports a
+    million groups within the 325-byte budget, while {e asymmetric} random
+    graphs (Jellyfish) share bitmaps poorly. We model both as d-regular
+    graphs of top-of-rack switches, each also serving [hosts_per_switch]
+    hosts:
+
+    - {!xpander}: a circulant graph (switch [i] links to [i ± 1 .. i ± d/2]
+      mod n) — vertex-transitive, so port [j] means the same "direction" at
+      every switch, which is the symmetry that makes bitmap sharing likely.
+      (The real Xpander uses random k-lifts; the circulant captures the
+      symmetry property the paper's argument rests on.)
+    - {!jellyfish}: a seeded random d-regular graph (pairing model with edge
+      swaps), whose arbitrary port numbering destroys sharing opportunities.
+
+    Ports [0 .. degree-1] of a switch are network links;
+    ports [degree .. degree+hosts_per_switch-1] are host links. *)
+
+type t = private {
+  num_switches : int;
+  degree : int;
+  hosts_per_switch : int;
+  adj : int array array;  (** [adj.(s).(port)] = neighbour switch *)
+}
+
+val xpander : switches:int -> degree:int -> hosts_per_switch:int -> t
+(** Raises [Invalid_argument] if [degree] is odd, not positive, or
+    [>= switches]. *)
+
+val jellyfish : Rng.t -> switches:int -> degree:int -> hosts_per_switch:int -> t
+(** Raises [Invalid_argument] on infeasible parameters
+    ([switches * degree] odd, or [degree >= switches]). *)
+
+val num_hosts : t -> int
+val switch_of_host : t -> int -> int
+val host_port : t -> int -> int
+(** Port index of a host on its switch (in [degree ..]). *)
+
+val port_width : t -> int
+(** Bitmap width of a p-rule: [degree + hosts_per_switch]. *)
+
+val id_bits : t -> int
+
+val neighbour : t -> switch:int -> port:int -> int
+(** Raises [Invalid_argument] for host ports. *)
+
+val port_towards : t -> switch:int -> neighbour:int -> int
+(** Inverse of {!neighbour}. Raises [Not_found] if not adjacent. *)
+
+val bfs_parents : t -> root:int -> int array
+(** [parents.(s)] is the BFS predecessor of switch [s] ([-1] at the root).
+    Raises [Failure] if the graph is disconnected. *)
+
+val nearest_switches : t -> root:int -> int -> int list
+(** The [n] switches closest to [root] in hop distance (BFS order, [root]
+    first). Raises [Invalid_argument] if [n] exceeds the switch count. *)
+
+val is_regular : t -> bool
+(** Every switch has exactly [degree] distinct network neighbours and no
+    self-loops (used by tests). *)

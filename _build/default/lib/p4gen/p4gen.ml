@@ -1,0 +1,424 @@
+type role = Leaf | Spine | Core
+
+let role_name = function Leaf -> "leaf" | Spine -> "spine" | Core -> "core"
+
+(* Byte-aligned field layout: every generated header is padded to the next
+   byte boundary, as P4 targets require. *)
+let pad_to_byte bits = (8 - (bits mod 8)) mod 8
+
+let check_switch_id topo role switch_id =
+  let bound =
+    match role with
+    | Leaf -> Topology.num_leaves topo
+    | Spine -> topo.Topology.pods (* logical spine = pod *)
+    | Core -> 1 (* single logical core *)
+  in
+  if switch_id < 0 || switch_id >= bound then
+    invalid_arg "P4gen: switch_id out of range for role"
+
+type dims = {
+  leaf_down : int;
+  leaf_up : int;
+  spine_down : int;
+  spine_up : int;
+  core_down : int;
+  leaf_id : int;
+  spine_id : int;
+  hmax_leaf : int;
+  hmax_spine : int;
+  kmax : int;
+}
+
+let dims_of topo (params : Params.t) =
+  {
+    leaf_down = Topology.leaf_downstream_width topo;
+    leaf_up = Topology.leaf_upstream_width topo;
+    spine_down = Topology.spine_downstream_width topo;
+    spine_up = Topology.spine_upstream_width topo;
+    core_down = Topology.core_downstream_width topo;
+    leaf_id = Topology.leaf_id_bits topo;
+    spine_id = Topology.spine_id_bits topo;
+    hmax_leaf = params.Params.hmax_leaf;
+    hmax_spine = params.Params.hmax_spine;
+    kmax = params.Params.kmax;
+  }
+
+let banner topo params what =
+  Printf.sprintf
+    "// Elmo %s program - GENERATED, DO NOT EDIT\n\
+     // topology: pods=%d leaves/pod=%d spines/pod=%d hosts/leaf=%d cores/plane=%d\n\
+     // params: %s\n"
+    what topo.Topology.pods topo.Topology.leaves_per_pod
+    topo.Topology.spines_per_pod topo.Topology.hosts_per_leaf
+    topo.Topology.cores_per_plane
+    (Format.asprintf "%a" Params.pp params)
+
+let uprule_header b name ~down ~up =
+  let body = down + up + 1 in
+  Printf.bprintf b "header %s_t {\n" name;
+  Printf.bprintf b "    bit<%d> down_ports;\n" down;
+  Printf.bprintf b "    bit<%d> up_ports;\n" up;
+  Printf.bprintf b "    bit<1>  multipath;\n";
+  let pad = pad_to_byte body in
+  if pad > 0 then Printf.bprintf b "    bit<%d> pad;\n" pad;
+  Printf.bprintf b "}\n\n"
+
+let rule_header b name ~bitmap ~id_bits ~kmax =
+  let body = bitmap + (kmax * id_bits) + 1 in
+  Printf.bprintf b "header %s_t {\n" name;
+  Printf.bprintf b "    bit<%d> bitmap;\n" bitmap;
+  for i = 0 to kmax - 1 do
+    Printf.bprintf b "    bit<%d> id%d;\n" id_bits i
+  done;
+  Printf.bprintf b "    bit<1>  next_rule;\n";
+  let pad = pad_to_byte body in
+  if pad > 0 then Printf.bprintf b "    bit<%d> pad;\n" pad;
+  Printf.bprintf b "}\n\n"
+
+let bitmap_header b name ~width =
+  Printf.bprintf b "header %s_t {\n" name;
+  Printf.bprintf b "    bit<%d> bitmap;\n" width;
+  let pad = pad_to_byte width in
+  if pad > 0 then Printf.bprintf b "    bit<%d> pad;\n" pad;
+  Printf.bprintf b "}\n\n"
+
+let header_definitions topo params =
+  let d = dims_of topo params in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "// Elmo header stack. The stage field is the paper's `type` (Figure 2a):\n\
+     // it names the outermost remaining layer so each switch knows which\n\
+     // section to process and which to pop.\n\
+     header elmo_tag_t {\n\
+    \    bit<4> version;\n\
+    \    bit<4> stage;           // 0=full 1=after-u-leaf 2=after-u-spine\n\
+    \                            // 3=after-core 4=after-d-spine\n\
+    \    bit<1> u_spine_present;\n\
+    \    bit<1> core_present;\n\
+    \    bit<1> d_spine_default_present;\n\
+    \    bit<1> d_leaf_default_present;\n\
+    \    bit<4> pad;\n\
+     }\n\n";
+  uprule_header b "u_leaf" ~down:d.leaf_down ~up:d.leaf_up;
+  uprule_header b "u_spine" ~down:d.spine_down ~up:d.spine_up;
+  bitmap_header b "core_rule" ~width:d.core_down;
+  rule_header b "d_spine_rule" ~bitmap:d.spine_down ~id_bits:d.spine_id ~kmax:d.kmax;
+  bitmap_header b "d_spine_default" ~width:d.spine_down;
+  rule_header b "d_leaf_rule" ~bitmap:d.leaf_down ~id_bits:d.leaf_id ~kmax:d.kmax;
+  bitmap_header b "d_leaf_default" ~width:d.leaf_down;
+  Printf.bprintf b "struct elmo_headers_t {\n";
+  Printf.bprintf b "    elmo_tag_t       tag;\n";
+  Printf.bprintf b "    u_leaf_t         u_leaf;\n";
+  Printf.bprintf b "    u_spine_t        u_spine;\n";
+  Printf.bprintf b "    core_rule_t      core;\n";
+  Printf.bprintf b "    d_spine_rule_t[%d] d_spine;\n" d.hmax_spine;
+  Printf.bprintf b "    d_spine_default_t d_spine_default;\n";
+  Printf.bprintf b "    d_leaf_rule_t[%d]  d_leaf;\n" d.hmax_leaf;
+  Printf.bprintf b "    d_leaf_default_t  d_leaf_default;\n";
+  Printf.bprintf b "}\n";
+  Buffer.contents b
+
+(* The rule-walking parser states for one downstream layer: each state
+   extracts one rule, compares every identifier slot against SWITCH_ID (a
+   boot-time constant), and either records the match in metadata (the
+   match-and-set the paper exploits, §4.1) or follows next_rule. *)
+let rule_walk b ~layer ~count ~kmax ~default_flag =
+  let state i = Printf.sprintf "parse_%s_%d" layer i in
+  for i = 0 to count - 1 do
+    Printf.bprintf b "    state %s {\n" (state i);
+    Printf.bprintf b "        packet.extract(hdr.%s.next);\n" layer;
+    Printf.bprintf b "        transition select(";
+    for k = 0 to kmax - 1 do
+      if k > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "hdr.%s.last.id%d" layer k
+    done;
+    Printf.bprintf b ", hdr.%s.last.next_rule) {\n" layer;
+    for k = 0 to kmax - 1 do
+      Printf.bprintf b "            (%s, _) : matched_%s_%d;\n"
+        (String.concat ", "
+           (List.init kmax (fun j -> if j = k then "SWITCH_ID" else "_")))
+        layer i
+    done;
+    Printf.bprintf b "            (%s, 1) : %s;\n"
+      (String.concat ", " (List.init kmax (fun _ -> "_")))
+      (if i + 1 < count then state (i + 1)
+       else Printf.sprintf "parse_%s_overflow" layer);
+    Printf.bprintf b "            default : parse_%s_default;\n" layer;
+    Printf.bprintf b "        }\n    }\n";
+    Printf.bprintf b "    state matched_%s_%d {\n" layer i;
+    Printf.bprintf b "        meta.matched = 1;\n";
+    Printf.bprintf b "        meta.bitmap = (bit<BITMAP_WIDTH>)hdr.%s[%d].bitmap;\n"
+      layer i;
+    Printf.bprintf b "        transition accept;\n    }\n"
+  done;
+  Printf.bprintf b "    state parse_%s_overflow {\n" layer;
+  Printf.bprintf b
+    "        // more rules on the wire than this switch can hold: treat as\n\
+    \        // unmatched and fall back to the group table / default rule\n";
+  Printf.bprintf b "        transition parse_%s_default;\n    }\n" layer;
+  Printf.bprintf b "    state parse_%s_default {\n" layer;
+  Printf.bprintf b "        transition select(hdr.tag.%s) {\n" default_flag;
+  Printf.bprintf b "            1 : parse_%s_default_rule;\n" layer;
+  Printf.bprintf b "            default : accept;\n        }\n    }\n";
+  Printf.bprintf b "    state parse_%s_default_rule {\n" layer;
+  Printf.bprintf b "        packet.extract(hdr.%s_default);\n" layer;
+  Printf.bprintf b "        meta.default_present = 1;\n";
+  Printf.bprintf b
+    "        meta.default_bitmap = (bit<BITMAP_WIDTH>)hdr.%s_default.bitmap;\n"
+    layer;
+  Printf.bprintf b "        transition accept;\n    }\n"
+
+let parser_states topo params ~role ~switch_id =
+  check_switch_id topo role switch_id;
+  let d = dims_of topo params in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "parser ElmoParser(packet_in packet, out elmo_headers_t hdr,\n\
+    \                  inout elmo_metadata_t meta,\n\
+    \                  inout standard_metadata_t standard_metadata) {\n";
+  Printf.bprintf b "    state start {\n";
+  Printf.bprintf b "        packet.extract(hdr.tag);\n";
+  Printf.bprintf b "        transition select(hdr.tag.stage) {\n";
+  (match role with
+  | Leaf ->
+      Printf.bprintf b "            STAGE_FULL : parse_u_leaf;\n";
+      Printf.bprintf b "            STAGE_AFTER_D_SPINE : skip_to_d_leaf;\n"
+  | Spine ->
+      Printf.bprintf b "            STAGE_AFTER_U_LEAF : parse_u_spine;\n";
+      Printf.bprintf b "            STAGE_AFTER_CORE : parse_d_spine_0;\n"
+  | Core -> Printf.bprintf b "            STAGE_AFTER_U_SPINE : parse_core;\n");
+  Printf.bprintf b "            default : reject;\n        }\n    }\n";
+  (match role with
+  | Leaf ->
+      Printf.bprintf b "    state parse_u_leaf {\n";
+      Printf.bprintf b "        packet.extract(hdr.u_leaf);\n";
+      Printf.bprintf b "        meta.upstream = 1;\n";
+      Printf.bprintf b
+        "        meta.bitmap = (bit<BITMAP_WIDTH>)hdr.u_leaf.down_ports;\n";
+      Printf.bprintf b "        meta.matched = 1;\n";
+      Printf.bprintf b "        transition accept;\n    }\n";
+      Printf.bprintf b "    state skip_to_d_leaf {\n";
+      Printf.bprintf b "        transition parse_d_leaf_0;\n    }\n";
+      rule_walk b ~layer:"d_leaf" ~count:d.hmax_leaf ~kmax:d.kmax
+        ~default_flag:"d_leaf_default_present"
+  | Spine ->
+      Printf.bprintf b "    state parse_u_spine {\n";
+      Printf.bprintf b "        packet.extract(hdr.u_spine);\n";
+      Printf.bprintf b "        meta.upstream = 1;\n";
+      Printf.bprintf b
+        "        meta.bitmap = (bit<BITMAP_WIDTH>)hdr.u_spine.down_ports;\n";
+      Printf.bprintf b "        meta.matched = 1;\n";
+      Printf.bprintf b "        transition accept;\n    }\n";
+      rule_walk b ~layer:"d_spine" ~count:d.hmax_spine ~kmax:d.kmax
+        ~default_flag:"d_spine_default_present"
+  | Core ->
+      Printf.bprintf b "    state parse_core {\n";
+      Printf.bprintf b "        packet.extract(hdr.core);\n";
+      Printf.bprintf b "        meta.matched = 1;\n";
+      Printf.bprintf b "        meta.bitmap = (bit<BITMAP_WIDTH>)hdr.core.bitmap;\n";
+      Printf.bprintf b "        transition accept;\n    }\n");
+  Printf.bprintf b "}\n";
+  Buffer.contents b
+
+let metadata_and_externs ~bitmap_width =
+  Printf.sprintf
+    "#define BITMAP_WIDTH %d\n\n\
+     struct elmo_metadata_t {\n\
+    \    bit<1> matched;\n\
+    \    bit<1> upstream;\n\
+    \    bit<1> default_present;\n\
+    \    bit<BITMAP_WIDTH> bitmap;\n\
+    \    bit<BITMAP_WIDTH> default_bitmap;\n\
+     }\n\n\
+     // The queue-manager primitive the paper proposes (footnote 4): deliver\n\
+     // the output-port bitmap directly instead of a multicast group id.\n\
+     extern void bitmap_port_select(in bit<BITMAP_WIDTH> bitmap);\n"
+    bitmap_width
+
+let stage_constants =
+  "const bit<4> STAGE_FULL = 0;\n\
+   const bit<4> STAGE_AFTER_U_LEAF = 1;\n\
+   const bit<4> STAGE_AFTER_U_SPINE = 2;\n\
+   const bit<4> STAGE_AFTER_CORE = 3;\n\
+   const bit<4> STAGE_AFTER_D_SPINE = 4;\n"
+
+let ingress_control (params : Params.t) ~role =
+  let multipath =
+    match role with
+    | Leaf | Spine ->
+        "        if (meta.upstream == 1 && hdr.tag.stage != STAGE_AFTER_D_SPINE) {\n\
+        \            // forward one copy up: ECMP when the multipath flag is\n\
+        \            // set, else the explicit upstream ports\n\
+        \            ecmp_upstream.apply();\n\
+        \        }\n"
+    | Core -> ""
+  in
+  Printf.sprintf
+    "control ElmoIngress(inout elmo_headers_t hdr,\n\
+    \                    inout elmo_metadata_t meta,\n\
+    \                    inout standard_metadata_t standard_metadata) {\n\
+    \    action set_mgid(bit<16> mgid) {\n\
+    \        standard_metadata.mcast_grp = mgid;\n\
+    \    }\n\
+    \    // s-rules: one group-table entry per spilled multicast group (D5)\n\
+    \    table srules {\n\
+    \        key = { hdr.tag.stage : exact; /* vxlan.vni added by encap */ }\n\
+    \        actions = { set_mgid; NoAction; }\n\
+    \        size = %d;\n\
+    \    }\n\
+    \    table ecmp_upstream {\n\
+    \        key = { standard_metadata.ingress_port : exact; }\n\
+    \        actions = { set_mgid; NoAction; }\n\
+    \    }\n\
+    \    apply {\n\
+    \        if (meta.matched == 1) {\n\
+    \            bitmap_port_select(meta.bitmap);\n\
+    \        } else if (!srules.apply().hit) {\n\
+    \            if (meta.default_present == 1) {\n\
+    \                bitmap_port_select(meta.default_bitmap);\n\
+    \            } else {\n\
+    \                mark_to_drop(standard_metadata);\n\
+    \            }\n\
+    \        }\n\
+     %s    }\n\
+     }\n"
+    params.Params.fmax multipath
+
+let egress_control ~role =
+  let pops =
+    match role with
+    | Leaf ->
+        "        // towards hosts: strip the whole Elmo stack (4.1); towards\n\
+        \        // the spine: pop the upstream-leaf layer\n\
+        \        if (meta.upstream == 1) {\n\
+        \            hdr.u_leaf.setInvalid();\n\
+        \            hdr.tag.stage = STAGE_AFTER_U_LEAF;\n\
+        \        } else {\n\
+        \            hdr.tag.setInvalid();\n\
+        \            hdr.d_leaf[0].setInvalid();\n\
+        \            hdr.d_leaf_default.setInvalid();\n\
+        \        }\n"
+    | Spine ->
+        "        if (meta.upstream == 1) {\n\
+        \            hdr.u_spine.setInvalid();\n\
+        \            hdr.tag.stage = STAGE_AFTER_U_SPINE;\n\
+        \        } else {\n\
+        \            hdr.d_spine[0].setInvalid();\n\
+        \            hdr.d_spine_default.setInvalid();\n\
+        \            hdr.tag.stage = STAGE_AFTER_D_SPINE;\n\
+        \        }\n"
+    | Core ->
+        "        hdr.core.setInvalid();\n\
+        \        hdr.tag.stage = STAGE_AFTER_CORE;\n"
+  in
+  Printf.sprintf
+    "control ElmoEgress(inout elmo_headers_t hdr,\n\
+    \                   inout elmo_metadata_t meta,\n\
+    \                   inout standard_metadata_t standard_metadata) {\n\
+    \    apply {\n%s    }\n}\n"
+    pops
+
+let deparser_and_checksums =
+  "control ElmoDeparser(packet_out packet, in elmo_headers_t hdr) {\n\
+  \    apply {\n\
+  \        // emit is a no-op for invalidated (popped) headers\n\
+  \        packet.emit(hdr.tag);\n\
+  \        packet.emit(hdr.u_leaf);\n\
+  \        packet.emit(hdr.u_spine);\n\
+  \        packet.emit(hdr.core);\n\
+  \        packet.emit(hdr.d_spine);\n\
+  \        packet.emit(hdr.d_spine_default);\n\
+  \        packet.emit(hdr.d_leaf);\n\
+  \        packet.emit(hdr.d_leaf_default);\n\
+  \    }\n\
+   }\n\n\
+   control verifyChecksum(inout elmo_headers_t hdr, inout elmo_metadata_t meta) {\n\
+  \    apply { }\n\
+   }\n\n\
+   control computeChecksum(inout elmo_headers_t hdr, inout elmo_metadata_t meta) {\n\
+  \    apply { }\n\
+   }\n"
+
+let network_switch_program topo params ~role ~switch_id =
+  check_switch_id topo role switch_id;
+  let bitmap_width =
+    max (Topology.leaf_downstream_width topo + Topology.leaf_upstream_width topo)
+      (max
+         (Topology.spine_downstream_width topo + Topology.spine_upstream_width topo)
+         (Topology.core_downstream_width topo))
+  in
+  String.concat "\n"
+    [
+      banner topo params
+        (Printf.sprintf "network switch (%s %d)" (role_name role) switch_id);
+      "#include <core.p4>\n#include <v1model.p4>\n";
+      Printf.sprintf "#define SWITCH_ID %d" switch_id;
+      stage_constants;
+      metadata_and_externs ~bitmap_width;
+      header_definitions topo params;
+      parser_states topo params ~role ~switch_id;
+      ingress_control params ~role;
+      egress_control ~role;
+      deparser_and_checksums;
+      "V1Switch(ElmoParser(), verifyChecksum(), ElmoIngress(), ElmoEgress(),\n\
+      \         computeChecksum(), ElmoDeparser()) main;";
+    ]
+
+let hypervisor_switch_program topo params =
+  let d = dims_of topo params in
+  String.concat "\n"
+    [
+      banner topo params "hypervisor switch";
+      "#include <core.p4>\n#include <v1model.p4>\n";
+      header_definitions topo params;
+      Printf.sprintf
+        "// Encapsulation (4.2): the controller installs one flow rule per\n\
+         // multicast group with VMs on this host; its action writes the whole\n\
+         // pre-built p-rule list as a single header (one DMA write), then\n\
+         // VXLAN-encapsulates and forwards to the leaf.\n\
+         control HypervisorIngress(inout elmo_headers_t hdr,\n\
+        \                          inout standard_metadata_t standard_metadata) {\n\
+        \    action push_elmo_header(bit<%d> rule_blob, bit<9> uplink) {\n\
+        \        // rule_blob carries tag + upstream rules + up to %d spine and\n\
+        \        // %d leaf p-rules, prebuilt by the controller\n\
+        \        standard_metadata.egress_spec = uplink;\n\
+        \    }\n\
+        \    action deliver_local(bit<16> vm_port) {\n\
+        \        standard_metadata.egress_spec = (bit<9>)vm_port;\n\
+        \    }\n\
+        \    table multicast_flows {\n\
+        \        key = { standard_metadata.ingress_port : exact;\n\
+        \                /* + dst multicast IP via the encap parser */ }\n\
+        \        actions = { push_elmo_header; deliver_local; NoAction; }\n\
+        \    }\n\
+        \    apply { multicast_flows.apply(); }\n\
+         }"
+        (8
+        * ((2 (* tag *) + ((d.leaf_down + d.leaf_up + 1 + 7) / 8)
+           + ((d.spine_down + d.spine_up + 1 + 7) / 8)
+           + ((d.core_down + 7) / 8)
+           + (d.hmax_spine * ((d.spine_down + (d.kmax * d.spine_id) + 1 + 7) / 8))
+           + (d.hmax_leaf * ((d.leaf_down + (d.kmax * d.leaf_id) + 1 + 7) / 8)))))
+        d.hmax_spine d.hmax_leaf;
+    ]
+
+let runtime_entries topo ~group enc =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "# s-rules for group %d (vni 0x%06x)\n" group
+    (group land 0xFFFFFF);
+  List.iter
+    (fun (leaf, bm) ->
+      Printf.bprintf b
+        "switch leaf-%d: table_add srules set_mgid %d => %d  # ports %s\n"
+        leaf group group (Bitmap.to_string bm))
+    enc.Encoding.d_leaf.Clustering.srules;
+  List.iter
+    (fun (pod, bm) ->
+      List.iter
+        (fun spine ->
+          Printf.bprintf b
+            "switch spine-%d: table_add srules set_mgid %d => %d  # ports %s\n"
+            spine group group (Bitmap.to_string bm))
+        (Topology.spines_of_pod topo pod))
+    enc.Encoding.d_spine.Clustering.srules;
+  Buffer.contents b

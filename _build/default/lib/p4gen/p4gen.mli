@@ -1,0 +1,52 @@
+(** P4-16 program generation (§2, §4; footnote 3).
+
+    The Elmo controller configures programmable switches at boot with a P4
+    program specialized to the topology (bitmap widths, identifier widths)
+    and the encoding parameters (how many p-rules the parser must be able to
+    walk, how many identifiers each may carry). This module generates those
+    programs, mirroring the paper's published artifact:
+
+    - {!network_switch_program}: parser-based p-rule matching (§4.1) — the
+      parser walks the downstream rule list of the packet's current layer,
+      compares each identifier against the switch's own (a boot-time
+      constant), stores the matched bitmap in metadata and skips the rest;
+      the ingress control falls back to the s-rule group table and then the
+      default p-rule, and the egress control invalidates the popped layers.
+    - {!hypervisor_switch_program}: flow-table-driven encapsulation (§4.2) —
+      one action writes the whole pre-built rule list as a single header.
+
+    The generated wire layout is the byte-aligned variant of this library's
+    bit-packed codec (P4 targets require byte-multiple headers; each header
+    is padded to the next byte, exactly as the paper's artifact does), so
+    widths are topology-derived but offsets differ from {!Header_codec}.
+
+    Programs are emitted for the v1model architecture and use the
+    [bitmap_port_select] extern the paper proposes (§4.1, footnote 4). *)
+
+type role =
+  | Leaf  (** upstream u-leaf processing + downstream d-leaf matching *)
+  | Spine  (** u-spine processing + d-spine matching *)
+  | Core  (** core-bitmap forwarding *)
+
+val network_switch_program :
+  Topology.t -> Params.t -> role:role -> switch_id:int -> string
+(** Raises [Invalid_argument] if [switch_id] is out of range for the role
+    (leaf ids are global leaf numbers, spine ids are logical pod numbers,
+    core has a single logical id 0). *)
+
+val hypervisor_switch_program : Topology.t -> Params.t -> string
+
+val header_definitions : Topology.t -> Params.t -> string
+(** Just the header type section (shared by both programs); exposed for
+    tests and for emitting include files. *)
+
+val parser_states : Topology.t -> Params.t -> role:role -> switch_id:int -> string
+(** Just the parser section of the network-switch program. *)
+
+val runtime_entries : Topology.t -> group:int -> Encoding.t -> string
+(** The run-time half of the controller's job (§2, P4Runtime): the group's
+    s-rules as bmv2-CLI-style [table_add] commands, one per physical switch
+    entry — leaf s-rules on their leaf, pod s-rules on every spine of the
+    pod. The match key is the group id (the VXLAN VNI on the wire); the
+    action argument is the multicast-group id whose port set is the rule's
+    bitmap. *)

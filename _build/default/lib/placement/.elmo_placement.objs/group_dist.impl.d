@@ -1,0 +1,1 @@
+lib/placement/group_dist.ml: Float Format Rng

@@ -1,0 +1,1 @@
+lib/placement/vm_placement.ml: Array Float Format Hashtbl List Option Rng Stdlib String Topology

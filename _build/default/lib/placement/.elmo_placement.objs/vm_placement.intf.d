@@ -1,0 +1,1 @@
+lib/placement/vm_placement.mli: Format Rng Topology

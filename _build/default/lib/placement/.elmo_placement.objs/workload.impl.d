@@ -1,0 +1,1 @@
+lib/placement/workload.ml: Array Float Group_dist List Rng Vm_placement

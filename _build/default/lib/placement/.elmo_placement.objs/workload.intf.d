@@ -1,0 +1,1 @@
+lib/placement/workload.mli: Group_dist Rng Vm_placement

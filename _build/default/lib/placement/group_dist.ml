@@ -1,0 +1,46 @@
+type kind = Wve | Uniform
+
+let min_size = 5
+let wve_base_nodes = 127
+
+(* Lognormal body fitted to the published WVE statistics (see .mli). *)
+let wve_body_mu = 2.745
+let wve_body_sigma = 1.588
+let wve_tail_prob = 0.006
+let wve_tail_lo = 700
+let wve_tail_hi = 1300
+
+(* The body lognormal is unbounded; cap it where the paper's tail begins so
+   that only the explicit 0.6% tail produces very large groups. *)
+let wve_body_cap = 700
+
+let base_wve rng =
+  if Rng.float rng 1.0 < wve_tail_prob then Rng.int_in rng wve_tail_lo wve_tail_hi
+  else begin
+    let draw = Rng.lognormal rng ~mu:wve_body_mu ~sigma:wve_body_sigma in
+    let size = int_of_float (Float.round draw) in
+    max min_size (min wve_body_cap size)
+  end
+
+let base_sample rng = function
+  | Wve -> base_wve rng
+  | Uniform -> Rng.int_in rng min_size wve_base_nodes
+
+let sample rng kind ~tenant_size =
+  let upper = max min_size tenant_size in
+  match kind with
+  | Wve ->
+      (* Trace-scale draw clamped to the tenant: reproduces the trace's
+         published statistics (mean ~60) independent of tenant size, which
+         is what makes the paper's per-placement coverage numbers work. *)
+      max min_size (min upper (base_wve rng))
+  | Uniform -> Rng.int_in rng min_size upper
+
+let kind_of_string = function
+  | "wve" | "WVE" -> Some Wve
+  | "uniform" | "Uniform" -> Some Uniform
+  | _ -> None
+
+let pp_kind ppf = function
+  | Wve -> Format.pp_print_string ppf "WVE"
+  | Uniform -> Format.pp_print_string ppf "Uniform"

@@ -1,0 +1,32 @@
+(** Multicast group-size distributions (§5.1.1).
+
+    Two distributions, both scaled by tenant size as in the paper:
+
+    - {b WVE}: a parametric model of the IBM WebSphere Virtual Enterprise
+      trace, which the paper characterizes only by its statistics over a
+      127-node deployment — mean group size 60, ~80% of groups below 61
+      members, ~0.6% above 700, minimum 5. We model the body as a lognormal
+      (sigma 1.588, mu 2.745; fitted so the base distribution has mean ≈55
+      and P(size < 61) ≈ 0.80) mixed with a 0.6% heavy tail around 700–1300;
+      the draw is clamped to [\[min_size, tenant_size\]] ("scaled by the
+      tenant's size" in the paper's words).
+    - {b Uniform}: uniform between the minimum group size and the tenant
+      size.
+
+    Substitution note (DESIGN.md §3): the real trace is proprietary; this
+    model reproduces its published statistics exactly at base scale. *)
+
+type kind = Wve | Uniform
+
+val min_size : int
+(** Minimum group size (5, as in the paper). *)
+
+val sample : Rng.t -> kind -> tenant_size:int -> int
+(** Draws a group size in [\[min_size, max min_size tenant_size\]]. *)
+
+val base_sample : Rng.t -> kind -> int
+(** Unscaled draw (WVE: the 127-node base distribution; Uniform: over
+    [\[5,127\]]). Exposed for distribution tests. *)
+
+val kind_of_string : string -> kind option
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,50 @@
+(** Tenant VM placement simulator (§5.1.1).
+
+    Mimics the paper's setup: a configurable number of tenants whose VM
+    counts follow a clamped exponential distribution (min 10, mean ≈178.77,
+    max 5,000); each host holds at most [host_capacity] VMs; a tenant's VMs
+    never share a physical host.
+
+    The placement strategy picks a pod uniformly at random, then a leaf
+    within it, and packs up to [P] VMs of the tenant under that leaf
+    ([P] regulates co-location; the paper evaluates P = 1 and P = 12; racks are filled one pod at a time, so small P disperses tenants across pods while large P co-locates them). If the
+    chosen leaf has no room, another is chosen until all VMs are placed. *)
+
+type strategy =
+  | Pack_up_to of int  (** at most [P] VMs of a tenant per rack *)
+  | Unlimited  (** no per-rack bound (the "P = All" comparison point) *)
+
+type tenant = {
+  tenant_id : int;
+  vm_hosts : int array;  (** host of each VM; all distinct *)
+}
+
+type t = {
+  topo : Topology.t;
+  host_capacity : int;
+  tenants : tenant array;
+  host_load : int array;  (** VMs currently on each host *)
+}
+
+val tenant_size_sample :
+  Rng.t -> min:int -> mean:float -> max:int -> int
+(** Clamped-exponential tenant size. *)
+
+val default_tenant_sizes : Rng.t -> int -> int array
+(** [default_tenant_sizes rng n] draws [n] sizes with the paper's parameters
+    (min 10, mean 178.77, max 5,000). *)
+
+val place :
+  Rng.t ->
+  Topology.t ->
+  strategy:strategy ->
+  host_capacity:int ->
+  tenant_sizes:int array ->
+  t
+(** Places all tenants. Raises [Failure] if the datacenter cannot hold the
+    requested VMs under the constraints. *)
+
+val total_vms : t -> int
+
+val strategy_of_string : string -> strategy option
+val pp_strategy : Format.formatter -> strategy -> unit

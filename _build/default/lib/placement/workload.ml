@@ -1,0 +1,54 @@
+type group = { group_id : int; tenant_id : int; member_hosts : int array }
+
+let groups_per_tenant ~total_groups ~tenant_sizes =
+  if total_groups < 0 then invalid_arg "Workload.groups_per_tenant";
+  let n = Array.length tenant_sizes in
+  if n = 0 then [||]
+  else begin
+    let total_size = Array.fold_left ( + ) 0 tenant_sizes in
+    if total_size = 0 then invalid_arg "Workload.groups_per_tenant: no VMs";
+    let exact =
+      Array.map
+        (fun s ->
+          float_of_int total_groups *. float_of_int s /. float_of_int total_size)
+        tenant_sizes
+    in
+    let counts = Array.map (fun x -> int_of_float (Float.floor x)) exact in
+    let assigned = Array.fold_left ( + ) 0 counts in
+    (* Largest remainders get the leftover groups. *)
+    let rem =
+      Array.mapi (fun i x -> (x -. Float.floor x, i)) exact |> Array.to_list
+      |> List.sort (fun (a, i) (b, j) ->
+             match compare b a with 0 -> compare i j | c -> c)
+    in
+    let leftover = total_groups - assigned in
+    List.iteri
+      (fun rank (_, i) -> if rank < leftover then counts.(i) <- counts.(i) + 1)
+      rem;
+    counts
+  end
+
+let iter rng placement ~kind ~total_groups f =
+  let tenant_sizes =
+    Array.map
+      (fun t -> Array.length t.Vm_placement.vm_hosts)
+      placement.Vm_placement.tenants
+  in
+  let counts = groups_per_tenant ~total_groups ~tenant_sizes in
+  let group_id = ref 0 in
+  Array.iteri
+    (fun tenant_id count ->
+      let vms = placement.Vm_placement.tenants.(tenant_id).Vm_placement.vm_hosts in
+      for _ = 1 to count do
+        let size = Group_dist.sample rng kind ~tenant_size:(Array.length vms) in
+        let size = min size (Array.length vms) in
+        let member_hosts = Rng.sample_without_replacement rng size vms in
+        f { group_id = !group_id; tenant_id; member_hosts };
+        incr group_id
+      done)
+    counts
+
+let generate rng placement ~kind ~total_groups =
+  let acc = ref [] in
+  iter rng placement ~kind ~total_groups (fun g -> acc := g :: !acc);
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,35 @@
+(** Multicast group workload generation (§5.1.1).
+
+    Assigns groups to tenants proportionally to tenant size until the
+    requested total is reached, draws each group's size from the configured
+    distribution, and selects members uniformly without replacement from the
+    tenant's VMs. Because a tenant's VMs never share a host, a group's member
+    hosts are distinct. *)
+
+type group = {
+  group_id : int;
+  tenant_id : int;
+  member_hosts : int array;  (** distinct hosts of the member VMs *)
+}
+
+val groups_per_tenant : total_groups:int -> tenant_sizes:int array -> int array
+(** Largest-remainder proportional allocation; sums to [total_groups]. Every
+    tenant with at least one VM gets its proportional share (possibly 0). *)
+
+val generate :
+  Rng.t ->
+  Vm_placement.t ->
+  kind:Group_dist.kind ->
+  total_groups:int ->
+  group array
+(** Materializes all groups (use {!iter} for million-group runs). *)
+
+val iter :
+  Rng.t ->
+  Vm_placement.t ->
+  kind:Group_dist.kind ->
+  total_groups:int ->
+  (group -> unit) ->
+  unit
+(** Streams groups in [group_id] order without retaining them; draws the same
+    groups as {!generate} for the same RNG state. *)

@@ -1,0 +1,87 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if q <= 0.0 then sorted.(0)
+  else if q >= 1.0 then sorted.(n - 1)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let total arr = Array.fold_left ( +. ) 0.0 arr
+
+let mean arr =
+  if Array.length arr = 0 then invalid_arg "Stats.mean: empty array";
+  total arr /. float_of_int (Array.length arr)
+
+let summarize arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  let m = mean arr in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 arr
+    /. float_of_int n
+  in
+  {
+    count = n;
+    mean = m;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+  }
+
+let of_ints arr = Array.map float_of_int arr
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable max : float;
+    mutable min : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; max = neg_infinity; min = infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x > t.max then t.max <- x;
+    if x < t.min then t.min <- x
+
+  let count t = t.n
+  let mean t = t.mean
+
+  let stddev t =
+    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.n)
+
+  let max t = t.max
+  let min t = t.min
+end

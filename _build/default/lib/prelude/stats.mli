@@ -1,0 +1,41 @@
+(** Summary statistics over float samples, used by every benchmark harness to
+    report the same aggregates the paper does (mean, max, percentiles). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. Does not mutate the input. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]], linear interpolation. The
+    input must already be sorted ascending. *)
+
+val mean : float array -> float
+val total : float array -> float
+
+val of_ints : int array -> float array
+
+val pp_summary : Format.formatter -> summary -> unit
+
+module Welford : sig
+  (** Streaming mean/variance accumulator, O(1) memory. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val max : t -> float
+  val min : t -> float
+end

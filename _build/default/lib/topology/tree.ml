@@ -1,0 +1,118 @@
+type t = {
+  topo : Topology.t;
+  members : int array;
+  leaf_bitmaps : (int * Bitmap.t) list;
+  spine_bitmaps : (int * Bitmap.t) list;
+  core_bitmap : Bitmap.t;
+}
+
+let of_members topo member_list =
+  if member_list = [] then invalid_arg "Tree.of_members: empty group";
+  let members = Array.of_list (List.sort_uniq compare member_list) in
+  Array.iter
+    (fun h ->
+      if h < 0 || h >= Topology.num_hosts topo then
+        invalid_arg "Tree.of_members: host out of range")
+    members;
+  let leaf_tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun h ->
+      let l = Topology.leaf_of_host topo h in
+      let bm =
+        match Hashtbl.find_opt leaf_tbl l with
+        | Some bm -> bm
+        | None ->
+            let bm = Bitmap.create (Topology.leaf_downstream_width topo) in
+            Hashtbl.add leaf_tbl l bm;
+            bm
+      in
+      Bitmap.set bm (Topology.host_port_on_leaf topo h))
+    members;
+  let leaf_bitmaps =
+    Hashtbl.fold (fun l bm acc -> (l, bm) :: acc) leaf_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let spine_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (l, _) ->
+      let p = Topology.pod_of_leaf topo l in
+      let bm =
+        match Hashtbl.find_opt spine_tbl p with
+        | Some bm -> bm
+        | None ->
+            let bm = Bitmap.create (Topology.spine_downstream_width topo) in
+            Hashtbl.add spine_tbl p bm;
+            bm
+      in
+      Bitmap.set bm (Topology.leaf_port_on_spine topo l))
+    leaf_bitmaps;
+  let spine_bitmaps =
+    Hashtbl.fold (fun p bm acc -> (p, bm) :: acc) spine_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let core_bitmap = Bitmap.create (Topology.core_downstream_width topo) in
+  List.iter (fun (p, _) -> Bitmap.set core_bitmap p) spine_bitmaps;
+  { topo; members; leaf_bitmaps; spine_bitmaps; core_bitmap }
+
+let leaves t = List.map fst t.leaf_bitmaps
+let pods t = List.map fst t.spine_bitmaps
+let member_count t = Array.length t.members
+let leaf_count t = List.length t.leaf_bitmaps
+let pod_count t = List.length t.spine_bitmaps
+
+let mem_host t h =
+  let rec go lo hi =
+    if lo > hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.members.(mid) = h then true
+      else if t.members.(mid) < h then go (mid + 1) hi
+      else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length t.members - 1)
+
+let leaf_bitmap t l = List.assoc_opt l t.leaf_bitmaps
+let spine_bitmap t p = List.assoc_opt p t.spine_bitmaps
+
+let ideal_link_transmissions t ~sender =
+  let topo = t.topo in
+  let sl = Topology.leaf_of_host topo sender in
+  let sp = Topology.pod_of_leaf topo sl in
+  (* Hypervisor to leaf. *)
+  let count = ref 1 in
+  let deliveries_at l =
+    match leaf_bitmap t l with Some bm -> Bitmap.popcount bm | None -> 0
+  in
+  (* Sender leaf delivers to local members, minus the sender itself. *)
+  let local = deliveries_at sl in
+  let local = if mem_host t sender then local - 1 else local in
+  count := !count + local;
+  let other_leaves_in_pod =
+    List.filter (fun (l, _) -> l <> sl && Topology.pod_of_leaf topo l = sp)
+      t.leaf_bitmaps
+  in
+  let other_pods = List.filter (fun (p, _) -> p <> sp) t.spine_bitmaps in
+  let beyond_leaf = other_leaves_in_pod <> [] || other_pods <> [] in
+  if beyond_leaf then begin
+    (* Leaf up to one pod spine. *)
+    incr count;
+    List.iter
+      (fun (l, _) -> count := !count + 1 + deliveries_at l)
+      other_leaves_in_pod;
+    if other_pods <> [] then begin
+      (* Spine up to one core. *)
+      incr count;
+      List.iter
+        (fun (p, spine_bm) ->
+          (* Core down to pod spine. *)
+          incr count;
+          Bitmap.iter
+            (fun port ->
+              let l = (p * topo.Topology.leaves_per_pod) + port in
+              count := !count + 1 + deliveries_at l)
+            spine_bm)
+        other_pods
+    end
+  end;
+  !count

@@ -1,0 +1,47 @@
+(** Multicast trees on the logical Clos topology.
+
+    Given the set of member hosts of a group, the tree is fully determined by
+    the topology (§3.1 D2): the participating leaves forward on their member
+    host ports, each participating pod's logical spine forwards on its
+    participating leaf ports, and the logical core forwards on the
+    participating pods. These per-switch output bitmaps are exactly the
+    inputs to the p-/s-rule generation algorithm (§3.2). *)
+
+type t = {
+  topo : Topology.t;
+  members : int array;  (** member hosts, sorted, deduplicated *)
+  leaf_bitmaps : (int * Bitmap.t) list;
+      (** (leaf id, downstream host-port bitmap), ascending by leaf id *)
+  spine_bitmaps : (int * Bitmap.t) list;
+      (** (pod id = logical spine id, downstream leaf-port bitmap) *)
+  core_bitmap : Bitmap.t;  (** pods participating, width [pods] *)
+}
+
+val of_members : Topology.t -> int list -> t
+(** Builds the tree for the given member hosts. Duplicates are removed.
+    Raises [Invalid_argument] if the member list is empty or contains an
+    out-of-range host. *)
+
+val leaves : t -> int list
+(** Participating leaf ids, ascending. *)
+
+val pods : t -> int list
+(** Participating pod ids, ascending. *)
+
+val member_count : t -> int
+val leaf_count : t -> int
+val pod_count : t -> int
+
+val mem_host : t -> int -> bool
+(** Is the host a member? (binary search) *)
+
+val ideal_link_transmissions : t -> sender:int -> int
+(** Number of link traversals of one packet under ideal multicast from
+    [sender]: host→leaf, up to spine/core as needed, and down the exact tree.
+    [sender] need not be a member. Used as the traffic-overhead baseline. *)
+
+val leaf_bitmap : t -> int -> Bitmap.t option
+(** Exact downstream bitmap of a leaf, if participating. *)
+
+val spine_bitmap : t -> int -> Bitmap.t option
+(** Exact downstream bitmap of a pod's logical spine, if participating. *)

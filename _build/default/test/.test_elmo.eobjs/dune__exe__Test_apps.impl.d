@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bytes Encoding Fabric Header_codec Hypervisor List Params Printf Prule Pubsub Srule_state Telemetry Topology Tree

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bier_sgm Bytes Gen Ip_multicast Li_et_al List Printf QCheck QCheck_alcotest Result Topology Tree Unicast_overlay

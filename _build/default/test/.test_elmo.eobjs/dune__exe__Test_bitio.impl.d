@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Bitio Bitmap Bytes List Printf QCheck QCheck_alcotest String

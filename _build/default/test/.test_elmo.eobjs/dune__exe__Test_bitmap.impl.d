@@ -1,0 +1,1 @@
+test/test_bitmap.ml: Alcotest Bitmap Bytes List Printf QCheck QCheck_alcotest String

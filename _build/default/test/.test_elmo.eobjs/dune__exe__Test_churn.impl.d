@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Churn Controller Encoding Fabric Group_dist Li_et_al List Params Printf Rng Srule_state Topology Tree Vm_placement Workload

@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Array Bitmap Clustering Gen List Min_k_union Params Printf Prule QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bitio Bitmap Bytes Encoding Format Gen Header_codec List Params Prule QCheck QCheck_alcotest Srule_state Topology Tree

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Bitmap Controller Ecmp Encoding Fabric Hashtbl List Option Params Printf Prule QCheck QCheck_alcotest Srule_state String Topology Tree

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Bitmap Bytes Clustering Encoding Header_codec List Params Printf Prule QCheck QCheck_alcotest Rng Srule_state String Topology Tree

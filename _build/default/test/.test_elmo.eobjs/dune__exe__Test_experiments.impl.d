@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Alcotest Bisection Churn Comparison Control_plane Fig7 Group_dist Header_codec List Params Prule Scalability Stats Strawman Topology Vm_placement

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Clustering Encoding Fabric List Multidc Params Prule Srule_state Topology Tree

@@ -1,0 +1,1 @@
+test/test_igmp.ml: Alcotest Bytes Char Controller Igmp Int32 List Option Params QCheck QCheck_alcotest Rng Tenant_api Topology Vm_placement

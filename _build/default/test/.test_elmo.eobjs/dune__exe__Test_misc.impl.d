@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Controller Ecmp Encoding Fabric Format List Multidc Params Prule Srule_state String Topology Tree

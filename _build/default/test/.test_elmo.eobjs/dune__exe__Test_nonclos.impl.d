@@ -1,0 +1,1 @@
+test/test_nonclos.ml: Alcotest Array Bitmap Clustering Flat_encoding Graph_topology List Nonclos_exp Printf Prule QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_p4gen.ml: Alcotest Clustering Encoding List P4gen Params Printf Srule_state String Topology Tree

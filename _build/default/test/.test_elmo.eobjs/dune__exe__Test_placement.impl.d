@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Group_dist Hashtbl List Option Rng Stats Topology Vm_placement Workload

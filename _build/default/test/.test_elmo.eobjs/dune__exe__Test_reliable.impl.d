@@ -1,0 +1,1 @@
+test/test_reliable.ml: Alcotest Ecmp Encoding Fabric List Params Reliable Srule_state Topology Tree

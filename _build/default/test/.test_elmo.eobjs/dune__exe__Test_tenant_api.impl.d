@@ -1,0 +1,1 @@
+test/test_tenant_api.ml: Alcotest Array Controller Encoding Fabric List Option Params Rng Tenant_api Topology Vm_placement

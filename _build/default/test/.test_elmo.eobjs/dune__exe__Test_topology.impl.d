@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest List QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_traffic_fabric.ml: Alcotest Bitmap Ecmp Encoding Fabric List Option Params Printf Prule QCheck QCheck_alcotest Srule_state String Topology Traffic Tree

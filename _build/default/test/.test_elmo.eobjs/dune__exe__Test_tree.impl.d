@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Bitmap Gen List Option QCheck QCheck_alcotest Topology Tree

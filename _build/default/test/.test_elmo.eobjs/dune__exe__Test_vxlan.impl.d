@@ -1,0 +1,1 @@
+test/test_vxlan.ml: Alcotest Bytes Char Encoding Fabric Gen Hypervisor Int32 Params QCheck QCheck_alcotest Srule_state Topology Traffic Tree Vxlan

@@ -1,0 +1,143 @@
+let topo = Topology.facebook_fabric ()
+let fabric = Fabric.create topo
+
+let subs n =
+  (* n distinct hosts spread across leaves, never host 0 (the publisher) *)
+  List.init n (fun i -> ((i + 1) * 97) mod (Topology.num_hosts topo - 1) + 1)
+  |> List.sort_uniq compare
+
+let test_pubsub_unicast_scaling () =
+  let m1 = Pubsub.run fabric ~publisher:0 ~subscribers:(subs 1) Pubsub.Unicast in
+  let m64 = Pubsub.run fabric ~publisher:0 ~subscribers:(subs 64) Pubsub.Unicast in
+  Alcotest.(check int) "1 packet per subscriber" (List.length (subs 64))
+    m64.Pubsub.packets_per_message;
+  Alcotest.(check bool) "throughput collapses with fan-out" true
+    (m64.Pubsub.throughput_rps < m1.Pubsub.throughput_rps /. 32.0);
+  Alcotest.(check bool) "cpu grows" true (m64.Pubsub.cpu_percent > m1.Pubsub.cpu_percent);
+  Alcotest.(check (float 1e-6)) "single-subscriber calibration"
+    Pubsub.single_subscriber_rps m1.Pubsub.throughput_rps
+
+let test_pubsub_elmo_flat () =
+  let m1 = Pubsub.run fabric ~publisher:0 ~subscribers:(subs 1) Pubsub.Elmo in
+  let m256 = Pubsub.run fabric ~publisher:0 ~subscribers:(subs 256) Pubsub.Elmo in
+  Alcotest.(check int) "always one packet" 1 m256.Pubsub.packets_per_message;
+  Alcotest.(check (float 1e-6)) "rps flat" m1.Pubsub.throughput_rps
+    m256.Pubsub.throughput_rps;
+  Alcotest.(check (float 1e-6)) "cpu flat" m1.Pubsub.cpu_percent m256.Pubsub.cpu_percent;
+  Alcotest.(check bool) "every subscriber got the message" true
+    m256.Pubsub.all_delivered;
+  Alcotest.(check bool) "fabric replicates" true (m256.Pubsub.fabric_transmissions > 256)
+
+let test_pubsub_cpu_saturates () =
+  let m = Pubsub.run fabric ~publisher:0 ~subscribers:(subs 256) Pubsub.Unicast in
+  Alcotest.(check (float 1e-6)) "saturated" 100.0 m.Pubsub.cpu_percent
+
+let test_pubsub_validation () =
+  Alcotest.check_raises "no subscribers"
+    (Invalid_argument "Pubsub.run: no subscribers") (fun () ->
+      ignore (Pubsub.run fabric ~publisher:0 ~subscribers:[] Pubsub.Elmo));
+  Alcotest.check_raises "self-subscription"
+    (Invalid_argument "Pubsub.run: publisher cannot subscribe to itself")
+    (fun () -> ignore (Pubsub.run fabric ~publisher:0 ~subscribers:[ 0 ] Pubsub.Elmo));
+  Alcotest.check_raises "duplicates" (Invalid_argument "Pubsub.run: duplicate subscriber")
+    (fun () -> ignore (Pubsub.run fabric ~publisher:0 ~subscribers:[ 1; 1 ] Pubsub.Elmo))
+
+let test_pubsub_sweep () =
+  let ms = Pubsub.sweep fabric ~publisher:0 ~subscribers:(subs 64) Pubsub.Unicast [ 1; 4; 16 ] in
+  Alcotest.(check (list int)) "sweep sizes" [ 1; 4; 16 ]
+    (List.map (fun m -> m.Pubsub.subscribers) ms)
+
+let test_telemetry_bandwidth () =
+  let collectors = subs 64 in
+  let u = Telemetry.run fabric ~agent:0 ~collectors Telemetry.Unicast in
+  let e = Telemetry.run fabric ~agent:0 ~collectors Telemetry.Elmo in
+  Alcotest.(check (float 1e-6)) "unicast linear"
+    (float_of_int (List.length collectors) *. Telemetry.per_stream_kbps)
+    u.Telemetry.egress_kbps;
+  Alcotest.(check (float 1e-6)) "elmo constant" Telemetry.per_stream_kbps
+    e.Telemetry.egress_kbps;
+  Alcotest.(check bool) "delivered" true e.Telemetry.all_delivered;
+  Alcotest.(check int) "one datagram" 1 e.Telemetry.datagrams_per_export
+
+let test_hypervisor_flow_table () =
+  let hv = Hypervisor.create fabric ~host:0 in
+  Alcotest.(check int) "empty" 0 (Hypervisor.flow_rules hv);
+  Alcotest.(check bool) "no rule -> drop" true
+    (Hypervisor.encap hv ~group:1 ~payload:(Bytes.create 10) = None);
+  let tree = Tree.of_members topo [ 5; 100; 5000 ] in
+  let srules = Srule_state.create topo ~fmax:100 in
+  let enc = Encoding.encode Params.default srules tree in
+  let header = Encoding.header_for_sender enc ~sender:0 in
+  Hypervisor.install_sender hv ~group:1 header;
+  Hypervisor.install_receiver hv ~group:2 ~vms:3;
+  Alcotest.(check int) "two rules" 2 (Hypervisor.flow_rules hv);
+  Alcotest.(check (list int)) "sender groups" [ 1 ] (Hypervisor.sender_groups hv);
+  Alcotest.(check int) "receiver fan-out" 3 (Hypervisor.deliver hv ~group:2);
+  Alcotest.(check int) "unknown group discarded" 0 (Hypervisor.deliver hv ~group:9);
+  (* Single-write encapsulation: header blob + payload. *)
+  let payload = Bytes.make 10 'x' in
+  (match Hypervisor.encap hv ~group:1 ~payload with
+  | Some packet ->
+      Alcotest.(check int) "packet size"
+        (Prule.header_bytes topo header + 10)
+        (Bytes.length packet);
+      let hdr = Bytes.sub packet 0 (Prule.header_bytes topo header) in
+      Alcotest.(check bool) "header decodes" true
+        (Header_codec.decode topo hdr = header)
+  | None -> Alcotest.fail "expected packet");
+  (* Per-rule writes build an equivalent packet (same payload tail). *)
+  (match Hypervisor.encap_per_rule hv ~group:1 ~payload with
+  | Some packet ->
+      let tail = Bytes.sub packet (Bytes.length packet - 10) 10 in
+      Alcotest.(check bytes) "payload preserved" payload tail
+  | None -> Alcotest.fail "expected packet");
+  (* Send through the fabric. *)
+  Fabric.install_encoding fabric ~group:1 enc;
+  (match Hypervisor.send hv ~group:1 ~payload:64 with
+  | Some report ->
+      Alcotest.(check bool) "delivered" true
+        (Fabric.deliveries_correct report ~tree ~sender:0)
+  | None -> Alcotest.fail "expected report");
+  Fabric.remove_encoding fabric ~group:1 enc;
+  Hypervisor.remove_sender hv ~group:1;
+  Hypervisor.remove_receiver hv ~group:2;
+  Alcotest.(check int) "cleared" 0 (Hypervisor.flow_rules hv)
+
+let tests =
+  [
+    Alcotest.test_case "pubsub: unicast scaling" `Quick test_pubsub_unicast_scaling;
+    Alcotest.test_case "pubsub: Elmo flat" `Quick test_pubsub_elmo_flat;
+    Alcotest.test_case "pubsub: CPU saturates" `Quick test_pubsub_cpu_saturates;
+    Alcotest.test_case "pubsub: validation" `Quick test_pubsub_validation;
+    Alcotest.test_case "pubsub: sweep" `Quick test_pubsub_sweep;
+    Alcotest.test_case "telemetry bandwidth" `Quick test_telemetry_bandwidth;
+    Alcotest.test_case "hypervisor flow table" `Quick test_hypervisor_flow_table;
+  ]
+
+let test_hypervisor_rate_limit () =
+  let hv = Hypervisor.create fabric ~host:3 in
+  (* No policy: everything admitted. *)
+  Alcotest.(check bool) "no limit" true (Hypervisor.admit hv ~group:1 ~now:0.0);
+  Hypervisor.set_rate_limit hv ~group:1 ~packets_per_second:10.0 ~burst:3;
+  (* The burst passes, the fourth packet in the same instant is dropped. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Printf.sprintf "burst %d" i) true
+        (Hypervisor.admit hv ~group:1 ~now:1.0))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "burst exhausted" false (Hypervisor.admit hv ~group:1 ~now:1.0);
+  Alcotest.(check int) "drop counted" 1 (Hypervisor.policy_drops hv);
+  (* Tokens refill with time: 0.25 s at 10 pps = 2.5 tokens. *)
+  Alcotest.(check bool) "refilled" true (Hypervisor.admit hv ~group:1 ~now:1.25);
+  Alcotest.(check bool) "refilled twice" true (Hypervisor.admit hv ~group:1 ~now:1.25);
+  Alcotest.(check bool) "but no more" false (Hypervisor.admit hv ~group:1 ~now:1.25);
+  (* Other groups are unaffected; clearing removes the policy. *)
+  Alcotest.(check bool) "other group free" true (Hypervisor.admit hv ~group:2 ~now:1.25);
+  Hypervisor.clear_rate_limit hv ~group:1;
+  Alcotest.(check bool) "cleared" true (Hypervisor.admit hv ~group:1 ~now:1.25);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Hypervisor.set_rate_limit")
+    (fun () -> Hypervisor.set_rate_limit hv ~group:1 ~packets_per_second:0.0 ~burst:1)
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "hypervisor rate limit" `Quick test_hypervisor_rate_limit ]

@@ -1,0 +1,208 @@
+let topo = Topology.running_example ()
+let h = topo.Topology.hosts_per_leaf
+
+let test_path_links () =
+  Alcotest.(check int) "same host" 0 (Unicast_overlay.path_links topo ~src:0 ~dst:0);
+  Alcotest.(check int) "same leaf" 2 (Unicast_overlay.path_links topo ~src:0 ~dst:7);
+  Alcotest.(check int) "same pod" 4 (Unicast_overlay.path_links topo ~src:0 ~dst:8);
+  Alcotest.(check int) "cross pod" 6
+    (Unicast_overlay.path_links topo ~src:0 ~dst:((5 * h) + 2))
+
+let fig3_hosts = [ 0; 1; (5 * h) + 2; (6 * h) + 4; (6 * h) + 5; (7 * h) + 7 ]
+let fig3 = Tree.of_members topo fig3_hosts
+
+let test_unicast_cost () =
+  let c = Unicast_overlay.unicast fig3 ~sender:0 in
+  (* Receivers: host1 (2 links), 4 cross-pod members (6 each) = 2+24 = 26. *)
+  Alcotest.(check int) "transmissions" 26 c.Unicast_overlay.transmissions;
+  Alcotest.(check int) "source packets" 5 c.Unicast_overlay.source_packets
+
+let test_unicast_excludes_sender () =
+  let tree = Tree.of_members topo [ 0; 1 ] in
+  let c = Unicast_overlay.unicast tree ~sender:0 in
+  Alcotest.(check int) "one receiver" 1 c.Unicast_overlay.source_packets
+
+let test_overlay_cost () =
+  let c = Unicast_overlay.overlay fig3 ~sender:0 in
+  (* Source relays its own leaf (host1: 2), sends one copy per remote leaf
+     (L5, L6, L7: 6 each = 18); relays fan out under their leaves:
+     L6 has a second member (2). Total = 2 + 18 + 2 = 22. *)
+  Alcotest.(check int) "transmissions" 22 c.Unicast_overlay.transmissions;
+  (* Source emits: 1 local + 3 relay copies. *)
+  Alcotest.(check int) "source packets" 4 c.Unicast_overlay.source_packets
+
+let test_overlay_cheaper_than_unicast () =
+  let u = Unicast_overlay.unicast fig3 ~sender:0 in
+  let o = Unicast_overlay.overlay fig3 ~sender:0 in
+  Alcotest.(check bool) "overlay <= unicast" true
+    (o.Unicast_overlay.transmissions <= u.Unicast_overlay.transmissions);
+  Alcotest.(check bool) "overlay source packets <= unicast" true
+    (o.Unicast_overlay.source_packets <= u.Unicast_overlay.source_packets)
+
+let test_overhead_vs_ideal () =
+  let u = Unicast_overlay.unicast fig3 ~sender:0 in
+  let ovh = Unicast_overlay.overhead_vs_ideal fig3 ~sender:0 u in
+  (* ideal = 13 (test_tree); unicast 26 -> +100%. *)
+  Alcotest.(check (float 1e-9)) "unicast overhead" 1.0 ovh
+
+(* {1 Li et al. model} *)
+
+let test_li_entries_and_aggregation () =
+  let li = Li_et_al.create topo in
+  let t1 = Tree.of_members topo [ 0; 1; (5 * h) + 2 ] in
+  Li_et_al.add_group li ~group:1 t1;
+  (* Same port sets at the same switches: a second group with identical
+     membership aggregates into the same entries. *)
+  Li_et_al.add_group li ~group:2 t1;
+  let leaf = Li_et_al.leaf_entries li in
+  Alcotest.(check int) "L0 one aggregated entry" 1 leaf.(0);
+  Alcotest.(check int) "L5 one aggregated entry" 1 leaf.(5);
+  (* A group with a different port set at L0 adds an entry. *)
+  let t2 = Tree.of_members topo [ 2; (5 * h) + 2 ] in
+  Li_et_al.add_group li ~group:3 t2;
+  Alcotest.(check int) "L0 two entries" 2 (Li_et_al.leaf_entries li).(0);
+  Alcotest.(check int) "flow entries track groups" 3 (Li_et_al.flow_entries li);
+  Li_et_al.remove_group li ~group:2 t1;
+  Alcotest.(check int) "refcounted removal keeps shared entry" 2
+    (Li_et_al.leaf_entries li).(0);
+  Li_et_al.remove_group li ~group:1 t1;
+  Alcotest.(check int) "entry vanishes with last sharer" 1
+    (Li_et_al.leaf_entries li).(0)
+
+let test_li_pinning_deterministic () =
+  let li = Li_et_al.create topo in
+  Alcotest.(check int) "stable plane" (Li_et_al.plane_of_group li 7)
+    (Li_et_al.plane_of_group li 7);
+  Alcotest.(check bool) "plane in range" true
+    (Li_et_al.plane_of_group li 7 >= 0
+    && Li_et_al.plane_of_group li 7 < topo.Topology.spines_per_pod)
+
+let test_li_update_touches () =
+  let li = Li_et_al.create topo in
+  let t1 = Tree.of_members topo [ 0; 1 ] in
+  let t2 = Tree.of_members topo [ 0; 1; (5 * h) + 2 ] in
+  Li_et_al.add_group li ~group:1 t1;
+  let touch = Li_et_al.update li ~group:1 ~old_tree:(Some t1) ~new_tree:(Some t2) in
+  (* L5 appears, forcing an address reassignment that rewrites the whole
+     tree: both leaves are touched. *)
+  Alcotest.(check (list int)) "leaves touched" [ 0; 5 ] touch.Li_et_al.leaves;
+  Alcotest.(check bool) "spines touched" true (touch.Li_et_al.spines <> []);
+  Alcotest.(check bool) "core touched" true (touch.Li_et_al.cores <> []);
+  let touch2 = Li_et_al.update li ~group:1 ~old_tree:(Some t2) ~new_tree:(Some t2) in
+  Alcotest.(check bool) "no-op update touches nothing" true
+    (touch2.Li_et_al.leaves = [] && touch2.Li_et_al.spines = []
+   && touch2.Li_et_al.cores = [])
+
+(* {1 Native IP multicast} *)
+
+let test_ip_multicast_entries () =
+  let ip = Ip_multicast.create topo in
+  let t1 = Tree.of_members topo fig3_hosts in
+  Ip_multicast.add_group ip ~group:1 t1;
+  let leaf = Ip_multicast.leaf_entries ip in
+  List.iter
+    (fun l -> Alcotest.(check int) (Printf.sprintf "leaf %d entry" l) 1 leaf.(l))
+    [ 0; 5; 6; 7 ];
+  Alcotest.(check int) "max occupancy" 1 (Ip_multicast.max_table_occupancy ip);
+  (* No aggregation: a second identical group doubles the entries. *)
+  Ip_multicast.add_group ip ~group:2 t1;
+  Alcotest.(check int) "no aggregation" 2 (Ip_multicast.leaf_entries ip).(0);
+  Ip_multicast.remove_group ip ~group:1 t1;
+  Ip_multicast.remove_group ip ~group:2 t1;
+  Alcotest.(check int) "clean removal" 0 (Ip_multicast.max_table_occupancy ip)
+
+let test_ip_multicast_groups_supported () =
+  Alcotest.(check int) "table-capacity bound" 5000
+    (Ip_multicast.groups_supported ~table_capacity:5000)
+
+let fabric = Topology.facebook_fabric ()
+
+let prop_unicast_dominates_ideal =
+  QCheck.Test.make ~name:"unicast transmissions >= ideal multicast" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 40) (int_range 0 (Topology.num_hosts fabric - 1)))
+    (fun members ->
+      QCheck.assume (List.length (List.sort_uniq compare members) >= 2);
+      let tree = Tree.of_members fabric members in
+      let sender = List.hd members in
+      let u = Unicast_overlay.unicast tree ~sender in
+      u.Unicast_overlay.transmissions >= Tree.ideal_link_transmissions tree ~sender)
+
+let prop_overlay_between_ideal_and_unicast =
+  QCheck.Test.make ~name:"ideal <= overlay <= unicast" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 40) (int_range 0 (Topology.num_hosts fabric - 1)))
+    (fun members ->
+      QCheck.assume (List.length (List.sort_uniq compare members) >= 2);
+      let tree = Tree.of_members fabric members in
+      let sender = List.hd members in
+      let u = Unicast_overlay.unicast tree ~sender in
+      let o = Unicast_overlay.overlay tree ~sender in
+      let ideal = Tree.ideal_link_transmissions tree ~sender in
+      o.Unicast_overlay.transmissions >= ideal - 1
+      && o.Unicast_overlay.transmissions <= u.Unicast_overlay.transmissions)
+
+let tests =
+  [
+    Alcotest.test_case "path links" `Quick test_path_links;
+    Alcotest.test_case "unicast cost" `Quick test_unicast_cost;
+    Alcotest.test_case "unicast excludes sender" `Quick test_unicast_excludes_sender;
+    Alcotest.test_case "overlay cost" `Quick test_overlay_cost;
+    Alcotest.test_case "overlay cheaper than unicast" `Quick
+      test_overlay_cheaper_than_unicast;
+    Alcotest.test_case "overhead vs ideal" `Quick test_overhead_vs_ideal;
+    Alcotest.test_case "Li entries and aggregation" `Quick test_li_entries_and_aggregation;
+    Alcotest.test_case "Li pinning deterministic" `Quick test_li_pinning_deterministic;
+    Alcotest.test_case "Li update touches" `Quick test_li_update_touches;
+    Alcotest.test_case "IP multicast entries" `Quick test_ip_multicast_entries;
+    Alcotest.test_case "IP multicast group bound" `Quick test_ip_multicast_groups_supported;
+    QCheck_alcotest.to_alcotest prop_unicast_dominates_ideal;
+    QCheck_alcotest.to_alcotest prop_overlay_between_ideal_and_unicast;
+  ]
+
+(* {1 BIER and SGM encoders (Table 3 comparators)} *)
+
+let test_bier () =
+  let hosts = 64 in
+  let members = [ 0; 7; 33; 63 ] in
+  let b = Bier_sgm.Bier.encode ~hosts ~members in
+  Alcotest.(check int) "header size" (Bier_sgm.Bier.header_bytes ~hosts)
+    (Bytes.length b);
+  Alcotest.(check (list int)) "roundtrip" members
+    (Bier_sgm.Bier.members_of ~hosts b);
+  (* The paper's Table 3 cell: ~2.6K hosts under the 325 B budget. *)
+  let limit = Bier_sgm.Bier.max_hosts ~header_budget:325 in
+  Alcotest.(check bool) "limit near 2.6K" true (limit > 2_400 && limit < 2_700);
+  (* A 27k-host fabric cannot fit: the network-size limit is real. *)
+  Alcotest.(check bool) "27k hosts exceed the budget" true
+    (Bier_sgm.Bier.header_bytes ~hosts:27_648 > 325)
+
+let test_sgm () =
+  let members = [ 0x0A000001l; 0x0A000002l; 0xC0A80101l ] in
+  let b = Bier_sgm.Sgm.encode ~members in
+  Alcotest.(check int) "header size"
+    (Bier_sgm.Sgm.header_bytes ~members:3)
+    (Bytes.length b);
+  Alcotest.(check bool) "roundtrip" true (Bier_sgm.Sgm.members_of b = Ok members);
+  (* Table 3: group size < 100 under the budget. *)
+  let limit = Bier_sgm.Sgm.max_members ~header_budget:325 in
+  Alcotest.(check bool) "limit under 100" true (limit < 100 && limit > 50);
+  (* Per-hop work grows with the group: the line-rate breaker. *)
+  Alcotest.(check int) "lookups scale with members" 60
+    (Bier_sgm.Sgm.table_lookups_per_hop ~members:60);
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error (Bier_sgm.Sgm.members_of (Bytes.make 2 'x')))
+
+let prop_bier_roundtrip =
+  QCheck.Test.make ~name:"BIER bitstring roundtrips" ~count:200
+    QCheck.(pair (int_range 1 200) (list_of_size Gen.(int_range 0 20) (int_bound 199)))
+    (fun (hosts, raw) ->
+      let members = List.sort_uniq compare (List.filter (fun m -> m < hosts) raw) in
+      Bier_sgm.Bier.members_of ~hosts (Bier_sgm.Bier.encode ~hosts ~members)
+      = members)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "BIER encoder" `Quick test_bier;
+      Alcotest.test_case "SGM encoder" `Quick test_sgm;
+      QCheck_alcotest.to_alcotest prop_bier_roundtrip;
+    ]

@@ -1,0 +1,130 @@
+(* Bit-level writer/reader roundtrips: the substrate of the wire codec. *)
+
+type field = Bit of bool | Bits of int * int (* value, width *) | Bm of int list * int
+
+let write_field w = function
+  | Bit b -> Bitio.Writer.bit w b
+  | Bits (v, n) -> Bitio.Writer.bits w v n
+  | Bm (bits, width) -> Bitio.Writer.bitmap w (Bitmap.of_list width bits)
+
+let test_simple_roundtrip () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bit w true;
+  Bitio.Writer.bits w 0b1011 4;
+  Bitio.Writer.bit w false;
+  Bitio.Writer.bits w 1023 10;
+  let bytes = Bitio.Writer.to_bytes w in
+  Alcotest.(check int) "bit length" 16 (Bitio.Writer.bit_length w);
+  Alcotest.(check int) "byte length" 2 (Bytes.length bytes);
+  let r = Bitio.Reader.of_bytes bytes in
+  Alcotest.(check bool) "bit 1" true (Bitio.Reader.bit r);
+  Alcotest.(check int) "bits 4" 0b1011 (Bitio.Reader.bits r 4);
+  Alcotest.(check bool) "bit 0" false (Bitio.Reader.bit r);
+  Alcotest.(check int) "bits 10" 1023 (Bitio.Reader.bits r 10)
+
+let test_bitmap_roundtrip () =
+  let bm = Bitmap.of_list 13 [ 0; 5; 12 ] in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 5 3;
+  Bitio.Writer.bitmap w bm;
+  let r = Bitio.Reader.of_bytes (Bitio.Writer.to_bytes w) in
+  Alcotest.(check int) "prefix" 5 (Bitio.Reader.bits r 3);
+  Alcotest.(check bool) "bitmap" true (Bitmap.equal bm (Bitio.Reader.bitmap r 13))
+
+let test_align () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 3 3;
+  Bitio.Writer.align_byte w;
+  Alcotest.(check int) "aligned to 8" 8 (Bitio.Writer.bit_length w);
+  Bitio.Writer.bits w 1 1;
+  let r = Bitio.Reader.of_bytes (Bitio.Writer.to_bytes w) in
+  Alcotest.(check int) "read prefix" 3 (Bitio.Reader.bits r 3);
+  Bitio.Reader.align_byte r;
+  Alcotest.(check int) "pos after align" 8 (Bitio.Reader.pos r);
+  Alcotest.(check bool) "bit after align" true (Bitio.Reader.bit r)
+
+let test_value_too_large () =
+  let w = Bitio.Writer.create () in
+  Alcotest.check_raises "value does not fit"
+    (Invalid_argument "Bitio.Writer.bits: value does not fit") (fun () ->
+      Bitio.Writer.bits w 16 4);
+  Alcotest.check_raises "width out of range"
+    (Invalid_argument "Bitio.Writer.bits: width out of range") (fun () ->
+      Bitio.Writer.bits w 0 63)
+
+let test_truncated () =
+  let r = Bitio.Reader.of_bytes (Bytes.make 1 '\255') in
+  ignore (Bitio.Reader.bits r 8);
+  Alcotest.check_raises "truncated" Bitio.Reader.Truncated (fun () ->
+      ignore (Bitio.Reader.bit r))
+
+let test_to_bytes_not_destructive () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 5 3;
+  let b1 = Bitio.Writer.to_bytes w in
+  Bitio.Writer.bits w 2 2;
+  let b2 = Bitio.Writer.to_bytes w in
+  let r = Bitio.Reader.of_bytes b2 in
+  Alcotest.(check int) "first field survives" 5 (Bitio.Reader.bits r 3);
+  Alcotest.(check int) "second field" 2 (Bitio.Reader.bits r 2);
+  Alcotest.(check int) "b1 was a snapshot" 1 (Bytes.length b1)
+
+(* Property: any sequence of fields roundtrips. *)
+let gen_fields =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (oneof
+         [
+           map (fun b -> Bit b) bool;
+           ( int_range 1 30 >>= fun n ->
+             int_range 0 ((1 lsl n) - 1) >>= fun v -> return (Bits (v, n)) );
+           ( int_range 1 40 >>= fun width ->
+             list_size (int_range 0 10) (int_range 0 (width - 1)) >>= fun bits ->
+             return (Bm (bits, width)) );
+         ]))
+
+let arb_fields =
+  QCheck.make
+    ~print:(fun fields ->
+      String.concat ","
+        (List.map
+           (function
+             | Bit b -> Printf.sprintf "b%b" b
+             | Bits (v, n) -> Printf.sprintf "%d:%d" v n
+             | Bm (bits, w) -> Printf.sprintf "bm%d[%d]" w (List.length bits))
+           fields))
+    gen_fields
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"field sequences roundtrip" ~count:500 arb_fields
+    (fun fields ->
+      let w = Bitio.Writer.create () in
+      List.iter (write_field w) fields;
+      let r = Bitio.Reader.of_bytes (Bitio.Writer.to_bytes w) in
+      List.for_all
+        (fun f ->
+          match f with
+          | Bit b -> Bitio.Reader.bit r = b
+          | Bits (v, n) -> Bitio.Reader.bits r n = v
+          | Bm (bits, width) ->
+              Bitmap.equal (Bitio.Reader.bitmap r width) (Bitmap.of_list width bits))
+        fields)
+
+let prop_length =
+  QCheck.Test.make ~name:"byte length = ceil(bits/8)" ~count:500 arb_fields
+    (fun fields ->
+      let w = Bitio.Writer.create () in
+      List.iter (write_field w) fields;
+      Bytes.length (Bitio.Writer.to_bytes w) = (Bitio.Writer.bit_length w + 7) / 8)
+
+let tests =
+  [
+    Alcotest.test_case "simple roundtrip" `Quick test_simple_roundtrip;
+    Alcotest.test_case "bitmap roundtrip" `Quick test_bitmap_roundtrip;
+    Alcotest.test_case "alignment" `Quick test_align;
+    Alcotest.test_case "invalid writes" `Quick test_value_too_large;
+    Alcotest.test_case "truncated read raises" `Quick test_truncated;
+    Alcotest.test_case "to_bytes is a snapshot" `Quick test_to_bytes_not_destructive;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_length;
+  ]

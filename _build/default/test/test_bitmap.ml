@@ -1,0 +1,167 @@
+let bm_of width l = Bitmap.of_list width l
+
+let test_create_and_get () =
+  let b = Bitmap.create 70 in
+  Alcotest.(check int) "width" 70 (Bitmap.width b);
+  Alcotest.(check bool) "initially empty" true (Bitmap.is_empty b);
+  Bitmap.set b 0;
+  Bitmap.set b 63;
+  Bitmap.set b 69;
+  Alcotest.(check bool) "bit 0" true (Bitmap.get b 0);
+  Alcotest.(check bool) "bit 63 (word boundary)" true (Bitmap.get b 63);
+  Alcotest.(check bool) "bit 69" true (Bitmap.get b 69);
+  Alcotest.(check bool) "bit 1 clear" false (Bitmap.get b 1);
+  Alcotest.(check int) "popcount" 3 (Bitmap.popcount b);
+  Bitmap.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitmap.get b 63);
+  Alcotest.(check int) "popcount after clear" 2 (Bitmap.popcount b)
+
+let test_bounds () =
+  let b = Bitmap.create 8 in
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Bitmap: index out of bounds") (fun () -> Bitmap.set b 8);
+  Alcotest.check_raises "get negative"
+    (Invalid_argument "Bitmap: index out of bounds") (fun () ->
+      ignore (Bitmap.get b (-1)))
+
+let test_zero_width () =
+  let b = Bitmap.create 0 in
+  Alcotest.(check int) "width 0" 0 (Bitmap.width b);
+  Alcotest.(check bool) "empty" true (Bitmap.is_empty b);
+  Alcotest.(check int) "popcount" 0 (Bitmap.popcount b)
+
+let test_set_ops () =
+  let a = bm_of 10 [ 0; 2; 4 ] and b = bm_of 10 [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 2; 3; 4 ] (Bitmap.to_list (Bitmap.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (Bitmap.to_list (Bitmap.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 4 ] (Bitmap.to_list (Bitmap.diff a b));
+  Alcotest.(check bool) "subset no" false (Bitmap.subset a b);
+  Alcotest.(check bool) "subset yes" true (Bitmap.subset (bm_of 10 [ 2 ]) b);
+  Alcotest.(check int) "hamming" 3 (Bitmap.hamming a b);
+  Alcotest.(check int) "union_cost" 1 (Bitmap.union_cost b a)
+
+let test_width_mismatch () =
+  let a = Bitmap.create 5 and b = Bitmap.create 6 in
+  Alcotest.check_raises "union mismatch" (Invalid_argument "Bitmap: width mismatch")
+    (fun () -> ignore (Bitmap.union a b))
+
+let test_union_into () =
+  let a = bm_of 10 [ 1 ] in
+  Bitmap.union_into ~dst:a (bm_of 10 [ 3 ]);
+  Alcotest.(check (list int)) "accumulated" [ 1; 3 ] (Bitmap.to_list a)
+
+let test_union_all () =
+  let u = Bitmap.union_all 6 [ bm_of 6 [ 0 ]; bm_of 6 [ 5 ]; bm_of 6 [ 0; 3 ] ] in
+  Alcotest.(check (list int)) "union_all" [ 0; 3; 5 ] (Bitmap.to_list u);
+  Alcotest.(check bool) "empty list" true (Bitmap.is_empty (Bitmap.union_all 6 []))
+
+let test_to_string () =
+  Alcotest.(check string) "render" "0110" (Bitmap.to_string (bm_of 4 [ 1; 2 ]))
+
+let test_copy_isolated () =
+  let a = bm_of 8 [ 1 ] in
+  let b = Bitmap.copy a in
+  Bitmap.set b 2;
+  Alcotest.(check bool) "original unchanged" false (Bitmap.get a 2)
+
+let test_bytes_roundtrip_fixed () =
+  let a = bm_of 17 [ 0; 7; 8; 16 ] in
+  let b = Bitmap.of_bytes 17 (Bitmap.to_bytes a) in
+  Alcotest.(check bool) "roundtrip" true (Bitmap.equal a b);
+  Alcotest.(check int) "byte length" 3 (Bytes.length (Bitmap.to_bytes a))
+
+(* {1 Properties} *)
+
+let gen_bitmap =
+  QCheck.Gen.(
+    int_range 1 200 >>= fun width ->
+    list_size (int_range 0 64) (int_range 0 (width - 1)) >>= fun bits ->
+    return (width, bits))
+
+let arb_bitmap =
+  QCheck.make
+    ~print:(fun (w, bits) ->
+      Printf.sprintf "width=%d bits=[%s]" w
+        (String.concat ";" (List.map string_of_int bits)))
+    gen_bitmap
+
+let arb_bitmap_pair =
+  (* two bitmaps of the same width *)
+  QCheck.make
+    ~print:(fun (w, a, b) ->
+      Printf.sprintf "width=%d a=[%s] b=[%s]" w
+        (String.concat ";" (List.map string_of_int a))
+        (String.concat ";" (List.map string_of_int b)))
+    QCheck.Gen.(
+      int_range 1 200 >>= fun width ->
+      let bits = list_size (int_range 0 64) (int_range 0 (width - 1)) in
+      bits >>= fun a ->
+      bits >>= fun b -> return (width, a, b))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_bytes/of_bytes roundtrip" ~count:500 arb_bitmap
+    (fun (w, bits) ->
+      let b = bm_of w bits in
+      Bitmap.equal b (Bitmap.of_bytes w (Bitmap.to_bytes b)))
+
+let prop_to_list_sorted =
+  QCheck.Test.make ~name:"to_list sorted and deduplicated" ~count:500 arb_bitmap
+    (fun (w, bits) ->
+      let l = Bitmap.to_list (bm_of w bits) in
+      l = List.sort_uniq compare bits)
+
+let prop_popcount_union =
+  QCheck.Test.make ~name:"popcount(union) = |a| + |b| - |inter|" ~count:500
+    arb_bitmap_pair (fun (w, a, b) ->
+      let ba = bm_of w a and bb = bm_of w b in
+      Bitmap.popcount (Bitmap.union ba bb)
+      = Bitmap.popcount ba + Bitmap.popcount bb - Bitmap.popcount (Bitmap.inter ba bb))
+
+let prop_hamming =
+  QCheck.Test.make ~name:"hamming = popcount(a xor b), symmetric" ~count:500
+    arb_bitmap_pair (fun (w, a, b) ->
+      let ba = bm_of w a and bb = bm_of w b in
+      let xor = Bitmap.union (Bitmap.diff ba bb) (Bitmap.diff bb ba) in
+      Bitmap.hamming ba bb = Bitmap.popcount xor
+      && Bitmap.hamming ba bb = Bitmap.hamming bb ba)
+
+let prop_union_cost =
+  QCheck.Test.make ~name:"union_cost a acc = popcount(union) - popcount(acc)"
+    ~count:500 arb_bitmap_pair (fun (w, a, acc) ->
+      let ba = bm_of w a and bacc = bm_of w acc in
+      Bitmap.union_cost ba bacc
+      = Bitmap.popcount (Bitmap.union ba bacc) - Bitmap.popcount bacc)
+
+let prop_subset_union =
+  QCheck.Test.make ~name:"a and b are subsets of their union" ~count:500
+    arb_bitmap_pair (fun (w, a, b) ->
+      let ba = bm_of w a and bb = bm_of w b in
+      let u = Bitmap.union ba bb in
+      Bitmap.subset ba u && Bitmap.subset bb u)
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"equal agrees with compare" ~count:500 arb_bitmap_pair
+    (fun (w, a, b) ->
+      let ba = bm_of w a and bb = bm_of w b in
+      Bitmap.equal ba bb = (Bitmap.compare ba bb = 0))
+
+let tests =
+  [
+    Alcotest.test_case "create/get/set/clear" `Quick test_create_and_get;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "zero width" `Quick test_zero_width;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+    Alcotest.test_case "union_into" `Quick test_union_into;
+    Alcotest.test_case "union_all" `Quick test_union_all;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+    Alcotest.test_case "bytes roundtrip (fixed)" `Quick test_bytes_roundtrip_fixed;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_to_list_sorted;
+    QCheck_alcotest.to_alcotest prop_popcount_union;
+    QCheck_alcotest.to_alcotest prop_hamming;
+    QCheck_alcotest.to_alcotest prop_union_cost;
+    QCheck_alcotest.to_alcotest prop_subset_union;
+    QCheck_alcotest.to_alcotest prop_compare_consistent;
+  ]

@@ -1,0 +1,148 @@
+(* Integration tests: churn simulation driving the controller, checked for
+   consistency (delivery still works after arbitrary event streams, s-rule
+   accounting never leaks). Uses a small topology so trees span all cases. *)
+
+let topo = Topology.running_example ()
+
+let small_world seed =
+  let rng = Rng.create seed in
+  let placement =
+    Vm_placement.place rng topo ~strategy:(Vm_placement.Pack_up_to 2)
+      ~host_capacity:20
+      ~tenant_sizes:[| 20; 15; 25 |]
+  in
+  let groups =
+    Workload.generate (Rng.create (seed + 1)) placement ~kind:Group_dist.Wve
+      ~total_groups:12
+  in
+  (placement, groups)
+
+let test_setup_registers_all_groups () =
+  let placement, groups = small_world 1 in
+  let ctrl = Controller.create topo Params.default in
+  Churn.setup_controller (Rng.create 2) ctrl placement groups;
+  Alcotest.(check int) "all groups" (Array.length groups) (Controller.group_count ctrl);
+  Array.iter
+    (fun g ->
+      let members = Controller.members ctrl ~group:g.Workload.group_id in
+      Alcotest.(check int) "member count"
+        (Array.length g.Workload.member_hosts)
+        (List.length members))
+    groups
+
+let test_churn_keeps_delivery_correct () =
+  let placement, groups = small_world 3 in
+  let fabric = Fabric.create topo in
+  let hooks =
+    {
+      Controller.install_leaf =
+        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
+      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
+      install_pod =
+        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
+      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
+    }
+  in
+  (* Small tables force s-rule churn through the fabric hooks. *)
+  let params = Params.create ~hmax_leaf:2 ~hmax_spine:1 ~header_budget:None ~fmax:6 () in
+  let ctrl = Controller.create ~fabric_hooks:hooks topo params in
+  Churn.setup_controller (Rng.create 4) ctrl placement groups;
+  let result =
+    Churn.run (Rng.create 5) ctrl placement groups ~events:400
+      ~events_per_second:1000.0 ~li:None
+  in
+  Alcotest.(check bool) "events performed" true (result.Churn.events > 300);
+  (* After the event storm, every group with receivers must still deliver
+     from every member host. *)
+  Array.iter
+    (fun g ->
+      let group = g.Workload.group_id in
+      match Controller.encoding ctrl ~group with
+      | None -> ()
+      | Some enc ->
+          let tree = enc.Encoding.tree in
+          let sender = tree.Tree.members.(0) in
+          (match Controller.header ctrl ~group ~sender with
+          | None -> ()
+          | Some header ->
+              let report = Fabric.inject fabric ~sender ~group ~header ~payload:64 in
+              Alcotest.(check bool)
+                (Printf.sprintf "group %d delivers after churn" group)
+                true
+                (Fabric.deliveries_correct report ~tree ~sender)))
+    groups
+
+let test_churn_update_accounting_sane () =
+  let placement, groups = small_world 6 in
+  let ctrl = Controller.create topo Params.default in
+  Churn.setup_controller (Rng.create 7) ctrl placement groups;
+  let li = Li_et_al.create topo in
+  Array.iter
+    (fun g ->
+      match Controller.encoding ctrl ~group:g.Workload.group_id with
+      | Some enc -> Li_et_al.add_group li ~group:g.Workload.group_id enc.Encoding.tree
+      | None -> ())
+    groups;
+  let r =
+    Churn.run (Rng.create 8) ctrl placement groups ~events:200
+      ~events_per_second:1000.0 ~li:(Some li)
+  in
+  Alcotest.(check bool) "hypervisor load positive" true
+    (r.Churn.elmo_hypervisor.Churn.mean > 0.0);
+  Alcotest.(check bool) "mean <= max" true
+    (r.Churn.elmo_hypervisor.Churn.mean <= r.Churn.elmo_hypervisor.Churn.max);
+  Alcotest.(check (float 1e-9)) "Elmo cores never updated" 0.0
+    r.Churn.elmo_core.Churn.max;
+  Alcotest.(check bool) "Li spine load >= Elmo spine load" true
+    (r.Churn.li_spine.Churn.mean >= r.Churn.elmo_spine.Churn.mean)
+
+let test_srule_accounting_never_leaks () =
+  let placement, groups = small_world 9 in
+  let params = Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:8 () in
+  let ctrl = Controller.create topo params in
+  Churn.setup_controller (Rng.create 10) ctrl placement groups;
+  ignore
+    (Churn.run (Rng.create 11) ctrl placement groups ~events:300
+       ~events_per_second:1000.0 ~li:None);
+  (* Reserved s-rules must exactly match the live encodings. *)
+  let expected =
+    Array.fold_left
+      (fun acc g ->
+        match Controller.encoding ctrl ~group:g.Workload.group_id with
+        | Some enc -> acc + Encoding.srule_entries enc
+        | None -> acc)
+      0 groups
+  in
+  Alcotest.(check int) "no s-rule leak" expected
+    (Srule_state.total_srules (Controller.srule_state ctrl));
+  (* Removing every group returns the state to zero. *)
+  Array.iter
+    (fun g -> ignore (Controller.remove_group ctrl ~group:g.Workload.group_id))
+    groups;
+  Alcotest.(check int) "zero after removal" 0
+    (Srule_state.total_srules (Controller.srule_state ctrl))
+
+let test_failures_during_churn () =
+  let placement, groups = small_world 12 in
+  let ctrl = Controller.create topo Params.default in
+  Churn.setup_controller (Rng.create 13) ctrl placement groups;
+  let spine = Churn.spine_failures (Rng.create 14) ctrl ~trials:4 in
+  Alcotest.(check int) "trials" 4 spine.Churn.trials;
+  Alcotest.(check bool) "fraction within [0,1]" true
+    (spine.Churn.affected_fraction_mean >= 0.0
+    && spine.Churn.affected_fraction_max <= 1.0);
+  let core = Churn.core_failures (Rng.create 15) ctrl ~trials:4 in
+  Alcotest.(check bool) "core fraction within [0,1]" true
+    (core.Churn.affected_fraction_mean >= 0.0
+    && core.Churn.affected_fraction_max <= 1.0)
+
+let tests =
+  [
+    Alcotest.test_case "setup registers groups" `Quick test_setup_registers_all_groups;
+    Alcotest.test_case "delivery correct after churn" `Quick
+      test_churn_keeps_delivery_correct;
+    Alcotest.test_case "update accounting sane" `Quick test_churn_update_accounting_sane;
+    Alcotest.test_case "s-rule accounting never leaks" `Quick
+      test_srule_accounting_never_leaks;
+    Alcotest.test_case "failure trials" `Quick test_failures_during_churn;
+  ]

@@ -1,0 +1,319 @@
+let bm w l = Bitmap.of_list w l
+
+(* {1 Min_k_union} *)
+
+let test_mku_picks_overlapping_pair () =
+  (* Bitmaps: {0,1}, {0,1}, {5,6,7}. The best 2-union is the identical pair. *)
+  let cands = [| (10, bm 8 [ 0; 1 ]); (11, bm 8 [ 0; 1 ]); (12, bm 8 [ 5; 6; 7 ]) |] in
+  let indices, union = Min_k_union.choose ~k:2 cands in
+  Alcotest.(check (list int)) "indices" [ 0; 1 ] (List.sort compare indices);
+  Alcotest.(check int) "union size" 2 (Bitmap.popcount union)
+
+let test_mku_k_equals_n () =
+  let cands = [| (0, bm 4 [ 0 ]); (1, bm 4 [ 1 ]); (2, bm 4 [ 2 ]) |] in
+  let indices, union = Min_k_union.choose ~k:3 cands in
+  Alcotest.(check int) "all chosen" 3 (List.length indices);
+  Alcotest.(check int) "union" 3 (Bitmap.popcount union)
+
+let test_mku_seed_is_smallest () =
+  let cands = [| (0, bm 8 [ 0; 1; 2 ]); (1, bm 8 [ 5 ]) |] in
+  let indices, _ = Min_k_union.choose ~k:1 cands in
+  Alcotest.(check (list int)) "smallest bitmap seeds" [ 1 ] indices
+
+let test_mku_invalid () =
+  let cands = [| (0, bm 4 [ 0 ]) |] in
+  Alcotest.check_raises "k=0" (Invalid_argument "Min_k_union.choose: k must be positive")
+    (fun () -> ignore (Min_k_union.choose ~k:0 cands));
+  Alcotest.check_raises "k>n"
+    (Invalid_argument "Min_k_union.choose: k exceeds candidate count") (fun () ->
+      ignore (Min_k_union.choose ~k:2 cands));
+  Alcotest.check_raises "empty" (Invalid_argument "Min_k_union.choose: no candidates")
+    (fun () -> ignore (Min_k_union.choose ~k:1 [||]))
+
+let prop_mku_union_correct =
+  QCheck.Test.make ~name:"chosen union is the OR of chosen bitmaps" ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 1 12)
+           (list_of_size Gen.(int_range 0 6) (int_range 0 15))))
+    (fun (k, bitsets) ->
+      QCheck.assume (k <= List.length bitsets);
+      let cands = Array.of_list (List.mapi (fun i l -> (i, bm 16 l)) bitsets) in
+      let indices, union = Min_k_union.choose ~k cands in
+      let expected = Bitmap.union_all 16 (List.map (fun i -> snd cands.(i)) indices) in
+      List.length (List.sort_uniq compare indices) = k && Bitmap.equal union expected)
+
+(* {1 Clustering (Algorithm 1)} *)
+
+let no_srules _ = false
+let all_srules _ = true
+
+let run ?(r = 0) ?(semantics = Params.Sum) ?(hmax = 100) ?(kmax = 2)
+    ?(has_srule_space = no_srules) layer =
+  Clustering.run ~r ~semantics ~hmax ~kmax ~has_srule_space layer
+
+let ids_of_result res =
+  let prule_ids = List.concat_map (fun r -> r.Prule.switches) res.Clustering.prules in
+  let srule_ids = List.map fst res.Clustering.srules in
+  let default_ids = match res.Clustering.default with Some (ids, _) -> ids | None -> [] in
+  List.sort compare (prule_ids @ srule_ids @ default_ids)
+
+let layer_of l = List.map (fun (id, bits) -> (id, bm 8 bits)) l
+
+let test_empty_layer () =
+  let res = run [] in
+  Alcotest.(check bool) "empty" true
+    (res.Clustering.prules = [] && res.Clustering.srules = []
+   && res.Clustering.default = None)
+
+let test_fit_gives_exact_singletons () =
+  let layer = layer_of [ (1, [ 0; 1 ]); (2, [ 3 ]); (3, [ 5; 6 ]) ] in
+  let res = run ~r:12 ~hmax:3 layer in
+  Alcotest.(check int) "three rules" 3 (List.length res.Clustering.prules);
+  List.iter2
+    (fun (id, exact) rule ->
+      Alcotest.(check (list int)) "singleton" [ id ] rule.Prule.switches;
+      Alcotest.(check bool) "exact bitmap" true (Bitmap.equal exact rule.Prule.bitmap))
+    layer res.Clustering.prules;
+  Alcotest.(check int) "no redundancy" 0 (Clustering.redundancy layer res)
+
+let test_sharing_when_over_budget () =
+  (* 3 switches, hmax 2: sharing must kick in. Identical bitmaps pair at R=0. *)
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 0 ]); (3, [ 7 ]) ] in
+  let res = run ~r:0 ~hmax:2 layer in
+  Alcotest.(check int) "two rules" 2 (List.length res.Clustering.prules);
+  Alcotest.(check bool) "no spill" true
+    (res.Clustering.srules = [] && res.Clustering.default = None);
+  let shared = List.find (fun r -> List.length r.Prule.switches = 2) res.Clustering.prules in
+  Alcotest.(check (list int)) "identical pair shares" [ 1; 2 ]
+    (List.sort compare shared.Prule.switches)
+
+let test_r_zero_rejects_lossy_sharing () =
+  (* Distinct bitmaps, hmax 1, no s-rule space: at R=0 one switch must fall
+     to the default rule. *)
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 1 ]) ] in
+  let res = run ~r:0 ~hmax:1 layer in
+  Alcotest.(check int) "one p-rule" 1 (List.length res.Clustering.prules);
+  (match res.Clustering.default with
+  | Some (ids, bm') ->
+      Alcotest.(check int) "one defaulted switch" 1 (List.length ids);
+      Alcotest.(check int) "default bitmap is its exact bitmap" 1 (Bitmap.popcount bm')
+  | None -> Alcotest.fail "expected a default rule");
+  ignore (ids_of_result res)
+
+let test_r_allows_lossy_sharing () =
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 1 ]); (3, [ 6 ]) ] in
+  let res = run ~r:2 ~hmax:2 ~kmax:2 layer in
+  Alcotest.(check int) "two rules" 2 (List.length res.Clustering.prules);
+  Alcotest.(check bool) "nothing spilled" true
+    (res.Clustering.srules = [] && res.Clustering.default = None);
+  (* Redundancy: the shared pair's bitmaps are distance 1 each from the OR. *)
+  Alcotest.(check int) "redundancy 2" 2 (Clustering.redundancy layer res)
+
+let test_sum_vs_per_bitmap_semantics () =
+  (* Three disjoint singleton bitmaps sharing one rule (kmax 3): each input
+     is distance 2 from the OR; the sum is 6. *)
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 1 ]); (3, [ 2 ]) ] in
+  let res_sum_tight = run ~r:5 ~semantics:Params.Sum ~hmax:1 ~kmax:3 layer in
+  Alcotest.(check bool) "sum semantics rejects at R=5" true
+    (res_sum_tight.Clustering.default <> None || res_sum_tight.Clustering.srules <> []);
+  let res_sum_ok = run ~r:6 ~semantics:Params.Sum ~hmax:1 ~kmax:3 layer in
+  Alcotest.(check int) "sum semantics accepts at R=6" 1
+    (List.length res_sum_ok.Clustering.prules);
+  Alcotest.(check bool) "all in one rule" true
+    (match res_sum_ok.Clustering.prules with
+    | [ r ] -> List.length r.Prule.switches = 3
+    | _ -> false);
+  let res_pb = run ~r:2 ~semantics:Params.Per_bitmap ~hmax:1 ~kmax:3 layer in
+  Alcotest.(check int) "per-bitmap accepts at R=2" 1
+    (List.length res_pb.Clustering.prules)
+
+let test_srule_spill () =
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 1 ]); (3, [ 2 ]) ] in
+  let asked = ref [] in
+  let res =
+    run ~r:0 ~hmax:1
+      ~has_srule_space:(fun id ->
+        asked := id :: !asked;
+        id = 2)
+      layer
+  in
+  Alcotest.(check int) "one p-rule" 1 (List.length res.Clustering.prules);
+  Alcotest.(check (list int)) "s-rule for switch 2" [ 2 ]
+    (List.map fst res.Clustering.srules);
+  (match res.Clustering.default with
+  | Some (ids, _) -> Alcotest.(check int) "one defaulted" 1 (List.length ids)
+  | None -> Alcotest.fail "expected default");
+  (* Capacity was consulted in ascending switch order for the spilled ones. *)
+  Alcotest.(check (list int)) "asked in order" [ 2; 3 ] (List.rev !asked)
+
+let test_default_bitmap_is_or () =
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 1; 2 ]); (3, [ 2; 5 ]) ] in
+  let res = run ~r:0 ~hmax:1 layer in
+  match res.Clustering.default with
+  | Some (ids, bm') ->
+      Alcotest.(check int) "two defaulted" 2 (List.length ids);
+      let expected =
+        Bitmap.union_all 8
+          (List.map (fun id -> List.assoc id layer) ids)
+      in
+      Alcotest.(check bool) "OR of defaulted" true (Bitmap.equal bm' expected)
+  | None -> Alcotest.fail "expected default"
+
+let test_assigned_bitmap_lookup () =
+  let layer = layer_of [ (1, [ 0 ]); (2, [ 0 ]); (3, [ 1 ]); (4, [ 2 ]) ] in
+  let res =
+    run ~r:0 ~hmax:1 ~kmax:2 ~has_srule_space:(fun id -> id = 3) layer
+  in
+  (* Switches 1,2 share the p-rule; 3 has the s-rule; 4 is defaulted. *)
+  (match Clustering.assigned_bitmap res 1 with
+  | Some b -> Alcotest.(check int) "shared popcount" 1 (Bitmap.popcount b)
+  | None -> Alcotest.fail "1 should be assigned");
+  (match Clustering.assigned_bitmap res 3 with
+  | Some b -> Alcotest.(check bool) "s-rule exact" true (Bitmap.get b 1)
+  | None -> Alcotest.fail "3 should be assigned");
+  (match Clustering.assigned_bitmap res 4 with
+  | Some b -> Alcotest.(check bool) "default bitmap" true (Bitmap.get b 2)
+  | None -> Alcotest.fail "4 should be assigned");
+  Alcotest.(check bool) "unknown id" true (Clustering.assigned_bitmap res 9 = None)
+
+let test_invalid_args () =
+  Alcotest.check_raises "hmax" (Invalid_argument "Clustering.run: hmax must be positive")
+    (fun () -> ignore (run ~hmax:0 []));
+  Alcotest.check_raises "kmax" (Invalid_argument "Clustering.run: kmax must be positive")
+    (fun () -> ignore (run ~kmax:0 []))
+
+(* Properties over random layers. *)
+
+let arb_layer =
+  QCheck.make
+    ~print:(fun (r, hmax, kmax, layer) ->
+      Printf.sprintf "r=%d hmax=%d kmax=%d layer=%s" r hmax kmax
+        (String.concat ";"
+           (List.map
+              (fun (id, bm') -> Printf.sprintf "%d:%s" id (Bitmap.to_string bm'))
+              layer)))
+    QCheck.Gen.(
+      int_range 0 6 >>= fun r ->
+      int_range 1 5 >>= fun hmax ->
+      int_range 1 4 >>= fun kmax ->
+      int_range 0 12 >>= fun n ->
+      let bits = list_size (int_range 1 5) (int_range 0 15) in
+      list_repeat n bits >>= fun bitsets ->
+      return (r, hmax, kmax, List.mapi (fun i b -> (i, Bitmap.of_list 16 b)) bitsets))
+
+let prop_partition =
+  QCheck.Test.make ~name:"every switch lands in exactly one output" ~count:300
+    arb_layer (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~hmax ~kmax layer in
+      ids_of_result res = List.sort compare (List.map fst layer))
+
+let prop_hmax_respected =
+  QCheck.Test.make ~name:"at most hmax p-rules" ~count:300 arb_layer
+    (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~hmax ~kmax layer in
+      List.length res.Clustering.prules <= max hmax (List.length layer))
+
+let prop_kmax_respected =
+  QCheck.Test.make ~name:"at most kmax switches per rule" ~count:300 arb_layer
+    (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~hmax ~kmax layer in
+      (* The fit-first fast path emits singletons, always within bounds. *)
+      List.for_all
+        (fun rule -> List.length rule.Prule.switches <= max kmax 1)
+        res.Clustering.prules)
+
+let prop_rule_bitmap_covers_members =
+  QCheck.Test.make ~name:"rule bitmap = OR of its switches' exact bitmaps or wider"
+    ~count:300 arb_layer (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~hmax ~kmax layer in
+      List.for_all
+        (fun rule ->
+          List.for_all
+            (fun id -> Bitmap.subset (List.assoc id layer) rule.Prule.bitmap)
+            rule.Prule.switches)
+        res.Clustering.prules)
+
+let prop_r_bounds_redundancy_per_rule =
+  QCheck.Test.make ~name:"sum semantics: per-rule redundancy <= R" ~count:300
+    arb_layer (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~semantics:Params.Sum ~hmax ~kmax layer in
+      List.for_all
+        (fun rule ->
+          let members = List.map (fun id -> List.assoc id layer) rule.Prule.switches in
+          let s =
+            List.fold_left
+              (fun acc b -> acc + Bitmap.hamming b rule.Prule.bitmap)
+              0 members
+          in
+          (* Singleton rules have 0; only rules formed by sharing obey R,
+             which singletons trivially do. *)
+          List.length members = 1 || s <= r)
+        res.Clustering.prules)
+
+let prop_srules_exact =
+  QCheck.Test.make ~name:"s-rules carry exact bitmaps" ~count:300 arb_layer
+    (fun (r, hmax, kmax, layer) ->
+      let res = run ~r ~hmax ~kmax ~has_srule_space:all_srules layer in
+      List.for_all
+        (fun (id, b) -> Bitmap.equal b (List.assoc id layer))
+        res.Clustering.srules
+      && res.Clustering.default = None)
+
+let tests =
+  [
+    Alcotest.test_case "min-k-union picks overlapping pair" `Quick
+      test_mku_picks_overlapping_pair;
+    Alcotest.test_case "min-k-union k=n" `Quick test_mku_k_equals_n;
+    Alcotest.test_case "min-k-union seeds smallest" `Quick test_mku_seed_is_smallest;
+    Alcotest.test_case "min-k-union invalid args" `Quick test_mku_invalid;
+    QCheck_alcotest.to_alcotest prop_mku_union_correct;
+    Alcotest.test_case "empty layer" `Quick test_empty_layer;
+    Alcotest.test_case "fit-first exact singletons" `Quick test_fit_gives_exact_singletons;
+    Alcotest.test_case "sharing when over budget" `Quick test_sharing_when_over_budget;
+    Alcotest.test_case "R=0 rejects lossy sharing" `Quick test_r_zero_rejects_lossy_sharing;
+    Alcotest.test_case "R>0 allows lossy sharing" `Quick test_r_allows_lossy_sharing;
+    Alcotest.test_case "sum vs per-bitmap semantics" `Quick test_sum_vs_per_bitmap_semantics;
+    Alcotest.test_case "s-rule spill" `Quick test_srule_spill;
+    Alcotest.test_case "default bitmap is OR" `Quick test_default_bitmap_is_or;
+    Alcotest.test_case "assigned_bitmap lookup" `Quick test_assigned_bitmap_lookup;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_hmax_respected;
+    QCheck_alcotest.to_alcotest prop_kmax_respected;
+    QCheck_alcotest.to_alcotest prop_rule_bitmap_covers_members;
+    QCheck_alcotest.to_alcotest prop_r_bounds_redundancy_per_rule;
+    QCheck_alcotest.to_alcotest prop_srules_exact;
+  ]
+
+(* Approximation quality: on instances small enough to solve exactly, the
+   greedy MIN-K-UNION never exceeds twice the optimal union size (a loose
+   empirical bound; the paper cites approximate variants of this NP-hard
+   problem). *)
+let prop_mku_near_optimal =
+  QCheck.Test.make ~name:"greedy min-k-union within 2x of optimal" ~count:200
+    QCheck.(
+      pair (int_range 2 3)
+        (list_of_size Gen.(int_range 3 7)
+           (list_of_size Gen.(int_range 1 4) (int_range 0 11))))
+    (fun (k, bitsets) ->
+      QCheck.assume (k <= List.length bitsets);
+      let cands = Array.of_list (List.mapi (fun i l -> (i, bm 12 l)) bitsets) in
+      let _, greedy_union = Min_k_union.choose ~k cands in
+      let n = Array.length cands in
+      (* exhaustive optimum over all k-subsets *)
+      let best = ref max_int in
+      let rec subsets start chosen count =
+        if count = k then begin
+          let u = Bitmap.union_all 12 (List.map (fun i -> snd cands.(i)) chosen) in
+          best := min !best (Bitmap.popcount u)
+        end
+        else
+          for i = start to n - 1 do
+            subsets (i + 1) (i :: chosen) (count + 1)
+          done
+      in
+      subsets 0 [] 0;
+      Bitmap.popcount greedy_union <= 2 * !best)
+
+let tests = tests @ [ QCheck_alcotest.to_alcotest prop_mku_near_optimal ]

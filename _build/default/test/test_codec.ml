@@ -1,0 +1,199 @@
+let topo = Topology.running_example ()
+let fabric = Topology.facebook_fabric ()
+
+(* Random well-formed headers for a topology. *)
+let gen_header t =
+  let open QCheck.Gen in
+  let bitmap width =
+    list_size (int_range 0 (min width 8)) (int_range 0 (width - 1))
+    >>= fun bits -> return (Bitmap.of_list width bits)
+  in
+  let uprule ~down ~up =
+    bitmap down >>= fun d ->
+    bitmap up >>= fun u ->
+    bool >>= fun m -> return { Prule.down = d; up = u; multipath = m }
+  in
+  let prules layer =
+    let width, max_id =
+      match layer with
+      | `Spine -> (Topology.spine_downstream_width t, t.Topology.pods - 1)
+      | `Leaf -> (Topology.leaf_downstream_width t, Topology.num_leaves t - 1)
+    in
+    list_size (int_range 0 4)
+      ( bitmap width >>= fun bm ->
+        list_size (int_range 1 3) (int_range 0 max_id) >>= fun ids ->
+        return { Prule.bitmap = bm; switches = List.sort_uniq compare ids } )
+  in
+  let opt g = bool >>= fun p -> if p then g >>= fun x -> return (Some x) else return None in
+  uprule ~down:(Topology.leaf_downstream_width t) ~up:(Topology.leaf_upstream_width t)
+  >>= fun u_leaf ->
+  opt (uprule ~down:(Topology.spine_downstream_width t) ~up:(Topology.spine_upstream_width t))
+  >>= fun u_spine ->
+  opt (bitmap (Topology.core_downstream_width t)) >>= fun core ->
+  prules `Spine >>= fun d_spine ->
+  opt (bitmap (Topology.spine_downstream_width t)) >>= fun d_spine_default ->
+  prules `Leaf >>= fun d_leaf ->
+  opt (bitmap (Topology.leaf_downstream_width t)) >>= fun d_leaf_default ->
+  return
+    { Prule.u_leaf; u_spine; core; d_spine; d_spine_default; d_leaf; d_leaf_default }
+
+let arb_header t =
+  QCheck.make
+    ~print:(fun h -> Format.asprintf "%a" (Prule.pp t) h)
+    (gen_header t)
+
+let stages =
+  Header_codec.
+    [ Full; After_u_leaf; After_u_spine; After_core; After_d_spine ]
+
+let prop_roundtrip t name =
+  QCheck.Test.make ~name ~count:300 (arb_header t) (fun h ->
+      Header_codec.decode t (Header_codec.encode t h) = h)
+
+let prop_size_accounting t name =
+  QCheck.Test.make ~name ~count:300 (arb_header t) (fun h ->
+      Bytes.length (Header_codec.encode t h) = Prule.header_bytes t h)
+
+let prop_stage_sizes t name =
+  QCheck.Test.make ~name ~count:200 (arb_header t) (fun h ->
+      List.for_all
+        (fun stage ->
+          Bytes.length (Header_codec.encode_stage t stage h)
+          = (Header_codec.stage_bits t stage h + 7) / 8)
+        stages)
+
+let prop_stage_roundtrip t name =
+  (* Decoding a popped header recovers the remaining sections exactly. *)
+  QCheck.Test.make ~name ~count:200 (arb_header t) (fun h ->
+      let check stage =
+        let h' =
+          Header_codec.decode_stage t stage (Header_codec.encode_stage t stage h)
+        in
+        match stage with
+        | Header_codec.Full -> h' = h
+        | Header_codec.After_u_leaf ->
+            h'.Prule.u_spine = h.Prule.u_spine
+            && h'.Prule.core = h.Prule.core
+            && h'.Prule.d_spine = h.Prule.d_spine
+            && h'.Prule.d_leaf = h.Prule.d_leaf
+        | Header_codec.After_u_spine ->
+            h'.Prule.core = h.Prule.core && h'.Prule.d_leaf = h.Prule.d_leaf
+        | Header_codec.After_core ->
+            h'.Prule.core = None && h'.Prule.d_spine = h.Prule.d_spine
+        | Header_codec.After_d_spine ->
+            h'.Prule.d_spine = []
+            && h'.Prule.d_leaf = h.Prule.d_leaf
+            && h'.Prule.d_leaf_default = h.Prule.d_leaf_default
+      in
+      List.for_all check stages)
+
+let prop_parts_concat t name =
+  QCheck.Test.make ~name ~count:200 (arb_header t) (fun h ->
+      Header_codec.encode_per_rule_writes t h
+      = Bytes.concat Bytes.empty (Header_codec.encode_parts t h))
+
+let prop_popped_smaller t name =
+  QCheck.Test.make ~name ~count:200 (arb_header t) (fun h ->
+      let size stage = Bytes.length (Header_codec.encode_stage t stage h) in
+      size Header_codec.Full >= size Header_codec.After_u_leaf
+      && size Header_codec.After_u_leaf >= size Header_codec.After_u_spine
+      && size Header_codec.After_u_spine >= size Header_codec.After_core
+      && size Header_codec.After_core >= size Header_codec.After_d_spine)
+
+let test_empty_rule_list_rejected () =
+  let bad =
+    {
+      Prule.u_leaf =
+        {
+          Prule.down = Bitmap.create (Topology.leaf_downstream_width topo);
+          up = Bitmap.create (Topology.leaf_upstream_width topo);
+          multipath = false;
+        };
+      u_spine = None;
+      core = None;
+      d_spine = [];
+      d_spine_default = None;
+      d_leaf = [ { Prule.bitmap = Bitmap.create 8; switches = [] } ];
+      d_leaf_default = None;
+    }
+  in
+  Alcotest.check_raises "empty switches"
+    (Invalid_argument "Header_codec: p-rule with no switch identifiers") (fun () ->
+      ignore (Header_codec.encode topo bad))
+
+let test_wrong_width_rejected () =
+  let bad =
+    {
+      Prule.u_leaf =
+        {
+          Prule.down = Bitmap.create 3;
+          up = Bitmap.create (Topology.leaf_upstream_width topo);
+          multipath = false;
+        };
+      u_spine = None;
+      core = None;
+      d_spine = [];
+      d_spine_default = None;
+      d_leaf = [];
+      d_leaf_default = None;
+    }
+  in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Header_codec: upstream rule width mismatch") (fun () ->
+      ignore (Header_codec.encode topo bad))
+
+let test_truncated_decode_raises () =
+  let enc, _ =
+    let tree = Tree.of_members topo [ 0; 1; 12; 42 ] in
+    let srules = Srule_state.create topo ~fmax:10 in
+    (Encoding.encode Params.default srules tree, srules)
+  in
+  let hd = Encoding.header_for_sender enc ~sender:0 in
+  let bytes = Header_codec.encode topo hd in
+  let truncated = Bytes.sub bytes 0 (Bytes.length bytes - 1) in
+  Alcotest.check_raises "truncated" Bitio.Reader.Truncated (fun () ->
+      ignore (Header_codec.decode topo truncated))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest (prop_roundtrip topo "roundtrip (example topo)");
+    QCheck_alcotest.to_alcotest (prop_roundtrip fabric "roundtrip (fabric)");
+    QCheck_alcotest.to_alcotest
+      (prop_size_accounting topo "size accounting (example topo)");
+    QCheck_alcotest.to_alcotest (prop_size_accounting fabric "size accounting (fabric)");
+    QCheck_alcotest.to_alcotest (prop_stage_sizes topo "stage sizes (example topo)");
+    QCheck_alcotest.to_alcotest (prop_stage_roundtrip topo "stage roundtrip");
+    QCheck_alcotest.to_alcotest (prop_parts_concat topo "parts concat = per-rule bytes");
+    QCheck_alcotest.to_alcotest (prop_popped_smaller topo "popping shrinks the wire");
+    Alcotest.test_case "empty rule list rejected" `Quick test_empty_rule_list_rejected;
+    Alcotest.test_case "wrong width rejected" `Quick test_wrong_width_rejected;
+    Alcotest.test_case "truncated decode raises" `Quick test_truncated_decode_raises;
+  ]
+
+(* Robustness: arbitrary bytes from the wire either decode or raise
+   [Truncated] — no other exception can escape the parser. *)
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"decode of random bytes is total (or Truncated)"
+    ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s ->
+      match Header_codec.decode topo (Bytes.of_string s) with
+      | (_ : Prule.header) -> true
+      | exception Bitio.Reader.Truncated -> true)
+
+let prop_decode_stage_never_crashes =
+  QCheck.Test.make ~name:"stage decode of random bytes is total (or Truncated)"
+    ~count:500
+    QCheck.(pair (int_range 0 4) (string_of_size Gen.(int_range 0 64)))
+    (fun (stage_idx, s) ->
+      let stage = List.nth stages stage_idx in
+      match Header_codec.decode_stage topo stage (Bytes.of_string s) with
+      | (_ : Prule.header) -> true
+      | exception Bitio.Reader.Truncated -> true)
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_decode_never_crashes;
+      QCheck_alcotest.to_alcotest prop_decode_stage_never_crashes;
+    ]

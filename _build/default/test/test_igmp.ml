@@ -1,0 +1,146 @@
+let ip = 0xEF010101l
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun msg_type ->
+      let m = { Igmp.msg_type; max_resp_time = 100; group = ip } in
+      match Igmp.decode (Igmp.encode m) with
+      | Ok m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | Error e -> Alcotest.fail e)
+    Igmp.[ Membership_query; Membership_report_v1; Membership_report_v2; Leave_group ]
+
+let test_codec_rejects () =
+  Alcotest.(check bool) "short" true (Igmp.decode (Bytes.make 7 'x') = Error "IGMPv2 message must be 8 bytes");
+  let b = Igmp.encode { Igmp.msg_type = Igmp.Leave_group; max_resp_time = 0; group = ip } in
+  let corrupted = Bytes.copy b in
+  Bytes.set corrupted 5 '\xFF';
+  Alcotest.(check bool) "checksum" true (Igmp.decode corrupted = Error "bad IGMP checksum");
+  let unknown = Bytes.copy b in
+  Bytes.set unknown 0 '\x99';
+  (* fix the checksum so only the type is wrong *)
+  Bytes.set unknown 2 '\000';
+  Bytes.set unknown 3 '\000';
+  let c = Igmp.checksum unknown in
+  Bytes.set unknown 2 (Char.chr (c lsr 8));
+  Bytes.set unknown 3 (Char.chr (c land 0xFF));
+  Alcotest.(check bool) "unknown type" true (Igmp.decode unknown = Error "unknown IGMP type")
+
+let test_known_bytes () =
+  (* Leave 239.1.1.1: 17 00 | csum | EF 01 01 01. Checksum over
+     0x1700 + 0xEF01 + 0x0101 = 0x10702, folded 0x0703; complement 0xF8FC. *)
+  let b = Igmp.encode { Igmp.msg_type = Igmp.Leave_group; max_resp_time = 0; group = ip } in
+  Alcotest.(check string) "wire bytes" "\x17\x00\xf8\xfc\xef\x01\x01\x01"
+    (Bytes.to_string b)
+
+let world () =
+  let topo = Topology.running_example () in
+  let rng = Rng.create 5 in
+  let placement =
+    Vm_placement.place rng topo ~strategy:(Vm_placement.Pack_up_to 2)
+      ~host_capacity:20 ~tenant_sizes:[| 12; 10 |]
+  in
+  let ctrl = Controller.create topo Params.default in
+  let api = Tenant_api.create ctrl placement ~quota_per_tenant:8 in
+  (Igmp.Snooper.create api, api, ctrl)
+
+let report group =
+  Igmp.encode { Igmp.msg_type = Igmp.Membership_report_v2; max_resp_time = 0; group }
+
+let leave group =
+  Igmp.encode { Igmp.msg_type = Igmp.Leave_group; max_resp_time = 0; group }
+
+let query =
+  Igmp.encode { Igmp.msg_type = Igmp.Membership_query; max_resp_time = 100; group = 0l }
+
+let test_snooper_join_leave () =
+  let snooper, api, ctrl = world () in
+  ignore (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  (match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both (report ip) with
+  | Igmp.Snooper.Joined _ -> ()
+  | _ -> Alcotest.fail "expected Joined");
+  (match Igmp.Snooper.handle snooper ~tenant:0 ~vm:1 ~role:Controller.Receiver (report ip) with
+  | Igmp.Snooper.Joined _ -> ()
+  | _ -> Alcotest.fail "expected Joined");
+  let id = Option.get (Tenant_api.group_id api ~tenant:0 ~address:ip) in
+  Alcotest.(check int) "controller membership" 2
+    (List.length (Controller.members ctrl ~group:id));
+  Alcotest.(check (list int32)) "snooper state" [ ip ]
+    (Igmp.Snooper.membership snooper ~tenant:0 ~vm:0);
+  (* Refresh reports are absorbed, not re-joined. *)
+  (match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both (report ip) with
+  | Igmp.Snooper.Ignored _ -> ()
+  | _ -> Alcotest.fail "refresh must be ignored");
+  (match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both (leave ip) with
+  | Igmp.Snooper.Left _ -> ()
+  | _ -> Alcotest.fail "expected Left");
+  Alcotest.(check int) "one member left" 1
+    (List.length (Controller.members ctrl ~group:id));
+  Alcotest.(check (list int32)) "snooper cleared" []
+    (Igmp.Snooper.membership snooper ~tenant:0 ~vm:0)
+
+let test_snooper_absorbs_queries () =
+  let snooper, _, _ = world () in
+  match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both query with
+  | Igmp.Snooper.Ignored reason ->
+      Alcotest.(check string) "absorbed" "query answered from snooping state" reason
+  | _ -> Alcotest.fail "queries must not reach the controller"
+
+let test_snooper_unknown_group () =
+  let snooper, _, _ = world () in
+  match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both (report ip) with
+  | Igmp.Snooper.Ignored reason ->
+      Alcotest.(check string) "group must pre-exist" "no such group" reason
+  | _ -> Alcotest.fail "expected Ignored"
+
+let test_snooper_leave_nonmember () =
+  let snooper, api, _ = world () in
+  ignore (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  match Igmp.Snooper.handle snooper ~tenant:0 ~vm:0 ~role:Controller.Both (leave ip) with
+  | Igmp.Snooper.Ignored "not a member" -> ()
+  | _ -> Alcotest.fail "expected Ignored"
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"igmp codec roundtrips" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 0xFFFFFF))
+    (fun (resp, low) ->
+      let m =
+        {
+          Igmp.msg_type = Igmp.Membership_report_v2;
+          max_resp_time = resp;
+          group = Int32.logor 0xE0000000l (Int32.of_int low);
+        }
+      in
+      Igmp.decode (Igmp.encode m) = Ok m)
+
+let tests =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec rejects" `Quick test_codec_rejects;
+    Alcotest.test_case "known wire bytes" `Quick test_known_bytes;
+    Alcotest.test_case "snooper join/leave" `Quick test_snooper_join_leave;
+    Alcotest.test_case "snooper absorbs queries" `Quick test_snooper_absorbs_queries;
+    Alcotest.test_case "snooper unknown group" `Quick test_snooper_unknown_group;
+    Alcotest.test_case "snooper leave non-member" `Quick test_snooper_leave_nonmember;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+  ]
+
+let test_soft_state_expiry () =
+  let snooper, api, ctrl = world () in
+  ignore (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  ignore (Igmp.Snooper.handle ~now:0.0 snooper ~tenant:0 ~vm:0 ~role:Controller.Both (report ip));
+  ignore (Igmp.Snooper.handle ~now:0.0 snooper ~tenant:0 ~vm:1 ~role:Controller.Both (report ip));
+  (* VM 0 refreshes at t=100, VM 1 goes silent. *)
+  ignore (Igmp.Snooper.handle ~now:100.0 snooper ~tenant:0 ~vm:0 ~role:Controller.Both (report ip));
+  let expired = Igmp.Snooper.expire snooper ~now:160.0 ~ttl:125.0 in
+  Alcotest.(check (list (triple int int int32))) "only the silent VM expires"
+    [ (0, 1, ip) ] expired;
+  let id = Option.get (Tenant_api.group_id api ~tenant:0 ~address:ip) in
+  Alcotest.(check int) "controller membership shrank" 1
+    (List.length (Controller.members ctrl ~group:id));
+  Alcotest.(check (list int32)) "refreshed VM keeps its membership" [ ip ]
+    (Igmp.Snooper.membership snooper ~tenant:0 ~vm:0);
+  Alcotest.(check (list (triple int int int32))) "idempotent" []
+    (Igmp.Snooper.expire snooper ~now:160.0 ~ttl:125.0)
+
+let tests =
+  tests @ [ Alcotest.test_case "soft-state expiry" `Quick test_soft_state_expiry ]

@@ -1,0 +1,77 @@
+(* Coverage for small public utilities: pretty-printers, update-set algebra,
+   and multi-datacenter fan-out beyond two sites. *)
+
+let topo = Topology.running_example ()
+
+let test_update_algebra () =
+  let a = { Controller.hypervisors = [ 3; 1 ]; leaves = [ 5 ]; pods = [ 0 ] } in
+  let b = { Controller.hypervisors = [ 1; 2 ]; leaves = []; pods = [ 0; 2 ] } in
+  let m = Controller.merge_updates a b in
+  Alcotest.(check (list int)) "hypervisors merged sorted" [ 1; 2; 3 ]
+    m.Controller.hypervisors;
+  Alcotest.(check (list int)) "pods deduplicated" [ 0; 2 ] m.Controller.pods;
+  let m0 = Controller.merge_updates Controller.no_updates a in
+  Alcotest.(check (list int)) "identity" [ 1; 3 ] m0.Controller.hypervisors;
+  (* A pod update touches every physical spine of the pod. *)
+  Alcotest.(check int) "spine update count"
+    (2 * topo.Topology.spines_per_pod)
+    (Controller.spine_update_count topo m)
+
+let test_pretty_printers () =
+  let tree = Tree.of_members topo [ 0; 1; 42 ] in
+  let srules = Srule_state.create topo ~fmax:10 in
+  let enc = Encoding.encode Params.default srules tree in
+  let header = Encoding.header_for_sender enc ~sender:0 in
+  let rendered = Format.asprintf "%a" (Prule.pp topo) header in
+  Alcotest.(check bool) "header pp shows sections" true
+    (String.length rendered > 40
+    && Astring.String.is_infix ~affix:"u-leaf" rendered
+    && Astring.String.is_infix ~affix:"d-leaf" rendered);
+  let topo_s = Format.asprintf "%a" Topology.pp topo in
+  Alcotest.(check bool) "topology pp" true
+    (Astring.String.is_infix ~affix:"hosts=64" topo_s);
+  let params_s = Format.asprintf "%a" Params.pp Params.default in
+  Alcotest.(check bool) "params pp shows budget" true
+    (Astring.String.is_infix ~affix:"budget 325B" params_s);
+  let fabric = Fabric.create topo in
+  Fabric.install_encoding fabric ~group:1 enc;
+  let report = Fabric.inject fabric ~sender:0 ~group:1 ~header ~payload:10 in
+  let trace_s = Format.asprintf "%a" Fabric.pp_trace report.Fabric.trace in
+  Alcotest.(check bool) "trace pp" true
+    (Astring.String.is_infix ~affix:"host 0 -> leaf 0" trace_s)
+
+let test_multidc_three_sites () =
+  let dcs = List.init 3 (fun _ -> Fabric.create topo) in
+  let m = Multidc.create Params.default dcs in
+  Multidc.add_group m ~group:5
+    [ (0, 0); (0, 9); (1, 3); (1, 20); (2, 7); (2, 60) ];
+  let report = Multidc.send m ~group:5 ~sender_dc:1 ~sender:3 in
+  Alcotest.(check int) "two WAN unicasts" 2 report.Multidc.wan_unicasts;
+  Alcotest.(check bool) "all nine... six members exactly once" true
+    (Multidc.deliveries_correct m ~group:5 ~sender_dc:1 ~sender:3 report)
+
+let test_tree_validate_and_ecmp_ranges () =
+  Topology.validate topo;
+  let fabric_topo = Topology.facebook_fabric () in
+  for g = 0 to 50 do
+    let hash = Ecmp.flow_hash ~group:g ~sender:(g * 31) in
+    Alcotest.(check bool) "hash non-negative" true (hash >= 0);
+    let plane = Ecmp.spine_choice fabric_topo ~hash in
+    Alcotest.(check bool) "plane in range" true
+      (plane >= 0 && plane < fabric_topo.Topology.spines_per_pod);
+    let core = Ecmp.core_choice fabric_topo ~hash ~plane in
+    Alcotest.(check bool) "core in its plane" true
+      (core / fabric_topo.Topology.cores_per_plane = plane)
+  done;
+  let tt = Topology.leaf_spine ~leaves:4 ~spines:2 ~hosts_per_leaf:4 in
+  Alcotest.check_raises "no cores on two-tier"
+    (Invalid_argument "Ecmp.core_choice: two-tier topology has no cores")
+    (fun () -> ignore (Ecmp.core_choice tt ~hash:7 ~plane:0))
+
+let tests =
+  [
+    Alcotest.test_case "update-set algebra" `Quick test_update_algebra;
+    Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+    Alcotest.test_case "multi-DC with three sites" `Quick test_multidc_three_sites;
+    Alcotest.test_case "validate and ECMP ranges" `Quick test_tree_validate_and_ecmp_ranges;
+  ]

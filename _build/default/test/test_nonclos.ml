@@ -1,0 +1,172 @@
+let xp = Graph_topology.xpander ~switches:60 ~degree:6 ~hosts_per_switch:4
+let jf = Graph_topology.jellyfish (Rng.create 5) ~switches:60 ~degree:6 ~hosts_per_switch:4
+
+let test_construction () =
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check bool) (name ^ " regular simple graph") true
+        (Graph_topology.is_regular t);
+      Alcotest.(check int) (name ^ " hosts") 240 (Graph_topology.num_hosts t);
+      Alcotest.(check int) (name ^ " port width") 10 (Graph_topology.port_width t);
+      (* Adjacency is symmetric: b is a neighbour of a iff a of b. *)
+      for s = 0 to t.Graph_topology.num_switches - 1 do
+        Array.iter
+          (fun n ->
+            Alcotest.(check bool) "symmetric adjacency" true
+              (Array.mem s t.Graph_topology.adj.(n)))
+          t.Graph_topology.adj.(s)
+      done)
+    [ ("xpander", xp); ("jellyfish", jf) ]
+
+let test_xpander_symmetry () =
+  (* Vertex-transitivity of the circulant: the offset of port p is the same
+     at every switch. *)
+  let n = xp.Graph_topology.num_switches in
+  for port = 0 to xp.Graph_topology.degree - 1 do
+    let offset_at s = (xp.Graph_topology.adj.(s).(port) - s + n) mod n in
+    let o0 = offset_at 0 in
+    for s = 1 to n - 1 do
+      Alcotest.(check int) "same offset everywhere" o0 (offset_at s)
+    done
+  done
+
+let test_xpander_low_diameter () =
+  (* Geometric offsets give a far smaller eccentricity than the ring. *)
+  let parents = Graph_topology.bfs_parents xp ~root:0 in
+  let depth = Array.make xp.Graph_topology.num_switches 0 in
+  let rec d s = if parents.(s) < 0 then 0 else (if depth.(s) > 0 then depth.(s) else (depth.(s) <- 1 + d parents.(s); depth.(s))) in
+  let ecc = Array.fold_left max 0 (Array.init xp.Graph_topology.num_switches d) in
+  Alcotest.(check bool) (Printf.sprintf "eccentricity %d small" ecc) true (ecc <= 8)
+
+let test_mappings () =
+  Alcotest.(check int) "switch of host" 3 (Graph_topology.switch_of_host xp 13);
+  Alcotest.(check int) "host port" (6 + 1) (Graph_topology.host_port xp 13);
+  Alcotest.(check int) "neighbour/port inverse" 2
+    (Graph_topology.port_towards xp ~switch:0
+       ~neighbour:(Graph_topology.neighbour xp ~switch:0 ~port:2))
+
+let test_bfs_parents_valid () =
+  List.iter
+    (fun t ->
+      let parents = Graph_topology.bfs_parents t ~root:7 in
+      Alcotest.(check int) "root parent" (-1) parents.(7);
+      Array.iteri
+        (fun s p ->
+          if s <> 7 then
+            Alcotest.(check bool) "parent is adjacent" true
+              (Array.mem p t.Graph_topology.adj.(s)))
+        parents)
+    [ xp; jf ]
+
+let test_nearest_switches () =
+  let near = Graph_topology.nearest_switches xp ~root:5 7 in
+  Alcotest.(check int) "count" 7 (List.length near);
+  Alcotest.(check int) "root first" 5 (List.hd near);
+  Alcotest.(check int) "distinct" 7 (List.length (List.sort_uniq compare near))
+
+let test_flat_tree_covers_members () =
+  let members = [ 0; 17; 55; 120; 239 ] in
+  let tree = Flat_encoding.Flat_tree.of_members xp ~root:0 members in
+  (* Every member's host port is set on its switch. *)
+  List.iter
+    (fun h ->
+      let s = Graph_topology.switch_of_host xp h in
+      let bm = List.assoc s tree.Flat_encoding.Flat_tree.bitmaps in
+      Alcotest.(check bool) "host port set" true
+        (Bitmap.get bm (Graph_topology.host_port xp h)))
+    members;
+  (* Walking the tree from the root reaches every member: simulate. *)
+  let delivered = ref [] in
+  let rec walk s =
+    match List.assoc_opt s tree.Flat_encoding.Flat_tree.bitmaps with
+    | None -> ()
+    | Some bm ->
+        Bitmap.iter
+          (fun port ->
+            if port < xp.Graph_topology.degree then
+              walk (Graph_topology.neighbour xp ~switch:s ~port)
+            else
+              delivered :=
+                ((s * xp.Graph_topology.hosts_per_switch)
+                + (port - xp.Graph_topology.degree))
+                :: !delivered)
+          bm
+  in
+  walk 0;
+  Alcotest.(check (list int)) "all members delivered exactly once"
+    (List.sort compare members)
+    (List.sort compare !delivered)
+
+let test_flat_tree_transmissions () =
+  (* Single member on the root switch: uplink + delivery = 2. *)
+  let tree = Flat_encoding.Flat_tree.of_members xp ~root:0 [ 1 ] in
+  Alcotest.(check int) "minimal tree" 2 (Flat_encoding.Flat_tree.transmissions tree)
+
+let test_flat_encoding_partition () =
+  let members = List.init 30 (fun i -> (i * 7) mod 240) |> List.sort_uniq compare in
+  let tree = Flat_encoding.Flat_tree.of_members jf ~root:2 members in
+  let enc = Flat_encoding.encode ~r:6 ~hmax:4 jf tree in
+  let ids =
+    List.concat_map (fun r -> r.Prule.switches) enc.Flat_encoding.rules.Clustering.prules
+    @ (match enc.Flat_encoding.rules.Clustering.default with
+      | Some (ids, _) -> ids
+      | None -> [])
+  in
+  Alcotest.(check (list int)) "every tree switch assigned"
+    (List.map fst tree.Flat_encoding.Flat_tree.bitmaps)
+    (List.sort compare ids);
+  Alcotest.(check bool) "header bits positive" true (Flat_encoding.header_bits enc > 0);
+  Alcotest.(check int) "bytes = ceil bits/8"
+    ((Flat_encoding.header_bits enc + 7) / 8)
+    (Flat_encoding.header_bytes enc)
+
+let test_invalid () =
+  Alcotest.check_raises "odd degree"
+    (Invalid_argument "Graph_topology.xpander: degree must be even") (fun () ->
+      ignore (Graph_topology.xpander ~switches:10 ~degree:3 ~hosts_per_switch:1));
+  Alcotest.check_raises "degree too large"
+    (Invalid_argument "Graph_topology: degree >= switches") (fun () ->
+      ignore (Graph_topology.xpander ~switches:4 ~degree:4 ~hosts_per_switch:1));
+  Alcotest.check_raises "empty members"
+    (Invalid_argument "Flat_tree.of_members: empty group") (fun () ->
+      ignore (Flat_encoding.Flat_tree.of_members xp ~root:0 []))
+
+let test_experiment_runs () =
+  let results =
+    Nonclos_exp.run ~switches:60 ~degree:6 ~hosts_per_switch:4 ~groups:60 ()
+  in
+  Alcotest.(check int) "two topologies" 2 (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "all groups measured" 60 r.Nonclos_exp.groups;
+      Alcotest.(check bool) "sharing >= 1" true (r.Nonclos_exp.sharing.Stats.mean >= 1.0))
+    results
+
+let prop_jellyfish_seeds_differ =
+  QCheck.Test.make ~name:"different seeds give different jellyfish graphs" ~count:10
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let g1 = Graph_topology.jellyfish (Rng.create a) ~switches:30 ~degree:4 ~hosts_per_switch:1 in
+      let g2 = Graph_topology.jellyfish (Rng.create b) ~switches:30 ~degree:4 ~hosts_per_switch:1 in
+      let norm g =
+        Array.map (fun row -> List.sort compare (Array.to_list row)) g.Graph_topology.adj
+      in
+      Graph_topology.is_regular g1 && Graph_topology.is_regular g2
+      && norm g1 <> norm g2)
+
+let tests =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "xpander symmetry" `Quick test_xpander_symmetry;
+    Alcotest.test_case "xpander low diameter" `Quick test_xpander_low_diameter;
+    Alcotest.test_case "host mappings" `Quick test_mappings;
+    Alcotest.test_case "bfs parents valid" `Quick test_bfs_parents_valid;
+    Alcotest.test_case "nearest switches" `Quick test_nearest_switches;
+    Alcotest.test_case "flat tree covers members" `Quick test_flat_tree_covers_members;
+    Alcotest.test_case "flat tree transmissions" `Quick test_flat_tree_transmissions;
+    Alcotest.test_case "flat encoding partition" `Quick test_flat_encoding_partition;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid;
+    Alcotest.test_case "experiment runs" `Quick test_experiment_runs;
+    QCheck_alcotest.to_alcotest prop_jellyfish_seeds_differ;
+  ]

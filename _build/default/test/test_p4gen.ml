@@ -1,0 +1,185 @@
+let topo = Topology.running_example ()
+let fabric = Topology.facebook_fabric ()
+let params = Params.default
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let balanced_braces s =
+  let depth = ref 0 in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let leaf_prog = P4gen.network_switch_program topo params ~role:P4gen.Leaf ~switch_id:0
+let spine_prog = P4gen.network_switch_program topo params ~role:P4gen.Spine ~switch_id:2
+let core_prog = P4gen.network_switch_program topo params ~role:P4gen.Core ~switch_id:0
+let hv_prog = P4gen.hypervisor_switch_program topo params
+
+let test_structure () =
+  List.iter
+    (fun (name, prog) ->
+      Alcotest.(check bool) (name ^ " braces balanced") true (balanced_braces prog);
+      Alcotest.(check bool) (name ^ " has banner") true
+        (contains ~needle:"GENERATED, DO NOT EDIT" prog);
+      Alcotest.(check bool) (name ^ " includes v1model") true
+        (contains ~needle:"#include <v1model.p4>" prog))
+    [
+      ("leaf", leaf_prog);
+      ("spine", spine_prog);
+      ("core", core_prog);
+      ("hypervisor", hv_prog);
+    ]
+
+let test_switch_id_baked_in () =
+  Alcotest.(check bool) "leaf id" true (contains ~needle:"#define SWITCH_ID 0" leaf_prog);
+  Alcotest.(check bool) "spine id" true
+    (contains ~needle:"#define SWITCH_ID 2" spine_prog)
+
+let test_parser_unrolls_to_hmax () =
+  (* The leaf parser must walk up to hmax_leaf rules — one extract state and
+     one matched state per rule slot. *)
+  Alcotest.(check int) "leaf rule states" params.Params.hmax_leaf
+    (count_occurrences ~needle:"state parse_d_leaf_" leaf_prog
+    - 3 (* overflow + default + default_rule states share the prefix *));
+  Alcotest.(check int) "matched states" params.Params.hmax_leaf
+    (count_occurrences ~needle:"state matched_d_leaf_" leaf_prog);
+  Alcotest.(check int) "spine rule states" params.Params.hmax_spine
+    (count_occurrences ~needle:"state parse_d_spine_" spine_prog - 3)
+
+let test_kmax_identifier_slots () =
+  (* Each rule header carries kmax identifier fields. *)
+  let hdrs = P4gen.header_definitions topo params in
+  for k = 0 to params.Params.kmax - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "id%d present" k)
+      true
+      (contains ~needle:(Printf.sprintf "id%d;" k) hdrs)
+  done;
+  Alcotest.(check bool) "no extra id" false
+    (contains ~needle:(Printf.sprintf "id%d;" params.Params.kmax) hdrs)
+
+let test_topology_widths_baked_in () =
+  let hdrs = P4gen.header_definitions topo params in
+  (* Running example: 8 host ports per leaf, 2 leaves per pod, 4 pods. *)
+  Alcotest.(check bool) "leaf bitmap width 8" true (contains ~needle:"bit<8> bitmap;" hdrs);
+  Alcotest.(check bool) "core bitmap width 4" true (contains ~needle:"bit<4> bitmap;" hdrs);
+  let fhdrs = P4gen.header_definitions fabric params in
+  Alcotest.(check bool) "fabric leaf bitmap width 48" true
+    (contains ~needle:"bit<48> bitmap;" fhdrs);
+  Alcotest.(check bool) "fabric leaf id width 10" true
+    (contains ~needle:"bit<10> id0;" fhdrs)
+
+let test_role_sections () =
+  Alcotest.(check bool) "leaf parses u_leaf" true
+    (contains ~needle:"state parse_u_leaf" leaf_prog);
+  Alcotest.(check bool) "leaf never parses u_spine" false
+    (contains ~needle:"state parse_u_spine" leaf_prog);
+  Alcotest.(check bool) "spine parses u_spine" true
+    (contains ~needle:"state parse_u_spine" spine_prog);
+  Alcotest.(check bool) "core parses the core rule" true
+    (contains ~needle:"state parse_core" core_prog);
+  Alcotest.(check bool) "core has no rule walk" false
+    (contains ~needle:"state parse_d_spine_0" core_prog);
+  Alcotest.(check bool) "ingress uses bitmap_port_select" true
+    (contains ~needle:"bitmap_port_select(meta.bitmap);" leaf_prog);
+  Alcotest.(check bool) "group-table fallback" true
+    (contains ~needle:"srules.apply().hit" leaf_prog);
+  Alcotest.(check bool) "s-rule table sized by Fmax" true
+    (contains ~needle:(Printf.sprintf "size = %d;" params.Params.fmax) leaf_prog)
+
+let test_egress_pops_layers () =
+  Alcotest.(check bool) "leaf pops u_leaf upstream" true
+    (contains ~needle:"hdr.u_leaf.setInvalid();" leaf_prog);
+  Alcotest.(check bool) "spine advances the stage" true
+    (contains ~needle:"hdr.tag.stage = STAGE_AFTER_D_SPINE;" spine_prog);
+  Alcotest.(check bool) "core pops its rule" true
+    (contains ~needle:"hdr.core.setInvalid();" core_prog)
+
+let test_deterministic () =
+  Alcotest.(check bool) "same inputs, same program" true
+    (String.equal leaf_prog
+       (P4gen.network_switch_program topo params ~role:P4gen.Leaf ~switch_id:0))
+
+let test_invalid_ids () =
+  Alcotest.check_raises "leaf id out of range"
+    (Invalid_argument "P4gen: switch_id out of range for role") (fun () ->
+      ignore
+        (P4gen.network_switch_program topo params ~role:P4gen.Leaf
+           ~switch_id:(Topology.num_leaves topo)));
+  Alcotest.check_raises "core id out of range"
+    (Invalid_argument "P4gen: switch_id out of range for role") (fun () ->
+      ignore (P4gen.network_switch_program topo params ~role:P4gen.Core ~switch_id:1))
+
+let test_deparser_emits_stack () =
+  Alcotest.(check bool) "deparser present" true
+    (contains ~needle:"control ElmoDeparser" leaf_prog);
+  Alcotest.(check bool) "emits the rule stack" true
+    (contains ~needle:"packet.emit(hdr.d_leaf);" leaf_prog);
+  Alcotest.(check bool) "package instantiation" true
+    (contains ~needle:"V1Switch(" leaf_prog)
+
+let test_hypervisor_program () =
+  Alcotest.(check bool) "single-write encapsulation action" true
+    (contains ~needle:"push_elmo_header" hv_prog);
+  Alcotest.(check bool) "flow table present" true
+    (contains ~needle:"table multicast_flows" hv_prog)
+
+let tests =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "switch id baked in" `Quick test_switch_id_baked_in;
+    Alcotest.test_case "parser unrolls to hmax" `Quick test_parser_unrolls_to_hmax;
+    Alcotest.test_case "kmax identifier slots" `Quick test_kmax_identifier_slots;
+    Alcotest.test_case "topology widths baked in" `Quick test_topology_widths_baked_in;
+    Alcotest.test_case "role sections" `Quick test_role_sections;
+    Alcotest.test_case "egress pops layers" `Quick test_egress_pops_layers;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "deparser emits stack" `Quick test_deparser_emits_stack;
+    Alcotest.test_case "invalid ids" `Quick test_invalid_ids;
+    Alcotest.test_case "hypervisor program" `Quick test_hypervisor_program;
+  ]
+
+let test_runtime_entries () =
+  (* Force s-rules on the Figure 3 group and check the emitted commands. *)
+  let tree =
+    Tree.of_members topo
+      [ 0; 1; 42; 52; 53; 63 ]
+  in
+  let p = Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None () in
+  let srules = Srule_state.create topo ~fmax:10 in
+  let enc = Encoding.encode p srules tree in
+  let out = P4gen.runtime_entries topo ~group:7 enc in
+  Alcotest.(check bool) "one line per physical entry" true
+    (count_occurrences ~needle:"table_add srules set_mgid 7" out
+    = Encoding.srule_entries enc);
+  Alcotest.(check bool) "pod rules hit every pod spine" true
+    (count_occurrences ~needle:"switch spine-" out
+    = List.length enc.Encoding.d_spine.Clustering.srules
+      * topo.Topology.spines_per_pod);
+  (* A pure-p-rule group needs no entries at all. *)
+  let srules2 = Srule_state.create topo ~fmax:10 in
+  let enc2 = Encoding.encode Params.default srules2 tree in
+  Alcotest.(check int) "no entries when covered" 0
+    (count_occurrences ~needle:"table_add" (P4gen.runtime_entries topo ~group:8 enc2))
+
+let tests =
+  tests @ [ Alcotest.test_case "runtime entries" `Quick test_runtime_entries ]

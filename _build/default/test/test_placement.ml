@@ -1,0 +1,209 @@
+let topo = Topology.running_example ()
+
+let test_tenant_size_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 2_000 do
+    let s = Vm_placement.tenant_size_sample rng ~min:10 ~mean:135.5 ~max:5000 in
+    Alcotest.(check bool) "clamped" true (s >= 10 && s <= 5000)
+  done
+
+let test_tenant_size_median () =
+  let rng = Rng.create 2 in
+  let sizes = Vm_placement.default_tenant_sizes rng 20_000 in
+  let sorted = Array.map float_of_int sizes in
+  Array.sort compare sorted;
+  let median = Stats.percentile sorted 0.5 in
+  (* Calibrated to the paper's published median of 97. *)
+  Alcotest.(check bool) "median near 97" true (abs_float (median -. 97.0) < 10.0)
+
+let place ?(seed = 3) ~strategy sizes =
+  let rng = Rng.create seed in
+  Vm_placement.place rng topo ~strategy ~host_capacity:20
+    ~tenant_sizes:(Array.of_list sizes)
+
+let test_distinct_hosts_per_tenant () =
+  let p = place ~strategy:(Vm_placement.Pack_up_to 4) [ 30; 12; 25 ] in
+  Array.iter
+    (fun t ->
+      let hosts = Array.to_list t.Vm_placement.vm_hosts in
+      Alcotest.(check int) "no host reuse within tenant"
+        (List.length hosts)
+        (List.length (List.sort_uniq compare hosts)))
+    p.Vm_placement.tenants
+
+let test_all_vms_placed () =
+  let sizes = [ 30; 12; 25; 40 ] in
+  let p = place ~strategy:(Vm_placement.Pack_up_to 4) sizes in
+  Alcotest.(check int) "total placed" (List.fold_left ( + ) 0 sizes)
+    (Vm_placement.total_vms p);
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check int) "tenant size" (List.nth sizes i)
+        (Array.length t.Vm_placement.vm_hosts))
+    p.Vm_placement.tenants
+
+let test_host_capacity_respected () =
+  (* 64 hosts x capacity 2 = 128 slots; place 120 VMs. *)
+  let p = place ~strategy:Vm_placement.Unlimited ~seed:4 [ 60; 60 ] |> fun p ->
+    ignore p;
+    let rng = Rng.create 4 in
+    Vm_placement.place rng topo ~strategy:Vm_placement.Unlimited ~host_capacity:2
+      ~tenant_sizes:[| 60; 60 |]
+  in
+  Array.iter
+    (fun load -> Alcotest.(check bool) "load <= 2" true (load <= 2))
+    p.Vm_placement.host_load
+
+let test_rack_bound_respected () =
+  (* Running example: 8 leaves, 8 hosts each. P=2 with a 16-VM tenant fits
+     within the bound (8 leaves x 2), so no relaxation should occur. *)
+  let p = place ~strategy:(Vm_placement.Pack_up_to 2) [ 16 ] in
+  let tenant = p.Vm_placement.tenants.(0) in
+  let per_leaf = Hashtbl.create 8 in
+  Array.iter
+    (fun h ->
+      let l = Topology.leaf_of_host topo h in
+      Hashtbl.replace per_leaf l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_leaf l)))
+    tenant.Vm_placement.vm_hosts;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check bool) "at most P per rack" true (n <= 2))
+    per_leaf
+
+let test_rack_bound_relaxes_when_exhausted () =
+  (* P=1 with a 10-VM tenant on 8 racks must overflow the bound, not fail. *)
+  let p = place ~strategy:(Vm_placement.Pack_up_to 1) [ 10 ] in
+  Alcotest.(check int) "all placed" 10 (Vm_placement.total_vms p)
+
+let test_capacity_failure () =
+  Alcotest.check_raises "datacenter full"
+    (Failure "Vm_placement.place: datacenter cannot hold the requested VMs")
+    (fun () ->
+      let rng = Rng.create 5 in
+      ignore
+        (Vm_placement.place rng topo ~strategy:Vm_placement.Unlimited
+           ~host_capacity:1 ~tenant_sizes:[| 65 |]))
+
+let test_pod_locality_of_packing () =
+  (* A 16-VM tenant at P=12 fits under two leaves; pod-by-pod filling keeps
+     it within a single pod. *)
+  let p = place ~strategy:(Vm_placement.Pack_up_to 12) ~seed:6 [ 16 ] in
+  let pods =
+    Array.to_list p.Vm_placement.tenants.(0).Vm_placement.vm_hosts
+    |> List.map (Topology.pod_of_host topo)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "single pod" 1 (List.length pods)
+
+let test_strategy_parsing () =
+  Alcotest.(check bool) "P=3" true
+    (Vm_placement.strategy_of_string "3" = Some (Vm_placement.Pack_up_to 3));
+  Alcotest.(check bool) "all" true
+    (Vm_placement.strategy_of_string "all" = Some Vm_placement.Unlimited);
+  Alcotest.(check bool) "garbage" true (Vm_placement.strategy_of_string "x" = None);
+  Alcotest.(check bool) "zero" true (Vm_placement.strategy_of_string "0" = None)
+
+(* {1 Group-size distributions} *)
+
+let test_group_sizes_in_bounds () =
+  let rng = Rng.create 7 in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 2_000 do
+        let tenant_size = 5 + Rng.int rng 500 in
+        let s = Group_dist.sample rng kind ~tenant_size in
+        Alcotest.(check bool) "within [5, tenant]" true
+          (s >= Group_dist.min_size && s <= max Group_dist.min_size tenant_size)
+      done)
+    [ Group_dist.Wve; Group_dist.Uniform ]
+
+let test_wve_statistics () =
+  (* The base (127-node) WVE model must match the published statistics:
+     mean ~60, ~80% below 61 members. *)
+  let rng = Rng.create 8 in
+  let n = 100_000 in
+  let below_61 = ref 0 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let s = Group_dist.base_sample rng Group_dist.Wve in
+    if s < 61 then incr below_61;
+    sum := !sum + s
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  let frac = float_of_int !below_61 /. float_of_int n in
+  Alcotest.(check bool) "mean in [50,70]" true (mean > 50.0 && mean < 70.0);
+  Alcotest.(check bool) "fraction < 61 in [0.75,0.85]" true
+    (frac > 0.75 && frac < 0.85)
+
+let test_kind_parsing () =
+  Alcotest.(check bool) "wve" true (Group_dist.kind_of_string "wve" = Some Group_dist.Wve);
+  Alcotest.(check bool) "Uniform" true
+    (Group_dist.kind_of_string "Uniform" = Some Group_dist.Uniform);
+  Alcotest.(check bool) "bad" true (Group_dist.kind_of_string "zipf" = None)
+
+(* {1 Workload generation} *)
+
+let test_groups_per_tenant_sums () =
+  let counts = Workload.groups_per_tenant ~total_groups:100 ~tenant_sizes:[| 10; 30; 60 |] in
+  Alcotest.(check int) "sums to total" 100 (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check (array int)) "proportional" [| 10; 30; 60 |] counts
+
+let test_groups_per_tenant_remainders () =
+  let counts = Workload.groups_per_tenant ~total_groups:10 ~tenant_sizes:[| 1; 1; 1 |] in
+  Alcotest.(check int) "sums to total" 10 (Array.fold_left ( + ) 0 counts);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "within 1 of fair share" true (c >= 3 && c <= 4))
+    counts
+
+let test_workload_members_valid () =
+  let rng = Rng.create 9 in
+  let p = place ~strategy:(Vm_placement.Pack_up_to 4) ~seed:10 [ 40; 30 ] in
+  let groups = Workload.generate rng p ~kind:Group_dist.Wve ~total_groups:50 in
+  Alcotest.(check int) "group count" 50 (Array.length groups);
+  Array.iter
+    (fun g ->
+      let tenant = p.Vm_placement.tenants.(g.Workload.tenant_id) in
+      let tenant_hosts = Array.to_list tenant.Vm_placement.vm_hosts in
+      let members = Array.to_list g.Workload.member_hosts in
+      Alcotest.(check bool) "members at least minimum" true
+        (List.length members >= Group_dist.min_size || List.length members = List.length tenant_hosts);
+      Alcotest.(check int) "members distinct" (List.length members)
+        (List.length (List.sort_uniq compare members));
+      List.iter
+        (fun m ->
+          Alcotest.(check bool) "member is a tenant VM host" true
+            (List.mem m tenant_hosts))
+        members)
+    groups
+
+let test_iter_matches_generate () =
+  let p = place ~strategy:(Vm_placement.Pack_up_to 4) ~seed:11 [ 40; 30 ] in
+  let a = Workload.generate (Rng.create 12) p ~kind:Group_dist.Wve ~total_groups:30 in
+  let b = ref [] in
+  Workload.iter (Rng.create 12) p ~kind:Group_dist.Wve ~total_groups:30 (fun g ->
+      b := g :: !b);
+  let b = Array.of_list (List.rev !b) in
+  Alcotest.(check bool) "identical streams" true (a = b)
+
+let tests =
+  [
+    Alcotest.test_case "tenant size bounds" `Quick test_tenant_size_bounds;
+    Alcotest.test_case "tenant size median" `Quick test_tenant_size_median;
+    Alcotest.test_case "distinct hosts per tenant" `Quick test_distinct_hosts_per_tenant;
+    Alcotest.test_case "all VMs placed" `Quick test_all_vms_placed;
+    Alcotest.test_case "host capacity respected" `Quick test_host_capacity_respected;
+    Alcotest.test_case "rack bound respected" `Quick test_rack_bound_respected;
+    Alcotest.test_case "rack bound relaxes when exhausted" `Quick
+      test_rack_bound_relaxes_when_exhausted;
+    Alcotest.test_case "capacity failure raises" `Quick test_capacity_failure;
+    Alcotest.test_case "pod locality of packing" `Quick test_pod_locality_of_packing;
+    Alcotest.test_case "strategy parsing" `Quick test_strategy_parsing;
+    Alcotest.test_case "group sizes in bounds" `Quick test_group_sizes_in_bounds;
+    Alcotest.test_case "WVE matches published statistics" `Quick test_wve_statistics;
+    Alcotest.test_case "kind parsing" `Quick test_kind_parsing;
+    Alcotest.test_case "groups_per_tenant sums" `Quick test_groups_per_tenant_sums;
+    Alcotest.test_case "groups_per_tenant remainders" `Quick
+      test_groups_per_tenant_remainders;
+    Alcotest.test_case "workload members valid" `Quick test_workload_members_valid;
+    Alcotest.test_case "iter matches generate" `Quick test_iter_matches_generate;
+  ]

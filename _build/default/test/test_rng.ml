@@ -1,0 +1,133 @@
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done;
+  check Alcotest.int "singleton range" 5 (Rng.int_in rng 5 5)
+
+let test_int_uniformity () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 10%%" i)
+        true
+        (abs (c - expected) < expected / 10))
+    counts
+
+let test_float_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 7 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:10.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean within 5%" true (abs_float (mean -. 10.0) < 0.5)
+
+let test_normal_moments () =
+  let rng = Rng.create 8 in
+  let n = 50_000 in
+  let w = Stats.Welford.create () in
+  for _ = 1 to n do
+    Stats.Welford.add w (Rng.normal rng)
+  done;
+  Alcotest.(check bool) "mean near 0" true (abs_float (Stats.Welford.mean w) < 0.05);
+  Alcotest.(check bool) "sd near 1" true (abs_float (Stats.Welford.stddev w -. 1.0) < 0.05)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 10 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample_without_replacement rng 8 arr in
+  check Alcotest.int "size" 8 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  check Alcotest.int "distinct" 8 (List.length uniq);
+  List.iter
+    (fun x -> Alcotest.(check bool) "subset" true (x >= 0 && x < 20))
+    uniq;
+  Alcotest.check_raises "too many" (Invalid_argument "Rng.sample_without_replacement")
+    (fun () -> ignore (Rng.sample_without_replacement rng 21 arr));
+  check Alcotest.int "k=0 ok" 0 (Array.length (Rng.sample_without_replacement rng 0 arr))
+
+let test_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  (* Streams should not be identical. *)
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Rng.bits64 a <> Rng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "split decorrelates" false !same
+
+let test_copy_preserves_state () =
+  let a = Rng.create 12 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "same next value" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_choice () =
+  let rng = Rng.create 13 in
+  let arr = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.choice rng arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choice: empty array")
+    (fun () -> ignore (Rng.choice rng [||]))
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "choice" `Quick test_choice;
+  ]

@@ -1,0 +1,77 @@
+let feq = Alcotest.float 1e-9
+
+let test_summarize_known () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "mean" 3.0 s.Stats.mean;
+  Alcotest.check feq "min" 1.0 s.Stats.min;
+  Alcotest.check feq "max" 5.0 s.Stats.max;
+  Alcotest.check feq "p50" 3.0 s.Stats.p50;
+  Alcotest.check Alcotest.int "count" 5 s.Stats.count;
+  Alcotest.check feq "stddev" (sqrt 2.0) s.Stats.stddev
+
+let test_summarize_unsorted_input () =
+  let s = Stats.summarize [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.check feq "p50 of unsorted" 3.0 s.Stats.p50;
+  Alcotest.check feq "min" 1.0 s.Stats.min
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty array")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_percentile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  Alcotest.check feq "p25" 2.5 (Stats.percentile sorted 0.25);
+  Alcotest.check feq "p0" 0.0 (Stats.percentile sorted 0.0);
+  Alcotest.check feq "p100" 10.0 (Stats.percentile sorted 1.0);
+  Alcotest.check feq "clamped above" 10.0 (Stats.percentile sorted 1.5)
+
+let test_single_element () =
+  let s = Stats.summarize [| 7.0 |] in
+  Alcotest.check feq "p95 of singleton" 7.0 s.Stats.p95;
+  Alcotest.check feq "stddev" 0.0 s.Stats.stddev
+
+let test_welford_matches_summarize () =
+  let rng = Rng.create 42 in
+  let data = Array.init 1000 (fun _ -> Rng.float rng 100.0) in
+  let s = Stats.summarize data in
+  let w = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add w) data;
+  Alcotest.check (Alcotest.float 1e-6) "mean" s.Stats.mean (Stats.Welford.mean w);
+  Alcotest.check (Alcotest.float 1e-6) "stddev" s.Stats.stddev (Stats.Welford.stddev w);
+  Alcotest.check feq "max" s.Stats.max (Stats.Welford.max w);
+  Alcotest.check feq "min" s.Stats.min (Stats.Welford.min w);
+  Alcotest.check Alcotest.int "count" s.Stats.count (Stats.Welford.count w)
+
+let test_of_ints_and_total () =
+  Alcotest.check feq "total" 6.0 (Stats.total (Stats.of_ints [| 1; 2; 3 |]));
+  Alcotest.check feq "mean" 2.0 (Stats.mean (Stats.of_ints [| 1; 2; 3 |]))
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in q" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_range 0.0 1000.0))
+              (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (data, (q1, q2)) ->
+      QCheck.assume (data <> []);
+      let sorted = Array.of_list (List.sort compare data) in
+      let lo = min q1 q2 and hi = max q1 q2 in
+      Stats.percentile sorted lo <= Stats.percentile sorted hi +. 1e-9)
+
+let qcheck_mean_within_range =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-100.0) 100.0))
+    (fun data ->
+      let s = Stats.summarize (Array.of_list data) in
+      s.Stats.min -. 1e-9 <= s.Stats.mean && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "summarize known" `Quick test_summarize_known;
+    Alcotest.test_case "summarize unsorted" `Quick test_summarize_unsorted_input;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+    Alcotest.test_case "single element" `Quick test_single_element;
+    Alcotest.test_case "welford matches summarize" `Quick test_welford_matches_summarize;
+    Alcotest.test_case "of_ints and total" `Quick test_of_ints_and_total;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_mean_within_range;
+  ]

@@ -1,0 +1,111 @@
+let topo = Topology.running_example ()
+
+let world () =
+  let rng = Rng.create 3 in
+  let placement =
+    Vm_placement.place rng topo ~strategy:(Vm_placement.Pack_up_to 2)
+      ~host_capacity:20 ~tenant_sizes:[| 12; 10 |]
+  in
+  let ctrl = Controller.create topo Params.default in
+  (Tenant_api.create ctrl placement ~quota_per_tenant:3, ctrl, placement)
+
+let ip = 0xEF010101l (* 239.1.1.1 *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "%a" Tenant_api.pp_error e
+
+let err expected = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> Alcotest.(check bool) "error kind" true (e = expected)
+
+let test_address_space_isolation () =
+  let api, ctrl, placement = world () in
+  (* Both tenants pick the SAME multicast address: two disjoint groups. *)
+  ok (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  ok (Tenant_api.create_group api ~tenant:1 ~address:ip);
+  let id0 = Option.get (Tenant_api.group_id api ~tenant:0 ~address:ip) in
+  let id1 = Option.get (Tenant_api.group_id api ~tenant:1 ~address:ip) in
+  Alcotest.(check bool) "distinct wire identifiers" true (id0 <> id1);
+  (* Members stay isolated per tenant. *)
+  ignore (ok (Tenant_api.join api ~tenant:0 ~address:ip ~vm:0 ~role:Controller.Both));
+  ignore (ok (Tenant_api.join api ~tenant:0 ~address:ip ~vm:1 ~role:Controller.Receiver));
+  ignore (ok (Tenant_api.join api ~tenant:1 ~address:ip ~vm:0 ~role:Controller.Both));
+  Alcotest.(check int) "tenant 0 membership" 2
+    (List.length (Controller.members ctrl ~group:id0));
+  Alcotest.(check int) "tenant 1 membership" 1
+    (List.length (Controller.members ctrl ~group:id1));
+  (* The member host really is the tenant's VM host. *)
+  let host0 = placement.Vm_placement.tenants.(0).Vm_placement.vm_hosts.(0) in
+  Alcotest.(check bool) "vm resolved to its host" true
+    (List.mem_assoc host0 (Controller.members ctrl ~group:id0))
+
+let test_quota () =
+  let api, _, _ = world () in
+  List.iteri
+    (fun i addr ->
+      ignore i;
+      ok (Tenant_api.create_group api ~tenant:0 ~address:addr))
+    [ 0xEF000001l; 0xEF000002l; 0xEF000003l ];
+  err Tenant_api.Quota_exceeded
+    (Tenant_api.create_group api ~tenant:0 ~address:0xEF000004l);
+  (* Deleting frees quota. *)
+  ok (Tenant_api.delete_group api ~tenant:0 ~address:0xEF000001l);
+  ok (Tenant_api.create_group api ~tenant:0 ~address:0xEF000004l);
+  Alcotest.(check (list int32)) "tenant addresses"
+    [ 0xEF000002l; 0xEF000003l; 0xEF000004l ]
+    (Tenant_api.groups_of_tenant api 0)
+
+let test_validation () =
+  let api, _, _ = world () in
+  err Tenant_api.Not_multicast_address
+    (Tenant_api.create_group api ~tenant:0 ~address:0x0A000001l);
+  err Tenant_api.No_such_tenant (Tenant_api.create_group api ~tenant:9 ~address:ip);
+  err Tenant_api.No_such_group
+    (Tenant_api.join api ~tenant:0 ~address:ip ~vm:0 ~role:Controller.Both);
+  ok (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  err Tenant_api.No_such_vm
+    (Tenant_api.join api ~tenant:0 ~address:ip ~vm:99 ~role:Controller.Both);
+  ignore (ok (Tenant_api.join api ~tenant:0 ~address:ip ~vm:0 ~role:Controller.Both));
+  err Tenant_api.Already_member
+    (Tenant_api.join api ~tenant:0 ~address:ip ~vm:0 ~role:Controller.Both);
+  err Tenant_api.Not_a_member (Tenant_api.leave api ~tenant:0 ~address:ip ~vm:1);
+  err Tenant_api.Group_exists (Tenant_api.create_group api ~tenant:0 ~address:ip)
+
+let test_end_to_end_delivery () =
+  let rng = Rng.create 4 in
+  let placement =
+    Vm_placement.place rng topo ~strategy:(Vm_placement.Pack_up_to 2)
+      ~host_capacity:20 ~tenant_sizes:[| 12; 10 |]
+  in
+  let fabric = Fabric.create topo in
+  let hooks =
+    {
+      Controller.install_leaf =
+        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
+      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
+      install_pod =
+        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
+      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
+    }
+  in
+  let ctrl = Controller.create ~fabric_hooks:hooks topo Params.default in
+  let api = Tenant_api.create ctrl placement ~quota_per_tenant:10 in
+  ok (Tenant_api.create_group api ~tenant:0 ~address:ip);
+  List.iter
+    (fun vm ->
+      ignore (ok (Tenant_api.join api ~tenant:0 ~address:ip ~vm ~role:Controller.Both)))
+    [ 0; 1; 2; 3; 4 ];
+  let id = Option.get (Tenant_api.group_id api ~tenant:0 ~address:ip) in
+  let enc = Option.get (Controller.encoding ctrl ~group:id) in
+  let sender = placement.Vm_placement.tenants.(0).Vm_placement.vm_hosts.(0) in
+  let header = Option.get (Controller.header ctrl ~group:id ~sender) in
+  let report = Fabric.inject fabric ~sender ~group:id ~header ~payload:64 in
+  Alcotest.(check bool) "API-built group delivers" true
+    (Fabric.deliveries_correct report ~tree:enc.Encoding.tree ~sender)
+
+let tests =
+  [
+    Alcotest.test_case "address-space isolation" `Quick test_address_space_isolation;
+    Alcotest.test_case "quota" `Quick test_quota;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "end-to-end delivery" `Quick test_end_to_end_delivery;
+  ]

@@ -1,0 +1,99 @@
+let fabric = Topology.facebook_fabric ()
+let example = Topology.running_example ()
+
+let test_fabric_dimensions () =
+  Alcotest.(check int) "hosts" 27_648 (Topology.num_hosts fabric);
+  Alcotest.(check int) "leaves" 576 (Topology.num_leaves fabric);
+  Alcotest.(check int) "spines" 48 (Topology.num_spines fabric);
+  Alcotest.(check int) "cores" 48 (Topology.num_cores fabric);
+  Alcotest.(check int) "switches" 672 (Topology.num_switches fabric);
+  Alcotest.(check bool) "three-tier" false (Topology.is_two_tier fabric)
+
+let test_example_dimensions () =
+  Alcotest.(check int) "hosts" 64 (Topology.num_hosts example);
+  Alcotest.(check int) "leaves" 8 (Topology.num_leaves example);
+  Alcotest.(check int) "spines" 8 (Topology.num_spines example);
+  Alcotest.(check int) "cores" 4 (Topology.num_cores example)
+
+let test_mappings () =
+  (* Host 42 on the running example: leaf 5 (hosts 40-47), pod 2, port 2. *)
+  Alcotest.(check int) "leaf of host" 5 (Topology.leaf_of_host example 42);
+  Alcotest.(check int) "pod of host" 2 (Topology.pod_of_host example 42);
+  Alcotest.(check int) "host port" 2 (Topology.host_port_on_leaf example 42);
+  Alcotest.(check int) "pod of leaf" 3 (Topology.pod_of_leaf example 7);
+  Alcotest.(check int) "leaf port on spine" 1 (Topology.leaf_port_on_spine example 7);
+  Alcotest.(check (list int)) "hosts of leaf 1" [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Topology.hosts_of_leaf example 1);
+  Alcotest.(check (list int)) "leaves of pod 2" [ 4; 5 ] (Topology.leaves_of_pod example 2);
+  Alcotest.(check (list int)) "spines of pod 3" [ 6; 7 ] (Topology.spines_of_pod example 3)
+
+let test_out_of_range () =
+  Alcotest.check_raises "host range" (Invalid_argument "Topology: host out of range")
+    (fun () -> ignore (Topology.leaf_of_host example 64));
+  Alcotest.check_raises "leaf range" (Invalid_argument "Topology: leaf out of range")
+    (fun () -> ignore (Topology.pod_of_leaf example (-1)));
+  Alcotest.check_raises "pod range" (Invalid_argument "Topology: pod out of range")
+    (fun () -> ignore (Topology.leaves_of_pod example 4))
+
+let test_widths () =
+  Alcotest.(check int) "leaf down" 48 (Topology.leaf_downstream_width fabric);
+  Alcotest.(check int) "spine down" 48 (Topology.spine_downstream_width fabric);
+  Alcotest.(check int) "core down" 12 (Topology.core_downstream_width fabric);
+  Alcotest.(check int) "leaf up" 4 (Topology.leaf_upstream_width fabric);
+  Alcotest.(check int) "spine up" 12 (Topology.spine_upstream_width fabric)
+
+let test_id_bits () =
+  Alcotest.(check int) "leaf id bits (576 leaves)" 10 (Topology.leaf_id_bits fabric);
+  Alcotest.(check int) "spine id bits (12 pods)" 4 (Topology.spine_id_bits fabric);
+  Alcotest.(check int) "bits_needed 1" 1 (Topology.bits_needed 1);
+  Alcotest.(check int) "bits_needed 2" 1 (Topology.bits_needed 2);
+  Alcotest.(check int) "bits_needed 3" 2 (Topology.bits_needed 3);
+  Alcotest.(check int) "bits_needed 1024" 10 (Topology.bits_needed 1024);
+  Alcotest.(check int) "bits_needed 1025" 11 (Topology.bits_needed 1025)
+
+let test_two_tier () =
+  let t = Topology.leaf_spine ~leaves:16 ~spines:4 ~hosts_per_leaf:24 in
+  Alcotest.(check bool) "two-tier" true (Topology.is_two_tier t);
+  Alcotest.(check int) "hosts" 384 (Topology.num_hosts t);
+  Alcotest.(check int) "cores" 0 (Topology.num_cores t);
+  Alcotest.(check int) "spines" 4 (Topology.num_spines t);
+  Alcotest.(check int) "one pod" 0 (Topology.pod_of_host t 383)
+
+let test_invalid_topologies () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Topology: pods must be positive" (fun () ->
+      ignore
+        (Topology.create ~pods:0 ~leaves_per_pod:1 ~spines_per_pod:1
+           ~hosts_per_leaf:1 ~cores_per_plane:1));
+  expect "Topology: multi-pod topology requires a core plane" (fun () ->
+      ignore
+        (Topology.create ~pods:2 ~leaves_per_pod:1 ~spines_per_pod:1
+           ~hosts_per_leaf:1 ~cores_per_plane:0));
+  expect "Topology: hosts_per_leaf must be positive" (fun () ->
+      ignore
+        (Topology.create ~pods:1 ~leaves_per_pod:1 ~spines_per_pod:1
+           ~hosts_per_leaf:0 ~cores_per_plane:0))
+
+let prop_host_mappings_consistent =
+  QCheck.Test.make ~name:"host -> leaf -> pod mappings are consistent" ~count:300
+    QCheck.(int_range 0 (Topology.num_hosts fabric - 1))
+    (fun h ->
+      let l = Topology.leaf_of_host fabric h in
+      let p = Topology.pod_of_leaf fabric l in
+      Topology.pod_of_host fabric h = p
+      && List.mem h (Topology.hosts_of_leaf fabric l)
+      && List.mem l (Topology.leaves_of_pod fabric p)
+      && h = (l * fabric.Topology.hosts_per_leaf) + Topology.host_port_on_leaf fabric h)
+
+let tests =
+  [
+    Alcotest.test_case "fabric dimensions" `Quick test_fabric_dimensions;
+    Alcotest.test_case "example dimensions" `Quick test_example_dimensions;
+    Alcotest.test_case "host/leaf/pod mappings" `Quick test_mappings;
+    Alcotest.test_case "out-of-range raises" `Quick test_out_of_range;
+    Alcotest.test_case "bitmap widths" `Quick test_widths;
+    Alcotest.test_case "identifier bits" `Quick test_id_bits;
+    Alcotest.test_case "two-tier leaf-spine" `Quick test_two_tier;
+    Alcotest.test_case "invalid topologies rejected" `Quick test_invalid_topologies;
+    QCheck_alcotest.to_alcotest prop_host_mappings_consistent;
+  ]

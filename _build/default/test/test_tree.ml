@@ -1,0 +1,140 @@
+let topo = Topology.running_example ()
+let h = topo.Topology.hosts_per_leaf
+
+(* The Figure 3a group: Ha,Hb (L0); Hk (L5); Hm,Hn (L6); Hp (L7). *)
+let fig3_members = [ 0; 1; (5 * h) + 2; (6 * h) + 4; (6 * h) + 5; (7 * h) + 7 ]
+let fig3 = Tree.of_members topo fig3_members
+
+let test_structure () =
+  Alcotest.(check (list int)) "leaves" [ 0; 5; 6; 7 ] (Tree.leaves fig3);
+  Alcotest.(check (list int)) "pods" [ 0; 2; 3 ] (Tree.pods fig3);
+  Alcotest.(check int) "members" 6 (Tree.member_count fig3);
+  Alcotest.(check int) "leaf count" 4 (Tree.leaf_count fig3);
+  Alcotest.(check int) "pod count" 3 (Tree.pod_count fig3)
+
+let test_bitmaps () =
+  let bm l = Option.map Bitmap.to_string (Tree.leaf_bitmap fig3 l) in
+  Alcotest.(check (option string)) "L0" (Some "11000000") (bm 0);
+  Alcotest.(check (option string)) "L5" (Some "00100000") (bm 5);
+  Alcotest.(check (option string)) "L6" (Some "00001100") (bm 6);
+  Alcotest.(check (option string)) "L7" (Some "00000001") (bm 7);
+  Alcotest.(check (option string)) "L1 not in tree" None (bm 1);
+  let sbm p = Option.map Bitmap.to_string (Tree.spine_bitmap fig3 p) in
+  Alcotest.(check (option string)) "P0: leaf 0 only" (Some "10") (sbm 0);
+  Alcotest.(check (option string)) "P2: leaf 5 = port 1" (Some "01") (sbm 2);
+  Alcotest.(check (option string)) "P3: both leaves" (Some "11") (sbm 3);
+  Alcotest.(check (option string)) "P1 not in tree" None (sbm 1);
+  Alcotest.(check string) "core bitmap" "1011" (Bitmap.to_string fig3.Tree.core_bitmap)
+
+let test_mem_host () =
+  List.iter
+    (fun m -> Alcotest.(check bool) "member" true (Tree.mem_host fig3 m))
+    fig3_members;
+  Alcotest.(check bool) "non-member" false (Tree.mem_host fig3 2);
+  Alcotest.(check bool) "below all members" false (Tree.mem_host fig3 62);
+  Alcotest.(check bool) "largest member found" true (Tree.mem_host fig3 ((7 * h) + 7))
+
+let test_dedup_and_sort () =
+  let t = Tree.of_members topo [ 5; 3; 5; 3; 1 ] in
+  Alcotest.(check int) "deduplicated" 3 (Tree.member_count t);
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 5 |] t.Tree.members
+
+let test_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tree.of_members: empty group")
+    (fun () -> ignore (Tree.of_members topo []));
+  Alcotest.check_raises "range" (Invalid_argument "Tree.of_members: host out of range")
+    (fun () -> ignore (Tree.of_members topo [ 64 ]))
+
+(* Ideal transmissions, hand-computed.
+
+   Single leaf, sender a member: host->leaf (1) + leaf->other members. *)
+let test_ideal_single_leaf () =
+  let t = Tree.of_members topo [ 0; 1; 2 ] in
+  Alcotest.(check int) "sender member" 3 (Tree.ideal_link_transmissions t ~sender:0);
+  (* Sender on same leaf but not a member: 1 + 3 deliveries. *)
+  Alcotest.(check int) "sender non-member same leaf" 4
+    (Tree.ideal_link_transmissions t ~sender:7)
+
+let test_ideal_same_pod () =
+  (* Members on L0 and L1 (both pod 0), sender = host 0.
+     1 (up) + 1 (local delivery to host 1) + 1 (leaf->spine)
+     + 1 (spine->L1) + 1 (L1->host 8) = 5 *)
+  let t = Tree.of_members topo [ 0; 1; 8 ] in
+  Alcotest.(check int) "same pod" 5 (Tree.ideal_link_transmissions t ~sender:0)
+
+let test_ideal_cross_pod () =
+  (* Members: host 0 (L0/pod0), host 40+2 (L5/pod2). Sender host 0.
+     1 up + 1 leaf->spine + 1 spine->core + 1 core->spineP2 + 1 spine->L5
+     + 1 L5->host = 6 *)
+  let t = Tree.of_members topo [ 0; (5 * h) + 2 ] in
+  Alcotest.(check int) "cross pod" 6 (Tree.ideal_link_transmissions t ~sender:0)
+
+let test_ideal_fig3 () =
+  (* Figure 3a from Ha: 1 (host->L0) + 1 (L0->Hb) + 1 (L0->spine)
+     + 1 (spine->core) + 2 (core->P2,P3) + 1 (P2->L5) + 1 (L5->Hk)
+     + 2 (P3->L6,L7) + 2 (L6->Hm,Hn) + 1 (L7->Hp) = 13 *)
+  Alcotest.(check int) "fig3 from Ha" 13 (Tree.ideal_link_transmissions fig3 ~sender:0);
+  (* From Hk (L5, pod 2): 1 + 0 local + 1 up + 1 core + 2 (core->P0,P3)
+     + 1 (P0->L0) + 2 (L0->Ha,Hb) + 2 (P3->L6,L7) + 2 + 1 = 13 *)
+  Alcotest.(check int) "fig3 from Hk" 13
+    (Tree.ideal_link_transmissions fig3 ~sender:((5 * h) + 2))
+
+let fabric = Topology.facebook_fabric ()
+
+let prop_ideal_lower_bound =
+  (* Every member other than the sender needs at least its delivery link,
+     plus the sender's uplink. *)
+  QCheck.Test.make ~name:"ideal transmissions >= members" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 (Topology.num_hosts fabric - 1)))
+    (fun members ->
+      QCheck.assume (members <> []);
+      let t = Tree.of_members fabric members in
+      let sender = List.hd members in
+      let n = Tree.ideal_link_transmissions t ~sender in
+      n >= Tree.member_count t)
+
+let prop_leaf_bitmaps_partition_members =
+  QCheck.Test.make ~name:"leaf bitmaps partition the members" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 (Topology.num_hosts fabric - 1)))
+    (fun members ->
+      QCheck.assume (members <> []);
+      let t = Tree.of_members fabric members in
+      let total =
+        List.fold_left
+          (fun acc (_, bm) -> acc + Bitmap.popcount bm)
+          0 t.Tree.leaf_bitmaps
+      in
+      total = Tree.member_count t)
+
+let prop_spine_bitmaps_cover_leaves =
+  QCheck.Test.make ~name:"spine bitmaps cover exactly the tree leaves" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 (Topology.num_hosts fabric - 1)))
+    (fun members ->
+      QCheck.assume (members <> []);
+      let t = Tree.of_members fabric members in
+      let from_spines =
+        List.concat_map
+          (fun (p, bm) ->
+            List.map
+              (fun port -> (p * fabric.Topology.leaves_per_pod) + port)
+              (Bitmap.to_list bm))
+          t.Tree.spine_bitmaps
+        |> List.sort compare
+      in
+      from_spines = Tree.leaves t)
+
+let tests =
+  [
+    Alcotest.test_case "fig3 structure" `Quick test_structure;
+    Alcotest.test_case "fig3 bitmaps" `Quick test_bitmaps;
+    Alcotest.test_case "mem_host" `Quick test_mem_host;
+    Alcotest.test_case "dedup and sort" `Quick test_dedup_and_sort;
+    Alcotest.test_case "invalid input" `Quick test_invalid;
+    Alcotest.test_case "ideal: single leaf" `Quick test_ideal_single_leaf;
+    Alcotest.test_case "ideal: same pod" `Quick test_ideal_same_pod;
+    Alcotest.test_case "ideal: cross pod" `Quick test_ideal_cross_pod;
+    Alcotest.test_case "ideal: figure 3" `Quick test_ideal_fig3;
+    QCheck_alcotest.to_alcotest prop_ideal_lower_bound;
+    QCheck_alcotest.to_alcotest prop_leaf_bitmaps_partition_members;
+    QCheck_alcotest.to_alcotest prop_spine_bitmaps_cover_leaves;
+  ]
