@@ -1,0 +1,21 @@
+.PHONY: all check test bench bench-churn clean
+
+all:
+	dune build
+
+# Tier-1 verification: everything compiles and the full suite passes.
+check:
+	dune build && dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe -- all
+
+# Churn microbenchmark for the incremental encoding engine; writes
+# BENCH_churn.json (events/sec, fast-path hit rate, p99 re-encode time).
+bench-churn:
+	dune exec bench/main.exe -- churn
+
+clean:
+	dune clean

@@ -306,6 +306,148 @@ let ablation () =
            Params.create ~header_budget:(Some b) ~fmax () ))
        [ 125; 200; 325; 512 ])
 
+(* {1 Churn microbenchmark: incremental engine vs always-re-encode} *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let i = int_of_float (p /. 100.0 *. float_of_int n) in
+    sorted.(max 0 (min (n - 1) i))
+  end
+
+type churn_run = {
+  label : string;
+  events_per_sec : float;
+  fast : int;
+  slow : int;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  total_s : float;
+}
+
+let churn () =
+  hr "Churn: delta-driven re-encoding vs always-re-encode (BENCH_churn.json)";
+  let topo =
+    Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
+      ~hosts_per_leaf:32 ~cores_per_plane:4
+  in
+  let params = Params.create ~r:12 ~header_budget:None () in
+  let ngroups = 4 and group_size = 1_000 in
+  let events =
+    match Sys.getenv_opt "ELMO_CHURN_EVENTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_CHURN_EVENTS must be a positive integer (got %S)@." s;
+            exit 1)
+    | None -> 2_000
+  in
+  printf "topology: %a; %d groups x %d members; %d events@." Topology.pp topo
+    ngroups group_size events;
+  (* Same seed on both runs: role assignment and membership evolution do not
+     depend on the controller mode, so the event streams are identical. *)
+  let run label ~incremental =
+    let ctrl = Controller.create ~incremental topo params in
+    let rng = Rng.create 97 in
+    let n = Topology.num_hosts topo in
+    for g = 0 to ngroups - 1 do
+      let hosts = Array.init n Fun.id in
+      Rng.shuffle rng hosts;
+      (* A few senders, many receivers — the paper's pub-sub shape. *)
+      let members =
+        Array.to_list (Array.sub hosts 0 group_size)
+        |> List.mapi (fun i host ->
+               (host, if i < 8 then Controller.Both else Controller.Receiver))
+      in
+      ignore (Controller.add_group ctrl ~group:g members)
+    done;
+    let durations = Array.make events 0.0 in
+    for ev = 0 to events - 1 do
+      (* Event choice stays outside the timed region. *)
+      let g = Rng.int rng ngroups in
+      let members = Controller.members ctrl ~group:g in
+      let count = List.length members in
+      let want_join = count = 0 || (count < n && Rng.bool rng) in
+      if want_join then begin
+        let rec fresh () =
+          let host = Rng.int rng n in
+          if List.mem_assoc host members then fresh () else host
+        in
+        let host = fresh () in
+        let t0 = Unix.gettimeofday () in
+        ignore (Controller.join ctrl ~group:g ~host ~role:Controller.Receiver);
+        durations.(ev) <- Unix.gettimeofday () -. t0
+      end
+      else begin
+        let host, _ = List.nth members (Rng.int rng count) in
+        let t0 = Unix.gettimeofday () in
+        ignore (Controller.leave ctrl ~group:g ~host);
+        durations.(ev) <- Unix.gettimeofday () -. t0
+      end
+    done;
+    let stats = Controller.churn_stats ctrl in
+    let total = Array.fold_left ( +. ) 0.0 durations in
+    let sorted = Array.copy durations in
+    Array.sort compare sorted;
+    {
+      label;
+      events_per_sec =
+        (if total > 0.0 then float_of_int events /. total else 0.0);
+      fast = stats.Controller.fast_path;
+      slow = stats.Controller.reencoded;
+      p50_us = 1e6 *. percentile sorted 50.0;
+      p99_us = 1e6 *. percentile sorted 99.0;
+      max_us = 1e6 *. percentile sorted 100.0;
+      total_s = total;
+    }
+  in
+  let inc = run "incremental" ~incremental:true in
+  let base = run "always-re-encode" ~incremental:false in
+  let hit_rate r =
+    let n = r.fast + r.slow in
+    if n = 0 then 0.0 else 100.0 *. float_of_int r.fast /. float_of_int n
+  in
+  printf "@.%-18s %-12s %-12s %-10s %-10s %-10s %-8s@." "mode" "events/s"
+    "fast/slow" "hit%" "p50 us" "p99 us" "total s";
+  List.iter
+    (fun r ->
+      printf "%-18s %-12.0f %5d/%-6d %-10.1f %-10.1f %-10.1f %-8.2f@." r.label
+        r.events_per_sec r.fast r.slow (hit_rate r) r.p50_us r.p99_us r.total_s)
+    [ inc; base ];
+  let speedup =
+    if base.events_per_sec > 0.0 then inc.events_per_sec /. base.events_per_sec
+    else 0.0
+  in
+  printf "speedup: %.1fx@." speedup;
+  let json_of r =
+    Printf.sprintf
+      {|    {"mode": "%s", "events_per_sec": %.1f, "fast_path": %d, "reencoded": %d, "fast_path_hit_rate": %.4f, "p50_us": %.2f, "p99_us": %.2f, "max_us": %.2f, "total_s": %.4f}|}
+      r.label r.events_per_sec r.fast r.slow
+      (hit_rate r /. 100.0)
+      r.p50_us r.p99_us r.max_us r.total_s
+  in
+  let oc = open_out "BENCH_churn.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "churn",
+  "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
+  "groups": %d,
+  "members_per_group": %d,
+  "events": %d,
+  "runs": [
+%s,
+%s
+  ],
+  "speedup": %.2f
+}
+|}
+    ngroups group_size events (json_of inc) (json_of base) speedup;
+  close_out oc;
+  printf "wrote BENCH_churn.json@."
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro () =
@@ -402,6 +544,7 @@ let targets =
     ("legacy", legacy);
     ("bisection", bisection);
     ("strawman", strawman);
+    ("churn", churn);
     ("micro", micro);
   ]
 

@@ -80,32 +80,62 @@ let union_cost a acc_bm =
     a.words;
   !acc
 
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy_into ~dst src =
+  check_width dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
 let of_list width indices =
   let t = create width in
   List.iter (set t) indices;
   t
 
+(* Word-wise set-bit traversal: peel the lowest set bit with [w land (-w)];
+   its index is the popcount of [lsb - 1] (the trailing-zero count). Only
+   O(set bits) work instead of one bounds-checked [get] per position. *)
 let iter f t =
-  for i = 0 to t.width - 1 do
-    if get t i then f i
+  let n = Array.length t.words in
+  for wi = 0 to n - 1 do
+    let w = ref t.words.(wi) in
+    if !w <> 0 then begin
+      let base = wi * word_bits in
+      while !w <> 0 do
+        let lsb = !w land - !w in
+        f (base + popcount_word (lsb - 1));
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let to_list t =
   let acc = ref [] in
-  for i = t.width - 1 downto 0 do
-    if get t i then acc := i :: !acc
-  done;
-  !acc
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
 
-let union_all width ts = List.fold_left union (create width) ts
+let union_all width ts =
+  let out = create width in
+  List.iter (fun t -> union_into ~dst:out t) ts;
+  out
 
+(* Byte [j] of the wire form holds bits [8j .. 8j+7]; with 63-bit words a
+   byte can straddle two words, so splice the high part in whenever the
+   in-word offset leaves fewer than 8 bits. Trailing bits of the last word
+   are zero by invariant, so the final byte needs no special casing. *)
 let to_bytes t =
   let nbytes = (t.width + 7) / 8 in
-  let b = Bytes.make nbytes '\000' in
-  for i = 0 to t.width - 1 do
-    if get t i then
-      Bytes.set b (i / 8)
-        (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+  let nwords = Array.length t.words in
+  let b = Bytes.create nbytes in
+  for j = 0 to nbytes - 1 do
+    let pos = 8 * j in
+    let wi = pos / word_bits and off = pos mod word_bits in
+    let v = t.words.(wi) lsr off in
+    let v =
+      if off > word_bits - 8 && wi + 1 < nwords then
+        v lor (t.words.(wi + 1) lsl (word_bits - off))
+      else v
+    in
+    Bytes.unsafe_set b j (Char.unsafe_chr (v land 0xff))
   done;
   b
 
@@ -113,9 +143,24 @@ let of_bytes width b =
   let nbytes = (width + 7) / 8 in
   if Bytes.length b < nbytes then invalid_arg "Bitmap.of_bytes: too short";
   let t = create width in
-  for i = 0 to width - 1 do
-    if Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0 then set t i
+  let nwords = Array.length t.words in
+  for j = 0 to nbytes - 1 do
+    let v = Char.code (Bytes.unsafe_get b j) in
+    if v <> 0 then begin
+      let pos = 8 * j in
+      let wi = pos / word_bits and off = pos mod word_bits in
+      t.words.(wi) <- t.words.(wi) lor (v lsl off);
+      if off > word_bits - 8 && wi + 1 < nwords then
+        t.words.(wi + 1) <- t.words.(wi + 1) lor (v lsr (word_bits - off))
+    end
   done;
+  (* Padding bits of the last byte must not survive (invariant: bits past
+     [width] stay zero). *)
+  let r = width mod word_bits in
+  if r <> 0 then begin
+    let last = (width - 1) / word_bits in
+    t.words.(last) <- t.words.(last) land ((1 lsl r) - 1)
+  end;
   t
 
 let to_string t = String.init t.width (fun i -> if get t i then '1' else '0')

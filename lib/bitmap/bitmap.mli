@@ -34,6 +34,13 @@ val union : t -> t -> t
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] ORs [src] into [dst] in place. *)
 
+val reset : t -> unit
+(** Clears every bit in place. *)
+
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst src] overwrites [dst] with [src] in place. Raises
+    [Invalid_argument] on width mismatch. *)
+
 val inter : t -> t -> t
 val diff : t -> t -> t
 (** [diff a b] has the bits of [a] not in [b]. *)

@@ -2,6 +2,8 @@ type layer_load = { mean : float; max : float }
 
 type result = {
   events : int;
+  fast_path : int;
+  reencoded : int;
   elmo_hypervisor : layer_load;
   elmo_leaf : layer_load;
   elmo_spine : layer_load;
@@ -75,6 +77,7 @@ let run rng ctrl placement groups ~events ~events_per_second ~li =
     Option.map (fun e -> e.Encoding.tree) (Controller.encoding ctrl ~group)
   in
   let performed = ref 0 in
+  let stats0 = Controller.churn_stats ctrl in
   for _ = 1 to events do
     let g = pick rng in
     let group = g.Workload.group_id in
@@ -106,7 +109,12 @@ let run rng ctrl placement groups ~events ~events_per_second ~li =
       end
     in
     let want_join = members = [] || Rng.bool rng in
-    let old_tree = match li with Some _ -> tree_of group | None -> None in
+    (* Deep-copy the snapshot: the incremental fast path mutates the live
+       tree in place, so without a copy the baseline would diff the new
+       membership against itself and under-count. *)
+    let old_tree =
+      match li with Some _ -> Option.map Tree.copy (tree_of group) | None -> None
+    in
     let leave () =
       match members with
       | [] -> None
@@ -149,8 +157,11 @@ let run rng ctrl placement groups ~events ~events_per_second ~li =
   let duration = if duration <= 0.0 then 1.0 else duration in
   let host_active h = placement.Vm_placement.host_load.(h) > 0 in
   let all _ = true in
+  let stats1 = Controller.churn_stats ctrl in
   {
     events = !performed;
+    fast_path = stats1.Controller.fast_path - stats0.Controller.fast_path;
+    reencoded = stats1.Controller.reencoded - stats0.Controller.reencoded;
     elmo_hypervisor = layer_load ~duration hyp_counts ~over:host_active;
     elmo_leaf = layer_load ~duration leaf_counts ~over:all;
     elmo_spine = layer_load ~duration spine_counts ~over:all;

@@ -13,6 +13,10 @@ type layer_load = { mean : float; max : float }
 
 type result = {
   events : int;
+  fast_path : int;
+      (** receiver events the controller absorbed through the incremental
+          encoding fast path (no re-clustering) during this run *)
+  reencoded : int;  (** receiver events that fell back to a full re-encode *)
   elmo_hypervisor : layer_load;
   elmo_leaf : layer_load;
   elmo_spine : layer_load;

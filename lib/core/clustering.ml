@@ -4,6 +4,13 @@ type result = {
   default : (int list * Bitmap.t) option;
 }
 
+let rule_within_budget ~r ~semantics ~exacts output =
+  match (semantics : Params.r_semantics) with
+  | Per_bitmap -> List.for_all (fun bm -> Bitmap.hamming bm output <= r) exacts
+  | Sum ->
+      List.fold_left (fun acc bm -> acc + Bitmap.hamming bm output) 0 exacts
+      <= r
+
 let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
   if hmax <= 0 then invalid_arg "Clustering.run: hmax must be positive";
   if kmax <= 0 then invalid_arg "Clustering.run: kmax must be positive";
@@ -42,16 +49,9 @@ let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
         let kk = min !k (Array.length !unassigned) in
         let indices, output = Min_k_union.choose ~k:kk !unassigned in
         let within_budget =
-          match (semantics : Params.r_semantics) with
-          | Per_bitmap ->
-              List.for_all
-                (fun i -> Bitmap.hamming (snd !unassigned.(i)) output <= r)
-                indices
-          | Sum ->
-              List.fold_left
-                (fun acc i -> acc + Bitmap.hamming (snd !unassigned.(i)) output)
-                0 indices
-              <= r
+          rule_within_budget ~r ~semantics
+            ~exacts:(List.map (fun i -> snd !unassigned.(i)) indices)
+            output
         in
         if within_budget then begin
           let switches = List.map (fun i -> fst !unassigned.(i)) indices in

@@ -21,6 +21,12 @@ type result = {
       (** switches folded into the default rule, and its OR bitmap *)
 }
 
+val rule_within_budget :
+  r:int -> semantics:Params.r_semantics -> exacts:Bitmap.t list -> Bitmap.t -> bool
+(** Does a rule whose members have the given exact bitmaps respect the
+    redundancy budget with [output] as the shared bitmap? The predicate of
+    Algorithm 1's line 6, shared with the incremental encoder's fast path. *)
+
 val run :
   r:int ->
   semantics:Params.r_semantics ->

@@ -46,24 +46,32 @@ type group_state = {
          flows whose ECMP choice traverses a failed switch get one *)
 }
 
+type churn_stats = { fast_path : int; reencoded : int }
+
 type t = {
   topo : Topology.t;
   params : Params.t;
   srules : Srule_state.t;
   hooks : fabric_hooks option;
   groups : (int, group_state) Hashtbl.t;
+  incremental : bool;
+  mutable fast_hits : int;
+  mutable reencodes : int;
   spine_ok : bool array;
   core_ok : bool array;
   link_ok : bool array;  (* leaf <-> pod-spine links, index leaf * spp + plane *)
 }
 
-let create ?fabric_hooks topo params =
+let create ?fabric_hooks ?(incremental = true) topo params =
   {
     topo;
     params;
     srules = Srule_state.create topo ~fmax:params.Params.fmax;
     hooks = fabric_hooks;
     groups = Hashtbl.create 1024;
+    incremental;
+    fast_hits = 0;
+    reencodes = 0;
     spine_ok = Array.make (Topology.num_spines topo) true;
     core_ok = Array.make (max 1 (Topology.num_cores topo)) true;
     link_ok =
@@ -430,6 +438,68 @@ let reencode t ~group st ~changed_host =
     }
   end
 
+(* {1 Incremental fast path} *)
+
+(* Absorb a single receiver join/leave through the encoding's delta fast
+   path (no re-clustering). Returns [None] when the engine demands a full
+   re-encode; the caller then falls back to {!reencode}. The fallback is
+   safe because [Encoding.apply_delta] mutates nothing before returning
+   [Reencode _], so the old encoding still reflects the old membership and
+   the diff in {!reencode} stays honest. *)
+let try_fast_delta t ~group st ~host ~joining =
+  if not t.incremental then None
+  else
+    match st.enc with
+    | None -> None
+    | Some enc -> (
+        let delta = Encoding.delta_of_host t.topo ~joining host in
+        match Encoding.apply_delta enc delta with
+        | Encoding.Reencode reason ->
+            Log.debug (fun m ->
+                m "group %d: fast path declined (%s); re-encoding" group
+                  (match reason with
+                  | Encoding.New_leaf -> "new leaf"
+                  | Encoding.Emptied_leaf -> "emptied leaf"
+                  | Encoding.Budget_exceeded -> "budget exceeded"
+                  | Encoding.Stale -> "stale"));
+            None
+        | Encoding.Applied a ->
+            t.fast_hits <- t.fast_hits + 1;
+            (match (a.Encoding.site, t.hooks) with
+            | Encoding.Site_srule, Some hooks ->
+                (* The fabric already sees the mutation (it stores the bitmap
+                   by reference), but mirror it through the hook so installs
+                   stay explicit and accounted. *)
+                let bm =
+                  List.assoc a.Encoding.leaf
+                    enc.Encoding.d_leaf.Clustering.srules
+                in
+                hooks.install_leaf ~leaf:a.Encoding.leaf ~group bm
+            | _ -> ());
+            if Hashtbl.length st.applied > 0 || not (all_healthy t) then
+              refresh_overrides t ~group st;
+            (* Upstream rules only depend on the tree's leaf and pod sets,
+               which the fast path never changes — so when the common
+               downstream section is untouched, only senders co-located on
+               the flipped leaf (their own downstream leaf rule embeds its
+               port bitmap) need fresh headers. *)
+            let hyp =
+              if a.Encoding.header_changed then senders st
+              else
+                List.filter
+                  (fun h -> Topology.leaf_of_host t.topo h = a.Encoding.leaf)
+                  (senders st)
+            in
+            Some
+              {
+                hypervisors = List.sort_uniq compare (host :: hyp);
+                leaves =
+                  (match a.Encoding.site with
+                  | Encoding.Site_srule -> [ a.Encoding.leaf ]
+                  | Encoding.Site_prule | Encoding.Site_default -> []);
+                pods = [];
+              })
+
 (* {1 Public group lifecycle} *)
 
 let add_group t ~group members =
@@ -484,7 +554,12 @@ let join t ~group ~host ~role =
       (* The tree is unchanged; only the new sender's encap rule is
          installed. *)
       { hypervisors = [ host ]; leaves = []; pods = [] }
-  | Receiver | Both -> reencode t ~group st ~changed_host:host
+  | Receiver | Both -> (
+      match try_fast_delta t ~group st ~host ~joining:true with
+      | Some u -> u
+      | None ->
+          t.reencodes <- t.reencodes + 1;
+          reencode t ~group st ~changed_host:host)
 
 let leave t ~group ~host =
   let st = find_group t group in
@@ -496,11 +571,17 @@ let leave t ~group ~host =
   st.members <- List.remove_assoc host st.members;
   match role with
   | Sender -> { hypervisors = [ host ]; leaves = []; pods = [] }
-  | Receiver | Both -> reencode t ~group st ~changed_host:host
+  | Receiver | Both -> (
+      match try_fast_delta t ~group st ~host ~joining:false with
+      | Some u -> u
+      | None ->
+          t.reencodes <- t.reencodes + 1;
+          reencode t ~group st ~changed_host:host)
 
 let encoding t ~group = (find_group t group).enc
 let members t ~group = (find_group t group).members
 let group_count t = Hashtbl.length t.groups
+let churn_stats t = { fast_path = t.fast_hits; reencoded = t.reencodes }
 
 let header t ~group ~sender =
   let st = find_group t group in

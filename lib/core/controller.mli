@@ -42,8 +42,14 @@ type fabric_hooks = {
 
 type t
 
-val create : ?fabric_hooks:fabric_hooks -> Topology.t -> Params.t -> t
-(** By default the controller is stand-alone (pure state). *)
+val create :
+  ?fabric_hooks:fabric_hooks -> ?incremental:bool -> Topology.t -> Params.t -> t
+(** By default the controller is stand-alone (pure state) and
+    [incremental] (default [true]): receiver joins and leaves first try
+    {!Encoding.apply_delta}'s in-place fast path and fall back to a full
+    re-encode only on structural change, budget overflow, or staleness.
+    [~incremental:false] re-encodes every receiver membership event from
+    scratch — the baseline the churn benchmark compares against. *)
 
 val topology : t -> Topology.t
 val params : t -> Params.t
@@ -70,6 +76,15 @@ val encoding : t -> group:int -> Encoding.t option
 
 val members : t -> group:int -> (int * role) list
 val group_count : t -> int
+
+type churn_stats = {
+  fast_path : int;  (** receiver events absorbed in place *)
+  reencoded : int;  (** receiver events that ran a full re-encode *)
+}
+
+val churn_stats : t -> churn_stats
+(** Cumulative counts over the controller's lifetime. Sender joins/leaves
+    touch no rules and count in neither bucket. *)
 
 val header : t -> group:int -> sender:int -> Prule.header option
 (** The header [sender]'s hypervisor currently pushes, including any

@@ -1,8 +1,9 @@
 type t = {
-  tree : Tree.t;
+  mutable tree : Tree.t;
   params : Params.t;
   d_spine : Clustering.result;
   d_leaf : Clustering.result;
+  mutable stale : int;
 }
 
 (* Per-group Hmax within the byte budget (§3.2): worst-case rule sizes are
@@ -98,7 +99,170 @@ let encode ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
         (Clustering.run ~r:params.r ~semantics:params.r_semantics
            ~hmax:hmax_spine ~kmax:params.kmax ~has_srule_space:reserve_pod)
   in
-  { tree; params; d_spine; d_leaf }
+  { tree; params; d_spine; d_leaf; stale = 0 }
+
+(* {1 Incremental deltas (§3.3 rule-update locality)}
+
+   A membership event whose host lands on a leaf the tree already spans does
+   not change the structure of the encoding: the leaf keeps its place in the
+   same p-rule, s-rule, or default rule, the spine and core sections are
+   untouched (the leaf and pod sets are unchanged), and the header size is
+   unchanged (bitmap widths are fixed). The fast path therefore flips one
+   port bit in the rule the leaf already occupies, in place. Everything
+   structural — a new leaf, an emptied leaf, a blown redundancy budget, or
+   accumulated staleness — falls back to the from-scratch encoder, which
+   stays the correctness oracle. *)
+
+type delta =
+  | Join of { host : int; leaf : int; port : int }
+  | Leave of { host : int; leaf : int; port : int }
+
+type site = Site_prule | Site_srule | Site_default
+
+type applied = { site : site; leaf : int; header_changed : bool }
+
+type reencode_reason = New_leaf | Emptied_leaf | Budget_exceeded | Stale
+
+type outcome = Applied of applied | Reencode of reencode_reason
+
+let delta_of_host topo ~joining host =
+  let leaf = Topology.leaf_of_host topo host in
+  let port = Topology.host_port_on_leaf topo host in
+  if joining then Join { host; leaf; port } else Leave { host; leaf; port }
+
+let leaf_site t leaf =
+  match
+    List.find_opt (fun r -> Prule.rule_mem r leaf) t.d_leaf.Clustering.prules
+  with
+  | Some r -> Some (`P r)
+  | None -> (
+      match List.assoc_opt leaf t.d_leaf.Clustering.srules with
+      | Some bm -> Some (`S bm)
+      | None -> (
+          match t.d_leaf.Clustering.default with
+          | Some (ids, bm) when List.mem leaf ids -> Some (`D bm)
+          | Some _ | None -> None))
+
+let exact_leaf_bitmap t leaf =
+  match Tree.leaf_bitmap t.tree leaf with
+  | Some bm -> bm
+  | None -> invalid_arg "Encoding: leaf not in tree"
+
+(* OR the exact bitmaps of [leaves] into [dst] (reset first), reporting
+   whether [dst] changed. *)
+let refresh_or t leaves dst =
+  let old = Bitmap.copy dst in
+  Bitmap.reset dst;
+  List.iter (fun l -> Bitmap.union_into ~dst (exact_leaf_bitmap t l)) leaves;
+  not (Bitmap.equal old dst)
+
+(* On [Reencode _] NOTHING has been mutated: all structural and budget
+   checks run before the tree or any rule bitmap is touched, so the caller
+   can diff the old encoding against a fresh one honestly. *)
+let apply_delta t delta =
+  let joining, host, leaf, port =
+    match delta with
+    | Join { host; leaf; port } -> (true, host, leaf, port)
+    | Leave { host; leaf; port } -> (false, host, leaf, port)
+  in
+  if t.stale >= t.params.Params.staleness_limit then Reencode Stale
+  else begin
+    match Tree.leaf_bitmap t.tree leaf with
+    | None -> Reencode New_leaf
+    | Some exact when (not joining) && Bitmap.popcount exact <= 1 ->
+        Reencode Emptied_leaf
+    | Some exact -> (
+        match leaf_site t leaf with
+        | None ->
+            (* Rules out of sync with the tree — cannot happen after a
+               from-scratch encode; rebuild defensively. *)
+            Reencode New_leaf
+        | Some site_found -> (
+            (* Prospective redundancy check for joins into a shared rule,
+               before committing anything. *)
+            let budget_ok =
+              match site_found with
+              | `P r
+                when joining && List.compare_length_with r.Prule.switches 1 > 0
+                ->
+                  let prospective = Bitmap.copy r.Prule.bitmap in
+                  Bitmap.set prospective port;
+                  let exacts =
+                    List.map
+                      (fun l ->
+                        if l = leaf then begin
+                          let e = Bitmap.copy exact in
+                          Bitmap.set e port;
+                          e
+                        end
+                        else exact_leaf_bitmap t l)
+                      r.Prule.switches
+                  in
+                  Clustering.rule_within_budget ~r:t.params.Params.r
+                    ~semantics:t.params.Params.r_semantics ~exacts prospective
+              | `P _ | `S _ | `D _ -> true
+            in
+            if not budget_ok then Reencode Budget_exceeded
+            else begin
+              (* Commit. The tree mutation flips the leaf's exact bitmap in
+                 place; rules aliasing that bitmap (singleton p-rules,
+                 s-rules) are already up to date — mutate the rest
+                 explicitly. *)
+              let tree' =
+                if joining then Tree.add_member t.tree host
+                else Tree.remove_member t.tree host
+              in
+              (match tree' with
+              | Some tree' -> t.tree <- tree'
+              | None ->
+                  (* Pre-checked above; keep the invariant anyway. *)
+                  failwith "Encoding.apply_delta: tree delta rejected");
+              t.stale <- t.stale + 1;
+              match site_found with
+              | `P r ->
+                  let aliased = r.Prule.bitmap == exact in
+                  if joining then begin
+                    let header_changed =
+                      aliased || not (Bitmap.get r.Prule.bitmap port)
+                    in
+                    if not aliased then Bitmap.set r.Prule.bitmap port;
+                    Applied { site = Site_prule; leaf; header_changed }
+                  end
+                  else begin
+                    (* Leaving: the shared bitmap may only drop bits no
+                       remaining member needs — recompute the OR over the
+                       survivors. *)
+                    let header_changed =
+                      if aliased then true
+                      else refresh_or t r.Prule.switches r.Prule.bitmap
+                    in
+                    Applied { site = Site_prule; leaf; header_changed }
+                  end
+              | `S bm ->
+                  (* s-rules are exact per-switch bitmaps. *)
+                  if not (bm == exact) then
+                    if joining then Bitmap.set bm port
+                    else Bitmap.clear bm port;
+                  Applied { site = Site_srule; leaf; header_changed = false }
+              | `D bm ->
+                  let header_changed =
+                    if joining then begin
+                      let fresh = not (Bitmap.get bm port) in
+                      if fresh then Bitmap.set bm port;
+                      fresh
+                    end
+                    else begin
+                      let ids =
+                        match t.d_leaf.Clustering.default with
+                        | Some (ids, _) -> ids
+                        | None -> []
+                      in
+                      refresh_or t ids bm
+                    end
+                  in
+                  Applied { site = Site_default; leaf; header_changed }
+            end))
+  end
 
 let release srules t =
   List.iter (fun (l, _) -> Srule_state.release_leaf srules l) t.d_leaf.Clustering.srules;

@@ -7,10 +7,12 @@
     {!header_for_sender} (§3.1 D2b–c). *)
 
 type t = {
-  tree : Tree.t;
+  mutable tree : Tree.t;  (** kept current across {!apply_delta} fast paths *)
   params : Params.t;
   d_spine : Clustering.result;  (** logical-spine layer, ids are pod numbers *)
   d_leaf : Clustering.result;  (** leaf layer, ids are global leaf numbers *)
+  mutable stale : int;
+      (** fast-path mutations applied since the last from-scratch encode *)
 }
 
 val encode :
@@ -29,6 +31,55 @@ val encode :
     p-rule, which it cannot read: those receivers are lost, surfacing as a
     delivery failure in the data-plane simulator. Default: no legacy
     switches. *)
+
+(** {1 Incremental deltas}
+
+    The delta fast path of the incremental encoding engine: a membership
+    event whose host lands on a leaf the tree already spans flips one port
+    bit in the rule that leaf already occupies (p-rule, s-rule, or default),
+    in place, without re-running Algorithm 1. The spine and core sections
+    are untouched (leaf and pod sets are unchanged) and the header size
+    cannot change (bitmap widths are fixed), so only the bit flip and — for
+    shared rules — a redundancy-budget re-check are needed. Structural
+    events fall back to {!encode}, the correctness oracle. *)
+
+type delta =
+  | Join of { host : int; leaf : int; port : int }
+  | Leave of { host : int; leaf : int; port : int }
+      (** [host]'s leaf switch and its host port on that leaf. *)
+
+type site =
+  | Site_prule  (** the leaf sits in a (shared or singleton) p-rule *)
+  | Site_srule  (** the leaf holds an s-rule: exact bitmap, switch update *)
+  | Site_default  (** the leaf was folded into the default p-rule *)
+
+type applied = {
+  site : site;
+  leaf : int;
+  header_changed : bool;
+      (** did the common downstream section change? [false] when the flipped
+          bit was already covered (another sharing switch contributed it) or
+          the change is confined to an s-rule — then only the changed leaf's
+          co-located senders need new upstream rules. *)
+}
+
+type reencode_reason =
+  | New_leaf  (** join on a leaf the tree does not span *)
+  | Emptied_leaf  (** leave of the last member behind a leaf *)
+  | Budget_exceeded  (** the shared rule would blow the redundancy budget *)
+  | Stale  (** [Params.staleness_limit] fast mutations accumulated *)
+
+type outcome = Applied of applied | Reencode of reencode_reason
+
+val delta_of_host : Topology.t -> joining:bool -> int -> delta
+(** Locates the host's leaf and port. *)
+
+val apply_delta : t -> delta -> outcome
+(** Applies a membership delta in place when the fast path holds. On
+    [Applied] the encoding {e and its tree} reflect the new membership (the
+    tree's members array is rebuilt; [stale] is incremented). On
+    [Reencode _] {b nothing was mutated} — the caller must run {!encode} on
+    the new membership and release/diff this encoding as usual. *)
 
 val release : Srule_state.t -> t -> unit
 (** Returns the encoding's s-rule reservations (used on group removal or

@@ -8,10 +8,12 @@ type t = {
   header_budget : int option;
   kmax : int;
   fmax : int;
+  staleness_limit : int;
 }
 
 let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
-    ?(header_budget = Some 325) ?(kmax = 2) ?(fmax = 30_000) () =
+    ?(header_budget = Some 325) ?(kmax = 2) ?(fmax = 30_000)
+    ?(staleness_limit = 256) () =
   if r < 0 then invalid_arg "Params.create: r must be non-negative";
   if hmax_leaf <= 0 then invalid_arg "Params.create: hmax_leaf must be positive";
   if hmax_spine <= 0 then invalid_arg "Params.create: hmax_spine must be positive";
@@ -20,7 +22,10 @@ let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
   | Some _ | None -> ());
   if kmax <= 0 then invalid_arg "Params.create: kmax must be positive";
   if fmax < 0 then invalid_arg "Params.create: fmax must be non-negative";
-  { r; r_semantics; hmax_leaf; hmax_spine; header_budget; kmax; fmax }
+  if staleness_limit < 0 then
+    invalid_arg "Params.create: staleness_limit must be non-negative";
+  { r; r_semantics; hmax_leaf; hmax_spine; header_budget; kmax; fmax;
+    staleness_limit }
 
 let default = create ()
 let with_r t r = { t with r = (if r < 0 then invalid_arg "Params.with_r" else r) }

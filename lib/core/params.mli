@@ -31,6 +31,11 @@ type t = {
           alone. *)
   kmax : int;
   fmax : int;
+  staleness_limit : int;
+      (** how many delta fast-path mutations an encoding may accumulate
+          before the controller forces a from-scratch re-encode, bounding
+          drift from the greedy optimum of Algorithm 1. [0] disables the
+          fast path entirely (every membership event re-encodes). *)
 }
 
 val default : t
@@ -43,8 +48,10 @@ val with_r : t -> int -> t
 
 val create :
   ?r:int -> ?r_semantics:r_semantics -> ?hmax_leaf:int -> ?hmax_spine:int ->
-  ?header_budget:int option -> ?kmax:int -> ?fmax:int -> unit -> t
-(** Like {!default} with overrides. Raises [Invalid_argument] on negative
-    [r]/[fmax] or non-positive [hmax_leaf]/[hmax_spine]/[kmax]. *)
+  ?header_budget:int option -> ?kmax:int -> ?fmax:int ->
+  ?staleness_limit:int -> unit -> t
+(** Like {!default} with overrides ([staleness_limit] defaults to 256).
+    Raises [Invalid_argument] on negative [r]/[fmax]/[staleness_limit] or
+    non-positive [hmax_leaf]/[hmax_spine]/[kmax]. *)
 
 val pp : Format.formatter -> t -> unit

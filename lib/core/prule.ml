@@ -11,6 +11,8 @@ type header = {
   d_leaf_default : Bitmap.t option;
 }
 
+let rule_mem r id = List.mem id r.switches
+
 let uprule_bits ~down_width ~up_width = down_width + up_width + 1
 
 let layer_widths topo = function

@@ -33,6 +33,9 @@ type header = {
   d_leaf_default : Bitmap.t option;
 }
 
+val rule_mem : prule -> int -> bool
+(** Does the rule's identifier list include the switch? *)
+
 (** {1 Bit-size accounting} *)
 
 val uprule_bits : down_width:int -> up_width:int -> int

@@ -34,6 +34,8 @@ let release_pod t p =
   if t.pod_used.(p) <= 0 then failwith "Srule_state.release_pod: underflow";
   t.pod_used.(p) <- t.pod_used.(p) - 1
 
+let leaf_used t l = t.leaf_used.(l)
+let pod_used t p = t.pod_used.(p)
 let leaf_occupancy t = Array.copy t.leaf_used
 
 let spine_occupancy t =

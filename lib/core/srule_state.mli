@@ -27,6 +27,12 @@ val release_leaf : t -> int -> unit
 
 val release_pod : t -> int -> unit
 
+val leaf_used : t -> int -> int
+(** Current s-rule count of one leaf. *)
+
+val pod_used : t -> int -> int
+(** Current s-rule count of one pod (per physical spine of the pod). *)
+
 val leaf_occupancy : t -> int array
 (** Copy of the per-leaf s-rule counts. *)
 

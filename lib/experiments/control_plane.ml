@@ -74,13 +74,20 @@ let pp_load ppf (l : Churn.layer_load) =
   Format.fprintf ppf "%7.1f (%7.1f)" l.Churn.mean l.Churn.max
 
 let pp_table2 ppf (c : Churn.result) =
+  let rule_events = c.Churn.fast_path + c.Churn.reencoded in
+  let hit_rate =
+    if rule_events = 0 then 0.0
+    else 100.0 *. float_of_int c.Churn.fast_path /. float_of_int rule_events
+  in
   Format.fprintf ppf
     "@[<v>Table 2: avg (max) switch updates per second @ %d events@ \
+     (incremental fast path: %d/%d receiver events in place, %.1f%%)@ \
      %-12s %-20s %s@ hypervisor   %a %20s@ leaf         %a    %a@ \
      spine        %a    %a@ core         %7.1f (%7.1f)    %a@]"
-    c.Churn.events "switch" "Elmo" "Li et al." pp_load c.Churn.elmo_hypervisor
-    "(not evaluated)" pp_load c.Churn.elmo_leaf pp_load c.Churn.li_leaf pp_load
-    c.Churn.elmo_spine pp_load c.Churn.li_spine 0.0 0.0 pp_load c.Churn.li_core
+    c.Churn.events c.Churn.fast_path rule_events hit_rate "switch" "Elmo"
+    "Li et al." pp_load c.Churn.elmo_hypervisor "(not evaluated)" pp_load
+    c.Churn.elmo_leaf pp_load c.Churn.li_leaf pp_load c.Churn.elmo_spine
+    pp_load c.Churn.li_spine 0.0 0.0 pp_load c.Churn.li_core
 
 let pp_failures ppf r =
   let pp ppf (f : Churn.failure_result) =

@@ -75,6 +75,63 @@ let mem_host t h =
 let leaf_bitmap t l = List.assoc_opt l t.leaf_bitmaps
 let spine_bitmap t p = List.assoc_opt p t.spine_bitmaps
 
+let copy t =
+  {
+    t with
+    members = Array.copy t.members;
+    leaf_bitmaps = List.map (fun (l, bm) -> (l, Bitmap.copy bm)) t.leaf_bitmaps;
+    spine_bitmaps = List.map (fun (p, bm) -> (p, Bitmap.copy bm)) t.spine_bitmaps;
+    core_bitmap = Bitmap.copy t.core_bitmap;
+  }
+
+(* Incremental membership (the encoder's delta fast path). The leaf bitmap
+   is mutated IN PLACE — deliberately: singleton p-rules and s-rules alias
+   the tree's bitmaps, so an in-place flip updates those rules for free. The
+   members array is rebuilt (sorted), sharing everything else. Both return
+   [None] when the change is structural (a new leaf appears / a leaf
+   empties) and leave the tree untouched; the caller must re-encode. *)
+
+let add_member t h =
+  if h < 0 || h >= Topology.num_hosts t.topo then
+    invalid_arg "Tree.add_member: host out of range";
+  if mem_host t h then invalid_arg "Tree.add_member: already a member";
+  let l = Topology.leaf_of_host t.topo h in
+  match List.assoc_opt l t.leaf_bitmaps with
+  | None -> None
+  | Some bm ->
+      Bitmap.set bm (Topology.host_port_on_leaf t.topo h);
+      let n = Array.length t.members in
+      let members = Array.make (n + 1) h in
+      let i = ref 0 in
+      while !i < n && t.members.(!i) < h do
+        members.(!i) <- t.members.(!i);
+        incr i
+      done;
+      Array.blit t.members !i members (!i + 1) (n - !i);
+      Some { t with members }
+
+let remove_member t h =
+  if not (mem_host t h) then invalid_arg "Tree.remove_member: not a member";
+  let l = Topology.leaf_of_host t.topo h in
+  match List.assoc_opt l t.leaf_bitmaps with
+  | None -> None
+  | Some bm ->
+      if Bitmap.popcount bm <= 1 then None
+      else begin
+        Bitmap.clear bm (Topology.host_port_on_leaf t.topo h);
+        let n = Array.length t.members in
+        let members = Array.make (n - 1) 0 in
+        let j = ref 0 in
+        Array.iter
+          (fun m ->
+            if m <> h then begin
+              members.(!j) <- m;
+              incr j
+            end)
+          t.members;
+        Some { t with members }
+      end
+
 let ideal_link_transmissions t ~sender =
   let topo = t.topo in
   let sl = Topology.leaf_of_host topo sender in

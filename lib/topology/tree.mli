@@ -43,5 +43,23 @@ val ideal_link_transmissions : t -> sender:int -> int
 val leaf_bitmap : t -> int -> Bitmap.t option
 (** Exact downstream bitmap of a leaf, if participating. *)
 
+val copy : t -> t
+(** Deep copy (fresh bitmaps and members array) — a stable snapshot across
+    later in-place mutations by {!add_member} / {!remove_member}. *)
+
+val add_member : t -> int -> t option
+(** [add_member t h] is the membership-delta fast path: when [h]'s leaf
+    already participates, sets the host's port bit {e in place} (aliasing
+    rule bitmaps see the flip too) and returns a tree with an updated
+    members array sharing everything else. [None] — with the tree untouched
+    — when the host's leaf does not participate (structural change: the
+    caller must rebuild via {!of_members}). Raises [Invalid_argument] on an
+    out-of-range or already-member host. *)
+
+val remove_member : t -> int -> t option
+(** Dual of {!add_member}: clears the host's port bit in place. [None] when
+    the host is the last member on its leaf (the leaf would vanish from the
+    tree — structural). Raises [Invalid_argument] if not a member. *)
+
 val spine_bitmap : t -> int -> Bitmap.t option
 (** Exact downstream bitmap of a pod's logical spine, if participating. *)
