@@ -1,0 +1,44 @@
+(* Repro: a Leave from a shared p-rule can push the rule past the
+   redundancy budget R with no fallback. *)
+let () =
+  let topo = Topology.running_example () in
+  let h = topo.Topology.hosts_per_leaf in
+  (* r=0, hmax_leaf=1: leaves 0 and 1 have identical {port0,port1} bitmaps
+     and share a p-rule (hamming 0). *)
+  let params = Params.create ~r:0 ~hmax_leaf:1 ~header_budget:None () in
+  let srules = Srule_state.create topo ~fmax:params.Params.fmax in
+  let hosts = [ 0; 1; h; h + 1 ] in
+  let enc = Encoding.encode params srules (Tree.of_members topo hosts) in
+  let shared =
+    List.find
+      (fun (r : Prule.prule) -> List.length r.Prule.switches > 1)
+      enc.Encoding.d_leaf.Clustering.prules
+  in
+  Printf.printf "shared rule switches: %s, bitmap %s\n"
+    (String.concat "," (List.map string_of_int shared.Prule.switches))
+    (Bitmap.to_string shared.Prule.bitmap);
+  (* Host 1 (leaf 0, port 1) leaves; leaf 0 keeps host 0. *)
+  (match Encoding.apply_delta enc (Encoding.delta_of_host topo ~joining:false 1) with
+  | Encoding.Applied a ->
+      Printf.printf "fast path applied at site=%s\n"
+        (match a.Encoding.site with
+        | Encoding.Site_prule -> "prule"
+        | Encoding.Site_srule -> "srule"
+        | Encoding.Site_default -> "default")
+  | Encoding.Reencode _ -> Printf.printf "fell back to re-encode\n");
+  (* Check the budget of the (possibly mutated) shared rule. *)
+  let exacts =
+    List.map
+      (fun l ->
+        match Tree.leaf_bitmap enc.Encoding.tree l with
+        | Some bm -> bm
+        | None -> failwith "leaf gone")
+      shared.Prule.switches
+  in
+  let ok =
+    Clustering.rule_within_budget ~r:params.Params.r
+      ~semantics:params.Params.r_semantics ~exacts shared.Prule.bitmap
+  in
+  Printf.printf "rule bitmap now %s; within R budget: %b\n"
+    (Bitmap.to_string shared.Prule.bitmap) ok;
+  if not ok then exit 1
