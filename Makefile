@@ -1,11 +1,12 @@
-.PHONY: all check test bench bench-churn clean
+.PHONY: all check test bench bench-churn bench-parallel clean
 
 all:
 	dune build
 
-# Tier-1 verification: everything compiles and the full suite passes.
+# Tier-1 verification: everything compiles (including benches and examples)
+# and the full suite passes.
 check:
-	dune build && dune runtest
+	dune build @all && dune runtest
 
 test: check
 
@@ -16,6 +17,12 @@ bench:
 # BENCH_churn.json (events/sec, fast-path hit rate, p99 re-encode time).
 bench-churn:
 	dune exec bench/main.exe -- churn
+
+# Domain-scaling benchmark for the two-phase batch controller; writes
+# BENCH_parallel.json (groups/sec at 1/2/4 domains vs the sequential
+# add_group baseline, with commit-conflict counts).
+bench-parallel:
+	dune exec bench/main.exe -- parallel
 
 clean:
 	dune clean

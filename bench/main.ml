@@ -4,8 +4,8 @@
 
    Usage: main.exe [target ...]
    Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
-            table3 ablation twotier nonclos legacy bisection strawman micro
-            all (default: all)
+            table3 ablation twotier nonclos legacy bisection strawman churn
+            parallel micro all (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
    ELMO_FULL=1 runs the paper's full million groups. *)
@@ -448,6 +448,149 @@ let churn () =
   close_out oc;
   printf "wrote BENCH_churn.json@."
 
+(* {1 Parallel batch encoding: domain scaling of the two-phase controller} *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    if rev = "" then "unknown" else rev
+  with _ -> "unknown"
+
+type parallel_run = {
+  par_label : string;
+  par_domains : int;  (* 0 = per-group add_group baseline *)
+  groups_per_sec : float;
+  par_total_s : float;
+  par_conflicts : int;
+}
+
+let parallel () =
+  hr "Parallel: two-phase batch group encoding across domains (BENCH_parallel.json)";
+  let topo =
+    Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
+      ~hosts_per_leaf:32 ~cores_per_plane:4
+  in
+  let total_groups =
+    match Sys.getenv_opt "ELMO_PAR_GROUPS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_PAR_GROUPS must be a positive integer (got %S)@." s;
+            exit 1)
+    | None -> 4_000
+  in
+  let fmax = max 50 (30_000 * total_groups / 1_000_000) in
+  let params = Params.create ~fmax () in
+  let cores = Domain.recommended_domain_count () in
+  printf "topology: %a; %d groups; fmax=%d; available cores: %d@." Topology.pp
+    topo total_groups fmax cores;
+  let rng = Rng.create 5 in
+  let tenant_sizes = Vm_placement.default_tenant_sizes rng 200 in
+  let placement =
+    Vm_placement.place rng topo ~strategy:(Vm_placement.Pack_up_to 12)
+      ~host_capacity:20 ~tenant_sizes
+  in
+  let workload_rng = Rng.create 6 in
+  let groups =
+    Workload.generate workload_rng placement ~kind:Group_dist.Wve ~total_groups
+  in
+  (* One role'd batch, shared by every run, so all modes encode the exact
+     same input. *)
+  let role_rng = Rng.create 9 in
+  let role () =
+    match Rng.int role_rng 3 with
+    | 0 -> Controller.Sender
+    | 1 -> Controller.Receiver
+    | _ -> Controller.Both
+  in
+  let batch =
+    Array.to_list groups
+    |> List.map (fun g ->
+           ( g.Workload.group_id,
+             Array.to_list g.Workload.member_hosts
+             |> List.map (fun h -> (h, role ())) ))
+  in
+  let occupancy ctrl =
+    let s = Controller.srule_state ctrl in
+    (Srule_state.leaf_occupancy s, Srule_state.spine_occupancy s)
+  in
+  let timed label domains install =
+    let ctrl = Controller.create topo params in
+    let t0 = Unix.gettimeofday () in
+    install ctrl;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( {
+        par_label = label;
+        par_domains = domains;
+        groups_per_sec =
+          (if dt > 0.0 then float_of_int total_groups /. dt else 0.0);
+        par_total_s = dt;
+        par_conflicts = Controller.batch_conflicts ctrl;
+      },
+      occupancy ctrl )
+  in
+  let seq, seq_occ =
+    timed "add_group" 0 (fun ctrl ->
+        List.iter
+          (fun (group, members) ->
+            ignore (Controller.add_group ctrl ~group members))
+          batch)
+  in
+  let par_runs =
+    List.map
+      (fun d ->
+        let r, occ =
+          timed (Printf.sprintf "install_all d=%d" d) d (fun ctrl ->
+              ignore (Controller.install_all ~domains:d ctrl batch))
+        in
+        if occ <> seq_occ then begin
+          printf "FAIL: occupancy diverges from sequential at domains=%d@." d;
+          exit 1
+        end;
+        r)
+      [ 1; 2; 4 ]
+  in
+  let runs = seq :: par_runs in
+  printf "@.%-20s %-10s %-12s %-10s %-10s %-10s@." "mode" "domains" "groups/s"
+    "total s" "conflicts" "speedup";
+  List.iter
+    (fun r ->
+      printf "%-20s %-10d %-12.0f %-10.3f %-10d %-10.2f@." r.par_label
+        r.par_domains r.groups_per_sec r.par_total_s r.par_conflicts
+        (if seq.groups_per_sec > 0.0 then r.groups_per_sec /. seq.groups_per_sec
+         else 0.0))
+    runs;
+  printf "s-rule occupancy identical across all runs@.";
+  let json_of r =
+    Printf.sprintf
+      {|    {"mode": "%s", "domains": %d, "groups_per_sec": %.1f, "total_s": %.4f, "conflicts": %d, "speedup_vs_sequential": %.4f}|}
+      r.par_label r.par_domains r.groups_per_sec r.par_total_s r.par_conflicts
+      (if seq.groups_per_sec > 0.0 then r.groups_per_sec /. seq.groups_per_sec
+       else 0.0)
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "parallel",
+  "git_rev": "%s",
+  "available_cores": %d,
+  "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
+  "groups": %d,
+  "fmax": %d,
+  "occupancy_identical": true,
+  "runs": [
+%s
+  ]
+}
+|}
+    (git_rev ()) cores total_groups fmax
+    (String.concat ",\n" (List.map json_of runs));
+  close_out oc;
+  printf "wrote BENCH_parallel.json@."
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro () =
@@ -545,6 +688,7 @@ let targets =
     ("bisection", bisection);
     ("strawman", strawman);
     ("churn", churn);
+    ("parallel", parallel);
     ("micro", micro);
   ]
 

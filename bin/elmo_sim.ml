@@ -56,7 +56,17 @@ let budget_arg =
   let doc = "Header budget in bytes (0 disables budget-driven Hmax)." in
   Arg.(value & opt int 325 & info [ "budget" ] ~docv:"BYTES" ~doc)
 
-let config groups tenants seed placement dist fmax budget =
+let domains_arg =
+  let doc =
+    "Worker domains for batch group encoding (results are identical for any \
+     value; default from ELMO_DOMAINS or 1)."
+  in
+  Arg.(
+    value
+    & opt int (Scalability.domains_from_env 1)
+    & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let config groups tenants seed placement dist fmax budget domains =
   let fmax =
     match fmax with
     | Some f -> f
@@ -71,11 +81,12 @@ let config groups tenants seed placement dist fmax budget =
     dist;
     params = Params.create ~fmax ~header_budget ();
     seed;
+    domains = max 1 domains;
   }
 
 let scalability_cmd =
-  let run groups tenants seed placement dist fmax budget rs =
-    let cfg = config groups tenants seed placement dist fmax budget in
+  let run groups tenants seed placement dist fmax budget domains rs =
+    let cfg = config groups tenants seed placement dist fmax budget domains in
     Format.printf "topology: %a@.placement: %a  dist: %a  groups: %d  params: %a@."
       Topology.pp cfg.Scalability.topo Vm_placement.pp_strategy placement
       Group_dist.pp_kind dist groups Params.pp cfg.Scalability.params;
@@ -86,7 +97,7 @@ let scalability_cmd =
   let term =
     Term.(
       const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
-      $ dist_arg $ fmax_arg $ budget_arg $ r_arg)
+      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ r_arg)
   in
   Cmd.v
     (Cmd.info "scalability"
@@ -98,8 +109,8 @@ let churn_cmd =
   let events_arg =
     Arg.(value & opt int 20_000 & info [ "events" ] ~docv:"N" ~doc:"Membership events.")
   in
-  let run groups tenants seed placement dist fmax budget events =
-    let base = config groups tenants seed placement dist fmax budget in
+  let run groups tenants seed placement dist fmax budget domains events =
+    let base = config groups tenants seed placement dist fmax budget domains in
     let cfg =
       {
         Control_plane.topo = base.Scalability.topo;
@@ -112,6 +123,7 @@ let churn_cmd =
         events_per_second = 1_000.0;
         failure_trials = 5;
         seed = base.Scalability.seed;
+        domains = base.Scalability.domains;
       }
     in
     let r = Control_plane.run cfg in
@@ -121,7 +133,7 @@ let churn_cmd =
   let term =
     Term.(
       const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
-      $ dist_arg $ fmax_arg $ budget_arg $ events_arg)
+      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ events_arg)
   in
   Cmd.v
     (Cmd.info "churn"

@@ -19,15 +19,17 @@ let random_role rng =
   | 1 -> Controller.Receiver
   | _ -> Controller.Both
 
-let setup_controller rng ctrl _placement groups =
-  Array.iter
-    (fun g ->
-      let members =
-        Array.to_list g.Workload.member_hosts
-        |> List.map (fun h -> (h, random_role rng))
-      in
-      ignore (Controller.add_group ctrl ~group:g.Workload.group_id members))
-    groups
+let setup_controller ?(domains = 1) rng ctrl _placement groups =
+  (* Roles are drawn sequentially in array order before any parallel work,
+     so the rng stream is identical for every domain count. *)
+  let batch =
+    Array.to_list groups
+    |> List.map (fun g ->
+           ( g.Workload.group_id,
+             Array.to_list g.Workload.member_hosts
+             |> List.map (fun h -> (h, random_role rng)) ))
+  in
+  ignore (Controller.install_all ~domains ctrl batch)
 
 (* Weighted choice by initial group size (events per group proportional to
    size, as in the paper). *)

@@ -27,13 +27,17 @@ type result = {
 }
 
 val setup_controller :
+  ?domains:int ->
   Rng.t ->
   Controller.t ->
   Vm_placement.t ->
   Workload.group array ->
   unit
 (** Registers every workload group with the controller, assigning each
-    member host a uniformly random role. *)
+    member host a uniformly random role. The whole population goes through
+    {!Controller.install_all}: batch-encoded on [domains] worker domains
+    (default 1) with results — and rng consumption — identical for every
+    domain count. *)
 
 val run :
   Rng.t ->

@@ -57,6 +57,8 @@ type t = {
   incremental : bool;
   mutable fast_hits : int;
   mutable reencodes : int;
+  mutable conflicts : int;
+      (* batch-encode optimistic reservations invalidated at commit *)
   spine_ok : bool array;
   core_ok : bool array;
   link_ok : bool array;  (* leaf <-> pod-spine links, index leaf * spp + plane *)
@@ -72,6 +74,7 @@ let create ?fabric_hooks ?(incremental = true) topo params =
     incremental;
     fast_hits = 0;
     reencodes = 0;
+    conflicts = 0;
     spine_ok = Array.make (Topology.num_spines topo) true;
     core_ok = Array.make (max 1 (Topology.num_cores topo)) true;
     link_ok =
@@ -526,6 +529,89 @@ let add_group t ~group members =
     leaves = srule_leaves;
     pods = srule_pods;
   }
+
+(* Two-phase batch install (§5.1.3 control-plane setup): encode all groups
+   in parallel against a frozen capacity snapshot, then commit sequentially
+   in ascending group order. A commit whose recorded capacity probes no
+   longer hold against the live ledger re-encodes that one group in place —
+   so the result is bit-identical to running {!add_group} sequentially in
+   the same order, for any domain count. *)
+let install_all ?(domains = 1) t batch =
+  let batch =
+    List.sort (fun (g1, _) (g2, _) -> compare g1 g2) batch |> Array.of_list
+  in
+  Array.iteri
+    (fun i (group, members) ->
+      if Hashtbl.mem t.groups group || (i > 0 && fst batch.(i - 1) = group) then
+        invalid_arg "Controller.install_all: group exists";
+      let hosts = List.map fst members in
+      if List.length (List.sort_uniq compare hosts) <> List.length hosts then
+        invalid_arg "Controller.install_all: duplicate member host")
+    batch;
+  Log.debug (fun m ->
+      m "install_all: %d groups across %d domains" (Array.length batch) domains);
+  let sts =
+    Array.map
+      (fun (_, members) -> { members; enc = None; applied = Hashtbl.create 1 })
+      batch
+  in
+  (* Phase 1: optimistic parallel encode. Each group gets a private
+     transaction over the shared snapshot; nothing touches the ledger. *)
+  let snap = Srule_state.snapshot t.srules in
+  let encode_one st =
+    match receivers st with
+    | [] -> None
+    | rcvs ->
+        let txn = Srule_state.txn snap in
+        Some (Encoding.encode_txn t.params txn (Tree.of_members t.topo rcvs), txn)
+  in
+  let encoded =
+    if domains <= 1 then Array.map encode_one sts
+    else
+      Domain_pool.with_pool domains (fun pool ->
+          Domain_pool.map pool encode_one sts)
+  in
+  (* Phase 2: sequential commit in group order. *)
+  let hyp = ref [] and leaves = ref [] and pods = ref [] in
+  Array.iteri
+    (fun i (group, _) ->
+      let st = sts.(i) in
+      (match encoded.(i) with
+      | None -> ()
+      | Some (enc, txn) -> (
+          match Srule_state.commit t.srules txn with
+          | Ok () -> st.enc <- Some enc
+          | Error _ ->
+              t.conflicts <- t.conflicts + 1;
+              (* The optimistic capacity decisions no longer hold: re-run
+                 Algorithm 1 against the live ledger, exactly as the
+                 sequential path would have. The tree is a pure function of
+                 the receiver set, so the optimistic one is reusable. *)
+              st.enc <- Some (Encoding.encode t.params t.srules enc.Encoding.tree)));
+      Hashtbl.add t.groups group st;
+      (match st.enc with Some e -> install_enc t ~group e | None -> ());
+      if not (all_healthy t) then refresh_overrides t ~group st;
+      hyp := List.rev_append (List.map fst st.members) !hyp;
+      match st.enc with
+      | None -> ()
+      | Some e ->
+          leaves :=
+            List.rev_append
+              (List.map fst e.Encoding.d_leaf.Clustering.srules)
+              !leaves;
+          pods :=
+            List.rev_append
+              (List.map fst e.Encoding.d_spine.Clustering.srules)
+              !pods)
+    batch;
+  assert (Srule_state.check t.srules);
+  {
+    hypervisors = List.sort_uniq compare !hyp;
+    leaves = List.sort_uniq compare !leaves;
+    pods = List.sort_uniq compare !pods;
+  }
+
+let batch_conflicts t = t.conflicts
 
 let remove_group t ~group =
   let st = find_group t group in

@@ -61,6 +61,24 @@ val add_group : t -> group:int -> (int * role) list -> updates
 (** Creates a group with initial (host, role) members. Raises
     [Invalid_argument] if the group exists or a host repeats. *)
 
+val install_all : ?domains:int -> t -> (int * (int * role) list) list -> updates
+(** Batch group setup, the two-phase parallel encode path (§5.1.3's
+    "hundreds of thousands of groups" controller workload). The batch is
+    processed in ascending group order: phase 1 encodes every group
+    concurrently on [domains] worker domains (default 1: inline) against an
+    immutable {!Srule_state.snapshot}; phase 2 commits the optimistic
+    s-rule reservations sequentially, re-encoding the rare group whose
+    capacity decisions an earlier commit invalidated. The resulting
+    encodings, s-rule ledger and merged updates are bit-identical to
+    calling {!add_group} per group in ascending group order, for any
+    [domains]. Raises [Invalid_argument] (before any state change) on a
+    duplicate group — in the batch or already installed — or a duplicate
+    member host within one group. *)
+
+val batch_conflicts : t -> int
+(** Cumulative count of {!install_all} groups whose optimistic reservations
+    were invalidated at commit time and had to be re-encoded. *)
+
 val remove_group : t -> group:int -> updates
 
 val join : t -> group:int -> host:int -> role:role -> updates

@@ -66,27 +66,18 @@ let with_legacy ~legacy ~reserve layer cluster =
       end)
     res legacy_switches
 
-let encode ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
-    (params : Params.t) srules tree =
+(* The only external state a group encode consults is switch capacity, and
+   only through the two probe-and-reserve closures below — everything else
+   is a pure function of (params, tree). The closures either hit the live
+   ledger (sequential path) or a transaction over a frozen snapshot
+   (parallel batch path); identical probe answers imply identical output. *)
+let encode_cap ~legacy_leaf ~legacy_pod (params : Params.t) ~reserve_leaf
+    ~reserve_pod tree =
   let hmax_spine, hmax_leaf = budgeted_hmax tree.Tree.topo params tree in
-  let reserve_leaf l =
-    if Srule_state.leaf_has_space srules l then begin
-      Srule_state.reserve_leaf srules l;
-      true
-    end
-    else false
-  in
   let d_leaf =
     with_legacy ~legacy:legacy_leaf ~reserve:reserve_leaf tree.Tree.leaf_bitmaps
       (Clustering.run ~r:params.r ~semantics:params.r_semantics ~hmax:hmax_leaf
          ~kmax:params.kmax ~has_srule_space:reserve_leaf)
-  in
-  let reserve_pod p =
-    if Srule_state.pod_has_space srules p then begin
-      Srule_state.reserve_pod srules p;
-      true
-    end
-    else false
   in
   let d_spine =
     (* On a two-tier fabric the only spine a packet visits is the sender's,
@@ -100,6 +91,24 @@ let encode ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
            ~hmax:hmax_spine ~kmax:params.kmax ~has_srule_space:reserve_pod)
   in
   { tree; params; d_spine; d_leaf; stale = 0 }
+
+let encode_txn ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
+    (params : Params.t) txn tree =
+  encode_cap ~legacy_leaf ~legacy_pod params
+    ~reserve_leaf:(Srule_state.txn_reserve_leaf txn)
+    ~reserve_pod:(Srule_state.txn_reserve_pod txn)
+    tree
+
+let encode ?legacy_leaf ?legacy_pod (params : Params.t) srules tree =
+  (* The sequential path is the batch protocol at batch size one: encode
+     against a just-taken snapshot, then commit. Nothing can have mutated
+     the ledger in between, so the commit replay cannot diverge. *)
+  let txn = Srule_state.txn (Srule_state.snapshot srules) in
+  let enc = encode_txn ?legacy_leaf ?legacy_pod params txn tree in
+  (match Srule_state.commit srules txn with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  enc
 
 (* {1 Incremental deltas (§3.3 rule-update locality)}
 

@@ -21,7 +21,9 @@ val encode :
   Params.t -> Srule_state.t -> Tree.t -> t
 (** Runs Algorithm 1 on both downstream layers, reserving s-rule space in
     the given state as it goes (leaf layer first, as it dominates header
-    usage; then spine).
+    usage; then spine). Internally this is {!encode_txn} against a fresh
+    snapshot of [srules] followed by an immediate (infallible) commit, so
+    the sequential and parallel batch paths share every encoding decision.
 
     [legacy_leaf] / [legacy_pod] mark switches that cannot parse Elmo
     headers (§7 incremental deployment): they are excluded from p-rule
@@ -31,6 +33,17 @@ val encode :
     p-rule, which it cannot read: those receivers are lost, surfacing as a
     delivery failure in the data-plane simulator. Default: no legacy
     switches. *)
+
+val encode_txn :
+  ?legacy_leaf:(int -> bool) ->
+  ?legacy_pod:(int -> bool) ->
+  Params.t -> Srule_state.txn -> Tree.t -> t
+(** Like {!encode} but pure with respect to the shared ledger: capacity is
+    probed and reserved on the transaction only, so any number of group
+    encodes can run concurrently against transactions over one snapshot.
+    The caller must later {!Srule_state.commit} the transaction — in batch
+    order — and on [Error _] discard this encoding and re-run {!encode}
+    against the live ledger. *)
 
 (** {1 Incremental deltas}
 

@@ -1,3 +1,16 @@
+type site = Leaf of int | Pod of int
+
+exception Full of site
+exception Underflow of site
+
+let () =
+  Printexc.register_printer (function
+    | Full (Leaf l) -> Some (Printf.sprintf "Srule_state.Full (Leaf %d)" l)
+    | Full (Pod p) -> Some (Printf.sprintf "Srule_state.Full (Pod %d)" p)
+    | Underflow (Leaf l) -> Some (Printf.sprintf "Srule_state.Underflow (Leaf %d)" l)
+    | Underflow (Pod p) -> Some (Printf.sprintf "Srule_state.Underflow (Pod %d)" p)
+    | _ -> None)
+
 type t = {
   topo : Topology.t;
   fmax : int;
@@ -19,19 +32,19 @@ let leaf_has_space t l = t.leaf_used.(l) < t.fmax
 let pod_has_space t p = t.pod_used.(p) < t.fmax
 
 let reserve_leaf t l =
-  if not (leaf_has_space t l) then failwith "Srule_state.reserve_leaf: full";
+  if not (leaf_has_space t l) then raise (Full (Leaf l));
   t.leaf_used.(l) <- t.leaf_used.(l) + 1
 
 let reserve_pod t p =
-  if not (pod_has_space t p) then failwith "Srule_state.reserve_pod: full";
+  if not (pod_has_space t p) then raise (Full (Pod p));
   t.pod_used.(p) <- t.pod_used.(p) + 1
 
 let release_leaf t l =
-  if t.leaf_used.(l) <= 0 then failwith "Srule_state.release_leaf: underflow";
+  if t.leaf_used.(l) <= 0 then raise (Underflow (Leaf l));
   t.leaf_used.(l) <- t.leaf_used.(l) - 1
 
 let release_pod t p =
-  if t.pod_used.(p) <= 0 then failwith "Srule_state.release_pod: underflow";
+  if t.pod_used.(p) <= 0 then raise (Underflow (Pod p));
   t.pod_used.(p) <- t.pod_used.(p) - 1
 
 let leaf_used t l = t.leaf_used.(l)
@@ -45,3 +58,88 @@ let spine_occupancy t =
 let total_srules t =
   Array.fold_left ( + ) 0 t.leaf_used
   + (Array.fold_left ( + ) 0 t.pod_used * t.topo.Topology.spines_per_pod)
+
+let check t =
+  let ok used = Array.for_all (fun u -> 0 <= u && u <= t.fmax) used in
+  ok t.leaf_used && ok t.pod_used
+
+(* {1 Snapshot / reserve / commit}
+
+   A transaction probes capacity against a frozen snapshot plus its own
+   reservations, recording every probe's answer. Commit replays the probe
+   log against the live ledger: if every answer still holds, the encode
+   that drove the probes would have made the identical decisions against
+   the live ledger, so its reservations are applied wholesale; the first
+   diverging answer aborts the commit with the offending site and leaves
+   the ledger untouched. *)
+
+type snapshot = {
+  snap_fmax : int;
+  snap_leaf : int array;
+  snap_pod : int array;
+}
+
+let snapshot t =
+  {
+    snap_fmax = t.fmax;
+    snap_leaf = Array.copy t.leaf_used;
+    snap_pod = Array.copy t.pod_used;
+  }
+
+type probe = { p_site : site; granted : bool }
+
+type txn = {
+  snap : snapshot;
+  (* per-site reservations made by this txn; sparse — a group touches few
+     switches *)
+  extra : (site, int) Hashtbl.t;
+  mutable log : probe list;  (* newest first *)
+  mutable closed : bool;
+}
+
+let txn snap = { snap; extra = Hashtbl.create 8; log = []; closed = false }
+
+let extra_of txn site =
+  Option.value ~default:0 (Hashtbl.find_opt txn.extra site)
+
+let txn_probe txn site base_used =
+  if txn.closed then invalid_arg "Srule_state: transaction already committed";
+  let extra = extra_of txn site in
+  let granted = base_used + extra < txn.snap.snap_fmax in
+  txn.log <- { p_site = site; granted } :: txn.log;
+  if granted then Hashtbl.replace txn.extra site (extra + 1);
+  granted
+
+let txn_reserve_leaf txn l = txn_probe txn (Leaf l) txn.snap.snap_leaf.(l)
+let txn_reserve_pod txn p = txn_probe txn (Pod p) txn.snap.snap_pod.(p)
+
+let txn_reserved txn =
+  Hashtbl.fold (fun _ n acc -> acc + n) txn.extra 0
+
+let commit t txn =
+  if txn.closed then invalid_arg "Srule_state.commit: transaction already committed";
+  let live = function Leaf l -> t.leaf_used.(l) | Pod p -> t.pod_used.(p) in
+  let extra = Hashtbl.create 8 in
+  let rec replay = function
+    | [] -> Ok ()
+    | { p_site; granted } :: rest ->
+        let e = Option.value ~default:0 (Hashtbl.find_opt extra p_site) in
+        let granted' = live p_site + e < t.fmax in
+        if granted' <> granted then Error p_site
+        else begin
+          if granted then Hashtbl.replace extra p_site (e + 1);
+          replay rest
+        end
+  in
+  let result = replay (List.rev txn.log) in
+  (match result with
+  | Ok () ->
+      Hashtbl.iter
+        (fun site n ->
+          match site with
+          | Leaf l -> t.leaf_used.(l) <- t.leaf_used.(l) + n
+          | Pod p -> t.pod_used.(p) <- t.pod_used.(p) + n)
+        extra
+  | Error _ -> ());
+  txn.closed <- true;
+  result

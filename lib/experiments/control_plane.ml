@@ -9,6 +9,7 @@ type config = {
   events_per_second : float;
   failure_trials : int;
   seed : int;
+  domains : int;
 }
 
 let default_config () =
@@ -24,6 +25,7 @@ let default_config () =
     events_per_second = 1_000.0;
     failure_trials = 10;
     seed = base.Scalability.seed;
+    domains = base.Scalability.domains;
   }
 
 type result = {
@@ -46,7 +48,7 @@ let run config =
   in
   let ctrl = Controller.create config.topo config.params in
   let setup_rng = Rng.create (config.seed + 3) in
-  Churn.setup_controller setup_rng ctrl placement groups;
+  Churn.setup_controller ~domains:config.domains setup_rng ctrl placement groups;
   let li = Li_et_al.create config.topo in
   (* Seed Li with the initial receiver trees so aggregation state exists
      before churn begins. *)

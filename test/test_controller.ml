@@ -572,3 +572,70 @@ let prop_chaos_never_breaks_delivery =
             (Controller.members ctrl ~group:1))
 
 let tests = tests @ [ QCheck_alcotest.to_alcotest prop_chaos_never_breaks_delivery ]
+
+(* {1 merge_updates / spine_update_count algebra} *)
+
+let arb_updates =
+  let gen =
+    QCheck.Gen.(
+      let ids = list_size (int_range 0 12) (int_range 0 15) in
+      map3
+        (fun h l p -> { Controller.hypervisors = h; leaves = l; pods = p })
+        ids ids ids)
+  in
+  let print (u : Controller.updates) =
+    let l ids = String.concat "," (List.map string_of_int ids) in
+    Printf.sprintf "{hyp=[%s] leaves=[%s] pods=[%s]}" (l u.Controller.hypervisors)
+      (l u.Controller.leaves) (l u.Controller.pods)
+  in
+  QCheck.make ~print gen
+
+let normalized (u : Controller.updates) =
+  Controller.merge_updates u Controller.no_updates
+
+let sorted_dedup l = List.sort_uniq compare l
+
+let prop_merge_normalizes =
+  QCheck.Test.make ~name:"merge_updates sorts and deduplicates" ~count:200
+    arb_updates (fun u ->
+      let m = Controller.merge_updates u u in
+      m.Controller.hypervisors = sorted_dedup u.Controller.hypervisors
+      && m.Controller.leaves = sorted_dedup u.Controller.leaves
+      && m.Controller.pods = sorted_dedup u.Controller.pods
+      && m = normalized u)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge_updates is commutative" ~count:200
+    (QCheck.pair arb_updates arb_updates) (fun (a, b) ->
+      Controller.merge_updates a b = Controller.merge_updates b a)
+
+let prop_merge_associative_idempotent =
+  QCheck.Test.make ~name:"merge_updates is associative and idempotent"
+    ~count:200
+    (QCheck.triple arb_updates arb_updates arb_updates) (fun (a, b, c) ->
+      let ( <+> ) = Controller.merge_updates in
+      (a <+> (b <+> c)) = ((a <+> b) <+> c)
+      && (let m = a <+> b in
+          (m <+> m) = m))
+
+let prop_spine_update_count =
+  QCheck.Test.make
+    ~name:"spine_update_count = distinct pods x physical spines per pod"
+    ~count:200 (QCheck.pair arb_updates arb_updates) (fun (a, b) ->
+      let m = Controller.merge_updates a b in
+      Controller.spine_update_count topo m
+      = List.length (sorted_dedup (a.Controller.pods @ b.Controller.pods))
+        * topo.Topology.spines_per_pod
+      && Controller.spine_update_count topo m
+         <= Controller.spine_update_count topo (normalized a)
+            + Controller.spine_update_count topo (normalized b))
+
+let tests =
+  tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_merge_normalizes;
+        prop_merge_commutative;
+        prop_merge_associative_idempotent;
+        prop_spine_update_count;
+      ]

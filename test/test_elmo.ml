@@ -16,6 +16,7 @@ let () =
       ("codec", Test_codec.tests);
       ("traffic-fabric", Test_traffic_fabric.tests);
       ("controller", Test_controller.tests);
+      ("parallel", Test_parallel.tests);
       ("incremental", Test_incremental.tests);
       ("baselines", Test_baselines.tests);
       ("apps", Test_apps.tests);

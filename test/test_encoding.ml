@@ -130,11 +130,12 @@ let test_srule_state_errors () =
   let s = Srule_state.create topo ~fmax:1 in
   Srule_state.reserve_leaf s 0;
   Alcotest.(check bool) "full" false (Srule_state.leaf_has_space s 0);
-  Alcotest.check_raises "overflow" (Failure "Srule_state.reserve_leaf: full")
+  Alcotest.check_raises "overflow" (Srule_state.Full (Srule_state.Leaf 0))
     (fun () -> Srule_state.reserve_leaf s 0);
   Srule_state.release_leaf s 0;
-  Alcotest.check_raises "underflow" (Failure "Srule_state.release_leaf: underflow")
+  Alcotest.check_raises "underflow" (Srule_state.Underflow (Srule_state.Leaf 0))
     (fun () -> Srule_state.release_leaf s 0);
+  Alcotest.(check bool) "invariants hold" true (Srule_state.check s);
   Srule_state.reserve_pod s 1;
   Alcotest.(check int) "pod reserve counts on each spine"
     topo.Topology.spines_per_pod
