@@ -1,14 +1,19 @@
-.PHONY: all check test bench bench-churn bench-parallel clean
+.PHONY: all check test lint bench bench-churn bench-parallel clean
 
 all:
 	dune build
 
-# Tier-1 verification: everything compiles (including benches and examples)
-# and the full suite passes.
+# Tier-1 verification: everything compiles (including benches and examples),
+# the static-analysis pass is clean, and the full suite passes.
 check:
-	dune build @all && dune runtest
+	dune build @all @lint && dune runtest
 
 test: check
+
+# elmo-lint over every library's typed AST (incremental: per-library alias
+# rules depend on the .cmt files, so only touched libraries re-lint).
+lint:
+	dune build @lint
 
 bench:
 	dune exec bench/main.exe -- all

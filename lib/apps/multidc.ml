@@ -12,7 +12,7 @@ type t = {
 }
 
 let create params fabrics =
-  if fabrics = [] then invalid_arg "Multidc.create: no datacenters";
+  if List.is_empty fabrics then invalid_arg "Multidc.create: no datacenters";
   {
     params;
     dcs =

@@ -101,7 +101,13 @@ let update t ~group ~old_tree ~new_tree =
       entries
   in
   let ids entries = List.map (fun (l, i, _) -> (l, i)) entries in
-  let all = List.sort_uniq compare (ids old_entries @ ids new_entries) in
+  let layer_rank = function `Leaf -> 0 | `Spine -> 1 | `Core -> 2 in
+  let compare_site (l1, i1) (l2, i2) =
+    match Int.compare (layer_rank l1) (layer_rank l2) with
+    | 0 -> Int.compare i1 i2
+    | c -> c
+  in
+  let all = List.sort_uniq compare_site (ids old_entries @ ids new_entries) in
   let any_change =
     List.exists
       (fun (layer, id) -> find old_entries layer id <> find new_entries layer id)

@@ -110,7 +110,7 @@ let run rng ctrl placement groups ~events ~events_per_second ~li =
         try_random 30
       end
     in
-    let want_join = members = [] || Rng.bool rng in
+    let want_join = List.is_empty members || Rng.bool rng in
     (* Deep-copy the snapshot: the incremental fast path mutates the live
        tree in place, so without a copy the baseline would diff the new
        membership against itself and under-count. *)

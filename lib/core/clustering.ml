@@ -4,6 +4,12 @@ type result = {
   default : (int list * Bitmap.t) option;
 }
 
+let equal_default a b =
+  Option.equal
+    (fun (ids1, bm1) (ids2, bm2) ->
+      List.equal Int.equal ids1 ids2 && Bitmap.equal bm1 bm2)
+    a b
+
 let rule_within_budget ~r ~semantics ~exacts output =
   match (semantics : Params.r_semantics) with
   | Per_bitmap -> List.for_all (fun bm -> Bitmap.hamming bm output <= r) exacts
@@ -12,9 +18,9 @@ let rule_within_budget ~r ~semantics ~exacts output =
       <= r
 
 let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
-  if hmax <= 0 then invalid_arg "Clustering.run: hmax must be positive";
-  if kmax <= 0 then invalid_arg "Clustering.run: kmax must be positive";
-  if r < 0 then invalid_arg "Clustering.run: r must be non-negative";
+  if hmax <= 0 then invalid_arg "Clustering.run: hmax must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if kmax <= 0 then invalid_arg "Clustering.run: kmax must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if r < 0 then invalid_arg "Clustering.run: r must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   match layer with
   | [] -> { prules = []; srules = []; default = None }
   | _ :: _ when List.length layer <= hmax ->

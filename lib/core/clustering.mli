@@ -21,6 +21,11 @@ type result = {
       (** switches folded into the default rule, and its OR bitmap *)
 }
 
+val equal_default :
+  (int list * Bitmap.t) option -> (int list * Bitmap.t) option -> bool
+(** Equality of default-rule sections: same folded switch ids (in order)
+    and equal bitmaps (by {!Bitmap.equal}, not structural comparison). *)
+
 val rule_within_budget :
   r:int -> semantics:Params.r_semantics -> exacts:Bitmap.t list -> Bitmap.t -> bool
 (** Does a rule whose members have the given exact bitmaps respect the

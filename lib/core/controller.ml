@@ -347,8 +347,8 @@ let srule_diff old_srules new_srules =
   List.sort_uniq compare (changed @ removed)
 
 let clustering_equal (a : Clustering.result) (b : Clustering.result) =
-  a.Clustering.prules = b.Clustering.prules
-  && a.Clustering.default = b.Clustering.default
+  List.equal Prule.equal a.Clustering.prules b.Clustering.prules
+  && Clustering.equal_default a.Clustering.default b.Clustering.default
 
 (* Senders whose headers change when the tree changes but the common
    downstream sections do not: locality-based (§3.1 D2b-c). *)
@@ -394,8 +394,8 @@ let reencode t ~group st ~changed_host =
     match (old_tree, new_tree) with
     | None, None -> false
     | Some a, Some b ->
-        a.Tree.leaf_bitmaps <> b.Tree.leaf_bitmaps
-        || a.Tree.spine_bitmaps <> b.Tree.spine_bitmaps
+        (not (Tree.equal_bitmaps a.Tree.leaf_bitmaps b.Tree.leaf_bitmaps))
+        || not (Tree.equal_bitmaps a.Tree.spine_bitmaps b.Tree.spine_bitmaps)
     | None, Some _ | Some _, None -> true
   in
   if not tree_changed then
@@ -505,13 +505,33 @@ let try_fast_delta t ~group st ~host ~joining =
 
 (* {1 Public group lifecycle} *)
 
+exception Invariant_violation of string
+
+(* Opt-in runtime invariant checking: with ELMO_DEBUG_INVARIANTS set, every
+   mutating operation re-verifies the s-rule ledger against the installed
+   encodings. The environment is consulted once, lazily, so the disabled
+   path costs a single boolean test. *)
+let debug_invariants =
+  lazy
+    (match Sys.getenv_opt "ELMO_DEBUG_INVARIANTS" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let check_invariants t ~op =
+  if Lazy.force debug_invariants && not (Srule_state.check t.srules) then
+    raise
+      (Invariant_violation
+         (Printf.sprintf
+            "Controller.%s: s-rule ledger diverged from installed encodings"
+            op))
+
 let add_group t ~group members =
   if Hashtbl.mem t.groups group then
-    invalid_arg "Controller.add_group: group exists";
+    invalid_arg "Controller.add_group: group exists"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   Log.debug (fun m -> m "add_group %d with %d members" group (List.length members));
   let hosts = List.map fst members in
   if List.length (List.sort_uniq compare hosts) <> List.length hosts then
-    invalid_arg "Controller.add_group: duplicate member host";
+    invalid_arg "Controller.add_group: duplicate member host"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let st = { members; enc = None; applied = Hashtbl.create 1 } in
   Hashtbl.add t.groups group st;
   encode_group t st;
@@ -524,6 +544,7 @@ let add_group t ~group members =
           List.map fst e.Encoding.d_spine.Clustering.srules )
     | None -> ([], [])
   in
+  check_invariants t ~op:"add_group";
   {
     hypervisors = List.sort_uniq compare hosts;
     leaves = srule_leaves;
@@ -543,10 +564,10 @@ let install_all ?(domains = 1) t batch =
   Array.iteri
     (fun i (group, members) ->
       if Hashtbl.mem t.groups group || (i > 0 && fst batch.(i - 1) = group) then
-        invalid_arg "Controller.install_all: group exists";
+        invalid_arg "Controller.install_all: group exists"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
       let hosts = List.map fst members in
       if List.length (List.sort_uniq compare hosts) <> List.length hosts then
-        invalid_arg "Controller.install_all: duplicate member host")
+        invalid_arg "Controller.install_all: duplicate member host") (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
     batch;
   Log.debug (fun m ->
       m "install_all: %d groups across %d domains" (Array.length batch) domains);
@@ -604,7 +625,7 @@ let install_all ?(domains = 1) t batch =
               (List.map fst e.Encoding.d_spine.Clustering.srules)
               !pods)
     batch;
-  assert (Srule_state.check t.srules);
+  check_invariants t ~op:"install_all";
   {
     hypervisors = List.sort_uniq compare !hyp;
     leaves = List.sort_uniq compare !leaves;
@@ -624,6 +645,7 @@ let remove_group t ~group =
     | None -> ([], [])
   in
   Hashtbl.remove t.groups group;
+  check_invariants t ~op:"remove_group";
   {
     hypervisors = List.sort_uniq compare (List.map fst st.members);
     leaves = srule_leaves;
@@ -633,19 +655,23 @@ let remove_group t ~group =
 let join t ~group ~host ~role =
   let st = find_group t group in
   if List.mem_assoc host st.members then
-    invalid_arg "Controller.join: host already a member";
+    invalid_arg "Controller.join: host already a member"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   st.members <- st.members @ [ (host, role) ];
-  match role with
-  | Sender ->
-      (* The tree is unchanged; only the new sender's encap rule is
-         installed. *)
-      { hypervisors = [ host ]; leaves = []; pods = [] }
-  | Receiver | Both -> (
-      match try_fast_delta t ~group st ~host ~joining:true with
-      | Some u -> u
-      | None ->
-          t.reencodes <- t.reencodes + 1;
-          reencode t ~group st ~changed_host:host)
+  let u =
+    match role with
+    | Sender ->
+        (* The tree is unchanged; only the new sender's encap rule is
+           installed. *)
+        { hypervisors = [ host ]; leaves = []; pods = [] }
+    | Receiver | Both -> (
+        match try_fast_delta t ~group st ~host ~joining:true with
+        | Some u -> u
+        | None ->
+            t.reencodes <- t.reencodes + 1;
+            reencode t ~group st ~changed_host:host)
+  in
+  check_invariants t ~op:"join";
+  u
 
 let leave t ~group ~host =
   let st = find_group t group in
@@ -655,14 +681,18 @@ let leave t ~group ~host =
     | None -> raise Not_found
   in
   st.members <- List.remove_assoc host st.members;
-  match role with
-  | Sender -> { hypervisors = [ host ]; leaves = []; pods = [] }
-  | Receiver | Both -> (
-      match try_fast_delta t ~group st ~host ~joining:false with
-      | Some u -> u
-      | None ->
-          t.reencodes <- t.reencodes + 1;
-          reencode t ~group st ~changed_host:host)
+  let u =
+    match role with
+    | Sender -> { hypervisors = [ host ]; leaves = []; pods = [] }
+    | Receiver | Both -> (
+        match try_fast_delta t ~group st ~host ~joining:false with
+        | Some u -> u
+        | None ->
+            t.reencodes <- t.reencodes + 1;
+            reencode t ~group st ~changed_host:host)
+  in
+  check_invariants t ~op:"leave";
+  u
 
 let encoding t ~group = (find_group t group).enc
 let members t ~group = (find_group t group).members
@@ -786,7 +816,7 @@ let link_index t ~leaf ~plane =
     || leaf >= Topology.num_leaves t.topo
     || plane < 0
     || plane >= t.topo.Topology.spines_per_pod
-  then invalid_arg "Controller: link out of range";
+  then invalid_arg "Controller: link out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   (leaf * t.topo.Topology.spines_per_pod) + plane
 
 let fail_link t ~leaf ~plane =

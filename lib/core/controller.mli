@@ -42,6 +42,14 @@ type fabric_hooks = {
 
 type t
 
+exception Invariant_violation of string
+(** Raised by the group-lifecycle operations when runtime invariant
+    checking is enabled (environment variable [ELMO_DEBUG_INVARIANTS] set
+    to [1]/[true]/[yes]/[on]) and the s-rule ledger no longer agrees with
+    the installed encodings. Always indicates a controller bug, never
+    caller error; checking is off by default because {!Srule_state.check}
+    is linear in the number of installed groups. *)
+
 val create :
   ?fabric_hooks:fabric_hooks -> ?incremental:bool -> Topology.t -> Params.t -> t
 (** By default the controller is stand-alone (pure state) and

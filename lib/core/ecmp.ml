@@ -8,7 +8,7 @@ let spine_choice topo ~hash = hash mod topo.Topology.spines_per_pod
 
 let core_choice topo ~hash ~plane =
   if Topology.is_two_tier topo then
-    invalid_arg "Ecmp.core_choice: two-tier topology has no cores";
+    invalid_arg "Ecmp.core_choice: two-tier topology has no cores"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   (* Re-mix before reducing: [hash mod spines_per_pod] and
      [hash mod cores_per_plane] are correlated whenever one modulus divides
      the other (e.g. 4 and 12 on the Facebook fabric), which would collapse

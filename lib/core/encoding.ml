@@ -6,6 +6,8 @@ type t = {
   mutable stale : int;
 }
 
+exception Internal_error of string
+
 (* Per-group Hmax within the byte budget (§3.2): worst-case rule sizes are
    known a priori (Kmax identifiers each), the upstream and core sections are
    fixed-size, and one default bitmap per layer is reserved. Spine rules are
@@ -107,7 +109,8 @@ let encode ?legacy_leaf ?legacy_pod (params : Params.t) srules tree =
   let enc = encode_txn ?legacy_leaf ?legacy_pod params txn tree in
   (match Srule_state.commit srules txn with
   | Ok () -> ()
-  | Error _ -> assert false);
+  | Error _ ->
+      raise (Internal_error "encode: commit of a fresh snapshot diverged"));
   enc
 
 (* {1 Incremental deltas (§3.3 rule-update locality)}
@@ -155,7 +158,7 @@ let leaf_site t leaf =
 let exact_leaf_bitmap t leaf =
   match Tree.leaf_bitmap t.tree leaf with
   | Some bm -> bm
-  | None -> invalid_arg "Encoding: leaf not in tree"
+  | None -> raise (Internal_error "exact_leaf_bitmap: leaf not in tree")
 
 (* OR the exact bitmaps of [leaves] into [dst] (reset first), reporting
    whether [dst] changed. *)
@@ -225,7 +228,8 @@ let apply_delta t delta =
               | Some tree' -> t.tree <- tree'
               | None ->
                   (* Pre-checked above; keep the invariant anyway. *)
-                  failwith "Encoding.apply_delta: tree delta rejected");
+                  raise
+                    (Internal_error "apply_delta: tree delta rejected"));
               t.stale <- t.stale + 1;
               match site_found with
               | `P r ->
@@ -351,16 +355,18 @@ let header_bytes t ~sender =
   Prule.header_bytes t.tree.Tree.topo (header_for_sender t ~sender)
 
 let covered_by_prules t =
-  t.d_spine.Clustering.srules = []
-  && t.d_leaf.Clustering.srules = []
-  && t.d_spine.Clustering.default = None
-  && t.d_leaf.Clustering.default = None
+  List.is_empty t.d_spine.Clustering.srules
+  && List.is_empty t.d_leaf.Clustering.srules
+  && Option.is_none t.d_spine.Clustering.default
+  && Option.is_none t.d_leaf.Clustering.default
 
 let covered_without_default t =
-  t.d_spine.Clustering.default = None && t.d_leaf.Clustering.default = None
+  Option.is_none t.d_spine.Clustering.default
+  && Option.is_none t.d_leaf.Clustering.default
 
 let uses_default t =
-  t.d_spine.Clustering.default <> None || t.d_leaf.Clustering.default <> None
+  Option.is_some t.d_spine.Clustering.default
+  || Option.is_some t.d_leaf.Clustering.default
 
 let srule_entries t =
   let topo = t.tree.Tree.topo in

@@ -15,6 +15,11 @@ type t = {
       (** fast-path mutations applied since the last from-scratch encode *)
 }
 
+exception Internal_error of string
+(** Raised only when an internal invariant is violated (a fresh-snapshot
+    commit diverging, a pre-checked tree delta being rejected). Reaching it
+    indicates a bug in the encoder, never caller error. *)
+
 val encode :
   ?legacy_leaf:(int -> bool) ->
   ?legacy_pod:(int -> bool) ->

@@ -4,7 +4,7 @@ let layer_widths topo = function
 
 let write_uprule w ~down_width ~up_width (u : Prule.uprule) =
   if Bitmap.width u.Prule.down <> down_width || Bitmap.width u.Prule.up <> up_width
-  then invalid_arg "Header_codec: upstream rule width mismatch";
+  then invalid_arg "Header_codec: upstream rule width mismatch"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   Bitio.Writer.bitmap w u.Prule.down;
   Bitio.Writer.bitmap w u.Prule.up;
   Bitio.Writer.bit w u.Prule.multipath
@@ -14,9 +14,9 @@ let write_section topo w layer rules default =
   List.iter
     (fun (r : Prule.prule) ->
       if r.Prule.switches = [] then
-        invalid_arg "Header_codec: p-rule with no switch identifiers";
+        invalid_arg "Header_codec: p-rule with no switch identifiers"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
       if Bitmap.width r.Prule.bitmap <> width then
-        invalid_arg "Header_codec: p-rule bitmap width mismatch";
+        invalid_arg "Header_codec: p-rule bitmap width mismatch"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
       Bitio.Writer.bit w true;
       Bitio.Writer.bitmap w r.Prule.bitmap;
       let rec ids = function
@@ -36,7 +36,7 @@ let write_section topo w layer rules default =
   | None -> Bitio.Writer.bit w false
   | Some bm ->
       if Bitmap.width bm <> width then
-        invalid_arg "Header_codec: default bitmap width mismatch";
+        invalid_arg "Header_codec: default bitmap width mismatch"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
       Bitio.Writer.bit w true;
       Bitio.Writer.bitmap w bm
 

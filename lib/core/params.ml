@@ -14,21 +14,21 @@ type t = {
 let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
     ?(header_budget = Some 325) ?(kmax = 2) ?(fmax = 30_000)
     ?(staleness_limit = 256) () =
-  if r < 0 then invalid_arg "Params.create: r must be non-negative";
-  if hmax_leaf <= 0 then invalid_arg "Params.create: hmax_leaf must be positive";
-  if hmax_spine <= 0 then invalid_arg "Params.create: hmax_spine must be positive";
+  if r < 0 then invalid_arg "Params.create: r must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if hmax_leaf <= 0 then invalid_arg "Params.create: hmax_leaf must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if hmax_spine <= 0 then invalid_arg "Params.create: hmax_spine must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   (match header_budget with
-  | Some b when b <= 0 -> invalid_arg "Params.create: header_budget must be positive"
+  | Some b when b <= 0 -> invalid_arg "Params.create: header_budget must be positive" (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   | Some _ | None -> ());
-  if kmax <= 0 then invalid_arg "Params.create: kmax must be positive";
-  if fmax < 0 then invalid_arg "Params.create: fmax must be non-negative";
+  if kmax <= 0 then invalid_arg "Params.create: kmax must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if fmax < 0 then invalid_arg "Params.create: fmax must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if staleness_limit < 0 then
-    invalid_arg "Params.create: staleness_limit must be non-negative";
+    invalid_arg "Params.create: staleness_limit must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   { r; r_semantics; hmax_leaf; hmax_spine; header_budget; kmax; fmax;
     staleness_limit }
 
 let default = create ()
-let with_r t r = { t with r = (if r < 0 then invalid_arg "Params.with_r" else r) }
+let with_r t r = { t with r = (if r < 0 then invalid_arg "Params.with_r" else r) } (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
 
 let pp ppf t =
   Format.fprintf ppf "R=%d(%s) Hmax=(leaf %d, spine %d%s) Kmax=%d Fmax=%d" t.r

@@ -13,6 +13,9 @@ type header = {
 
 let rule_mem r id = List.mem id r.switches
 
+let equal a b =
+  Bitmap.equal a.bitmap b.bitmap && List.equal Int.equal a.switches b.switches
+
 let uprule_bits ~down_width ~up_width = down_width + up_width + 1
 
 let layer_widths topo = function
@@ -25,7 +28,7 @@ let layer_widths topo = function
    flag (plus the default bitmap when present). *)
 
 let prule_bits topo layer ~nswitches =
-  if nswitches <= 0 then invalid_arg "Prule.prule_bits: empty switch list";
+  if nswitches <= 0 then invalid_arg "Prule.prule_bits: empty switch list"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let width, id_bits = layer_widths topo layer in
   1 + width + (nswitches * (id_bits + 1))
 

@@ -36,6 +36,9 @@ type header = {
 val rule_mem : prule -> int -> bool
 (** Does the rule's identifier list include the switch? *)
 
+val equal : prule -> prule -> bool
+(** Same shared bitmap (by {!Bitmap.equal}) and same switch ids in order. *)
+
 (** {1 Bit-size accounting} *)
 
 val uprule_bits : down_width:int -> up_width:int -> int

@@ -19,7 +19,7 @@ type t = {
 }
 
 let create topo ~fmax =
-  if fmax < 0 then invalid_arg "Srule_state.create: fmax must be non-negative";
+  if fmax < 0 then invalid_arg "Srule_state.create: fmax must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   {
     topo;
     fmax;
@@ -88,11 +88,16 @@ let snapshot t =
 
 type probe = { p_site : site; granted : bool }
 
+(* Primitive Hashtbl key for a [site]: leaves on even slots, pods on odd.
+   Keying the table by the variant itself would lean on polymorphic
+   hashing/equality of an abstract type. *)
+let site_key = function Leaf l -> 2 * l | Pod p -> (2 * p) + 1
+
 type txn = {
   snap : snapshot;
   (* per-site reservations made by this txn; sparse — a group touches few
-     switches *)
-  extra : (site, int) Hashtbl.t;
+     switches; keyed by [site_key] *)
+  extra : (int, int) Hashtbl.t;
   mutable log : probe list;  (* newest first *)
   mutable closed : bool;
 }
@@ -100,14 +105,14 @@ type txn = {
 let txn snap = { snap; extra = Hashtbl.create 8; log = []; closed = false }
 
 let extra_of txn site =
-  Option.value ~default:0 (Hashtbl.find_opt txn.extra site)
+  Option.value ~default:0 (Hashtbl.find_opt txn.extra (site_key site))
 
 let txn_probe txn site base_used =
-  if txn.closed then invalid_arg "Srule_state: transaction already committed";
+  if txn.closed then invalid_arg "Srule_state: transaction already committed"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let extra = extra_of txn site in
   let granted = base_used + extra < txn.snap.snap_fmax in
   txn.log <- { p_site = site; granted } :: txn.log;
-  if granted then Hashtbl.replace txn.extra site (extra + 1);
+  if granted then Hashtbl.replace txn.extra (site_key site) (extra + 1);
   granted
 
 let txn_reserve_leaf txn l = txn_probe txn (Leaf l) txn.snap.snap_leaf.(l)
@@ -117,17 +122,20 @@ let txn_reserved txn =
   Hashtbl.fold (fun _ n acc -> acc + n) txn.extra 0
 
 let commit t txn =
-  if txn.closed then invalid_arg "Srule_state.commit: transaction already committed";
+  if txn.closed then invalid_arg "Srule_state.commit: transaction already committed"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let live = function Leaf l -> t.leaf_used.(l) | Pod p -> t.pod_used.(p) in
   let extra = Hashtbl.create 8 in
   let rec replay = function
     | [] -> Ok ()
     | { p_site; granted } :: rest ->
-        let e = Option.value ~default:0 (Hashtbl.find_opt extra p_site) in
+        let key = site_key p_site in
+        let e =
+          match Hashtbl.find_opt extra key with Some (n, _) -> n | None -> 0
+        in
         let granted' = live p_site + e < t.fmax in
         if granted' <> granted then Error p_site
         else begin
-          if granted then Hashtbl.replace extra p_site (e + 1);
+          if granted then Hashtbl.replace extra key (e + 1, p_site);
           replay rest
         end
   in
@@ -135,7 +143,7 @@ let commit t txn =
   (match result with
   | Ok () ->
       Hashtbl.iter
-        (fun site n ->
+        (fun _ (n, site) ->
           match site with
           | Leaf l -> t.leaf_used.(l) <- t.leaf_used.(l) + n
           | Pod p -> t.pod_used.(p) <- t.pod_used.(p) + n)

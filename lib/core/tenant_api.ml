@@ -30,7 +30,7 @@ type t = {
 }
 
 let create ctrl placement ~quota_per_tenant =
-  if quota_per_tenant <= 0 then invalid_arg "Tenant_api.create: quota";
+  if quota_per_tenant <= 0 then invalid_arg "Tenant_api.create: quota"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   {
     ctrl;
     placement;

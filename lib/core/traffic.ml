@@ -108,8 +108,8 @@ let measure enc ~sender =
 let vxlan_encap_bytes = 50
 
 let overhead_ratio ?(encap = vxlan_encap_bytes) c ~payload =
-  if payload <= 0 then invalid_arg "Traffic.overhead_ratio: payload";
-  if encap < 0 then invalid_arg "Traffic.overhead_ratio: encap";
+  if payload <= 0 then invalid_arg "Traffic.overhead_ratio: payload"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if encap < 0 then invalid_arg "Traffic.overhead_ratio: encap"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let per_packet = payload + encap in
   let actual = (c.transmissions * per_packet) + c.header_bytes in
   let ideal = c.ideal_transmissions * per_packet in

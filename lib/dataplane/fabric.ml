@@ -58,7 +58,7 @@ let spine_table_size t s = Hashtbl.length t.spine_tables.(s)
 
 let link_index t ~leaf ~plane =
   if plane < 0 || plane >= t.topo.Topology.spines_per_pod then
-    invalid_arg "Fabric: plane out of range";
+    invalid_arg "Fabric: plane out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   (leaf * t.topo.Topology.spines_per_pod) + plane
 
 let fail_link t ~leaf ~plane = t.link_up.(link_index t ~leaf ~plane) <- false

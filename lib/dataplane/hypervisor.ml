@@ -23,7 +23,7 @@ type t = {
 let create fabric ~host =
   let topo = Fabric.topology fabric in
   if host < 0 || host >= Topology.num_hosts topo then
-    invalid_arg "Hypervisor.create: host out of range";
+    invalid_arg "Hypervisor.create: host out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   {
     fabric;
     host;
@@ -47,14 +47,14 @@ let install_sender t ~group header =
 let remove_sender t ~group = Hashtbl.remove t.senders group
 
 let install_receiver t ~group ~vms =
-  if vms <= 0 then invalid_arg "Hypervisor.install_receiver: vms";
+  if vms <= 0 then invalid_arg "Hypervisor.install_receiver: vms"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   Hashtbl.replace t.receivers group vms
 
 let remove_receiver t ~group = Hashtbl.remove t.receivers group
 
 let set_rate_limit t ~group ~packets_per_second ~burst =
   if packets_per_second <= 0.0 || burst <= 0 then
-    invalid_arg "Hypervisor.set_rate_limit";
+    invalid_arg "Hypervisor.set_rate_limit"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   Hashtbl.replace t.limits group
     {
       rate = packets_per_second;

@@ -36,7 +36,7 @@ let checksum b =
 
 let encode m =
   if m.max_resp_time < 0 || m.max_resp_time > 0xFF then
-    invalid_arg "Igmp.encode: max_resp_time out of range";
+    invalid_arg "Igmp.encode: max_resp_time out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let b = Bytes.make 8 '\000' in
   Bytes.set b 0 (Char.chr (type_code m.msg_type));
   Bytes.set b 1 (Char.chr m.max_resp_time);

@@ -55,9 +55,9 @@ let ipv4_checksum b ~pos =
   lnot !sum land 0xFFFF
 
 let encode t ~inner =
-  if t.vni < 0 || t.vni > max_vni then invalid_arg "Vxlan.encode: vni out of range";
+  if t.vni < 0 || t.vni > max_vni then invalid_arg "Vxlan.encode: vni out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if t.src_port < 0 || t.src_port > 0xFFFF then
-    invalid_arg "Vxlan.encode: src_port out of range";
+    invalid_arg "Vxlan.encode: src_port out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   let total = overhead_bytes + Bytes.length inner in
   let b = Bytes.make total '\000' in
   (* Ethernet *)

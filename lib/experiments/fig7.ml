@@ -57,11 +57,11 @@ let header_with_rules topo n =
 (* Time [f] until at least 50 ms have elapsed; returns calls per second. *)
 let rate ~iterations f =
   let rec go total_calls total_time =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Unix.gettimeofday () in (* elmo-lint: allow determinism — wall-clock times the encoder itself; it never feeds simulation state *)
     for _ = 1 to iterations do
       ignore (Sys.opaque_identity (f ()))
     done;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Unix.gettimeofday () -. t0 in (* elmo-lint: allow determinism — wall-clock times the encoder itself; it never feeds simulation state *)
     let total_calls = total_calls + iterations in
     let total_time = total_time +. dt in
     if total_time < 0.05 then go total_calls total_time

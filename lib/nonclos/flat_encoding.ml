@@ -90,4 +90,4 @@ let switches_per_rule t =
       in
       float_of_int switches /. float_of_int (List.length prules)
 
-let covered t = t.rules.Clustering.default = None
+let covered t = Option.is_none t.rules.Clustering.default

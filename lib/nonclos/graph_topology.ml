@@ -5,6 +5,9 @@ type t = {
   adj : int array array;
 }
 
+exception Construction_failed of string
+exception Disconnected of string
+
 let validate_params ~switches ~degree ~hosts_per_switch =
   if switches <= 0 then invalid_arg "Graph_topology: switches must be positive";
   if degree <= 0 then invalid_arg "Graph_topology: degree must be positive";
@@ -92,7 +95,10 @@ let jellyfish rng ~switches ~degree ~hosts_per_switch =
     !ok
   in
   let rec try_build n =
-    if n = 0 then failwith "Graph_topology.jellyfish: could not build a simple graph"
+    if n = 0 then
+      raise
+        (Construction_failed
+           "Graph_topology.jellyfish: could not build a simple graph")
     else if build () then ()
     else try_build (n - 1)
   in
@@ -150,7 +156,7 @@ let bfs_parents t ~root =
       t.adj.(s)
   done;
   if Array.exists (fun p -> p = -2) parents then
-    failwith "Graph_topology.bfs_parents: disconnected graph";
+    raise (Disconnected "Graph_topology.bfs_parents: disconnected graph");
   parents
 
 let nearest_switches t ~root n =

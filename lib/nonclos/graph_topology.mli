@@ -25,6 +25,15 @@ type t = private {
   adj : int array array;  (** [adj.(s).(port)] = neighbour switch *)
 }
 
+exception Construction_failed of string
+(** Raised by {!jellyfish} when the pairing model cannot produce a simple
+    d-regular graph after its swap/retry budget (pathological
+    [switches]/[degree] combinations). *)
+
+exception Disconnected of string
+(** Raised by {!bfs_parents} when the graph does not connect to [root] —
+    possible for an unlucky jellyfish seed, never for an xpander. *)
+
 val xpander : switches:int -> degree:int -> hosts_per_switch:int -> t
 (** Raises [Invalid_argument] if [degree] is odd, not positive, or
     [>= switches]. *)
@@ -51,7 +60,7 @@ val port_towards : t -> switch:int -> neighbour:int -> int
 
 val bfs_parents : t -> root:int -> int array
 (** [parents.(s)] is the BFS predecessor of switch [s] ([-1] at the root).
-    Raises [Failure] if the graph is disconnected. *)
+    Raises {!Disconnected} if the graph is disconnected. *)
 
 val nearest_switches : t -> root:int -> int -> int list
 (** The [n] switches closest to [root] in hop distance (BFS order, [root]

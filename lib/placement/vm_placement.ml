@@ -1,3 +1,5 @@
+exception Capacity_exhausted of string
+
 type strategy = Pack_up_to of int | Unlimited
 
 type tenant = { tenant_id : int; vm_hosts : int array }
@@ -96,8 +98,9 @@ let place rng topo ~strategy ~host_capacity ~tenant_sizes =
               if try_leaf ~bound:hosts_per_leaf l > 0 then progressed := true
             done;
           if not !progressed then
-            failwith
-              "Vm_placement.place: datacenter cannot hold the requested VMs";
+            raise
+              (Capacity_exhausted
+                 "Vm_placement.place: datacenter cannot hold the requested VMs");
           fruitless := 0
         end
       end

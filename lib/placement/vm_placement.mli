@@ -10,6 +10,11 @@
     ([P] regulates co-location; the paper evaluates P = 1 and P = 12; racks are filled one pod at a time, so small P disperses tenants across pods while large P co-locates them). If the
     chosen leaf has no room, another is chosen until all VMs are placed. *)
 
+exception Capacity_exhausted of string
+(** Raised by {!place} when the datacenter cannot hold the requested VMs
+    under the capacity constraints, even after relaxing the per-rack
+    bound. *)
+
 type strategy =
   | Pack_up_to of int  (** at most [P] VMs of a tenant per rack *)
   | Unlimited  (** no per-rack bound (the "P = All" comparison point) *)
@@ -41,8 +46,8 @@ val place :
   host_capacity:int ->
   tenant_sizes:int array ->
   t
-(** Places all tenants. Raises [Failure] if the datacenter cannot hold the
-    requested VMs under the constraints. *)
+(** Places all tenants. Raises {!Capacity_exhausted} if the datacenter
+    cannot hold the requested VMs under the constraints. *)
 
 val total_vms : t -> int
 

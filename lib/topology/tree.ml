@@ -75,6 +75,9 @@ let mem_host t h =
 let leaf_bitmap t l = List.assoc_opt l t.leaf_bitmaps
 let spine_bitmap t p = List.assoc_opt p t.spine_bitmaps
 
+let equal_bitmaps a b =
+  List.equal (fun (i, x) (j, y) -> i = j && Bitmap.equal x y) a b
+
 let copy t =
   {
     t with
@@ -150,14 +153,16 @@ let ideal_link_transmissions t ~sender =
       t.leaf_bitmaps
   in
   let other_pods = List.filter (fun (p, _) -> p <> sp) t.spine_bitmaps in
-  let beyond_leaf = other_leaves_in_pod <> [] || other_pods <> [] in
+  let beyond_leaf =
+    not (List.is_empty other_leaves_in_pod && List.is_empty other_pods)
+  in
   if beyond_leaf then begin
     (* Leaf up to one pod spine. *)
     incr count;
     List.iter
       (fun (l, _) -> count := !count + 1 + deliveries_at l)
       other_leaves_in_pod;
-    if other_pods <> [] then begin
+    if not (List.is_empty other_pods) then begin
       (* Spine up to one core. *)
       incr count;
       List.iter

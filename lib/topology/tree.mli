@@ -63,3 +63,7 @@ val remove_member : t -> int -> t option
 
 val spine_bitmap : t -> int -> Bitmap.t option
 (** Exact downstream bitmap of a pod's logical spine, if participating. *)
+
+val equal_bitmaps : (int * Bitmap.t) list -> (int * Bitmap.t) list -> bool
+(** Same switch ids in order with equal bitmaps (by {!Bitmap.equal}) —
+    the comparison for [leaf_bitmaps] / [spine_bitmaps] sections. *)

@@ -1,0 +1,4 @@
+(* exception-discipline fixture: the three banned failure idioms. *)
+let boom () = failwith "boom"
+let misuse () = invalid_arg "misuse"
+let unreachable () = assert false

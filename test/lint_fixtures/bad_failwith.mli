@@ -1,0 +1,3 @@
+val boom : unit -> 'a
+val misuse : unit -> 'a
+val unreachable : unit -> 'a

@@ -1,0 +1,5 @@
+(* domain-safety fixture: top-level mutable state, reached from the
+   Domain_pool closure in Bad_parallel. *)
+let counter = ref 0
+let cache : (int, int) Hashtbl.t = Hashtbl.create 8
+let bump () = incr counter

@@ -1,0 +1,3 @@
+val counter : int ref
+val cache : (int, int) Hashtbl.t
+val bump : unit -> unit

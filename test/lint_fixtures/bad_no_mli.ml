@@ -1,0 +1,2 @@
+(* interface-hygiene fixture: deliberately ships no .mli. *)
+let id x = x

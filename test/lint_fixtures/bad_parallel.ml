@@ -1,0 +1,9 @@
+(* The Domain_pool.map call that makes Bad_global_state's top-level
+   mutables reachable from a worker domain. *)
+let run xs =
+  Domain_pool.with_pool 2 (fun pool ->
+      Domain_pool.map pool
+        (fun x ->
+          Bad_global_state.bump ();
+          x + 1)
+        xs)

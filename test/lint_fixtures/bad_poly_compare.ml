@@ -1,0 +1,7 @@
+(* poly-compare fixture: structural =, compare and a poly-keyed Hashtbl at
+   a record type. *)
+type t = { id : int; name : string }
+
+let same (a : t) b = a = b
+let order (a : t) b = compare a b
+let table () : (t, int) Hashtbl.t = Hashtbl.create 16

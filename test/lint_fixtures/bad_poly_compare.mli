@@ -1,0 +1,5 @@
+type t = { id : int; name : string }
+
+val same : t -> t -> bool
+val order : t -> t -> int
+val table : unit -> (t, int) Hashtbl.t

@@ -1,0 +1,4 @@
+(* determinism fixture: every ambient-randomness / wall-clock source. *)
+let pick n = Random.int n
+let now () = Sys.time ()
+let digest x = Hashtbl.hash x

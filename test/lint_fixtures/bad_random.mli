@@ -1,0 +1,3 @@
+val pick : int -> int
+val now : unit -> float
+val digest : 'a -> int

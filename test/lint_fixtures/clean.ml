@@ -1,0 +1,6 @@
+(* Clean fixture: no rule should fire. *)
+type t = { id : int; name : string }
+
+let make id name = { id; name }
+let equal a b = Int.equal a.id b.id && String.equal a.name b.name
+let rename t name = { t with name }

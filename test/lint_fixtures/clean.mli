@@ -1,0 +1,5 @@
+type t = { id : int; name : string }
+
+val make : int -> string -> t
+val equal : t -> t -> bool
+val rename : t -> string -> t

@@ -1,0 +1,2 @@
+(* A reasoned suppression: silences the determinism finding, adds none. *)
+let now () = Sys.time () (* elmo-lint: allow determinism — fixture: wall clock wanted here *)

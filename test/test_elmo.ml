@@ -2,6 +2,9 @@
    [tests : unit Alcotest.test_case list]. *)
 
 let () =
+  (* Every controller operation in the suite re-verifies the s-rule ledger
+     (Controller.Invariant_violation on divergence). *)
+  Unix.putenv "ELMO_DEBUG_INVARIANTS" "1";
   Alcotest.run "elmo"
     [
       ("rng", Test_rng.tests);
@@ -29,5 +32,6 @@ let () =
       ("vxlan", Test_vxlan.tests);
       ("tenant-api", Test_tenant_api.tests);
       ("igmp", Test_igmp.tests);
+      ("lint", Test_lint.tests);
       ("misc", Test_misc.tests);
     ]

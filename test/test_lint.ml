@@ -1,0 +1,168 @@
+(* Fixture-driven tests for elmo-lint (tools/lint): each deliberately-bad
+   module under lint_fixtures/ must produce exactly the expected findings —
+   rule id, file and line — and the clean/suppressed fixtures none.
+
+   dune runs the test binary from _build/default/test, so fixture cmts are
+   addressed relative to that directory and the copied sources (scanned for
+   suppression comments) live one level up. *)
+
+let cmt m = "lint_fixtures/.lint_fixtures.objs/byte/" ^ m ^ ".cmt"
+let src m = "test/lint_fixtures/" ^ m ^ ".ml"
+
+let analyze ?(deps = []) mods =
+  Lint.analyze ~config:Lint.all_config ~source_root:".."
+    ~targets:(List.map cmt mods) ~deps:(List.map cmt deps) ()
+
+let triples findings =
+  List.map
+    (fun f -> (f.Lint.file, f.Lint.line, Lint.rule_id f.Lint.rule))
+    findings
+
+let check name expected actual =
+  Alcotest.(check (list (triple string int string))) name expected
+    (triples actual)
+
+let test_determinism () =
+  check "bad_random"
+    [
+      (src "bad_random", 2, "determinism");
+      (src "bad_random", 3, "determinism");
+      (src "bad_random", 4, "determinism");
+    ]
+    (analyze [ "bad_random" ])
+
+let test_poly_compare () =
+  check "bad_poly_compare"
+    [
+      (src "bad_poly_compare", 5, "poly-compare");
+      (src "bad_poly_compare", 6, "poly-compare");
+      (src "bad_poly_compare", 7, "poly-compare");
+    ]
+    (analyze [ "bad_poly_compare" ])
+
+let test_exception_discipline () =
+  check "bad_failwith"
+    [
+      (src "bad_failwith", 2, "exception-discipline");
+      (src "bad_failwith", 3, "exception-discipline");
+      (src "bad_failwith", 4, "exception-discipline");
+    ]
+    (analyze [ "bad_failwith" ])
+
+let test_domain_safety () =
+  check "mutables flagged when a Domain_pool caller reaches them"
+    [
+      (src "bad_global_state", 3, "domain-safety");
+      (src "bad_global_state", 4, "domain-safety");
+    ]
+    (analyze [ "bad_global_state"; "bad_parallel" ])
+
+let test_domain_safety_needs_reachability () =
+  (* The same mutable bindings are fine when nothing hands a closure to
+     Domain_pool — the rule is about reachability, not mutability. *)
+  check "unreachable mutables are not flagged" [] (analyze [ "bad_global_state" ])
+
+let test_domain_safety_across_deps () =
+  (* A Domain_pool call in a target flags mutable state in a dep-only
+     module: this is what --deps exists for in the per-library dune rules. *)
+  check "dep modules are scanned for reachable mutables"
+    [
+      (src "bad_global_state", 3, "domain-safety");
+      (src "bad_global_state", 4, "domain-safety");
+    ]
+    (analyze ~deps:[ "bad_global_state" ] [ "bad_parallel" ])
+
+let test_interface_hygiene () =
+  check "bad_no_mli"
+    [ (src "bad_no_mli", 1, "interface-hygiene") ]
+    (analyze [ "bad_no_mli" ])
+
+let test_suppression_with_reason () =
+  check "reasoned allow silences the finding" [] (analyze [ "suppressed_ok" ])
+
+let test_suppression_without_reason () =
+  check "bare allow silences the finding but is itself reported"
+    [ (src "suppressed_bare", 3, "bare-allow") ]
+    (analyze [ "suppressed_bare" ])
+
+let test_clean () = check "clean fixture" [] (analyze [ "clean" ])
+
+let all_fixtures =
+  [
+    "bad_failwith";
+    "bad_global_state";
+    "bad_no_mli";
+    "bad_parallel";
+    "bad_poly_compare";
+    "bad_random";
+    "clean";
+    "suppressed_bare";
+    "suppressed_ok";
+  ]
+
+let test_aggregate () =
+  check "whole fixture set, sorted by file/line/rule"
+    [
+      (src "bad_failwith", 2, "exception-discipline");
+      (src "bad_failwith", 3, "exception-discipline");
+      (src "bad_failwith", 4, "exception-discipline");
+      (src "bad_global_state", 3, "domain-safety");
+      (src "bad_global_state", 4, "domain-safety");
+      (src "bad_no_mli", 1, "interface-hygiene");
+      (src "bad_poly_compare", 5, "poly-compare");
+      (src "bad_poly_compare", 6, "poly-compare");
+      (src "bad_poly_compare", 7, "poly-compare");
+      (src "bad_random", 2, "determinism");
+      (src "bad_random", 3, "determinism");
+      (src "bad_random", 4, "determinism");
+      (src "suppressed_bare", 3, "bare-allow");
+    ]
+    (analyze all_fixtures)
+
+let test_rule_id_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Lint.rule_id r ^ " roundtrips")
+        true
+        (Lint.rule_of_id (Lint.rule_id r) = Some r))
+    [
+      Lint.Determinism;
+      Lint.Poly_compare;
+      Lint.Exception_discipline;
+      Lint.Domain_safety;
+      Lint.Interface_hygiene;
+      Lint.Bare_allow;
+    ];
+  Alcotest.(check bool) "unknown id" true (Lint.rule_of_id "no-such-rule" = None)
+
+let test_pp_finding () =
+  let f =
+    { Lint.file = "lib/core/x.ml"; line = 7; rule = Lint.Determinism;
+      message = "msg" }
+  in
+  Alcotest.(check string) "editor-clickable format"
+    "lib/core/x.ml:7: [determinism] msg"
+    (Format.asprintf "%a" Lint.pp_finding f)
+
+let tests =
+  [
+    Alcotest.test_case "determinism rule" `Quick test_determinism;
+    Alcotest.test_case "poly-compare rule" `Quick test_poly_compare;
+    Alcotest.test_case "exception-discipline rule" `Quick
+      test_exception_discipline;
+    Alcotest.test_case "domain-safety rule" `Quick test_domain_safety;
+    Alcotest.test_case "domain-safety needs reachability" `Quick
+      test_domain_safety_needs_reachability;
+    Alcotest.test_case "domain-safety across deps" `Quick
+      test_domain_safety_across_deps;
+    Alcotest.test_case "interface-hygiene rule" `Quick test_interface_hygiene;
+    Alcotest.test_case "reasoned suppression" `Quick
+      test_suppression_with_reason;
+    Alcotest.test_case "bare suppression" `Quick
+      test_suppression_without_reason;
+    Alcotest.test_case "clean fixture" `Quick test_clean;
+    Alcotest.test_case "aggregate ordering" `Quick test_aggregate;
+    Alcotest.test_case "rule id roundtrip" `Quick test_rule_id_roundtrip;
+    Alcotest.test_case "finding format" `Quick test_pp_finding;
+  ]

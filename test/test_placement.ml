@@ -77,7 +77,8 @@ let test_rack_bound_relaxes_when_exhausted () =
 
 let test_capacity_failure () =
   Alcotest.check_raises "datacenter full"
-    (Failure "Vm_placement.place: datacenter cannot hold the requested VMs")
+    (Vm_placement.Capacity_exhausted
+       "Vm_placement.place: datacenter cannot hold the requested VMs")
     (fun () ->
       let rng = Rng.create 5 in
       ignore

@@ -1,0 +1,556 @@
+(* Typed-AST lint pass. Everything works off the .cmt files dune already
+   emits, so the analysis sees instantiated types at each application site
+   (which a source-level grep cannot): [a = b] at type [Bitmap.t] and at
+   type [int] are different programs here. *)
+
+type rule =
+  | Determinism
+  | Poly_compare
+  | Exception_discipline
+  | Domain_safety
+  | Interface_hygiene
+  | Bare_allow
+
+let rule_id = function
+  | Determinism -> "determinism"
+  | Poly_compare -> "poly-compare"
+  | Exception_discipline -> "exception-discipline"
+  | Domain_safety -> "domain-safety"
+  | Interface_hygiene -> "interface-hygiene"
+  | Bare_allow -> "bare-allow"
+
+let rule_of_id = function
+  | "determinism" -> Some Determinism
+  | "poly-compare" -> Some Poly_compare
+  | "exception-discipline" -> Some Exception_discipline
+  | "domain-safety" -> Some Domain_safety
+  | "interface-hygiene" -> Some Interface_hygiene
+  | "bare-allow" -> Some Bare_allow
+  | _ -> None
+
+type finding = { file : string; line : int; rule : rule; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line (rule_id f.rule) f.message
+
+type config = {
+  determinism_scope : string -> bool;
+  poly_scope : string -> bool;
+  exn_scope : string -> bool;
+  domain_scope : string -> bool;
+  iface_scope : string -> bool;
+}
+
+let under prefix path = String.starts_with ~prefix path
+
+let default_config =
+  {
+    determinism_scope = under "lib/";
+    poly_scope = under "lib/";
+    exn_scope = (fun p -> under "lib/core/" p || under "lib/dataplane/" p);
+    domain_scope = under "lib/";
+    iface_scope = under "lib/";
+  }
+
+let all_true _ = true
+
+let all_config =
+  {
+    determinism_scope = all_true;
+    poly_scope = all_true;
+    exn_scope = all_true;
+    domain_scope = all_true;
+    iface_scope = all_true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cmt loading                                                        *)
+
+type modinfo = {
+  cmt_path : string;
+  modname : string;
+  source : string option;  (* workspace-relative, as recorded by the compiler *)
+  source_abs : string option;  (* resolved on disk, for suppression scanning *)
+  structure : Typedtree.structure option;
+  imports : string list;
+  is_target : bool;
+}
+
+let normalize_source s =
+  if String.starts_with ~prefix:"./" s then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+let load_cmt ?source_root ~is_target path =
+  let cmt =
+    try Cmt_format.read_cmt path
+    with e ->
+      failwith
+        (Printf.sprintf "elmo-lint: cannot read %s (%s)" path
+           (Printexc.to_string e))
+  in
+  let source = Option.map normalize_source cmt.Cmt_format.cmt_sourcefile in
+  let source_abs =
+    match source with
+    | None -> None
+    | Some s ->
+        let candidates =
+          (match source_root with
+          | Some root -> [ Filename.concat root s ]
+          | None -> [])
+          @ [ Filename.concat cmt.Cmt_format.cmt_builddir s; s ]
+        in
+        List.find_opt Sys.file_exists candidates
+  in
+  let structure =
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str -> Some str
+    | _ -> None
+  in
+  {
+    cmt_path = path;
+    modname = cmt.Cmt_format.cmt_modname;
+    source;
+    source_abs;
+    structure;
+    imports = List.map fst cmt.Cmt_format.cmt_imports;
+    is_target;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                               *)
+
+type allow = { a_line : int; a_rule : string; a_reasoned : bool }
+
+(* Grammar: [(* elmo-lint: allow <rule-id> — <reason> *)] anywhere on the
+   line; the separator may be an em-dash, "--", "-" or ":". The scan is
+   textual (one comment per line) — good enough for a convention the lint
+   itself polices. *)
+let scan_allows path =
+  let ic = open_in path in
+  let allows = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match
+         let marker = "elmo-lint:" in
+         let rec find i =
+           if i + String.length marker > String.length line then None
+           else if String.sub line i (String.length marker) = marker then
+             Some (i + String.length marker)
+           else find (i + 1)
+         in
+         find 0
+       with
+       | None -> ()
+       | Some start ->
+           let rest = String.sub line start (String.length line - start) in
+           let rest =
+             match String.index_opt rest '*' with
+             | Some i when i + 1 < String.length rest && rest.[i + 1] = ')' ->
+                 String.sub rest 0 i
+             | _ -> rest
+           in
+           let words =
+             String.split_on_char ' ' (String.trim rest)
+             |> List.filter (fun w -> w <> "")
+           in
+           (match words with
+           | "allow" :: rid :: tail ->
+               let is_sep w =
+                 w = "\xe2\x80\x94" (* — *) || w = "--" || w = "-" || w = ":"
+               in
+               let reason =
+                 match tail with
+                 | sep :: r when is_sep sep -> r
+                 | r -> r
+               in
+               allows :=
+                 { a_line = !lineno; a_rule = rid; a_reasoned = reason <> [] }
+                 :: !allows
+           | _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !allows
+
+(* ------------------------------------------------------------------ *)
+(* Type shape: is structural comparison / hashing benign here?        *)
+
+let primitive_paths =
+  Predef.
+    [
+      path_int; path_char; path_string; path_bytes; path_float; path_bool;
+      path_unit; path_int32; path_int64; path_nativeint;
+    ]
+
+let container_paths = Predef.[ path_list; path_option; path_array ]
+
+let named_containers =
+  [ "ref"; "Stdlib.ref"; "result"; "Stdlib.result"; "Either.t";
+    "Stdlib.Either.t" ]
+
+(* A type is "primitive" when polymorphic compare/hash on it is total,
+   deterministic and means what the author thinks: base types and tuples /
+   lists / options / arrays / refs / results thereof. Everything else —
+   abstract types, records (cached fields!), variants, functions — must go
+   through a dedicated compare/equal. Type variables pass: a genuinely
+   polymorphic context cannot be judged here, and every monomorphic use
+   site is checked on its own. *)
+let rec type_primitive ty =
+  match Types.get_desc ty with
+  | Types.Tvar _ | Types.Tunivar _ -> true
+  | Types.Ttuple tys -> List.for_all type_primitive tys
+  | Types.Tpoly (t, _) -> type_primitive t
+  | Types.Tconstr (p, args, _) ->
+      if List.exists (Path.same p) primitive_paths then true
+      else if List.exists (Path.same p) container_paths then
+        List.for_all type_primitive args
+      else if List.mem (Path.name p) named_containers then
+        List.for_all type_primitive args
+      else false
+  | _ -> false
+
+let type_str ty =
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>"
+
+(* ------------------------------------------------------------------ *)
+(* Expression-level rules (determinism, poly-compare, exn-discipline)  *)
+
+let deterministic_banned name =
+  String.starts_with ~prefix:"Stdlib.Random." name
+  || name = "Stdlib.Sys.time"
+  || name = "Unix.gettimeofday"
+  || name = "Unix.time"
+  || name = "Stdlib.Hashtbl.hash"
+  || name = "Stdlib.Hashtbl.seeded_hash"
+  || name = "Stdlib.Hashtbl.randomize"
+
+let poly_compare_ops = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare" ]
+let banned_raisers = [ "Stdlib.failwith"; "Stdlib.invalid_arg" ]
+
+let short_name name =
+  if String.starts_with ~prefix:"Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+(* First argument type of an (instantiated) function type, skipping
+   optional arguments; [None] when the type is not an arrow. *)
+let rec first_arg_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (Asttypes.Optional _, _, rhs, _) -> first_arg_type rhs
+  | Types.Tarrow (_, lhs, _, _) -> Some lhs
+  | _ -> None
+
+let rec result_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, rhs, _) -> result_type rhs
+  | _ -> ty
+
+let is_domain_pool_call name =
+  let tail_ok suffix = name = suffix || String.ends_with ~suffix:("." ^ suffix) name in
+  tail_ok "Domain_pool.map" || tail_ok "Domain_pool.submit"
+
+type raw = {
+  mutable found : (int * rule * string) list;
+  mutable pool_calls : int list;  (* lines applying Domain_pool.map/submit *)
+}
+
+let scan_expressions str =
+  let acc = { found = []; pool_calls = [] } in
+  let add line rule msg = acc.found <- (line, rule, msg) :: acc.found in
+  let check_ident line path ty =
+    let name = Path.name path in
+    if deterministic_banned name then
+      add line Determinism
+        (Printf.sprintf
+           "call to %s: ambient randomness/clock breaks bit-identical \
+            replay (use Elmo_prelude.Rng or take the value as an argument)"
+           (short_name name));
+    if List.mem name poly_compare_ops then (
+      match first_arg_type ty with
+      | Some arg when not (type_primitive arg) ->
+          add line Poly_compare
+            (Printf.sprintf
+               "polymorphic %s at type %s (use the module's dedicated \
+                compare/equal)"
+               (short_name name) (type_str arg))
+      | _ -> ());
+    if name = "Stdlib.Hashtbl.create" then (
+      match Types.get_desc (result_type ty) with
+      | Types.Tconstr (_, key :: _, _) when not (type_primitive key) ->
+          add line Poly_compare
+            (Printf.sprintf
+               "Hashtbl.create keyed by non-primitive type %s (polymorphic \
+                hashing/equality; key through a primitive id instead)"
+               (type_str key))
+      | _ -> ());
+    if List.mem name banned_raisers then
+      add line Exception_discipline
+        (Printf.sprintf
+           "%s: raise a declared exception constructor instead (suppress \
+            with a reason at genuine API-misuse boundaries)"
+           (short_name name));
+    if is_domain_pool_call name then
+      acc.pool_calls <- line :: acc.pool_calls
+  in
+  let expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    let line = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum in
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) ->
+        check_ident line path e.Typedtree.exp_type
+    | Typedtree.Texp_assert (e', _) -> (
+        match e'.Typedtree.exp_desc with
+        | Typedtree.Texp_construct (_, cd, _)
+          when cd.Types.cstr_name = "false" ->
+            add line Exception_discipline
+              "assert false: raise a declared exception constructor instead"
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Top-level mutable bindings (domain-safety raw material)             *)
+
+let rec pat_names p =
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> [ Ident.name id ]
+  | Typedtree.Tpat_alias (p', id, _) -> Ident.name id :: pat_names p'
+  | Typedtree.Tpat_tuple ps -> List.concat_map pat_names ps
+  | _ -> []
+
+let record_has_mutable_label e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_record { fields; _ } ->
+      Array.exists
+        (fun (ld, _) -> ld.Types.lbl_mut = Asttypes.Mutable)
+        fields
+  | _ -> false
+
+let binding_mutability vb =
+  let ty = vb.Typedtree.vb_expr.Typedtree.exp_type in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match Path.name p with
+      | "ref" | "Stdlib.ref" -> Some "ref cell"
+      | n when String.ends_with ~suffix:"Hashtbl.t" n -> Some "Hashtbl"
+      | _ ->
+          if record_has_mutable_label vb.Typedtree.vb_expr then
+            Some "record with mutable fields"
+          else None)
+  | _ ->
+      if record_has_mutable_label vb.Typedtree.vb_expr then
+        Some "record with mutable fields"
+      else None
+
+(* name, kind, line — collected at structure top level (including nested
+   module structures: their bindings live just as long). *)
+let rec toplevel_mutables str =
+  List.concat_map
+    (fun item ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.filter_map
+            (fun vb ->
+              match binding_mutability vb with
+              | None -> None
+              | Some kind ->
+                  let line =
+                    vb.Typedtree.vb_loc.Location.loc_start.Lexing.pos_lnum
+                  in
+                  let name =
+                    match pat_names vb.Typedtree.vb_pat with
+                    | n :: _ -> n
+                    | [] -> "_"
+                  in
+                  Some (name, kind, line))
+            vbs
+      | Typedtree.Tstr_module mb -> module_mutables mb.Typedtree.mb_expr
+      | Typedtree.Tstr_recmodule mbs ->
+          List.concat_map
+            (fun mb -> module_mutables mb.Typedtree.mb_expr)
+            mbs
+      | _ -> [])
+    str.Typedtree.str_items
+
+and module_mutables me =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_structure s -> toplevel_mutables s
+  | Typedtree.Tmod_constraint (me', _, _, _) -> module_mutables me'
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Analysis driver                                                    *)
+
+let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
+    =
+  let mods =
+    List.map (load_cmt ?source_root ~is_target:true) targets
+    @ List.map (load_cmt ?source_root ~is_target:false) deps
+  in
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace by_name m.modname m) mods;
+  let allows_cache = Hashtbl.create 64 in
+  let allows_for m =
+    match m.source_abs with
+    | None -> []
+    | Some path -> (
+        match Hashtbl.find_opt allows_cache path with
+        | Some l -> l
+        | None ->
+            let l = try scan_allows path with Sys_error _ -> [] in
+            Hashtbl.add allows_cache path l;
+            l)
+  in
+  let findings = ref [] in
+  let emit m line rule message =
+    match m.source with
+    | None -> ()
+    | Some file -> findings := { file; line; rule; message } :: !findings
+  in
+  (* Per-module expression scan; remember raw scans for domain-safety. *)
+  let scans =
+    List.filter_map
+      (fun m ->
+        match (m.structure, m.source) with
+        | Some str, Some src -> Some (m, src, scan_expressions str)
+        | _ -> None)
+      mods
+  in
+  List.iter
+    (fun (m, src, scan) ->
+      if m.is_target then
+        List.iter
+          (fun (line, rule, msg) ->
+            let in_scope =
+              match rule with
+              | Determinism -> config.determinism_scope src
+              | Poly_compare -> config.poly_scope src
+              | Exception_discipline -> config.exn_scope src
+              | _ -> false
+            in
+            if in_scope then emit m line rule msg)
+          scan.found)
+    scans;
+  (* Domain-safety: modules transitively imported by a module that applies
+     Domain_pool.map/submit must not own top-level mutable state. The
+     closure is the cmt import graph restricted to the modules we were
+     given — a sound over-approximation of what the parallel closures can
+     reach. *)
+  let reachable_from seed =
+    let seen = Hashtbl.create 32 in
+    let rec go name =
+      if not (Hashtbl.mem seen name) then (
+        Hashtbl.add seen name ();
+        match Hashtbl.find_opt by_name name with
+        | None -> ()
+        | Some m -> List.iter go m.imports)
+    in
+    go seed;
+    seen
+  in
+  let flagged = Hashtbl.create 32 in
+  List.iter
+    (fun (m, _, scan) ->
+      if m.is_target && scan.pool_calls <> [] then
+        let caller_src = Option.value m.source ~default:m.modname in
+        let reach = reachable_from m.modname in
+        Hashtbl.iter
+          (fun name () ->
+            match Hashtbl.find_opt by_name name with
+            | None -> ()
+            | Some n -> (
+                match (n.structure, n.source) with
+                | Some str, Some src when config.domain_scope src ->
+                    List.iter
+                      (fun (bname, kind, line) ->
+                        if not (Hashtbl.mem flagged (src, line)) then (
+                          Hashtbl.add flagged (src, line) ();
+                          emit n line Domain_safety
+                            (Printf.sprintf
+                               "top-level mutable binding '%s' (%s) is \
+                                reachable from the Domain_pool closure in \
+                                %s; shared state races across domains"
+                               bname kind caller_src)))
+                      (toplevel_mutables str)
+                | _ -> ()))
+          reach)
+    scans;
+  (* Interface hygiene: an implementation cmt without a sibling cmti means
+     the module ships no .mli. *)
+  List.iter
+    (fun m ->
+      match (m.is_target, m.structure, m.source) with
+      | true, Some _, Some src when config.iface_scope src ->
+          let cmti = Filename.remove_extension m.cmt_path ^ ".cmti" in
+          if not (Sys.file_exists cmti) then
+            emit m 1 Interface_hygiene
+              (Printf.sprintf
+                 "module %s has no .mli interface (every lib/ module must \
+                  declare its surface)"
+                 m.modname)
+      | _ -> ())
+    mods;
+  (* Suppressions: drop findings with a matching allow on the same or the
+     preceding line; bare allows surface as findings of their own. *)
+  let file_allows = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      match m.source with
+      | Some src when not (Hashtbl.mem file_allows src) ->
+          Hashtbl.add file_allows src (allows_for m, m.is_target)
+      | _ -> ())
+    mods;
+  let kept =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt file_allows f.file with
+        | None -> true
+        | Some (allows, _) ->
+            not
+              (List.exists
+                 (fun a ->
+                   a.a_rule = rule_id f.rule
+                   && (a.a_line = f.line || a.a_line = f.line - 1))
+                 allows))
+      !findings
+  in
+  let bare =
+    Hashtbl.fold
+      (fun src (allows, is_target) acc ->
+        if not is_target then acc
+        else
+          List.filter_map
+            (fun a ->
+              if a.a_reasoned then None
+              else
+                Some
+                  {
+                    file = src;
+                    line = a.a_line;
+                    rule = Bare_allow;
+                    message =
+                      Printf.sprintf
+                        "suppression of [%s] carries no reason (write \
+                         'elmo-lint: allow %s — <why>')"
+                        a.a_rule a.a_rule;
+                  })
+            allows
+          @ acc)
+      file_allows []
+  in
+  List.sort
+    (fun a b ->
+      match compare a.file b.file with
+      | 0 -> (
+          match compare a.line b.line with
+          | 0 -> compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
+      | c -> c)
+    (kept @ bare)

@@ -1,0 +1,93 @@
+(** elmo-lint: typed-AST static analysis over the [.cmt] files dune emits.
+
+    The type system cannot see the invariants Elmo's correctness argument
+    rests on: the controller must be bit-identically deterministic (the
+    parallel [install_all] is proved against the sequential path only if no
+    code path consults ambient randomness or wall clocks), capacity failures
+    must surface as declared exceptions rather than stray [failwith], and
+    nothing reachable from [Domain_pool.map] may touch top-level mutable
+    state. This pass walks the typed trees ([Cmt_format.read_cmt] +
+    [Tast_iterator]) and enforces them mechanically.
+
+    A finding on line [l] is silenced by an inline comment on line [l] or
+    [l - 1]:
+
+    {v (* elmo-lint: allow <rule-id> — <reason> *) v}
+
+    A suppression without a reason is itself a finding ([bare-allow]); it
+    still silences the original finding so the output names exactly one
+    problem per site. *)
+
+type rule =
+  | Determinism
+      (** No [Random.*], [Sys.time], [Unix.gettimeofday]/[Unix.time], or
+          [Hashtbl.hash]/[seeded_hash]/[randomize]: all randomness must flow
+          through [Elmo_prelude.Rng] (splitmix64) so every run replays. *)
+  | Poly_compare
+      (** No polymorphic [=] / [<>] / [compare] instantiated at a
+          non-primitive type, and no [Hashtbl.create] keyed by one: abstract
+          types ([Bitmap.t]) and records with cached fields compare wrongly
+          under structural equality. *)
+  | Exception_discipline
+      (** No [failwith] / [invalid_arg] / [assert false]: failures must use
+          the module's declared exception constructors. [Invalid_argument]
+          at a genuine API-misuse boundary is allowed with a reasoned
+          suppression. *)
+  | Domain_safety
+      (** No top-level [ref] / [Hashtbl] / mutable-record binding in any
+          module transitively reachable (via cmt import info) from a closure
+          passed to [Domain_pool.map] or [Domain_pool.submit] — a static
+          data-race screen for the OCaml 5 parallel encode path. *)
+  | Interface_hygiene
+      (** Every implementation ships an [.mli] (detected as a sibling
+          [.cmti] of the [.cmt]). *)
+  | Bare_allow
+      (** An [elmo-lint: allow] suppression that carries no reason. *)
+
+val rule_id : rule -> string
+(** Stable kebab-case id used in output and in suppression comments. *)
+
+val rule_of_id : string -> rule option
+
+type finding = { file : string; line : int; rule : rule; message : string }
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Prints [path:line: [rule-id] message]. *)
+
+type config = {
+  determinism_scope : string -> bool;
+  poly_scope : string -> bool;
+  exn_scope : string -> bool;
+  domain_scope : string -> bool;
+  iface_scope : string -> bool;
+}
+(** Each predicate receives the workspace-relative source path recorded in
+    the [.cmt] and decides whether the rule applies to that file. *)
+
+val default_config : config
+(** The repo policy: determinism / poly-compare / domain-safety /
+    interface-hygiene over [lib/]; exception-discipline over [lib/core/]
+    and [lib/dataplane/] only. *)
+
+val all_config : config
+(** Every rule everywhere — used by the fixture tests. *)
+
+val analyze :
+  ?config:config -> ?source_root:string -> targets:string list ->
+  ?deps:string list -> unit -> finding list
+(** [analyze ~targets ~deps ()] reads the given [.cmt] files and returns
+    the findings, sorted by file, line, then rule id.
+
+    [source_root] is prepended to the workspace-relative source path when
+    locating the [.ml] for suppression scanning; needed when the linter does
+    not run from the workspace root (dune actions run inside the build
+    context, and dune scrubs [cmt_builddir] to [/workspace_root]).
+
+    [targets] are the modules being linted; [deps] are context-only modules
+    whose typed trees extend the reachability analysis of [Domain_safety]
+    (a [Domain_pool.map] call in a target can flag a top-level mutable
+    binding in a dep). All other rules report on targets only, so linting
+    each library with its dependency closure as [deps] never duplicates a
+    finding across library lint runs.
+
+    Raises [Failure] when a [.cmt] cannot be read. *)
