@@ -8,9 +8,29 @@
             parallel micro all (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
-   ELMO_FULL=1 runs the paper's full million groups. *)
+   ELMO_FULL=1 runs the paper's full million groups.
+
+   Observability: --metrics prints the elmo_obs registry dump after the
+   selected targets; --trace additionally records spans and writes
+   BENCH_trace.json (Chrome trace_event format — load it in chrome://tracing
+   or Perfetto). ELMO_TRACE_CLOCK=mono opts into wall-clock timestamps;
+   the default logical clock keeps traced runs byte-deterministic. *)
+
+module Obs = Elmo_obs.Obs
+module Obs_ctx = Elmo_obs.Ctx
+module Obs_clock = Elmo_obs.Clock
+module Obs_metrics = Elmo_obs.Metrics
+module Obs_trace = Elmo_obs.Trace
+module Provenance = Elmo_obs.Provenance
 
 let printf = Format.printf
+
+(* Extra JSON field carrying the metrics dump when --metrics/--trace is on;
+   empty otherwise so the benchmark files are byte-identical by default. *)
+let metrics_field () =
+  match Obs_ctx.metrics (Obs.current ()) with
+  | Some m -> Printf.sprintf ",\n  \"metrics\": %s" (Obs_metrics.to_json m)
+  | None -> ""
 
 let hr title =
   printf "@.============================================================@.";
@@ -429,10 +449,16 @@ let churn () =
       (hit_rate r /. 100.0)
       r.p50_us r.p99_us r.max_us r.total_s
   in
+  let prov =
+    Provenance.capture ~seed:97
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:1 ()
+  in
   let oc = open_out "BENCH_churn.json" in
   Printf.fprintf oc
     {|{
   "benchmark": "churn",
+  "provenance": %s,
   "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
   "groups": %d,
   "members_per_group": %d,
@@ -441,22 +467,15 @@ let churn () =
 %s,
 %s
   ],
-  "speedup": %.2f
+  "speedup": %.2f%s
 }
 |}
-    ngroups group_size events (json_of inc) (json_of base) speedup;
+    (Provenance.to_json prov) ngroups group_size events (json_of inc)
+    (json_of base) speedup (metrics_field ());
   close_out oc;
   printf "wrote BENCH_churn.json@."
 
 (* {1 Parallel batch encoding: domain scaling of the two-phase controller} *)
-
-let git_rev () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let rev = try String.trim (input_line ic) with End_of_file -> "unknown" in
-    ignore (Unix.close_process_in ic);
-    if rev = "" then "unknown" else rev
-  with _ -> "unknown"
 
 type parallel_run = {
   par_label : string;
@@ -571,23 +590,28 @@ let parallel () =
       (if seq.groups_per_sec > 0.0 then r.groups_per_sec /. seq.groups_per_sec
        else 0.0)
   in
+  let prov =
+    Provenance.capture ~seed:5
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:4 ()
+  in
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
     {|{
   "benchmark": "parallel",
-  "git_rev": "%s",
-  "available_cores": %d,
+  "provenance": %s,
   "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
   "groups": %d,
   "fmax": %d,
   "occupancy_identical": true,
   "runs": [
 %s
-  ]
+  ]%s
 }
 |}
-    (git_rev ()) cores total_groups fmax
-    (String.concat ",\n" (List.map json_of runs));
+    (Provenance.to_json prov) total_groups fmax
+    (String.concat ",\n" (List.map json_of runs))
+    (metrics_field ());
   close_out oc;
   printf "wrote BENCH_parallel.json@."
 
@@ -695,8 +719,20 @@ let targets =
 let all () = List.iter (fun (_, f) -> f ()) targets
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let want_trace = List.mem "--trace" argv in
+  let want_metrics = List.mem "--metrics" argv in
+  let args =
+    List.filter (fun a -> a <> "--trace" && a <> "--metrics") argv
+  in
+  let clock = Obs_clock.of_kind (Obs_clock.kind_of_env ()) in
+  let trace = if want_trace then Some (Obs_trace.create ~clock ()) else None in
+  let metrics =
+    if want_trace || want_metrics then Some (Obs_metrics.create ()) else None
+  in
+  if want_trace || want_metrics then
+    Obs.install (Obs_ctx.make ?metrics ?trace ~clock ());
+  (match args with
   | [] | [ "all" ] -> all ()
   | args ->
       List.iter
@@ -707,4 +743,14 @@ let () =
               printf "unknown target %S; available: %s all@." a
                 (String.concat " " (List.map fst targets));
               exit 1)
-        args
+        args);
+  (match trace with
+  | Some tr ->
+      Obs_trace.write_chrome tr "BENCH_trace.json";
+      printf "wrote BENCH_trace.json (%d events, %s clock)@."
+        (Obs_trace.event_count tr)
+        (Obs_clock.kind_to_string (Obs_clock.kind clock))
+  | None -> ());
+  match metrics with
+  | Some m when want_metrics -> printf "@.metrics:@.%a@." Obs_metrics.pp m
+  | Some _ | None -> ()

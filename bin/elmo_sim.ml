@@ -6,6 +6,56 @@
    elmo-sim ablation *)
 
 open Cmdliner
+module Obs = Elmo_obs.Obs
+module Obs_ctx = Elmo_obs.Ctx
+module Obs_clock = Elmo_obs.Clock
+module Obs_metrics = Elmo_obs.Metrics
+module Obs_trace = Elmo_obs.Trace
+module Provenance = Elmo_obs.Provenance
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of the run to $(docv) (load it in \
+     chrome://tracing or Perfetto). ELMO_TRACE_CLOCK=mono selects wall-clock \
+     timestamps; the default logical clock makes traced runs byte-identical \
+     per seed."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the observability registry (counters and latency histograms) \
+     after the run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Install an ambient observability context around [f], then export the
+   trace and/or print the metrics dump. No-op when neither flag is given. *)
+let with_obs trace_file want_metrics f =
+  if Option.is_none trace_file && not want_metrics then f ()
+  else begin
+    let clock = Obs_clock.of_kind (Obs_clock.kind_of_env ()) in
+    let trace = Option.map (fun _ -> Obs_trace.create ~clock ()) trace_file in
+    let metrics =
+      if want_metrics then Some (Obs_metrics.create ()) else None
+    in
+    Obs.install (Obs_ctx.make ?metrics ?trace ~clock ());
+    Fun.protect
+      ~finally:(fun () -> Obs.install Obs_ctx.disabled)
+      (fun () ->
+        let r = f () in
+        (match (trace, trace_file) with
+        | Some tr, Some file ->
+            Obs_trace.write_chrome tr file;
+            Format.printf "wrote %s (%d events, %s clock)@." file
+              (Obs_trace.event_count tr)
+              (Obs_clock.kind_to_string (Obs_clock.kind clock))
+        | _ -> ());
+        (match metrics with
+        | Some m -> Format.printf "@.metrics:@.%a@." Obs_metrics.pp m
+        | None -> ());
+        r)
+  end
 
 let groups_arg =
   let doc = "Number of multicast groups to simulate." in
@@ -85,19 +135,28 @@ let config groups tenants seed placement dist fmax budget domains =
   }
 
 let scalability_cmd =
-  let run groups tenants seed placement dist fmax budget domains rs =
+  let run groups tenants seed placement dist fmax budget domains rs trace_file
+      metrics =
     let cfg = config groups tenants seed placement dist fmax budget domains in
+    let prov =
+      Provenance.capture ~seed
+        ~params:(Format.asprintf "%a" Params.pp cfg.Scalability.params)
+        ~domains:cfg.Scalability.domains ()
+    in
+    Format.printf "provenance: %a@." Provenance.pp prov;
     Format.printf "topology: %a@.placement: %a  dist: %a  groups: %d  params: %a@."
       Topology.pp cfg.Scalability.topo Vm_placement.pp_strategy placement
       Group_dist.pp_kind dist groups Params.pp cfg.Scalability.params;
-    List.iter
-      (fun p -> Format.printf "@.%a@." Scalability.pp_point p)
-      (Scalability.run cfg ~r_values:rs)
+    with_obs trace_file metrics (fun () ->
+        List.iter
+          (fun p -> Format.printf "@.%a@." Scalability.pp_point p)
+          (Scalability.run cfg ~r_values:rs))
   in
   let term =
     Term.(
       const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
-      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ r_arg)
+      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ r_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "scalability"
@@ -109,7 +168,8 @@ let churn_cmd =
   let events_arg =
     Arg.(value & opt int 20_000 & info [ "events" ] ~docv:"N" ~doc:"Membership events.")
   in
-  let run groups tenants seed placement dist fmax budget domains events =
+  let run groups tenants seed placement dist fmax budget domains events
+      trace_file metrics =
     let base = config groups tenants seed placement dist fmax budget domains in
     let cfg =
       {
@@ -126,14 +186,22 @@ let churn_cmd =
         domains = base.Scalability.domains;
       }
     in
-    let r = Control_plane.run cfg in
-    Format.printf "%a@.@.%a@." Control_plane.pp_table2 r.Control_plane.churn
-      Control_plane.pp_failures r
+    let prov =
+      Provenance.capture ~seed
+        ~params:(Format.asprintf "%a" Params.pp base.Scalability.params)
+        ~domains:base.Scalability.domains ()
+    in
+    Format.printf "provenance: %a@." Provenance.pp prov;
+    with_obs trace_file metrics (fun () ->
+        let r = Control_plane.run cfg in
+        Format.printf "%a@.@.%a@." Control_plane.pp_table2
+          r.Control_plane.churn Control_plane.pp_failures r)
   in
   let term =
     Term.(
       const run $ groups_arg $ tenants_arg $ seed_arg $ placement_arg
-      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ events_arg)
+      $ dist_arg $ fmax_arg $ budget_arg $ domains_arg $ events_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "churn"

@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type layer_load = { mean : float; max : float }
 
 type result = {
@@ -20,6 +22,9 @@ let random_role rng =
   | _ -> Controller.Both
 
 let setup_controller ?(domains = 1) rng ctrl _placement groups =
+  Obs.with_span "churn.setup"
+    ~attrs:[ ("groups", Obs.Int (Array.length groups)) ]
+  @@ fun () ->
   (* Roles are drawn sequentially in array order before any parallel work,
      so the rng stream is identical for every domain count. *)
   let batch =
@@ -67,6 +72,8 @@ let layer_load ~duration counts ~over =
       }
 
 let run rng ctrl placement groups ~events ~events_per_second ~li =
+  Obs.with_span "churn.run" ~attrs:[ ("events", Obs.Int events) ]
+  @@ fun () ->
   let topo = Controller.topology ctrl in
   let pick = weighted_picker groups in
   let hyp_counts = Array.make (Topology.num_hosts topo) 0 in

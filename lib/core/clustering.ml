@@ -17,10 +17,13 @@ let rule_within_budget ~r ~semantics ~exacts output =
       List.fold_left (fun acc bm -> acc + Bitmap.hamming bm output) 0 exacts
       <= r
 
+module Obs = Elmo_obs.Obs
+
 let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
   if hmax <= 0 then invalid_arg "Clustering.run: hmax must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if kmax <= 0 then invalid_arg "Clustering.run: kmax must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if r < 0 then invalid_arg "Clustering.run: r must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Obs.with_span "clustering.run" @@ fun () ->
   match layer with
   | [] -> { prules = []; srules = []; default = None }
   | _ :: _ when List.length layer <= hmax ->
@@ -51,7 +54,9 @@ let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
         unassigned := Array.of_list (List.rev !keep)
       in
       let continue = ref true in
+      let iterations = ref 0 in
       while !continue && Array.length !unassigned > 0 && !nprules < hmax do
+        iterations := !iterations + 1;
         let kk = min !k (Array.length !unassigned) in
         let indices, output = Min_k_union.choose ~k:kk !unassigned in
         let within_budget =
@@ -65,12 +70,16 @@ let run ~r ~semantics ~hmax ~kmax ~has_srule_space layer =
           incr nprules;
           remove indices
         end
-        else if kk = 1 then
-          (* A singleton always has distance 0; unreachable, but keep the
-             loop well-founded. *)
-          continue := false
-        else k := kk - 1
+        else begin
+          Obs.incr "clustering.budget_rejections";
+          if kk = 1 then
+            (* A singleton always has distance 0; unreachable, but keep the
+               loop well-founded. *)
+            continue := false
+          else k := kk - 1
+        end
       done;
+      Obs.observe "clustering.iterations" (float_of_int !iterations);
       (* Hmax exhausted (or nothing left): spill to s-rules, else default. *)
       let leftovers =
         Array.to_list !unassigned

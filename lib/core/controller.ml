@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "elmo.controller" ~doc:"Elmo controller events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Obs = Elmo_obs.Obs
 
 type role = Sender | Receiver | Both
 
@@ -382,6 +383,8 @@ let affected_senders t old_tree new_tree senders =
       end
 
 let reencode t ~group st ~changed_host =
+  Obs.with_span "controller.reencode" ~attrs:[ ("group", Obs.Int group) ]
+  @@ fun () ->
   let old_enc = st.enc in
   let old_tree = Option.map (fun e -> e.Encoding.tree) old_enc in
   (match old_enc with Some e -> uninstall_enc t ~group e | None -> ());
@@ -468,6 +471,7 @@ let try_fast_delta t ~group st ~host ~joining =
             None
         | Encoding.Applied a ->
             t.fast_hits <- t.fast_hits + 1;
+            Obs.incr "controller.fast_path";
             (match (a.Encoding.site, t.hooks) with
             | Encoding.Site_srule, Some hooks ->
                 (* The fabric already sees the mutation (it stores the bitmap
@@ -532,6 +536,10 @@ let add_group t ~group members =
   let hosts = List.map fst members in
   if List.length (List.sort_uniq compare hosts) <> List.length hosts then
     invalid_arg "Controller.add_group: duplicate member host"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Obs.with_span "controller.add_group"
+    ~attrs:
+      [ ("group", Obs.Int group); ("members", Obs.Int (List.length members)) ]
+  @@ fun () ->
   let st = { members; enc = None; applied = Hashtbl.create 1 } in
   Hashtbl.add t.groups group st;
   encode_group t st;
@@ -571,6 +579,10 @@ let install_all ?(domains = 1) t batch =
     batch;
   Log.debug (fun m ->
       m "install_all: %d groups across %d domains" (Array.length batch) domains);
+  Obs.with_span "controller.install_all"
+    ~attrs:
+      [ ("groups", Obs.Int (Array.length batch)); ("domains", Obs.Int domains) ]
+  @@ fun () ->
   let sts =
     Array.map
       (fun (_, members) -> { members; enc = None; applied = Hashtbl.create 1 })
@@ -587,44 +599,59 @@ let install_all ?(domains = 1) t batch =
         Some (Encoding.encode_txn t.params txn (Tree.of_members t.topo rcvs), txn)
   in
   let encoded =
-    if domains <= 1 then Array.map encode_one sts
-    else
-      Domain_pool.with_pool domains (fun pool ->
-          Domain_pool.map pool encode_one sts)
+    Obs.with_span "install_all.encode" (fun () ->
+        if domains <= 1 then Array.map encode_one sts
+        else begin
+          (* Worker domains get per-domain observability shards (merged back
+             at pool shutdown); the chunk probe is active only on the wall
+             clock. *)
+          let worker_init, worker_exit = Obs.worker_hooks () in
+          Domain_pool.with_pool ~worker_init ~worker_exit domains (fun pool ->
+              Domain_pool.map ?probe:(Obs.pool_probe ()) pool encode_one sts)
+        end)
   in
   (* Phase 2: sequential commit in group order. *)
   let hyp = ref [] and leaves = ref [] and pods = ref [] in
-  Array.iteri
-    (fun i (group, _) ->
-      let st = sts.(i) in
-      (match encoded.(i) with
-      | None -> ()
-      | Some (enc, txn) -> (
-          match Srule_state.commit t.srules txn with
-          | Ok () -> st.enc <- Some enc
-          | Error _ ->
-              t.conflicts <- t.conflicts + 1;
-              (* The optimistic capacity decisions no longer hold: re-run
-                 Algorithm 1 against the live ledger, exactly as the
-                 sequential path would have. The tree is a pure function of
-                 the receiver set, so the optimistic one is reusable. *)
-              st.enc <- Some (Encoding.encode t.params t.srules enc.Encoding.tree)));
-      Hashtbl.add t.groups group st;
-      (match st.enc with Some e -> install_enc t ~group e | None -> ());
-      if not (all_healthy t) then refresh_overrides t ~group st;
-      hyp := List.rev_append (List.map fst st.members) !hyp;
-      match st.enc with
-      | None -> ()
-      | Some e ->
-          leaves :=
-            List.rev_append
-              (List.map fst e.Encoding.d_leaf.Clustering.srules)
-              !leaves;
-          pods :=
-            List.rev_append
-              (List.map fst e.Encoding.d_spine.Clustering.srules)
-              !pods)
-    batch;
+  Obs.with_span "install_all.commit" (fun () ->
+      Array.iteri
+        (fun i (group, _) ->
+          let st = sts.(i) in
+          (match encoded.(i) with
+          | None -> ()
+          | Some (enc, txn) -> (
+              match Srule_state.commit t.srules txn with
+              | Ok () -> st.enc <- Some enc
+              | Error _ ->
+                  t.conflicts <- t.conflicts + 1;
+                  Obs.incr "controller.batch_conflicts";
+                  Obs.instant "install_all.conflict"
+                    ~attrs:[ ("group", Obs.Int group) ];
+                  (* The optimistic capacity decisions no longer hold: re-run
+                     Algorithm 1 against the live ledger, exactly as the
+                     sequential path would have. The tree is a pure function of
+                     the receiver set, so the optimistic one is reusable. *)
+                  st.enc <-
+                    Some
+                      (Obs.with_span "controller.conflict_reencode"
+                         ~attrs:[ ("group", Obs.Int group) ]
+                         (fun () ->
+                           Encoding.encode t.params t.srules enc.Encoding.tree))));
+          Hashtbl.add t.groups group st;
+          (match st.enc with Some e -> install_enc t ~group e | None -> ());
+          if not (all_healthy t) then refresh_overrides t ~group st;
+          hyp := List.rev_append (List.map fst st.members) !hyp;
+          match st.enc with
+          | None -> ()
+          | Some e ->
+              leaves :=
+                List.rev_append
+                  (List.map fst e.Encoding.d_leaf.Clustering.srules)
+                  !leaves;
+              pods :=
+                List.rev_append
+                  (List.map fst e.Encoding.d_spine.Clustering.srules)
+                  !pods)
+        batch);
   check_invariants t ~op:"install_all";
   {
     hypervisors = List.sort_uniq compare !hyp;
@@ -656,6 +683,9 @@ let join t ~group ~host ~role =
   let st = find_group t group in
   if List.mem_assoc host st.members then
     invalid_arg "Controller.join: host already a member"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Obs.with_span "controller.join"
+    ~attrs:[ ("group", Obs.Int group); ("host", Obs.Int host) ]
+  @@ fun () ->
   st.members <- st.members @ [ (host, role) ];
   let u =
     match role with
@@ -668,6 +698,7 @@ let join t ~group ~host ~role =
         | Some u -> u
         | None ->
             t.reencodes <- t.reencodes + 1;
+            Obs.incr "controller.reencodes";
             reencode t ~group st ~changed_host:host)
   in
   check_invariants t ~op:"join";
@@ -680,6 +711,9 @@ let leave t ~group ~host =
     | Some r -> r
     | None -> raise Not_found
   in
+  Obs.with_span "controller.leave"
+    ~attrs:[ ("group", Obs.Int group); ("host", Obs.Int host) ]
+  @@ fun () ->
   st.members <- List.remove_assoc host st.members;
   let u =
     match role with
@@ -689,6 +723,7 @@ let leave t ~group ~host =
         | Some u -> u
         | None ->
             t.reencodes <- t.reencodes + 1;
+            Obs.incr "controller.reencodes";
             reencode t ~group st ~changed_host:host)
   in
   check_invariants t ~op:"leave";

@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type t = {
   mutable tree : Tree.t;
   params : Params.t;
@@ -96,12 +98,14 @@ let encode_cap ~legacy_leaf ~legacy_pod (params : Params.t) ~reserve_leaf
 
 let encode_txn ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
     (params : Params.t) txn tree =
+  Obs.with_span "encoding.encode_txn" @@ fun () ->
   encode_cap ~legacy_leaf ~legacy_pod params
     ~reserve_leaf:(Srule_state.txn_reserve_leaf txn)
     ~reserve_pod:(Srule_state.txn_reserve_pod txn)
     tree
 
 let encode ?legacy_leaf ?legacy_pod (params : Params.t) srules tree =
+  Obs.with_span "encoding.encode" @@ fun () ->
   (* The sequential path is the batch protocol at batch size one: encode
      against a just-taken snapshot, then commit. Nothing can have mutated
      the ledger in between, so the commit replay cannot diverge. *)
@@ -171,7 +175,7 @@ let refresh_or t leaves dst =
 (* On [Reencode _] NOTHING has been mutated: all structural and budget
    checks run before the tree or any rule bitmap is touched, so the caller
    can diff the old encoding against a fresh one honestly. *)
-let apply_delta t delta =
+let apply_delta_impl t delta =
   let joining, host, leaf, port =
     match delta with
     | Join { host; leaf; port } -> (true, host, leaf, port)
@@ -276,6 +280,27 @@ let apply_delta t delta =
                   Applied { site = Site_default; leaf; header_changed }
             end))
   end
+
+let reason_label = function
+  | New_leaf -> "new_leaf"
+  | Emptied_leaf -> "emptied_leaf"
+  | Budget_exceeded -> "budget_exceeded"
+  | Stale -> "stale"
+
+let site_label = function
+  | Site_prule -> "prule"
+  | Site_srule -> "srule"
+  | Site_default -> "default"
+
+let apply_delta t delta =
+  let outcome = Obs.with_span "encoding.apply_delta" (fun () -> apply_delta_impl t delta) in
+  if Obs.enabled () then begin
+    (* Attribute fast path vs slow-path fallback, by site / reason. *)
+    match outcome with
+    | Applied a -> Obs.incr ("encoding.fast_path." ^ site_label a.site)
+    | Reencode r -> Obs.incr ("encoding.fallback." ^ reason_label r)
+  end;
+  outcome
 
 let release srules t =
   List.iter (fun (l, _) -> Srule_state.release_leaf srules l) t.d_leaf.Clustering.srules;

@@ -1,8 +1,12 @@
+module Obs = Elmo_obs.Obs
+
 let choose ~k candidates =
   let n = Array.length candidates in
   if k <= 0 then invalid_arg "Min_k_union.choose: k must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if n = 0 then invalid_arg "Min_k_union.choose: no candidates"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if k > n then invalid_arg "Min_k_union.choose: k exceeds candidate count"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Obs.incr "min_k_union.calls";
+  Obs.observe "min_k_union.candidates" (float_of_int n);
   let chosen = Array.make n false in
   (* Seed: smallest bitmap. *)
   let seed = ref 0 in

@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type site = Leaf of int | Pod of int
 
 exception Full of site
@@ -123,6 +125,9 @@ let txn_reserved txn =
 
 let commit t txn =
   if txn.closed then invalid_arg "Srule_state.commit: transaction already committed"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Obs.with_span "srule.commit" @@ fun () ->
+  Obs.incr "srule.commits";
+  Obs.observe "srule.txn_probes" (float_of_int (List.length txn.log));
   let live = function Leaf l -> t.leaf_used.(l) | Pod p -> t.pod_used.(p) in
   let extra = Hashtbl.create 8 in
   let rec replay = function
@@ -148,6 +153,6 @@ let commit t txn =
           | Leaf l -> t.leaf_used.(l) <- t.leaf_used.(l) + n
           | Pod p -> t.pod_used.(p) <- t.pod_used.(p) + n)
         extra
-  | Error _ -> ());
+  | Error _ -> Obs.incr "srule.commit_conflicts");
   txn.closed <- true;
   result

@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type config = {
   topo : Topology.t;
   tenants : int;
@@ -35,6 +37,12 @@ type result = {
 }
 
 let run config =
+  Obs.with_span "control_plane.run"
+    ~attrs:
+      [ ("groups", Obs.Int config.total_groups);
+        ("events", Obs.Int config.events);
+        ("domains", Obs.Int config.domains) ]
+  @@ fun () ->
   let rng = Rng.create config.seed in
   let tenant_sizes = Vm_placement.default_tenant_sizes rng config.tenants in
   let placement =
@@ -64,11 +72,12 @@ let run config =
       ~events_per_second:config.events_per_second ~li:(Some li)
   in
   let failure_rng = Rng.create (config.seed + 5) in
-  let spine_failures =
-    Churn.spine_failures failure_rng ctrl ~trials:config.failure_trials
-  in
-  let core_failures =
-    Churn.core_failures failure_rng ctrl ~trials:config.failure_trials
+  let spine_failures, core_failures =
+    Obs.with_span "control_plane.failures"
+      ~attrs:[ ("trials", Obs.Int config.failure_trials) ]
+    @@ fun () ->
+    ( Churn.spine_failures failure_rng ctrl ~trials:config.failure_trials,
+      Churn.core_failures failure_rng ctrl ~trials:config.failure_trials )
   in
   { churn; spine_failures; core_failures }
 

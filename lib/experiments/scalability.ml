@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type config = {
   topo : Topology.t;
   tenants : int;
@@ -72,7 +74,12 @@ let placement_of config =
    paper's million-group scale. *)
 let batch_groups = 1024
 
-let run_point_with placement config ~r =
+let run_point_with placement (config : config) ~r =
+  Obs.with_span "scalability.run_point"
+    ~attrs:
+      [ ("r", Obs.Int r); ("groups", Obs.Int config.total_groups);
+        ("domains", Obs.Int config.domains) ]
+  @@ fun () ->
   let topo = config.topo in
   let params = Params.with_r config.params r in
   let srules = Srule_state.create topo ~fmax:params.Params.fmax in
@@ -132,7 +139,9 @@ let run_point_with placement config ~r =
              loop above. *)
           let snap = Srule_state.snapshot srules in
           let encoded =
-            Domain_pool.map pool
+            Domain_pool.map
+              ?probe:(Obs.pool_probe ())
+              pool
               (fun (g, _) ->
                 let txn = Srule_state.txn snap in
                 (Encoding.encode_txn params txn (tree_of g), txn))
@@ -160,8 +169,12 @@ let run_point_with placement config ~r =
         if !nbuf >= batch_groups then flush pool);
     flush pool
   in
-  if config.domains <= 1 then stream None
-  else Domain_pool.with_pool config.domains (fun pool -> stream (Some pool));
+  (if config.domains <= 1 then stream None
+   else begin
+     let worker_init, worker_exit = Obs.worker_hooks () in
+     Domain_pool.with_pool ~worker_init ~worker_exit config.domains (fun pool ->
+         stream (Some pool))
+   end);
   let overhead payload =
     let per_packet = payload +. float_of_int Traffic.vxlan_encap_bytes in
     ((!sum_tx *. per_packet) +. !sum_hdr) /. (!sum_ideal *. per_packet) -. 1.0

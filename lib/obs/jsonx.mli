@@ -1,0 +1,12 @@
+(** Tiny JSON fragment helpers shared by the trace/metrics emitters. No JSON
+    library is vendored: the observability layer only ever {e writes} JSON,
+    and the two exporters need nothing beyond escaped strings and fixed-width
+    floats (fixed formatting keeps logical-clock traces byte-stable). *)
+
+val string : string -> string
+(** JSON string literal, quotes included; escapes quotes, backslashes and
+    control characters. *)
+
+val float : float -> string
+(** Fixed [%.3f] rendering; NaN becomes [0.0] and infinities clamp to
+    [±1e308] so output is always valid JSON. *)

@@ -1,0 +1,76 @@
+type attr = Trace.attr = Int of int | Float of float | Str of string | Bool of bool
+
+let current = Ctx.current
+let install = Ctx.install
+let enabled () = (Ctx.current ()).Ctx.active
+
+let with_span ?(attrs = []) name f =
+  let c = Ctx.current () in
+  if not c.Ctx.active then f ()
+  else begin
+    let t0 = Clock.now_us c.Ctx.clock in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_us c.Ctx.clock in
+        (match c.Ctx.trace with
+        | Some tr -> Trace.complete tr ~name ~ts:t0 ~dur:(t1 -. t0) ~attrs
+        | None -> ());
+        match c.Ctx.metrics with
+        | Some m -> Metrics.observe m ("span." ^ name ^ "_us") (t1 -. t0)
+        | None -> ())
+      f
+  end
+
+let incr ?(n = 1) name =
+  match (Ctx.current ()).Ctx.metrics with
+  | Some m -> Metrics.incr m ~n name
+  | None -> ()
+
+let observe name v =
+  match (Ctx.current ()).Ctx.metrics with
+  | Some m -> Metrics.observe m name v
+  | None -> ()
+
+let gauge name v =
+  match (Ctx.current ()).Ctx.metrics with
+  | Some m -> Metrics.gauge m name v
+  | None -> ()
+
+let instant ?(attrs = []) name =
+  match (Ctx.current ()).Ctx.trace with
+  | Some tr -> Trace.instant tr ~attrs name
+  | None -> ()
+
+let worker_hooks = Ctx.worker_hooks
+
+(* Chunk queue/run latencies mix timestamps taken on the submitting and the
+   executing domain, which is only meaningful on the shared wall clock —
+   under the logical default the probe is off and traced runs stay
+   deterministic. *)
+let pool_probe () =
+  let c = Ctx.current () in
+  match c.Ctx.metrics with
+  | None -> None
+  | Some _ -> (
+      match Clock.kind c.Ctx.clock with
+      | Clock.Logical -> None
+      | Clock.Monotonic ->
+          let metric cx s =
+            match Ctx.tag cx with
+            | "" -> "domain_pool." ^ s
+            | tag -> "domain_pool." ^ tag ^ "." ^ s
+          in
+          Some
+            {
+              Domain_pool.prb_now =
+                (fun () -> Clock.now_us (Ctx.current ()).Ctx.clock);
+              prb_chunk =
+                (fun ~queue_us ~run_us ~items ->
+                  let cx = Ctx.current () in
+                  match cx.Ctx.metrics with
+                  | Some m ->
+                      Metrics.observe m (metric cx "chunk_queue_us") queue_us;
+                      Metrics.observe m (metric cx "chunk_run_us") run_us;
+                      Metrics.incr m ~n:items (metric cx "items")
+                  | None -> ());
+            })

@@ -1,0 +1,66 @@
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type t = { clock : Clock.t; buf : Buffer.t; mutable n_events : int }
+
+let create ~clock () = { clock; buf = Buffer.create 4096; n_events = 0 }
+let clock t = t.clock
+let event_count t = t.n_events
+
+let add_attrs buf attrs =
+  match attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Jsonx.string k);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf
+            (match v with
+            | Int n -> string_of_int n
+            | Float f -> Jsonx.float f
+            | Str s -> Jsonx.string s
+            | Bool b -> if b then "true" else "false"))
+        attrs;
+      Buffer.add_char buf '}'
+
+let complete t ~name ~ts ~dur ~attrs =
+  t.n_events <- t.n_events + 1;
+  Buffer.add_string t.buf "{\"ph\":\"X\",\"cat\":\"elmo\",\"name\":";
+  Buffer.add_string t.buf (Jsonx.string name);
+  Buffer.add_string t.buf
+    (Printf.sprintf ",\"pid\":0,\"tid\":0,\"ts\":%s,\"dur\":%s" (Jsonx.float ts)
+       (Jsonx.float dur));
+  add_attrs t.buf attrs;
+  Buffer.add_string t.buf "}\n"
+
+let instant t ?(attrs = []) name =
+  t.n_events <- t.n_events + 1;
+  Buffer.add_string t.buf "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"elmo\",\"name\":";
+  Buffer.add_string t.buf (Jsonx.string name);
+  Buffer.add_string t.buf
+    (Printf.sprintf ",\"pid\":0,\"tid\":0,\"ts\":%s"
+       (Jsonx.float (Clock.now_us t.clock)));
+  add_attrs t.buf attrs;
+  Buffer.add_string t.buf "}\n"
+
+let to_jsonl t = Buffer.contents t.buf
+
+let chrome_of_jsonl jsonl =
+  let lines =
+    String.split_on_char '\n' jsonl
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  "{\"traceEvents\":[" ^ String.concat "," lines ^ "]}\n"
+
+let to_chrome t = chrome_of_jsonl (to_jsonl t)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_jsonl t path = write_file path (to_jsonl t)
+let write_chrome t path = write_file path (to_chrome t)

@@ -1,5 +1,10 @@
 type task = Run of (unit -> unit) | Quit
 
+type probe = {
+  prb_now : unit -> float;
+  prb_chunk : queue_us:float -> run_us:float -> items:int -> unit;
+}
+
 type t = {
   size : int;
   queue : task Queue.t;
@@ -22,7 +27,8 @@ let rec worker t =
       f ();
       worker t
 
-let create n =
+let create ?(worker_init = fun (_ : int) -> ()) ?(worker_exit = fun () -> ())
+    n =
   if n < 1 then invalid_arg "Domain_pool.create: need at least one domain";
   let t =
     {
@@ -34,7 +40,11 @@ let create n =
       shut = false;
     }
   in
-  t.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            worker_init i;
+            Fun.protect ~finally:worker_exit (fun () -> worker t)));
   t
 
 let size t = t.size
@@ -61,7 +71,7 @@ let shutdown t =
     t.workers <- []
   end
 
-let map ?chunk t f arr =
+let map ?chunk ?probe t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
@@ -86,7 +96,11 @@ let map ?chunk t f arr =
     for c = 0 to nchunks - 1 do
       let lo = c * chunk in
       let hi = min n (lo + chunk) - 1 in
+      (* Enqueue timestamp is taken on the submitting domain, start/stop on
+         the worker: the probe owner must use a clock both share. *)
+      let enq = match probe with Some p -> p.prb_now () | None -> 0.0 in
       submit t (fun () ->
+          let t0 = match probe with Some p -> p.prb_now () | None -> 0.0 in
           (try
              for i = lo to hi do
                results.(i) <- Some (f arr.(i))
@@ -97,6 +111,12 @@ let map ?chunk t f arr =
              | Some (c0, _) when c0 <= c -> ()
              | Some _ | None -> failure := Some (c, e));
              Mutex.unlock lock);
+          (match probe with
+          | Some p ->
+              p.prb_chunk ~queue_us:(t0 -. enq)
+                ~run_us:(p.prb_now () -. t0)
+                ~items:(hi - lo + 1)
+          | None -> ());
           Mutex.lock lock;
           decr remaining;
           if !remaining = 0 then Condition.signal finished;
@@ -111,6 +131,6 @@ let map ?chunk t f arr =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let with_pool n f =
-  let t = create n in
+let with_pool ?worker_init ?worker_exit n f =
+  let t = create ?worker_init ?worker_exit n in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

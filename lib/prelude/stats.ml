@@ -9,10 +9,22 @@ type summary = {
   p99 : float;
 }
 
+let zero_summary =
+  {
+    count = 0;
+    mean = 0.0;
+    stddev = 0.0;
+    min = 0.0;
+    max = 0.0;
+    p50 = 0.0;
+    p95 = 0.0;
+    p99 = 0.0;
+  }
+
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
-  if q <= 0.0 then sorted.(0)
+  if n = 0 then 0.0
+  else if q <= 0.0 then sorted.(0)
   else if q >= 1.0 then sorted.(n - 1)
   else begin
     let pos = q *. float_of_int (n - 1) in
@@ -25,29 +37,31 @@ let percentile sorted q =
 let total arr = Array.fold_left ( +. ) 0.0 arr
 
 let mean arr =
-  if Array.length arr = 0 then invalid_arg "Stats.mean: empty array";
-  total arr /. float_of_int (Array.length arr)
+  if Array.length arr = 0 then 0.0
+  else total arr /. float_of_int (Array.length arr)
 
 let summarize arr =
   let n = Array.length arr in
-  if n = 0 then invalid_arg "Stats.summarize: empty array";
-  let sorted = Array.copy arr in
-  Array.sort compare sorted;
-  let m = mean arr in
-  let var =
-    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 arr
-    /. float_of_int n
-  in
-  {
-    count = n;
-    mean = m;
-    stddev = sqrt var;
-    min = sorted.(0);
-    max = sorted.(n - 1);
-    p50 = percentile sorted 0.5;
-    p95 = percentile sorted 0.95;
-    p99 = percentile sorted 0.99;
-  }
+  if n = 0 then zero_summary
+  else begin
+    let sorted = Array.copy arr in
+    Array.sort compare sorted;
+    let m = mean arr in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 arr
+      /. float_of_int n
+    in
+    {
+      count = n;
+      mean = m;
+      stddev = sqrt var;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile sorted 0.5;
+      p95 = percentile sorted 0.95;
+      p99 = percentile sorted 0.99;
+    }
+  end
 
 let of_ints arr = Array.map float_of_int arr
 

@@ -13,13 +13,19 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Raises [Invalid_argument] on an empty array. Does not mutate the input. *)
+(** Total: an empty array yields the all-zero summary ([count = 0]) so
+    callers aggregating unknown-size sample sets (e.g. the [elmo_obs]
+    histograms) need no emptiness guard. Does not mutate the input. *)
 
 val percentile : float array -> float -> float
-(** [percentile sorted q] with [q] in [\[0,1\]], linear interpolation. The
-    input must already be sorted ascending. *)
+(** [percentile sorted q] with [q] in [\[0,1\]], linear interpolation;
+    [q] outside the range clamps to min/max. The input must already be
+    sorted ascending. Empty input yields [0.0]; a singleton yields its sole
+    element for every [q]. *)
 
 val mean : float array -> float
+(** Total: [0.0] on empty input. *)
+
 val total : float array -> float
 
 val of_ints : int array -> float array

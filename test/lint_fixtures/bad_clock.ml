@@ -1,0 +1,4 @@
+(* determinism fixture: raw wall-clock reads outside the single sanctioned
+   site (Elmo_obs.Clock's monotonic branch) must be flagged. *)
+let stamp () = Unix.gettimeofday ()
+let elapsed t0 = Unix.gettimeofday () -. t0

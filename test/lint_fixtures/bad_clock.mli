@@ -1,0 +1,2 @@
+val stamp : unit -> float
+val elapsed : float -> float

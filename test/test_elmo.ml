@@ -9,6 +9,7 @@ let () =
     [
       ("rng", Test_rng.tests);
       ("stats", Test_stats.tests);
+      ("obs", Test_obs.tests);
       ("bitmap", Test_bitmap.tests);
       ("bitio", Test_bitio.tests);
       ("topology", Test_topology.tests);

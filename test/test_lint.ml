@@ -31,6 +31,16 @@ let test_determinism () =
     ]
     (analyze [ "bad_random" ])
 
+let test_determinism_wall_clock () =
+  (* Raw [Unix.gettimeofday] is caught wherever it appears; only the one
+     reasoned allow inside Elmo_obs.Clock is sanctioned. *)
+  check "bad_clock"
+    [
+      (src "bad_clock", 3, "determinism");
+      (src "bad_clock", 4, "determinism");
+    ]
+    (analyze [ "bad_clock" ])
+
 let test_poly_compare () =
   check "bad_poly_compare"
     [
@@ -89,6 +99,7 @@ let test_clean () = check "clean fixture" [] (analyze [ "clean" ])
 
 let all_fixtures =
   [
+    "bad_clock";
     "bad_failwith";
     "bad_global_state";
     "bad_no_mli";
@@ -103,6 +114,8 @@ let all_fixtures =
 let test_aggregate () =
   check "whole fixture set, sorted by file/line/rule"
     [
+      (src "bad_clock", 3, "determinism");
+      (src "bad_clock", 4, "determinism");
       (src "bad_failwith", 2, "exception-discipline");
       (src "bad_failwith", 3, "exception-discipline");
       (src "bad_failwith", 4, "exception-discipline");
@@ -148,6 +161,8 @@ let test_pp_finding () =
 let tests =
   [
     Alcotest.test_case "determinism rule" `Quick test_determinism;
+    Alcotest.test_case "determinism catches wall clock" `Quick
+      test_determinism_wall_clock;
     Alcotest.test_case "poly-compare rule" `Quick test_poly_compare;
     Alcotest.test_case "exception-discipline rule" `Quick
       test_exception_discipline;

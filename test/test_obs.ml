@@ -1,0 +1,378 @@
+(* elmo_obs: deterministic clocks, the metrics registry, span tracing, and
+   the controller counters they mirror. Everything here runs under the
+   logical clock, so the assertions are exact — no timing tolerances. *)
+
+module Clock = Elmo_obs.Clock
+module Metrics = Elmo_obs.Metrics
+module Trace = Elmo_obs.Trace
+module Ctx = Elmo_obs.Ctx
+module Obs = Elmo_obs.Obs
+module Provenance = Elmo_obs.Provenance
+
+let feq = Alcotest.float 1e-9
+
+let small_topo () =
+  Topology.create ~pods:2 ~leaves_per_pod:2 ~spines_per_pod:2 ~hosts_per_leaf:4
+    ~cores_per_plane:1
+
+(* Install a fresh logical-clock context around [f]; always restores the
+   disabled default so test cases stay independent. *)
+let with_ctx ?metrics ?trace f =
+  Obs.install (Ctx.make ?metrics ?trace ~clock:(Clock.logical ()) ());
+  Fun.protect ~finally:(fun () -> Obs.install Ctx.disabled) f
+
+let counter m name =
+  match List.assoc_opt name (Metrics.dump m) with
+  | Some (Metrics.Counter n) -> n
+  | Some _ -> Alcotest.failf "%s is not a counter" name
+  | None -> 0
+
+let hist m name =
+  match List.assoc_opt name (Metrics.dump m) with
+  | Some (Metrics.Histogram h) -> h
+  | _ -> Alcotest.failf "%s is not a histogram" name
+
+(* {1 Clock} *)
+
+let test_logical_clock () =
+  let c = Clock.logical () in
+  Alcotest.check feq "tick 1" 1.0 (Clock.now_us c);
+  Alcotest.check feq "tick 2" 2.0 (Clock.now_us c);
+  (match Clock.kind c with
+  | Clock.Logical -> ()
+  | Clock.Monotonic -> Alcotest.fail "logical clock reports Monotonic");
+  (* A shard restarts at tick 0 and leaves the parent's counter alone. *)
+  let s = Clock.shard c in
+  Alcotest.check feq "shard tick 1" 1.0 (Clock.now_us s);
+  Alcotest.check feq "parent tick 3" 3.0 (Clock.now_us c);
+  List.iter
+    (fun (s, k) ->
+      match (Clock.kind_of_string s, k) with
+      | Some Clock.Logical, Clock.Logical | Some Clock.Monotonic, Clock.Monotonic
+        ->
+          ()
+      | _ -> Alcotest.failf "kind_of_string %S" s)
+    [
+      ("logical", Clock.Logical);
+      ("tick", Clock.Logical);
+      ("monotonic", Clock.Monotonic);
+      ("mono", Clock.Monotonic);
+      ("wall", Clock.Monotonic);
+    ];
+  Alcotest.(check bool)
+    "unknown kind rejected" true
+    (Option.is_none (Clock.kind_of_string "sundial"))
+
+(* {1 Metrics} *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "a.count";
+  Metrics.incr m ~n:4 "a.count";
+  Metrics.gauge m "b.gauge" 2.5;
+  for i = 1 to 100 do
+    Metrics.observe m "c.hist" (float_of_int i)
+  done;
+  Alcotest.(check int) "counter" 5 (counter m "a.count");
+  let h = hist m "c.hist" in
+  Alcotest.(check int) "hist count" 100 h.Metrics.count;
+  Alcotest.check feq "hist sum" 5050.0 h.Metrics.sum;
+  Alcotest.check feq "hist min" 1.0 h.Metrics.min;
+  Alcotest.check feq "hist max" 100.0 h.Metrics.max;
+  (* log2 buckets: quantiles are bucket-resolution, so only sanity-bound
+     them. *)
+  Alcotest.(check bool) "p50 ordered" true (h.Metrics.p50 <= h.Metrics.p95);
+  Alcotest.(check bool) "p95 ordered" true (h.Metrics.p95 <= h.Metrics.p99);
+  Alcotest.(check bool)
+    "p99 within range" true
+    (h.Metrics.p99 >= h.Metrics.min && h.Metrics.p99 <= h.Metrics.max);
+  (* dump is sorted by name *)
+  let names = List.map fst (Metrics.dump m) in
+  Alcotest.(check (list string))
+    "sorted dump" (List.sort String.compare names) names;
+  let json = Metrics.to_json m in
+  Alcotest.(check bool)
+    "json object" true
+    (String.length json > 2 && json.[0] = '{')
+
+let test_metrics_shard_merge () =
+  let parent = Metrics.create () in
+  Metrics.incr parent ~n:10 "n";
+  Metrics.observe parent "h" 4.0;
+  let s1 = Metrics.shard parent in
+  let s2 = Metrics.shard parent in
+  Metrics.incr s1 ~n:3 "n";
+  Metrics.incr s2 ~n:4 "n";
+  Metrics.observe s1 "h" 16.0;
+  Metrics.gauge s2 "g" 7.0;
+  (* Live shards are already visible in the merged dump... *)
+  Alcotest.(check int) "merged view" 17 (counter parent "n");
+  (* ...and join folds them in permanently, in either order. *)
+  Metrics.join parent s2;
+  Metrics.join parent s1;
+  Alcotest.(check int) "joined counter" 17 (counter parent "n");
+  let h = hist parent "h" in
+  Alcotest.(check int) "joined hist count" 2 h.Metrics.count;
+  Alcotest.check feq "joined hist sum" 20.0 h.Metrics.sum;
+  Alcotest.check feq "joined hist max" 16.0 h.Metrics.max;
+  (match List.assoc_opt "g" (Metrics.dump parent) with
+  | Some (Metrics.Gauge g) -> Alcotest.check feq "shard gauge" 7.0 g
+  | _ -> Alcotest.fail "gauge lost in join")
+
+(* {1 Spans and the disabled default} *)
+
+let test_disabled_noop () =
+  (* No context installed: probes are no-ops and with_span is transparent,
+     including for exceptions. *)
+  Obs.incr "ignored";
+  Obs.observe "ignored" 1.0;
+  Obs.instant "ignored";
+  Alcotest.(check int) "with_span passthrough" 9
+    (Obs.with_span "t" (fun () -> 9));
+  Alcotest.check_raises "with_span reraises" Exit (fun () ->
+      Obs.with_span "t" (fun () -> raise Exit));
+  Alcotest.(check bool) "disabled" false (Obs.enabled ())
+
+let test_span_emission () =
+  let m = Metrics.create () in
+  let clock = Clock.logical () in
+  let tr = Trace.create ~clock () in
+  Obs.install (Ctx.make ~metrics:m ~trace:tr ~clock ());
+  Fun.protect
+    ~finally:(fun () -> Obs.install Ctx.disabled)
+    (fun () ->
+      let v =
+        Obs.with_span "outer" ~attrs:[ ("k", Obs.Int 3) ] (fun () ->
+            Obs.with_span "inner" (fun () -> ());
+            42)
+      in
+      Alcotest.(check int) "span result" 42 v;
+      Alcotest.check_raises "span reraises" Exit (fun () ->
+          Obs.with_span "boom" (fun () -> raise Exit)));
+  Alcotest.(check int) "three spans" 3 (Trace.event_count tr);
+  let h = hist m "span.outer_us" in
+  Alcotest.(check int) "span histogram" 1 h.Metrics.count;
+  (* logical clock: outer wraps inner's two reads, so its duration is 3 *)
+  Alcotest.check feq "outer duration in ticks" 3.0 h.Metrics.sum;
+  let jsonl = Trace.to_jsonl tr in
+  Alcotest.(check bool) "boom span flushed" true
+    (Astring.String.is_infix ~affix:{|"name":"boom"|} jsonl);
+  let chrome = Trace.to_chrome tr in
+  Alcotest.(check bool) "chrome prefix" true
+    (Astring.String.is_prefix ~affix:{|{"traceEvents":[|} chrome);
+  Alcotest.(check bool) "complete events" true
+    (Astring.String.is_infix ~affix:{|"ph":"X"|} chrome);
+  Alcotest.(check bool) "attrs serialized" true
+    (Astring.String.is_infix ~affix:{|"args":{"k":3}|} chrome)
+
+(* {1 Determinism of traced runs} *)
+
+(* A small controller workload: batch install then a churn tail. *)
+let workload () =
+  let topo = small_topo () in
+  let params = Params.create ~fmax:64 () in
+  let ctrl = Controller.create topo params in
+  let rng = Rng.create 13 in
+  let n = Topology.num_hosts topo in
+  let batch =
+    List.init 4 (fun g ->
+        let members =
+          List.init (4 + (g * 2)) (fun i ->
+              ((i * 3) mod n, if i = 0 then Controller.Both else Controller.Receiver))
+          |> List.sort_uniq (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        (g, members))
+  in
+  ignore (Controller.install_all ctrl batch);
+  for _ = 1 to 40 do
+    let group = Rng.int rng 4 in
+    let members = Controller.members ctrl ~group in
+    let is_member h = List.mem_assoc h members in
+    let h = Rng.int rng n in
+    if is_member h then ignore (Controller.leave ctrl ~group ~host:h)
+    else ignore (Controller.join ctrl ~group ~host:h ~role:Controller.Receiver)
+  done;
+  ctrl
+
+let traced_workload () =
+  let clock = Clock.logical () in
+  let tr = Trace.create ~clock () in
+  Obs.install (Ctx.make ~trace:tr ~clock ());
+  Fun.protect
+    ~finally:(fun () -> Obs.install Ctx.disabled)
+    (fun () ->
+      ignore (workload ());
+      Trace.to_jsonl tr)
+
+let test_trace_byte_identical () =
+  let a = traced_workload () in
+  let b = traced_workload () in
+  Alcotest.(check bool) "nonempty" true (String.length a > 0);
+  Alcotest.(check string) "same-seed traces byte-identical" a b
+
+let test_results_identical_with_obs () =
+  let occupancy ctrl =
+    let s = Controller.srule_state ctrl in
+    ( Array.to_list (Srule_state.leaf_occupancy s),
+      Array.to_list (Srule_state.spine_occupancy s) )
+  in
+  let plain = occupancy (workload ()) in
+  let m = Metrics.create () in
+  let traced =
+    with_ctx ~metrics:m
+      ~trace:(Trace.create ~clock:(Clock.logical ()) ())
+      (fun () -> occupancy (workload ()))
+  in
+  Alcotest.(check (pair (list int) (list int)))
+    "occupancy identical with observability on" plain traced;
+  Alcotest.(check bool) "metrics recorded" true
+    (counter m "srule.commits" > 0)
+
+(* {1 Controller churn accounting} *)
+
+(* Mixed incremental/full-re-encode stream: a tight staleness limit forces
+   periodic re-encodes between fast-path hits. Every receiver event must
+   land in exactly one churn_stats bucket, fast-path updates must stay
+   local (no pod-level changes), and the obs counters must mirror
+   churn_stats exactly. *)
+let test_churn_stats_reconcile () =
+  let topo = small_topo () in
+  let params = Params.create ~fmax:64 ~staleness_limit:3 () in
+  let m = Metrics.create () in
+  with_ctx ~metrics:m (fun () ->
+      let ctrl = Controller.create topo params in
+      let rng = Rng.create 31 in
+      let n = Topology.num_hosts topo in
+      ignore
+        (Controller.add_group ctrl ~group:0
+           [ (0, Controller.Both); (5, Controller.Receiver) ]);
+      let receiver_events = ref 0 and sender_events = ref 0 in
+      let fast = ref 0 and slow = ref 0 in
+      for ev = 1 to 120 do
+        let before = Controller.churn_stats ctrl in
+        let members = Controller.members ctrl ~group:0 in
+        let h = Rng.int rng n in
+        (* Sender-only joins AND leaves of sender-only members touch no
+           rules, so neither churn bucket moves for them. *)
+        let is_sender_event =
+          match List.assoc_opt h members with
+          | Some Controller.Sender -> true
+          | Some (Controller.Receiver | Controller.Both) -> false
+          | None -> ev mod 10 = 0
+        in
+        let updates =
+          if List.mem_assoc h members then
+            Controller.leave ctrl ~group:0 ~host:h
+          else
+            Controller.join ctrl ~group:0 ~host:h
+              ~role:
+                (if is_sender_event then Controller.Sender
+                 else Controller.Receiver)
+        in
+        let after = Controller.churn_stats ctrl in
+        let df = after.Controller.fast_path - before.Controller.fast_path in
+        let ds = after.Controller.reencoded - before.Controller.reencoded in
+        fast := !fast + df;
+        slow := !slow + ds;
+        if is_sender_event then begin
+          incr sender_events;
+          Alcotest.(check int) "sender events count in neither bucket" 0 (df + ds)
+        end
+        else begin
+          incr receiver_events;
+          Alcotest.(check int) "exactly one bucket per receiver event" 1 (df + ds)
+        end;
+        if df = 1 then begin
+          (* The in-place fast path never restructures spine bitmaps and
+             touches at most the changed host's leaf. *)
+          Alcotest.(check (list int)) "fast path: no pod updates" []
+            updates.Controller.pods;
+          Alcotest.(check bool) "fast path: at most one leaf" true
+            (List.length updates.Controller.leaves <= 1)
+        end
+      done;
+      let stats = Controller.churn_stats ctrl in
+      Alcotest.(check int) "fast total" !fast stats.Controller.fast_path;
+      Alcotest.(check int) "slow total" !slow stats.Controller.reencoded;
+      Alcotest.(check int) "every receiver event accounted"
+        !receiver_events
+        (stats.Controller.fast_path + stats.Controller.reencoded);
+      (* The tight staleness limit really did mix the two paths. *)
+      Alcotest.(check bool) "some fast" true (stats.Controller.fast_path > 0);
+      Alcotest.(check bool) "some slow" true (stats.Controller.reencoded > 0);
+      (* Obs counters mirror churn_stats: controller-level exactly; the
+         per-site encoding.fast_path.* split sums to the same total. *)
+      Alcotest.(check int) "controller.fast_path counter"
+        stats.Controller.fast_path
+        (counter m "controller.fast_path");
+      Alcotest.(check int) "controller.reencodes counter"
+        stats.Controller.reencoded
+        (counter m "controller.reencodes");
+      let fast_sites =
+        counter m "encoding.fast_path.prule"
+        + counter m "encoding.fast_path.srule"
+        + counter m "encoding.fast_path.default"
+      in
+      Alcotest.(check int) "per-site fast-path split sums" stats.Controller.fast_path
+        fast_sites)
+
+(* {1 Worker-domain metric shards} *)
+
+let test_worker_hooks_merge () =
+  let topo = small_topo () in
+  let params = Params.create ~fmax:64 () in
+  let m = Metrics.create () in
+  let batch =
+    List.init 8 (fun g ->
+        (g, [ (g, Controller.Both); ((g + 5) mod 16, Controller.Receiver) ]))
+  in
+  let occ =
+    with_ctx ~metrics:m (fun () ->
+        let ctrl = Controller.create topo params in
+        ignore (Controller.install_all ~domains:2 ctrl batch);
+        Array.to_list (Srule_state.leaf_occupancy (Controller.srule_state ctrl)))
+  in
+  let plain =
+    let ctrl = Controller.create topo params in
+    ignore (Controller.install_all ~domains:2 ctrl batch);
+    Array.to_list (Srule_state.leaf_occupancy (Controller.srule_state ctrl))
+  in
+  Alcotest.(check (list int)) "parallel occupancy identical" plain occ;
+  (* Shards recorded on worker domains were joined back: the per-group
+     encode spans all landed somewhere in the merged registry. *)
+  let h = hist m "span.encoding.encode_txn_us" in
+  Alcotest.(check int) "worker spans merged" 8 h.Metrics.count
+
+(* {1 Provenance} *)
+
+let test_provenance () =
+  let p = Provenance.capture ~seed:7 ~params:"R=12" ~domains:3 () in
+  Alcotest.(check int) "domains" 3 p.Provenance.domains;
+  Alcotest.(check (option int)) "seed" (Some 7) p.Provenance.seed;
+  let json = Provenance.to_json p in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " present") true
+        (Astring.String.is_infix ~affix json))
+    [
+      {|"git_rev":|}; {|"cores":|}; {|"domains":3|}; {|"seed":7|};
+      {|"params":"R=12"|}; {|"clock":|};
+    ];
+  let bare = Provenance.capture () in
+  Alcotest.(check bool) "absent seed is null" true
+    (Astring.String.is_infix ~affix:{|"seed":null|} (Provenance.to_json bare))
+
+let tests =
+  [
+    Alcotest.test_case "logical clock" `Quick test_logical_clock;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics shard merge" `Quick test_metrics_shard_merge;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "span emission" `Quick test_span_emission;
+    Alcotest.test_case "trace byte-identical" `Quick test_trace_byte_identical;
+    Alcotest.test_case "results identical with obs" `Quick
+      test_results_identical_with_obs;
+    Alcotest.test_case "churn stats reconcile" `Quick test_churn_stats_reconcile;
+    Alcotest.test_case "worker hooks merge" `Quick test_worker_hooks_merge;
+    Alcotest.test_case "provenance" `Quick test_provenance;
+  ]

@@ -15,8 +15,18 @@ let test_summarize_unsorted_input () =
   Alcotest.check feq "min" 1.0 s.Stats.min
 
 let test_summarize_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty array")
-    (fun () -> ignore (Stats.summarize [||]))
+  (* Total on empty input: the all-zero summary, so histogram aggregators
+     (elmo_obs) need no emptiness guards. *)
+  let s = Stats.summarize [||] in
+  Alcotest.check Alcotest.int "count" 0 s.Stats.count;
+  Alcotest.check feq "mean" 0.0 s.Stats.mean;
+  Alcotest.check feq "stddev" 0.0 s.Stats.stddev;
+  Alcotest.check feq "min" 0.0 s.Stats.min;
+  Alcotest.check feq "max" 0.0 s.Stats.max;
+  Alcotest.check feq "p50" 0.0 s.Stats.p50;
+  Alcotest.check feq "p99" 0.0 s.Stats.p99;
+  Alcotest.check feq "percentile of empty" 0.0 (Stats.percentile [||] 0.5);
+  Alcotest.check feq "mean of empty" 0.0 (Stats.mean [||])
 
 let test_percentile_interpolation () =
   let sorted = [| 0.0; 10.0 |] in
@@ -28,7 +38,44 @@ let test_percentile_interpolation () =
 let test_single_element () =
   let s = Stats.summarize [| 7.0 |] in
   Alcotest.check feq "p95 of singleton" 7.0 s.Stats.p95;
-  Alcotest.check feq "stddev" 0.0 s.Stats.stddev
+  Alcotest.check feq "stddev" 0.0 s.Stats.stddev;
+  (* A singleton yields its sole element for every q, including the
+     boundaries. *)
+  List.iter
+    (fun q ->
+      Alcotest.check feq
+        (Printf.sprintf "singleton percentile q=%.2f" q)
+        7.0
+        (Stats.percentile [| 7.0 |] q))
+    [ -0.5; 0.0; 0.25; 0.5; 0.99; 1.0; 2.0 ]
+
+let test_two_elements () =
+  let sorted = [| 2.0; 6.0 |] in
+  Alcotest.check feq "p0" 2.0 (Stats.percentile sorted 0.0);
+  Alcotest.check feq "p50 interpolates" 4.0 (Stats.percentile sorted 0.5);
+  Alcotest.check feq "p75 interpolates" 5.0 (Stats.percentile sorted 0.75);
+  Alcotest.check feq "p100" 6.0 (Stats.percentile sorted 1.0);
+  let s = Stats.summarize sorted in
+  Alcotest.check Alcotest.int "count" 2 s.Stats.count;
+  Alcotest.check feq "mean" 4.0 s.Stats.mean;
+  Alcotest.check feq "stddev" 2.0 s.Stats.stddev
+
+let test_duplicate_heavy () =
+  (* 97 copies of one value and 3 of another: every central percentile sits
+     on the plateau, the extreme ones reach the minority value. *)
+  let data = Array.append (Array.make 3 1.0) (Array.make 97 5.0) in
+  let s = Stats.summarize data in
+  Alcotest.check feq "p50 on plateau" 5.0 s.Stats.p50;
+  Alcotest.check feq "p95 on plateau" 5.0 s.Stats.p95;
+  Alcotest.check feq "p99 on plateau" 5.0 s.Stats.p99;
+  Alcotest.check feq "min keeps minority" 1.0 s.Stats.min;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  Alcotest.check feq "p1 reaches minority" 1.0 (Stats.percentile sorted 0.01);
+  let uniform = Array.make 50 3.25 in
+  let u = Stats.summarize uniform in
+  Alcotest.check feq "all-equal p99 = the value" 3.25 u.Stats.p99;
+  Alcotest.check feq "all-equal stddev" 0.0 u.Stats.stddev
 
 let test_welford_matches_summarize () =
   let rng = Rng.create 42 in
@@ -70,6 +117,8 @@ let tests =
     Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
     Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
     Alcotest.test_case "single element" `Quick test_single_element;
+    Alcotest.test_case "two elements" `Quick test_two_elements;
+    Alcotest.test_case "duplicate heavy" `Quick test_duplicate_heavy;
     Alcotest.test_case "welford matches summarize" `Quick test_welford_matches_summarize;
     Alcotest.test_case "of_ints and total" `Quick test_of_ints_and_total;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
