@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-parallel clean
+.PHONY: all check test lint bench bench-churn bench-parallel bench-faults clean
 
 all:
 	dune build
@@ -28,6 +28,12 @@ bench-churn:
 # add_group baseline, with commit-conflict counts).
 bench-parallel:
 	dune exec bench/main.exe -- parallel
+
+# Fault-injection sweep for the fault-tolerant control plane; writes
+# BENCH_faults.json (degradation-induced extra traffic vs fault rate, with
+# blackhole counts that must stay at zero).
+bench-faults:
+	dune exec bench/main.exe -- faults
 
 clean:
 	dune clean

@@ -5,7 +5,7 @@
    Usage: main.exe [target ...]
    Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
             table3 ablation twotier nonclos legacy bisection strawman churn
-            parallel micro all (default: all)
+            parallel faults micro all (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
    ELMO_FULL=1 runs the paper's full million groups.
@@ -615,6 +615,91 @@ let parallel () =
   close_out oc;
   printf "wrote BENCH_parallel.json@."
 
+(* {1 Fault tolerance: degradation-induced traffic vs fault rate} *)
+
+let faults () =
+  hr
+    "Faults: retry/degradation cost vs injected fault rate (BENCH_faults.json)";
+  let topo = Topology.running_example () in
+  let params =
+    Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:6 ()
+  in
+  let events =
+    match Sys.getenv_opt "ELMO_FAULT_EVENTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_FAULT_EVENTS must be a positive integer (got %S)@." s;
+            exit 1)
+    | None -> 400
+  in
+  let rates = [ 0.0; 0.05; 0.1; 0.2; 0.4 ] in
+  printf "topology: %a; 12 groups x 8 members; %d events per rate@."
+    Topology.pp topo events;
+  printf "@.%-8s %-8s %-11s %-8s %-9s %-10s %-8s %-9s %-12s@." "rate"
+    "probes" "blackholes" "extra%" "retries" "exhausted" "degr" "compens"
+    "fault t/r/d";
+  let rows =
+    List.map
+      (fun rate ->
+        let r =
+          Churn.fault_run ~seed:23 topo params ~groups:12 ~group_size:8
+            ~events ~rate ~probe_every:25
+        in
+        let i = r.Churn.install and f = r.Churn.faults in
+        printf "%-8.2f %-8d %-11d %-8.1f %-9d %-10d %-8d %-9d %d/%d/%d@." rate
+          r.Churn.probes r.Churn.blackholes
+          (100.0 *. r.Churn.extra_traffic)
+          i.Controller.retries i.Controller.exhausted i.Controller.degradations
+          i.Controller.compensations f.Fault.timeouts f.Fault.refusals
+          f.Fault.drops;
+        (rate, r))
+      rates
+  in
+  let all_safe =
+    List.for_all (fun (_, r) -> r.Churn.blackholes = 0) rows
+  in
+  printf "@.blackholes across every rate: %s@."
+    (if all_safe then "none (degradation trades traffic, never delivery)"
+     else "PRESENT - delivery safety violated");
+  let json_of (rate, r) =
+    let i = r.Churn.install and f = r.Churn.faults in
+    Printf.sprintf
+      {|    {"rate": %.2f, "events": %d, "probes": %d, "blackholes": %d, "extra_traffic": %.4f, "clean_tx": %d, "faulty_tx": %d, "install_attempts": %d, "retries": %d, "exhausted": %d, "degradations": %d, "compensations": %d, "stale_entries": %d, "fault_timeouts": %d, "fault_refusals": %d, "fault_drops": %d}|}
+      rate r.Churn.fault_events r.Churn.probes r.Churn.blackholes
+      r.Churn.extra_traffic r.Churn.clean_tx r.Churn.faulty_tx
+      i.Controller.attempts i.Controller.retries i.Controller.exhausted
+      i.Controller.degradations i.Controller.compensations
+      i.Controller.stale_entries f.Fault.timeouts f.Fault.refusals
+      f.Fault.drops
+  in
+  let prov =
+    Provenance.capture ~seed:23
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:1 ()
+  in
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "faults",
+  "provenance": %s,
+  "topology": {"pods": 4, "leaves_per_pod": 2, "spines_per_pod": 2, "hosts_per_leaf": 8},
+  "groups": 12,
+  "members_per_group": 8,
+  "events": %d,
+  "zero_blackholes": %b,
+  "rates": [
+%s
+  ]%s
+}
+|}
+    (Provenance.to_json prov) events all_safe
+    (String.concat ",\n" (List.map json_of rows))
+    (metrics_field ());
+  close_out oc;
+  printf "wrote BENCH_faults.json@."
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro () =
@@ -713,6 +798,7 @@ let targets =
     ("strawman", strawman);
     ("churn", churn);
     ("parallel", parallel);
+    ("faults", faults);
     ("micro", micro);
   ]
 

@@ -2,7 +2,7 @@
 
    elmo-sim scalability --placement 12 --dist wve --groups 50000 -r 0 -r 12
    elmo-sim churn --events 20000
-   elmo-sim failures --trials 10
+   elmo-sim faults --rate 0.2 --events 400
    elmo-sim ablation *)
 
 open Cmdliner
@@ -238,6 +238,62 @@ let nonclos_cmd =
        ~doc:"Header-space utilization on non-Clos topologies (Xpander vs              Jellyfish), per the paper's 5.1.2 discussion.")
     Term.(const run $ groups_small $ r_single $ seed_arg)
 
+let faults_cmd =
+  let events_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "events" ] ~docv:"N" ~doc:"Membership events per rate.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Single per-operation fault probability to run (default: sweep \
+             0.0 0.05 0.1 0.2 0.4).")
+  in
+  let run seed events rate trace_file metrics =
+    let topo = Topology.running_example () in
+    let params =
+      Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:6 ()
+    in
+    let rates =
+      match rate with Some r -> [ r ] | None -> [ 0.0; 0.05; 0.1; 0.2; 0.4 ]
+    in
+    let prov =
+      Provenance.capture ~seed
+        ~params:(Format.asprintf "%a" Params.pp params)
+        ~domains:1 ()
+    in
+    Format.printf "provenance: %a@." Provenance.pp prov;
+    Format.printf "topology: %a; 12 groups x 8 members; %d events per rate@."
+      Topology.pp topo events;
+    with_obs trace_file metrics (fun () ->
+        Format.printf "@.%-8s %-8s %-11s %-8s %-9s %-10s %-8s %-9s@." "rate"
+          "probes" "blackholes" "extra%" "retries" "exhausted" "degraded"
+          "compens";
+        List.iter
+          (fun rate ->
+            let r =
+              Churn.fault_run ~seed topo params ~groups:12 ~group_size:8
+                ~events ~rate ~probe_every:25
+            in
+            let i = r.Churn.install in
+            Format.printf "%-8.2f %-8d %-11d %-8.1f %-9d %-10d %-8d %-9d@."
+              rate r.Churn.probes r.Churn.blackholes
+              (100.0 *. r.Churn.extra_traffic)
+              i.Controller.retries i.Controller.exhausted
+              i.Controller.degradations i.Controller.compensations)
+          rates)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-tolerant control plane: inject install faults at increasing \
+          rates and measure retry/degradation cost (extra traffic, never \
+          blackholes).")
+    Term.(const run $ seed_arg $ events_arg $ rate_arg $ trace_arg $ metrics_arg)
+
 let p4_cmd =
   let role_arg =
     let parse = function
@@ -285,6 +341,7 @@ let main =
       ~doc:"Simulation harness for Elmo: source-routed multicast for public \
             clouds (SIGCOMM 2019)."
   in
-  Cmd.group info [ scalability_cmd; churn_cmd; ablation_cmd; nonclos_cmd; p4_cmd ]
+  Cmd.group info
+    [ scalability_cmd; churn_cmd; faults_cmd; ablation_cmd; nonclos_cmd; p4_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -9,16 +9,7 @@
 let () =
   let topo = Topology.running_example () in
   let fabric = Fabric.create topo in
-  let hooks =
-    {
-      Controller.install_leaf =
-        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-      install_pod =
-        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-    }
-  in
+  let hooks = Fabric.controller_hooks fabric in
   let ctrl = Controller.create ~fabric_hooks:hooks topo Params.default in
 
   (* A cross-pod group: sender in pod 0, receivers in pods 0, 2 and 3. *)

@@ -186,21 +186,29 @@ type failure_result = {
   affected_fraction_max : float;
   rule_updates_per_hypervisor_mean : float;
   rule_updates_per_hypervisor_max : float;
+  recovery_affected_fraction_mean : float;
+  recovery_updates_per_hypervisor_mean : float;
 }
 
+let no_failures =
+  {
+    trials = 0;
+    affected_fraction_mean = 0.0;
+    affected_fraction_max = 0.0;
+    rule_updates_per_hypervisor_mean = 0.0;
+    rule_updates_per_hypervisor_max = 0.0;
+    recovery_affected_fraction_mean = 0.0;
+    recovery_updates_per_hypervisor_mean = 0.0;
+  }
+
 let failure_trials rng ctrl ~trials ~count ~fail ~recover =
-  if count = 0 || trials = 0 then
-    {
-      trials = 0;
-      affected_fraction_mean = 0.0;
-      affected_fraction_max = 0.0;
-      rule_updates_per_hypervisor_mean = 0.0;
-      rule_updates_per_hypervisor_max = 0.0;
-    }
+  if count = 0 || trials = 0 then no_failures
   else begin
     let fractions = ref [] in
     let updates = ref [] in
     let max_updates = ref [] in
+    let rec_fractions = ref [] in
+    let rec_updates = ref [] in
     let total = float_of_int (max 1 (Controller.group_count ctrl)) in
     for _ = 1 to trials do
       let victim = Rng.int rng count in
@@ -210,7 +218,14 @@ let failure_trials rng ctrl ~trials ~count ~fail ~recover =
       updates := report.Controller.rule_updates_mean :: !updates;
       max_updates :=
         float_of_int report.Controller.rule_updates_max :: !max_updates;
-      ignore (recover victim)
+      (* Recovery restores the original trees, so it fans out updates of
+         its own — account it instead of discarding the report (the
+         controller re-checks its invariants inside both calls). *)
+      let back : Controller.failure_report = recover victim in
+      rec_fractions :=
+        (float_of_int back.Controller.affected_groups /. total)
+        :: !rec_fractions;
+      rec_updates := back.Controller.rule_updates_mean :: !rec_updates
     done;
     let arr l = Array.of_list l in
     let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
@@ -222,8 +237,178 @@ let failure_trials rng ctrl ~trials ~count ~fail ~recover =
       affected_fraction_max = maxv f;
       rule_updates_per_hypervisor_mean = mean u;
       rule_updates_per_hypervisor_max = maxv m;
+      recovery_affected_fraction_mean = mean (arr !rec_fractions);
+      recovery_updates_per_hypervisor_mean = mean (arr !rec_updates);
     }
   end
+
+(* {1 Churn under injected install faults} *)
+
+type fault_result = {
+  fault_events : int;
+  probes : int;
+  blackholes : int;
+  clean_tx : int;
+  faulty_tx : int;
+  extra_traffic : float;
+  install : Controller.install_stats;
+  faults : Fault.stats;
+}
+
+(* Probe one group on one side: compute the controller's current header,
+   inject it, and check that every member other than the sender received a
+   copy. Returns [None] when the group currently has no multicast encoding
+   path to probe (unicast fallback — delivered by the hypervisor, not the
+   fabric). *)
+let probe_side ctrl fabric ~group ~sender =
+  match Controller.encoding ctrl ~group with
+  | None -> None
+  | Some enc -> (
+      match Controller.header ctrl ~group ~sender with
+      | None -> None
+      | Some header ->
+          let report = Fabric.inject fabric ~sender ~group ~header ~payload:64 in
+          let ok =
+            Fabric.deliveries_correct report ~tree:enc.Encoding.tree ~sender
+          in
+          Some (ok, report.Fabric.transmissions))
+
+let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
+  Obs.with_span "churn.fault_run"
+    ~attrs:[ ("events", Obs.Int events); ("rate", Obs.Float rate) ]
+  @@ fun () ->
+  let rng = Rng.create seed in
+  let clean_fab = Fabric.create topo in
+  let faulty_fab = Fabric.create topo in
+  let schedule =
+    if rate > 0.0 then Fault.random (Rng.split rng) ~rate else Fault.Reliable
+  in
+  let fault = Fault.create ~schedule faulty_fab in
+  (* Wedge a deterministic subset of switches: transient faults almost never
+     outlast a retry budget, so persistent per-switch refusal is what makes
+     graceful degradation actually observable. *)
+  if rate > 0.0 then begin
+    for l = 0 to Topology.num_leaves topo - 1 do
+      if l mod 8 = 3 then Fault.wedge_leaf fault l true
+    done;
+    for p = 0 to topo.Topology.pods - 1 do
+      if p mod 4 = 1 then Fault.wedge_pod fault p true
+    done
+  end;
+  let clean =
+    Controller.create
+      ~fabric_hooks:(Fabric.controller_hooks clean_fab)
+      topo params
+  in
+  let faulty =
+    Controller.create ~fabric_hooks:(Fault.hooks fault) topo params
+  in
+  (* The driver owns membership, so both controllers see a bit-identical op
+     stream no matter what the fault schedule does to either of them. *)
+  let num_hosts = Topology.num_hosts topo in
+  let members = Array.make (max 1 groups) [] in
+  let host_ids = Array.init num_hosts Fun.id in
+  for g = 0 to groups - 1 do
+    let hosts =
+      Rng.sample_without_replacement rng (min group_size num_hosts) host_ids
+    in
+    members.(g) <- Array.to_list hosts;
+    let ms = List.map (fun h -> (h, Controller.Both)) members.(g) in
+    ignore (Controller.add_group clean ~group:g ms : Controller.updates);
+    ignore (Controller.add_group faulty ~group:g ms : Controller.updates)
+  done;
+  let is_member g h = List.exists (fun x -> x = h) members.(g) in
+  let pick_non_member g =
+    if List.length members.(g) >= num_hosts then None
+    else begin
+      let rec try_random attempts =
+        if attempts = 0 then begin
+          let rest =
+            List.filter
+              (fun h -> not (is_member g h))
+              (List.init num_hosts Fun.id)
+          in
+          Some (List.nth rest (Rng.int rng (List.length rest)))
+        end
+        else
+          let h = Rng.int rng num_hosts in
+          if is_member g h then try_random (attempts - 1) else Some h
+      in
+      try_random 30
+    end
+  in
+  let probes = ref 0 in
+  let blackholes = ref 0 in
+  let clean_tx = ref 0 in
+  let faulty_tx = ref 0 in
+  let probe_all () =
+    for g = 0 to groups - 1 do
+      match members.(g) with
+      | [] | [ _ ] -> ()
+      | ms ->
+          let sender = List.nth ms (Rng.int rng (List.length ms)) in
+          let c = probe_side clean clean_fab ~group:g ~sender in
+          let f = probe_side faulty faulty_fab ~group:g ~sender in
+          (match c, f with
+          | Some (_, ctx), Some (fok, ftx) ->
+              incr probes;
+              clean_tx := !clean_tx + ctx;
+              faulty_tx := !faulty_tx + ftx;
+              if not fok then begin
+                incr blackholes;
+                Obs.incr "churn.fault_blackholes"
+              end
+          | _, Some (fok, _) ->
+              incr probes;
+              if not fok then incr blackholes
+          | _, None -> ())
+    done
+  in
+  let performed = ref 0 in
+  for ev = 1 to events do
+    let g = Rng.int rng (max 1 groups) in
+    let want_join =
+      match members.(g) with [] -> true | _ :: _ -> Rng.bool rng
+    in
+    (if want_join then
+       match pick_non_member g with
+       | None -> ()
+       | Some host ->
+           members.(g) <- host :: members.(g);
+           incr performed;
+           ignore
+             (Controller.join clean ~group:g ~host ~role:Controller.Both
+               : Controller.updates);
+           ignore
+             (Controller.join faulty ~group:g ~host ~role:Controller.Both
+               : Controller.updates)
+     else
+       match members.(g) with
+       | [] -> ()
+       | ms ->
+           let host = List.nth ms (Rng.int rng (List.length ms)) in
+           members.(g) <- List.filter (fun h -> h <> host) ms;
+           incr performed;
+           ignore (Controller.leave clean ~group:g ~host : Controller.updates);
+           ignore (Controller.leave faulty ~group:g ~host : Controller.updates));
+    if probe_every > 0 && ev mod probe_every = 0 then probe_all ()
+  done;
+  probe_all ();
+  let extra_traffic =
+    if !clean_tx = 0 then 0.0
+    else (float_of_int !faulty_tx /. float_of_int !clean_tx) -. 1.0
+  in
+  Obs.observe "churn.fault_extra_traffic" extra_traffic;
+  {
+    fault_events = !performed;
+    probes = !probes;
+    blackholes = !blackholes;
+    clean_tx = !clean_tx;
+    faulty_tx = !faulty_tx;
+    extra_traffic;
+    install = Controller.install_stats faulty;
+    faults = Fault.stats fault;
+  }
 
 let spine_failures rng ctrl ~trials =
   let topo = Controller.topology ctrl in

@@ -62,10 +62,55 @@ type failure_result = {
           the paper's "hypervisor switches incur average (max) updates of
           176.9 (1712) and 674.9 (1852) per failure event" metric *)
   rule_updates_per_hypervisor_max : float;
+  recovery_affected_fraction_mean : float;
+      (** groups whose paths moved {e back} when the victim recovered —
+          recovery is a topology change too, not a free undo *)
+  recovery_updates_per_hypervisor_mean : float;
 }
 
 val spine_failures : Rng.t -> Controller.t -> trials:int -> failure_result
 (** Fails [trials] random spines one at a time (recovering in between) and
-    measures group impact and hypervisor update fan-out (§5.1.3b). *)
+    measures group impact and hypervisor update fan-out (§5.1.3b). Both the
+    failure and the recovery reports are accounted, and the controller's
+    invariants are re-checked after each (inside the controller itself). *)
 
 val core_failures : Rng.t -> Controller.t -> trials:int -> failure_result
+
+(** {1 Churn under injected install faults}
+
+    Twin-controller experiment for the fault-tolerant control plane: the
+    same membership stream drives one controller wired to a perfect fabric
+    and one wired through a seeded {!Fault} schedule (plus a deterministic
+    subset of wedged switches). Periodic probes inject the same
+    [(group, sender)] packet into both fabrics. Degraded groups on the
+    faulty side fall back to default p-rules — more transmissions, never a
+    lost receiver. *)
+
+type fault_result = {
+  fault_events : int;  (** membership events actually performed *)
+  probes : int;  (** packets injected on the faulty side *)
+  blackholes : int;
+      (** probes on the faulty side that failed to reach every member —
+          must be zero: degradation trades traffic, never delivery *)
+  clean_tx : int;  (** Σ transmissions over probes, perfect controller *)
+  faulty_tx : int;  (** Σ transmissions over the same probes, faulted *)
+  extra_traffic : float;  (** [faulty_tx /. clean_tx -. 1.0] *)
+  install : Controller.install_stats;  (** faulty controller's counters *)
+  faults : Fault.stats;
+}
+
+val fault_run :
+  seed:int ->
+  Topology.t ->
+  Params.t ->
+  groups:int ->
+  group_size:int ->
+  events:int ->
+  rate:float ->
+  probe_every:int ->
+  fault_result
+(** Runs [events] membership events over [groups] groups of initial size
+    [group_size] (all roles [Both]), probing every [probe_every] events and
+    once at the end. [rate] is the overall per-operation fault probability
+    ({!Fault.random}); [rate = 0.0] wires the faulty side reliably too,
+    making it a self-check (expect [extra_traffic = 0.0]). *)

@@ -22,11 +22,17 @@ let merge_updates a b =
 
 let spine_update_count topo u = List.length u.pods * topo.Topology.spines_per_pod
 
+type install_error = Timed_out | Refused
+
 type fabric_hooks = {
-  install_leaf : leaf:int -> group:int -> Bitmap.t -> unit;
-  remove_leaf : leaf:int -> group:int -> unit;
-  install_pod : pod:int -> group:int -> Bitmap.t -> unit;
-  remove_pod : pod:int -> group:int -> unit;
+  install_leaf :
+    leaf:int -> group:int -> Bitmap.t -> (unit, install_error) result;
+  remove_leaf : leaf:int -> group:int -> (unit, install_error) result;
+  install_pod :
+    pod:int -> group:int -> Bitmap.t -> (unit, install_error) result;
+  remove_pod : pod:int -> group:int -> (unit, install_error) result;
+  read_leaf : leaf:int -> group:int -> Bitmap.t option;
+  read_pod : pod:int -> group:int -> Bitmap.t option;
 }
 
 (* Failure-time replacement for the multipath flags of a sender pod's
@@ -49,11 +55,21 @@ type group_state = {
 
 type churn_stats = { fast_path : int; reencoded : int }
 
+type install_stats = {
+  attempts : int;
+  retries : int;
+  exhausted : int;
+  degradations : int;
+  compensations : int;
+  stale_entries : int;
+}
+
 type t = {
   topo : Topology.t;
   params : Params.t;
-  srules : Srule_state.t;
+  mutable srules : Srule_state.t;  (* swapped wholesale by [restore] *)
   hooks : fabric_hooks option;
+  clock : Elmo_obs.Clock.t;
   groups : (int, group_state) Hashtbl.t;
   incremental : bool;
   mutable fast_hits : int;
@@ -63,14 +79,32 @@ type t = {
   spine_ok : bool array;
   core_ok : bool array;
   link_ok : bool array;  (* leaf <-> pod-spine links, index leaf * spp + plane *)
+  denied_leaf : bool array;
+      (* switches whose s-rule installs exhausted the retry budget; excluded
+         from s-rule eligibility until the controller is rebuilt *)
+  denied_pod : bool array;
+  stale : (int, int * Srule_state.site) Hashtbl.t;
+      (* fabric entries whose removal exhausted the retry budget, keyed by
+         [stale_key] (a primitive int combining group and site); the value
+         is the (group, site) pair needed to reconcile the entry *)
+  stale_stride : int;
+  mutable install_attempts : int;
+  mutable install_retries : int;
+  mutable install_exhausted : int;
+  mutable degradations : int;
+  mutable compensations : int;
 }
 
-let create ?fabric_hooks ?(incremental = true) topo params =
+let create ?fabric_hooks ?clock ?(incremental = true) topo params =
+  let clock =
+    match clock with Some c -> c | None -> Elmo_obs.Clock.logical ()
+  in
   {
     topo;
     params;
     srules = Srule_state.create topo ~fmax:params.Params.fmax;
     hooks = fabric_hooks;
+    clock;
     groups = Hashtbl.create 1024;
     incremental;
     fast_hits = 0;
@@ -80,6 +114,16 @@ let create ?fabric_hooks ?(incremental = true) topo params =
     core_ok = Array.make (max 1 (Topology.num_cores topo)) true;
     link_ok =
       Array.make (Topology.num_leaves topo * topo.Topology.spines_per_pod) true;
+    denied_leaf = Array.make (Topology.num_leaves topo) false;
+    denied_pod = Array.make topo.Topology.pods false;
+    stale = Hashtbl.create 8;
+    stale_stride =
+      (2 * max (Topology.num_leaves topo) topo.Topology.pods) + 2;
+    install_attempts = 0;
+    install_retries = 0;
+    install_exhausted = 0;
+    degradations = 0;
+    compensations = 0;
   }
 
 let topology t = t.topo
@@ -101,6 +145,92 @@ let find_group t group =
   | Some st -> st
   | None -> raise Not_found
 
+(* {1 Reliable rule installation}
+
+   Fabric hooks can fail — transiently (timeout, refusal) or silently (an
+   acknowledged install that never landed). Every mutation therefore goes
+   through [reliable]: perform, verify by read-back, and retry with
+   exponential backoff on the controller's clock until the read-back
+   confirms the intended state or the per-operation retry budget
+   ([Params.install_retries]) is exhausted. Verification is what defines
+   success: an install that was refused because the entry is already
+   correct counts as done. *)
+
+type fab_op =
+  | Op_install_leaf of int * Bitmap.t
+  | Op_remove_leaf of int
+  | Op_install_pod of int * Bitmap.t
+  | Op_remove_pod of int
+
+let perform hooks ~group = function
+  | Op_install_leaf (leaf, bm) -> hooks.install_leaf ~leaf ~group bm
+  | Op_remove_leaf leaf -> hooks.remove_leaf ~leaf ~group
+  | Op_install_pod (pod, bm) -> hooks.install_pod ~pod ~group bm
+  | Op_remove_pod pod -> hooks.remove_pod ~pod ~group
+
+let verified hooks ~group = function
+  | Op_install_leaf (leaf, bm) -> (
+      match hooks.read_leaf ~leaf ~group with
+      | Some cur -> Bitmap.equal cur bm
+      | None -> false)
+  | Op_remove_leaf leaf -> Option.is_none (hooks.read_leaf ~leaf ~group)
+  | Op_install_pod (pod, bm) -> (
+      match hooks.read_pod ~pod ~group with
+      | Some cur -> Bitmap.equal cur bm
+      | None -> false)
+  | Op_remove_pod pod -> Option.is_none (hooks.read_pod ~pod ~group)
+
+(* Busy-wait on the controller's clock. On the default logical clock one
+   read is one tick, so the wait is exactly [us] ticks — deterministic. *)
+let backoff_wait t us =
+  let deadline = Elmo_obs.Clock.now_us t.clock +. float_of_int us in
+  while Elmo_obs.Clock.now_us t.clock < deadline do
+    ()
+  done
+
+let reliable t hooks ~group op =
+  let budget = t.params.Params.install_retries in
+  let rec go attempt backoff =
+    t.install_attempts <- t.install_attempts + 1;
+    Obs.incr "controller.install_attempts";
+    (match perform hooks ~group op with
+    | Ok () -> ()
+    | Error Timed_out -> Obs.incr "controller.install_timeouts"
+    | Error Refused -> Obs.incr "controller.install_refusals");
+    if verified hooks ~group op then Ok ()
+    else if attempt >= budget then begin
+      t.install_exhausted <- t.install_exhausted + 1;
+      Obs.incr "controller.install_exhausted";
+      Error ()
+    end
+    else begin
+      t.install_retries <- t.install_retries + 1;
+      Obs.incr "controller.install_retries";
+      Obs.observe "controller.install_backoff_us" (float_of_int backoff);
+      backoff_wait t backoff;
+      go (attempt + 1) (backoff * 2)
+    end
+  in
+  go 0 t.params.Params.install_backoff_us
+
+(* {1 Stale fabric entries}
+
+   A removal whose retry budget is exhausted leaves the old entry in the
+   switch's group table, where it shadows the default p-rule for that group
+   (the table is consulted before the default). Such entries are tracked as
+   {e stale} markers and reconciled after every subsequent operation: retry
+   the removal; failing that, overwrite the entry with the exact, truthful
+   bitmap of the group's current tree at that switch (a compensating entry
+   never misdelivers: it is precisely what the default rule would have the
+   switch forward, or empty when the group no longer reaches the switch). *)
+
+let stale_key t ~group site = (group * t.stale_stride) + Srule_state.site_key site
+let mark_stale t ~group site =
+  Obs.incr "controller.stale_marked";
+  Hashtbl.replace t.stale (stale_key t ~group site) (group, site)
+
+let unmark_stale t ~group site = Hashtbl.remove t.stale (stale_key t ~group site)
+
 (* {1 Encoding lifecycle} *)
 
 let uninstall_enc t ~group enc =
@@ -109,22 +239,46 @@ let uninstall_enc t ~group enc =
   | None -> ()
   | Some hooks ->
       List.iter
-        (fun (leaf, _) -> hooks.remove_leaf ~leaf ~group)
+        (fun (leaf, _) ->
+          match reliable t hooks ~group (Op_remove_leaf leaf) with
+          | Ok () -> unmark_stale t ~group (Srule_state.Leaf leaf)
+          | Error () -> mark_stale t ~group (Srule_state.Leaf leaf))
         enc.Encoding.d_leaf.Clustering.srules;
       List.iter
-        (fun (pod, _) -> hooks.remove_pod ~pod ~group)
+        (fun (pod, _) ->
+          match reliable t hooks ~group (Op_remove_pod pod) with
+          | Ok () -> unmark_stale t ~group (Srule_state.Pod pod)
+          | Error () -> mark_stale t ~group (Srule_state.Pod pod))
         enc.Encoding.d_spine.Clustering.srules
 
+(* Returns the first switch whose install exhausted its retry budget, if
+   any; a successful install at a site clears any stale marker there (the
+   fresh entry overwrote it). *)
 let install_enc t ~group enc =
   match t.hooks with
-  | None -> ()
+  | None -> Ok ()
   | Some hooks ->
-      List.iter
-        (fun (leaf, bm) -> hooks.install_leaf ~leaf ~group bm)
-        enc.Encoding.d_leaf.Clustering.srules;
-      List.iter
-        (fun (pod, bm) -> hooks.install_pod ~pod ~group bm)
-        enc.Encoding.d_spine.Clustering.srules
+      let rec leaves = function
+        | [] -> Ok ()
+        | (leaf, bm) :: rest -> (
+            match reliable t hooks ~group (Op_install_leaf (leaf, bm)) with
+            | Ok () ->
+                unmark_stale t ~group (Srule_state.Leaf leaf);
+                leaves rest
+            | Error () -> Error (Srule_state.Leaf leaf))
+      in
+      let rec pods = function
+        | [] -> Ok ()
+        | (pod, bm) :: rest -> (
+            match reliable t hooks ~group (Op_install_pod (pod, bm)) with
+            | Ok () ->
+                unmark_stale t ~group (Srule_state.Pod pod);
+                pods rest
+            | Error () -> Error (Srule_state.Pod pod))
+      in
+      (match leaves enc.Encoding.d_leaf.Clustering.srules with
+      | Ok () -> pods enc.Encoding.d_spine.Clustering.srules
+      | Error _ as e -> e)
 
 (* {1 Failure-recovery upstream assignment (§3.3)} *)
 
@@ -323,13 +477,129 @@ let refresh_overrides t ~group st =
 
 (* {1 Group encoding and diffing} *)
 
+let srule_ok_leaf t l = not t.denied_leaf.(l)
+let srule_ok_pod t p = not t.denied_pod.(p)
+
 let encode_group t st =
   let rcvs = receivers st in
   if rcvs = [] then st.enc <- None
   else begin
     let tree = Tree.of_members t.topo rcvs in
-    st.enc <- Some (Encoding.encode t.params t.srules tree)
+    st.enc <-
+      Some
+        (Encoding.encode
+           ~srule_ok_leaf:(srule_ok_leaf t)
+           ~srule_ok_pod:(srule_ok_pod t) t.params t.srules tree)
   end
+
+(* Graceful degradation: install the encoding's s-rules; when a switch's
+   install permanently fails, mark it denied, re-encode the group with the
+   switch excluded from s-rule eligibility (its traffic folds into p-rules
+   or the default p-rule — extra transmissions, no dependence on the
+   unreachable switch) and start over. Terminates because each iteration
+   denies at least one more switch; with every switch denied the encoding
+   needs no fabric state at all. *)
+let rec install_with_degrade t ~group st =
+  match st.enc with
+  | None -> ()
+  | Some enc -> (
+      match install_enc t ~group enc with
+      | Ok () -> ()
+      | Error site ->
+          t.degradations <- t.degradations + 1;
+          Obs.incr "controller.degradations";
+          Log.info (fun m ->
+              m "group %d: installs on %s keep failing; degrading it to the \
+                 default p-rule"
+                group
+                (match site with
+                | Srule_state.Leaf l -> Printf.sprintf "leaf %d" l
+                | Srule_state.Pod p -> Printf.sprintf "pod %d" p));
+          (match site with
+          | Srule_state.Leaf l -> t.denied_leaf.(l) <- true
+          | Srule_state.Pod p -> t.denied_pod.(p) <- true);
+          uninstall_enc t ~group enc;
+          encode_group t st;
+          install_with_degrade t ~group st)
+
+(* The exact bitmap the group's current tree wants at [site] — what a
+   compensating overwrite of an unremovable entry must hold. Empty (correct
+   width) when the group is gone or no longer reaches the switch. *)
+let truthful_bitmap t ~group site =
+  let enc =
+    match Hashtbl.find_opt t.groups group with
+    | Some st -> st.enc
+    | None -> None
+  in
+  match site with
+  | Srule_state.Leaf l -> (
+      let w = Topology.leaf_downstream_width t.topo in
+      match enc with
+      | Some e -> (
+          match Tree.leaf_bitmap e.Encoding.tree l with
+          | Some bm -> Bitmap.copy bm
+          | None -> Bitmap.create w)
+      | None -> Bitmap.create w)
+  | Srule_state.Pod p -> (
+      let w = Topology.spine_downstream_width t.topo in
+      match enc with
+      | Some e -> (
+          match Tree.spine_bitmap e.Encoding.tree p with
+          | Some bm -> Bitmap.copy bm
+          | None -> Bitmap.create w)
+      | None -> Bitmap.create w)
+
+(* Reconcile stale fabric entries, called after every public mutation (the
+   common case — no stale entries — is a single hash-table length test).
+   For each marker: retry the removal; failing that, if the entry does not
+   already hold the truthful bitmap, overwrite it with a compensating
+   install. A marker survives until its removal finally succeeds (or the
+   site is overwritten by a later s-rule install of the same group). *)
+let reconcile t =
+  if Hashtbl.length t.stale > 0 then
+    match t.hooks with
+    | None -> Hashtbl.reset t.stale
+    | Some hooks ->
+        let entries =
+          Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.stale []
+          |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+        in
+        List.iter
+          (fun (_, (group, site)) ->
+            let remove_op =
+              match site with
+              | Srule_state.Leaf l -> Op_remove_leaf l
+              | Srule_state.Pod p -> Op_remove_pod p
+            in
+            match reliable t hooks ~group remove_op with
+            | Ok () -> unmark_stale t ~group site
+            | Error () -> (
+                let truth = truthful_bitmap t ~group site in
+                let current =
+                  match site with
+                  | Srule_state.Leaf l -> hooks.read_leaf ~leaf:l ~group
+                  | Srule_state.Pod p -> hooks.read_pod ~pod:p ~group
+                in
+                let already_truthful =
+                  match current with
+                  | Some cur -> Bitmap.equal cur truth
+                  | None -> false
+                in
+                if not already_truthful then
+                  let install_op =
+                    match site with
+                    | Srule_state.Leaf l -> Op_install_leaf (l, truth)
+                    | Srule_state.Pod p -> Op_install_pod (p, truth)
+                  in
+                  match reliable t hooks ~group install_op with
+                  | Ok () ->
+                      t.compensations <- t.compensations + 1;
+                      Obs.incr "controller.compensations"
+                  | Error () ->
+                      (* Entry content unknown until the next reconcile;
+                         surfaced via [install_stats.stale_entries]. *)
+                      Obs.incr "controller.reconcile_failed"))
+          entries
 
 let srule_diff old_srules new_srules =
   let changed =
@@ -389,7 +659,7 @@ let reencode t ~group st ~changed_host =
   let old_tree = Option.map (fun e -> e.Encoding.tree) old_enc in
   (match old_enc with Some e -> uninstall_enc t ~group e | None -> ());
   encode_group t st;
-  (match st.enc with Some e -> install_enc t ~group e | None -> ());
+  install_with_degrade t ~group st;
   if Hashtbl.length st.applied > 0 || not (all_healthy t) then
     refresh_overrides t ~group st;
   let new_tree = Option.map (fun e -> e.Encoding.tree) st.enc in
@@ -470,19 +740,37 @@ let try_fast_delta t ~group st ~host ~joining =
                   | Encoding.Stale -> "stale"));
             None
         | Encoding.Applied a ->
+            let mirror_ok =
+              match (a.Encoding.site, t.hooks) with
+              | Encoding.Site_srule, Some hooks -> (
+                  (* The fabric usually already sees the mutation (it stores
+                     the bitmap by reference), but mirror it through the hook
+                     so installs stay explicit, verified and accounted. *)
+                  let bm =
+                    List.assoc a.Encoding.leaf
+                      enc.Encoding.d_leaf.Clustering.srules
+                  in
+                  match
+                    reliable t hooks ~group
+                      (Op_install_leaf (a.Encoding.leaf, bm))
+                  with
+                  | Ok () ->
+                      unmark_stale t ~group (Srule_state.Leaf a.Encoding.leaf);
+                      true
+                  | Error () ->
+                      (* The leaf stopped accepting installs mid-run: deny it
+                         and fall back to a full re-encode, which will fold
+                         its traffic into the default p-rule. *)
+                      t.degradations <- t.degradations + 1;
+                      Obs.incr "controller.degradations";
+                      t.denied_leaf.(a.Encoding.leaf) <- true;
+                      false)
+              | _ -> true
+            in
+            if not mirror_ok then None
+            else begin
             t.fast_hits <- t.fast_hits + 1;
             Obs.incr "controller.fast_path";
-            (match (a.Encoding.site, t.hooks) with
-            | Encoding.Site_srule, Some hooks ->
-                (* The fabric already sees the mutation (it stores the bitmap
-                   by reference), but mirror it through the hook so installs
-                   stay explicit and accounted. *)
-                let bm =
-                  List.assoc a.Encoding.leaf
-                    enc.Encoding.d_leaf.Clustering.srules
-                in
-                hooks.install_leaf ~leaf:a.Encoding.leaf ~group bm
-            | _ -> ());
             if Hashtbl.length st.applied > 0 || not (all_healthy t) then
               refresh_overrides t ~group st;
             (* Upstream rules only depend on the tree's leaf and pod sets,
@@ -505,7 +793,8 @@ let try_fast_delta t ~group st ~host ~joining =
                   | Encoding.Site_srule -> [ a.Encoding.leaf ]
                   | Encoding.Site_prule | Encoding.Site_default -> []);
                 pods = [];
-              })
+              }
+            end)
 
 (* {1 Public group lifecycle} *)
 
@@ -543,7 +832,7 @@ let add_group t ~group members =
   let st = { members; enc = None; applied = Hashtbl.create 1 } in
   Hashtbl.add t.groups group st;
   encode_group t st;
-  (match st.enc with Some e -> install_enc t ~group e | None -> ());
+  install_with_degrade t ~group st;
   if not (all_healthy t) then refresh_overrides t ~group st;
   let srule_leaves, srule_pods =
     match st.enc with
@@ -552,6 +841,7 @@ let add_group t ~group members =
           List.map fst e.Encoding.d_spine.Clustering.srules )
     | None -> ([], [])
   in
+  reconcile t;
   check_invariants t ~op:"add_group";
   {
     hypervisors = List.sort_uniq compare hosts;
@@ -596,7 +886,12 @@ let install_all ?(domains = 1) t batch =
     | [] -> None
     | rcvs ->
         let txn = Srule_state.txn snap in
-        Some (Encoding.encode_txn t.params txn (Tree.of_members t.topo rcvs), txn)
+        Some
+          ( Encoding.encode_txn
+              ~srule_ok_leaf:(srule_ok_leaf t)
+              ~srule_ok_pod:(srule_ok_pod t) t.params txn
+              (Tree.of_members t.topo rcvs),
+            txn )
   in
   let encoded =
     Obs.with_span "install_all.encode" (fun () ->
@@ -635,9 +930,12 @@ let install_all ?(domains = 1) t batch =
                       (Obs.with_span "controller.conflict_reencode"
                          ~attrs:[ ("group", Obs.Int group) ]
                          (fun () ->
-                           Encoding.encode t.params t.srules enc.Encoding.tree))));
+                           Encoding.encode
+                             ~srule_ok_leaf:(srule_ok_leaf t)
+                             ~srule_ok_pod:(srule_ok_pod t) t.params t.srules
+                             enc.Encoding.tree))));
           Hashtbl.add t.groups group st;
-          (match st.enc with Some e -> install_enc t ~group e | None -> ());
+          install_with_degrade t ~group st;
           if not (all_healthy t) then refresh_overrides t ~group st;
           hyp := List.rev_append (List.map fst st.members) !hyp;
           match st.enc with
@@ -652,6 +950,7 @@ let install_all ?(domains = 1) t batch =
                   (List.map fst e.Encoding.d_spine.Clustering.srules)
                   !pods)
         batch);
+  reconcile t;
   check_invariants t ~op:"install_all";
   {
     hypervisors = List.sort_uniq compare !hyp;
@@ -672,6 +971,7 @@ let remove_group t ~group =
     | None -> ([], [])
   in
   Hashtbl.remove t.groups group;
+  reconcile t;
   check_invariants t ~op:"remove_group";
   {
     hypervisors = List.sort_uniq compare (List.map fst st.members);
@@ -701,6 +1001,7 @@ let join t ~group ~host ~role =
             Obs.incr "controller.reencodes";
             reencode t ~group st ~changed_host:host)
   in
+  reconcile t;
   check_invariants t ~op:"join";
   u
 
@@ -726,6 +1027,7 @@ let leave t ~group ~host =
             Obs.incr "controller.reencodes";
             reencode t ~group st ~changed_host:host)
   in
+  reconcile t;
   check_invariants t ~op:"leave";
   u
 
@@ -733,6 +1035,16 @@ let encoding t ~group = (find_group t group).enc
 let members t ~group = (find_group t group).members
 let group_count t = Hashtbl.length t.groups
 let churn_stats t = { fast_path = t.fast_hits; reencoded = t.reencodes }
+
+let install_stats t =
+  {
+    attempts = t.install_attempts;
+    retries = t.install_retries;
+    exhausted = t.install_exhausted;
+    degradations = t.degradations;
+    compensations = t.compensations;
+    stale_entries = Hashtbl.length t.stale;
+  }
 
 let header t ~group ~sender =
   let st = find_group t group in
@@ -831,19 +1143,27 @@ let refresh_all t =
     unicast_fallbacks = !unicast;
   }
 
+(* Failure and recovery events only rewrite hypervisor overrides — the
+   s-rule ledger is untouched — but the invariant re-check after each one is
+   cheap and catches any drift introduced while the fabric was degraded. *)
+let refresh_after t ~op =
+  let r = refresh_all t in
+  check_invariants t ~op;
+  r
+
 let fail_spine t s =
   Log.info (fun m -> m "spine %d failed; recomputing upstream assignments" s);
   t.spine_ok.(s) <- false;
-  refresh_all t
+  refresh_after t ~op:"fail_spine"
 
 let recover_spine t s =
   t.spine_ok.(s) <- true;
-  refresh_all t
+  refresh_after t ~op:"recover_spine"
 
 let fail_core t c =
   Log.info (fun m -> m "core %d failed; recomputing upstream assignments" c);
   t.core_ok.(c) <- false;
-  refresh_all t
+  refresh_after t ~op:"fail_core"
 
 let link_index t ~leaf ~plane =
   if
@@ -859,12 +1179,129 @@ let fail_link t ~leaf ~plane =
       m "link leaf %d <-> plane %d failed; recomputing upstream assignments"
         leaf plane);
   t.link_ok.(link_index t ~leaf ~plane) <- false;
-  refresh_all t
+  refresh_after t ~op:"fail_link"
 
 let recover_link t ~leaf ~plane =
   t.link_ok.(link_index t ~leaf ~plane) <- true;
-  refresh_all t
+  refresh_after t ~op:"recover_link"
 
 let recover_core t c =
   t.core_ok.(c) <- true;
-  refresh_all t
+  refresh_after t ~op:"recover_core"
+
+(* {1 Crash-consistent checkpoints}
+
+   A snapshot is a deep copy of everything recovery needs to continue
+   bit-identically: membership, encodings (with their bitmap aliasing
+   preserved — see {!Encoding.copy}), installed overrides, the s-rule
+   ledger, health/denial state, stale markers and every counter. Restoring
+   builds a fresh controller and does {e not} re-emit fabric installs: the
+   fabric's state survives a controller crash, and the journal replay that
+   follows a restore re-issues exactly the operations the crashed
+   controller had not yet checkpointed. *)
+
+type snapshot = {
+  snap_topo : Topology.t;
+  snap_params : Params.t;
+  snap_incremental : bool;
+  snap_groups :
+    (int * (int * role) list * Encoding.t option * (int * override) list) list;
+  snap_srules : Srule_state.t;
+  snap_fast_hits : int;
+  snap_reencodes : int;
+  snap_conflicts : int;
+  snap_spine_ok : bool array;
+  snap_core_ok : bool array;
+  snap_link_ok : bool array;
+  snap_denied_leaf : bool array;
+  snap_denied_pod : bool array;
+  snap_stale : (int * (int * Srule_state.site)) list;
+  snap_install_attempts : int;
+  snap_install_retries : int;
+  snap_install_exhausted : int;
+  snap_degradations : int;
+  snap_compensations : int;
+}
+
+let copy_override ov =
+  {
+    up_leaf_ports = Bitmap.copy ov.up_leaf_ports;
+    up_spine_ports = Option.map Bitmap.copy ov.up_spine_ports;
+    unicast = ov.unicast;
+  }
+
+let snapshot t =
+  let groups =
+    Hashtbl.fold
+      (fun group st acc ->
+        let overrides =
+          Hashtbl.fold
+            (fun host ov acc -> (host, copy_override ov) :: acc)
+            st.applied []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        (group, st.members, Option.map Encoding.copy st.enc, overrides) :: acc)
+      t.groups []
+    |> List.sort (fun (g1, _, _, _) (g2, _, _, _) -> compare g1 g2)
+  in
+  {
+    snap_topo = t.topo;
+    snap_params = t.params;
+    snap_incremental = t.incremental;
+    snap_groups = groups;
+    snap_srules = Srule_state.copy t.srules;
+    snap_fast_hits = t.fast_hits;
+    snap_reencodes = t.reencodes;
+    snap_conflicts = t.conflicts;
+    snap_spine_ok = Array.copy t.spine_ok;
+    snap_core_ok = Array.copy t.core_ok;
+    snap_link_ok = Array.copy t.link_ok;
+    snap_denied_leaf = Array.copy t.denied_leaf;
+    snap_denied_pod = Array.copy t.denied_pod;
+    snap_stale =
+      Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.stale []
+      |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2);
+    snap_install_attempts = t.install_attempts;
+    snap_install_retries = t.install_retries;
+    snap_install_exhausted = t.install_exhausted;
+    snap_degradations = t.degradations;
+    snap_compensations = t.compensations;
+  }
+
+let restore ?fabric_hooks ?clock snap =
+  let t =
+    create ?fabric_hooks ?clock ~incremental:snap.snap_incremental
+      snap.snap_topo snap.snap_params
+  in
+  (* The snapshot stays reusable: restore copies out of it again. *)
+  List.iter
+    (fun (group, members, enc, overrides) ->
+      let st =
+        {
+          members;
+          enc = Option.map Encoding.copy enc;
+          applied = Hashtbl.create (max 1 (List.length overrides));
+        }
+      in
+      List.iter
+        (fun (host, ov) -> Hashtbl.replace st.applied host (copy_override ov))
+        overrides;
+      Hashtbl.add t.groups group st)
+    snap.snap_groups;
+  let blit src dst = Array.blit src 0 dst 0 (Array.length src) in
+  blit snap.snap_spine_ok t.spine_ok;
+  blit snap.snap_core_ok t.core_ok;
+  blit snap.snap_link_ok t.link_ok;
+  blit snap.snap_denied_leaf t.denied_leaf;
+  blit snap.snap_denied_pod t.denied_pod;
+  List.iter (fun (key, e) -> Hashtbl.replace t.stale key e) snap.snap_stale;
+  t.fast_hits <- snap.snap_fast_hits;
+  t.reencodes <- snap.snap_reencodes;
+  t.conflicts <- snap.snap_conflicts;
+  t.install_attempts <- snap.snap_install_attempts;
+  t.install_retries <- snap.snap_install_retries;
+  t.install_exhausted <- snap.snap_install_exhausted;
+  t.degradations <- snap.snap_degradations;
+  t.compensations <- snap.snap_compensations;
+  t.srules <- Srule_state.copy snap.snap_srules;
+  t

@@ -31,14 +31,31 @@ val merge_updates : updates -> updates -> updates
 val spine_update_count : Topology.t -> updates -> int
 (** Physical spine updates implied by [pods]. *)
 
+type install_error =
+  | Timed_out  (** no acknowledgement; the rule may or may not have landed *)
+  | Refused  (** the switch rejected the operation outright *)
+
 type fabric_hooks = {
-  install_leaf : leaf:int -> group:int -> Bitmap.t -> unit;
-  remove_leaf : leaf:int -> group:int -> unit;
-  install_pod : pod:int -> group:int -> Bitmap.t -> unit;
-  remove_pod : pod:int -> group:int -> unit;
+  install_leaf :
+    leaf:int -> group:int -> Bitmap.t -> (unit, install_error) result;
+  remove_leaf : leaf:int -> group:int -> (unit, install_error) result;
+  install_pod :
+    pod:int -> group:int -> Bitmap.t -> (unit, install_error) result;
+  remove_pod : pod:int -> group:int -> (unit, install_error) result;
+  read_leaf : leaf:int -> group:int -> Bitmap.t option;
+  read_pod : pod:int -> group:int -> Bitmap.t option;
+      (** Read-back of the switch's current entry for the group, used to
+          verify every mutation (reads are never fault-injected — queries
+          are idempotent and cheap to repeat). [read_pod] must answer [Some]
+          only when {e every} physical spine of the pod holds the same
+          bitmap. *)
 }
 (** Callbacks letting a dataplane (e.g. {e lib/dataplane}'s fabric) mirror
-    the controller's s-rule installs, playing the role of P4Runtime. *)
+    the controller's s-rule installs, playing the role of P4Runtime.
+    Mutations may fail — or lie: an [Ok] whose rule never landed is caught
+    by the read-back verification of the reliable installation path. Build
+    perfect hooks for a fabric with [Fabric.controller_hooks]; wrap them in
+    a fault schedule with [Fault.hooks] (lib/fault). *)
 
 type t
 
@@ -51,13 +68,21 @@ exception Invariant_violation of string
     is linear in the number of installed groups. *)
 
 val create :
-  ?fabric_hooks:fabric_hooks -> ?incremental:bool -> Topology.t -> Params.t -> t
+  ?fabric_hooks:fabric_hooks ->
+  ?clock:Elmo_obs.Clock.t ->
+  ?incremental:bool ->
+  Topology.t -> Params.t -> t
 (** By default the controller is stand-alone (pure state) and
     [incremental] (default [true]): receiver joins and leaves first try
     {!Encoding.apply_delta}'s in-place fast path and fall back to a full
     re-encode only on structural change, budget overflow, or staleness.
     [~incremental:false] re-encodes every receiver membership event from
-    scratch — the baseline the churn benchmark compares against. *)
+    scratch — the baseline the churn benchmark compares against.
+
+    [clock] (default: a fresh logical clock) paces the exponential backoff
+    of the reliable installation path; on the default logical clock one
+    microsecond of backoff is one clock tick, keeping faulty runs
+    deterministic. *)
 
 val topology : t -> Topology.t
 val params : t -> Params.t
@@ -112,6 +137,34 @@ val churn_stats : t -> churn_stats
 (** Cumulative counts over the controller's lifetime. Sender joins/leaves
     touch no rules and count in neither bucket. *)
 
+(** {1 Reliable installation, degradation and reconciliation}
+
+    Every fabric mutation runs through a verify-and-retry loop: perform the
+    hook, read the entry back, and retry with exponential backoff (initial
+    [Params.install_backoff_us], doubling, at most [Params.install_retries]
+    retries) until the read-back matches the intended state. A switch whose
+    {e install} exhausts the budget is {e denied}: excluded from s-rule
+    eligibility for all future encodes, with affected groups re-encoded so
+    their traffic falls back to p-rules or the default p-rule — extra
+    transmissions, never a blackhole. An entry whose {e removal} exhausts
+    the budget is tracked as stale and reconciled after every subsequent
+    operation: retry the removal, else overwrite the entry with the exact
+    bitmap of the group's current tree at that switch (a compensating entry
+    forwards precisely what the default p-rule would). *)
+
+type install_stats = {
+  attempts : int;  (** fabric operations attempted, including retries *)
+  retries : int;  (** attempts beyond the first, per operation *)
+  exhausted : int;  (** operations that ran out of retry budget *)
+  degradations : int;
+      (** switches denied s-rule eligibility after exhausted installs *)
+  compensations : int;
+      (** stale entries overwritten with truthful bitmaps *)
+  stale_entries : int;  (** stale markers currently outstanding *)
+}
+
+val install_stats : t -> install_stats
+
 val header : t -> group:int -> sender:int -> Prule.header option
 (** The header [sender]'s hypervisor currently pushes, including any
     failure-recovery upstream overrides. [None] if the group has no
@@ -147,3 +200,22 @@ val fail_link : t -> leaf:int -> plane:int -> failure_report
     Raises [Invalid_argument] on an out-of-range link. *)
 
 val recover_link : t -> leaf:int -> plane:int -> failure_report
+
+(** {1 Crash-consistent checkpoints}
+
+    {!snapshot} deep-copies everything recovery needs — membership,
+    encodings (bitmap aliasing preserved), overrides, the s-rule ledger,
+    health/denial state, stale markers, and all counters. {!restore} builds
+    a fresh controller from a snapshot without re-emitting fabric installs
+    (fabric state survives a controller crash); replaying the journaled
+    operation suffix then reproduces the pre-crash state bit-identically:
+    same s-rule occupancy, same headers, same {!churn_stats}. A snapshot is
+    immutable and reusable — restoring twice yields two independent
+    controllers. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore :
+  ?fabric_hooks:fabric_hooks -> ?clock:Elmo_obs.Clock.t -> snapshot -> t

@@ -49,6 +49,7 @@ let budgeted_hmax topo (params : Params.t) tree =
       (hmax_spine, hmax_leaf)
 
 let no_legacy _ = false
+let all_ok _ = true
 
 (* Merge the clustering of modern switches with forced s-rules (or default
    fallback) for legacy ones. *)
@@ -75,8 +76,13 @@ let with_legacy ~legacy ~reserve layer cluster =
    is a pure function of (params, tree). The closures either hit the live
    ledger (sequential path) or a transaction over a frozen snapshot
    (parallel batch path); identical probe answers imply identical output. *)
-let encode_cap ~legacy_leaf ~legacy_pod (params : Params.t) ~reserve_leaf
-    ~reserve_pod tree =
+let encode_cap ~legacy_leaf ~legacy_pod ~srule_ok_leaf ~srule_ok_pod
+    (params : Params.t) ~reserve_leaf ~reserve_pod tree =
+  (* Eligibility is checked before the capacity probe (short-circuit), so a
+     switch the controller has degraded never even logs a probe: its traffic
+     is folded into the default p-rule as if the switch were full. *)
+  let reserve_leaf l = srule_ok_leaf l && reserve_leaf l in
+  let reserve_pod p = srule_ok_pod p && reserve_pod p in
   let hmax_spine, hmax_leaf = budgeted_hmax tree.Tree.topo params tree in
   let d_leaf =
     with_legacy ~legacy:legacy_leaf ~reserve:reserve_leaf tree.Tree.leaf_bitmaps
@@ -97,20 +103,25 @@ let encode_cap ~legacy_leaf ~legacy_pod (params : Params.t) ~reserve_leaf
   { tree; params; d_spine; d_leaf; stale = 0 }
 
 let encode_txn ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
-    (params : Params.t) txn tree =
+    ?(srule_ok_leaf = all_ok) ?(srule_ok_pod = all_ok) (params : Params.t) txn
+    tree =
   Obs.with_span "encoding.encode_txn" @@ fun () ->
-  encode_cap ~legacy_leaf ~legacy_pod params
+  encode_cap ~legacy_leaf ~legacy_pod ~srule_ok_leaf ~srule_ok_pod params
     ~reserve_leaf:(Srule_state.txn_reserve_leaf txn)
     ~reserve_pod:(Srule_state.txn_reserve_pod txn)
     tree
 
-let encode ?legacy_leaf ?legacy_pod (params : Params.t) srules tree =
+let encode ?legacy_leaf ?legacy_pod ?srule_ok_leaf ?srule_ok_pod
+    (params : Params.t) srules tree =
   Obs.with_span "encoding.encode" @@ fun () ->
   (* The sequential path is the batch protocol at batch size one: encode
      against a just-taken snapshot, then commit. Nothing can have mutated
      the ledger in between, so the commit replay cannot diverge. *)
   let txn = Srule_state.txn (Srule_state.snapshot srules) in
-  let enc = encode_txn ?legacy_leaf ?legacy_pod params txn tree in
+  let enc =
+    encode_txn ?legacy_leaf ?legacy_pod ?srule_ok_leaf ?srule_ok_pod params txn
+      tree
+  in
   (match Srule_state.commit srules txn with
   | Ok () -> ()
   | Error _ ->
@@ -400,3 +411,48 @@ let srule_entries t =
 
 let prule_count t =
   List.length t.d_spine.Clustering.prules + List.length t.d_leaf.Clustering.prules
+
+(* Deep copy for checkpoints. The delta fast path depends on physical
+   sharing between the tree's exact bitmaps and rule bitmaps (singleton
+   p-rules and s-rules alias the tree's leaf bitmaps), so the copy must
+   preserve the aliasing graph: each distinct bitmap object is copied
+   exactly once, via a [==]-keyed memo. An encoding touches a handful of
+   bitmaps, so the linear memo scan is fine. *)
+let copy t =
+  let memo = ref [] in
+  let copy_bm bm =
+    match List.find_opt (fun (o, _) -> o == bm) !memo with
+    | Some (_, c) -> c
+    | None ->
+        let c = Bitmap.copy bm in
+        memo := (bm, c) :: !memo;
+        c
+  in
+  let copy_tree (tr : Tree.t) =
+    {
+      tr with
+      Tree.members = Array.copy tr.Tree.members;
+      leaf_bitmaps = List.map (fun (l, bm) -> (l, copy_bm bm)) tr.Tree.leaf_bitmaps;
+      spine_bitmaps =
+        List.map (fun (p, bm) -> (p, copy_bm bm)) tr.Tree.spine_bitmaps;
+      core_bitmap = copy_bm tr.Tree.core_bitmap;
+    }
+  in
+  let copy_prule (r : Prule.prule) =
+    { r with Prule.bitmap = copy_bm r.Prule.bitmap }
+  in
+  let copy_result (res : Clustering.result) =
+    {
+      Clustering.prules = List.map copy_prule res.Clustering.prules;
+      srules = List.map (fun (id, bm) -> (id, copy_bm bm)) res.Clustering.srules;
+      default =
+        Option.map (fun (ids, bm) -> (ids, copy_bm bm)) res.Clustering.default;
+    }
+  in
+  {
+    tree = copy_tree t.tree;
+    params = t.params;
+    d_spine = copy_result t.d_spine;
+    d_leaf = copy_result t.d_leaf;
+    stale = t.stale;
+  }

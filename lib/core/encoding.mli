@@ -23,6 +23,8 @@ exception Internal_error of string
 val encode :
   ?legacy_leaf:(int -> bool) ->
   ?legacy_pod:(int -> bool) ->
+  ?srule_ok_leaf:(int -> bool) ->
+  ?srule_ok_pod:(int -> bool) ->
   Params.t -> Srule_state.t -> Tree.t -> t
 (** Runs Algorithm 1 on both downstream layers, reserving s-rule space in
     the given state as it goes (leaf layer first, as it dominates header
@@ -37,11 +39,21 @@ val encode :
     paper notes. A legacy switch whose table is full falls to the default
     p-rule, which it cannot read: those receivers are lost, surfacing as a
     delivery failure in the data-plane simulator. Default: no legacy
-    switches. *)
+    switches.
+
+    [srule_ok_leaf] / [srule_ok_pod] restrict s-rule {e eligibility}: a
+    switch for which the predicate is [false] is treated as if its group
+    table were full — its traffic folds into the default p-rule — without
+    ever probing (or reserving) ledger capacity. The controller uses these
+    to degrade switches whose rule installations keep failing: extra
+    traffic via the default p-rule, but no dependence on unreachable
+    switch state. Default: every switch is eligible. *)
 
 val encode_txn :
   ?legacy_leaf:(int -> bool) ->
   ?legacy_pod:(int -> bool) ->
+  ?srule_ok_leaf:(int -> bool) ->
+  ?srule_ok_pod:(int -> bool) ->
   Params.t -> Srule_state.txn -> Tree.t -> t
 (** Like {!encode} but pure with respect to the shared ledger: capacity is
     probed and reserved on the transaction only, so any number of group
@@ -124,3 +136,10 @@ val srule_entries : t -> int
 
 val prule_count : t -> int
 (** Downstream p-rules in the header (both layers, excluding defaults). *)
+
+val copy : t -> t
+(** Deep copy for crash-consistent checkpoints: fresh tree and rule bitmaps,
+    with the original's aliasing graph preserved (a rule bitmap that
+    physically aliases a tree bitmap still does in the copy — the delta fast
+    path depends on it). The copy holds no s-rule reservations of its own;
+    the caller pairs it with a matching {!Srule_state.copy}. *)

@@ -9,11 +9,14 @@ type t = {
   kmax : int;
   fmax : int;
   staleness_limit : int;
+  install_retries : int;
+  install_backoff_us : int;
 }
 
 let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
     ?(header_budget = Some 325) ?(kmax = 2) ?(fmax = 30_000)
-    ?(staleness_limit = 256) () =
+    ?(staleness_limit = 256) ?(install_retries = 4) ?(install_backoff_us = 8)
+    () =
   if r < 0 then invalid_arg "Params.create: r must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if hmax_leaf <= 0 then invalid_arg "Params.create: hmax_leaf must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if hmax_spine <= 0 then invalid_arg "Params.create: hmax_spine must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
@@ -24,8 +27,12 @@ let create ?(r = 0) ?(r_semantics = Sum) ?(hmax_leaf = 30) ?(hmax_spine = 12)
   if fmax < 0 then invalid_arg "Params.create: fmax must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   if staleness_limit < 0 then
     invalid_arg "Params.create: staleness_limit must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if install_retries < 0 then
+    invalid_arg "Params.create: install_retries must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if install_backoff_us <= 0 then
+    invalid_arg "Params.create: install_backoff_us must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   { r; r_semantics; hmax_leaf; hmax_spine; header_budget; kmax; fmax;
-    staleness_limit }
+    staleness_limit; install_retries; install_backoff_us }
 
 let default = create ()
 let with_r t r = { t with r = (if r < 0 then invalid_arg "Params.with_r" else r) } (* elmo-lint: allow exception-discipline — documented API-misuse guard *)

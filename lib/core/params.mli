@@ -36,6 +36,14 @@ type t = {
           before the controller forces a from-scratch re-encode, bounding
           drift from the greedy optimum of Algorithm 1. [0] disables the
           fast path entirely (every membership event re-encodes). *)
+  install_retries : int;
+      (** how many times the controller re-attempts a failed or unverified
+          s-rule install/remove on one switch before declaring the switch
+          unusable and degrading affected groups to the default p-rule.
+          [0] means a single attempt with no retry. *)
+  install_backoff_us : int;
+      (** initial retry backoff in microseconds of the controller's {!Clock};
+          doubles on every subsequent retry of the same operation. *)
 }
 
 val default : t
@@ -49,9 +57,12 @@ val with_r : t -> int -> t
 val create :
   ?r:int -> ?r_semantics:r_semantics -> ?hmax_leaf:int -> ?hmax_spine:int ->
   ?header_budget:int option -> ?kmax:int -> ?fmax:int ->
-  ?staleness_limit:int -> unit -> t
-(** Like {!default} with overrides ([staleness_limit] defaults to 256).
-    Raises [Invalid_argument] on negative [r]/[fmax]/[staleness_limit] or
-    non-positive [hmax_leaf]/[hmax_spine]/[kmax]. *)
+  ?staleness_limit:int -> ?install_retries:int -> ?install_backoff_us:int ->
+  unit -> t
+(** Like {!default} with overrides ([staleness_limit] defaults to 256,
+    [install_retries] to 4, [install_backoff_us] to 8).
+    Raises [Invalid_argument] on negative [r]/[fmax]/[staleness_limit]/
+    [install_retries] or non-positive [hmax_leaf]/[hmax_spine]/[kmax]/
+    [install_backoff_us]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,11 @@
 
 type site = Leaf of int | Pod of int
 
+val site_key : site -> int
+(** Injective primitive-int key for a [site] (leaves on even slots, pods on
+    odd), for callers that need to key hash tables by switch without leaning
+    on polymorphic hashing of the variant. *)
+
 exception Full of site
 (** Raised by {!reserve_leaf} / {!reserve_pod} when the switch is full
     (callers must check first). *)
@@ -26,6 +31,10 @@ exception Underflow of site
 type t
 
 val create : Topology.t -> fmax:int -> t
+
+val copy : t -> t
+(** Independent copy of the occupancy counters (same topology and [fmax]).
+    Used by {!Controller.snapshot} for crash-consistent checkpoints. *)
 
 val fmax : t -> int
 

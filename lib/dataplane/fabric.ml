@@ -56,6 +56,47 @@ let remove_encoding t ~group enc =
 let leaf_table_size t l = Hashtbl.length t.leaf_tables.(l)
 let spine_table_size t s = Hashtbl.length t.spine_tables.(s)
 
+let leaf_srule t ~leaf ~group = Hashtbl.find_opt t.leaf_tables.(leaf) group
+
+let pod_srule t ~pod ~group =
+  match Topology.spines_of_pod t.topo pod with
+  | [] -> None
+  | s :: rest -> (
+      match Hashtbl.find_opt t.spine_tables.(s) group with
+      | None -> None
+      | Some bm ->
+          let same s' =
+            match Hashtbl.find_opt t.spine_tables.(s') group with
+            | Some bm' -> Bitmap.equal bm bm'
+            | None -> false
+          in
+          if List.for_all same rest then Some bm else None)
+
+(* Perfect (never-failing) controller hooks over this fabric; wrap them in
+   a fault schedule with [Fault.hooks] to exercise the reliable
+   installation path. *)
+let controller_hooks t =
+  {
+    Controller.install_leaf =
+      (fun ~leaf ~group bm ->
+        install_leaf_srule t ~leaf ~group bm;
+        Ok ());
+    remove_leaf =
+      (fun ~leaf ~group ->
+        remove_leaf_srule t ~leaf ~group;
+        Ok ());
+    install_pod =
+      (fun ~pod ~group bm ->
+        install_pod_srule t ~pod ~group bm;
+        Ok ());
+    remove_pod =
+      (fun ~pod ~group ->
+        remove_pod_srule t ~pod ~group;
+        Ok ());
+    read_leaf = (fun ~leaf ~group -> leaf_srule t ~leaf ~group);
+    read_pod = (fun ~pod ~group -> pod_srule t ~pod ~group);
+  }
+
 let link_index t ~leaf ~plane =
   if plane < 0 || plane >= t.topo.Topology.spines_per_pod then
     invalid_arg "Fabric: plane out of range"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)

@@ -37,6 +37,22 @@ val leaf_table_size : t -> int -> int
 val spine_table_size : t -> int -> int
 (** Physical spine's group-table occupancy. *)
 
+val leaf_srule : t -> leaf:int -> group:int -> Bitmap.t option
+(** Read-back of one leaf's group-table entry (the physical bitmap object,
+    not a copy). *)
+
+val pod_srule : t -> pod:int -> group:int -> Bitmap.t option
+(** [Some bm] only when {e every} physical spine of the pod holds an entry
+    for the group and all entries are equal — a partially-installed or
+    divergent pod reads as absent, which is exactly what the controller's
+    install verification needs to see. *)
+
+val controller_hooks : t -> Controller.fabric_hooks
+(** Perfect (never-failing) controller hooks over this fabric: installs and
+    removals always succeed and the read-backs answer from the live tables.
+    Wrap the result in a fault schedule ([Fault.hooks], lib/fault) to
+    exercise the controller's retry/degradation machinery. *)
+
 (** {1 Incremental deployment (§7)} *)
 
 val fail_link : t -> leaf:int -> plane:int -> unit

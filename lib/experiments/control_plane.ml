@@ -104,12 +104,14 @@ let pp_failures ppf r =
   let pp ppf (f : Churn.failure_result) =
     Format.fprintf ppf
       "%d trials: %.1f%% groups affected (max %.1f%%); rule updates per hypervisor \
-       mean %.1f (max %.0f)"
+       mean %.1f (max %.0f); recovery touched %.1f%% groups, %.1f updates/hyp"
       f.Churn.trials
       (100.0 *. f.Churn.affected_fraction_mean)
       (100.0 *. f.Churn.affected_fraction_max)
       f.Churn.rule_updates_per_hypervisor_mean
       f.Churn.rule_updates_per_hypervisor_max
+      (100.0 *. f.Churn.recovery_affected_fraction_mean)
+      f.Churn.recovery_updates_per_hypervisor_mean
   in
   Format.fprintf ppf "@[<v>spine failures: %a@ core failures:  %a@]" pp
     r.spine_failures pp r.core_failures

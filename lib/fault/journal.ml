@@ -1,0 +1,67 @@
+type op =
+  | Add_group of { group : int; members : (int * Controller.role) list }
+  | Remove_group of { group : int }
+  | Join of { group : int; host : int; role : Controller.role }
+  | Leave of { group : int; host : int }
+  | Fail_spine of int
+  | Recover_spine of int
+  | Fail_core of int
+  | Recover_core of int
+  | Fail_link of { leaf : int; plane : int }
+  | Recover_link of { leaf : int; plane : int }
+
+type t = {
+  mutable ops : op list;  (* newest first *)
+  mutable n : int;
+}
+
+let create () = { ops = []; n = 0 }
+
+let append t op =
+  t.ops <- op :: t.ops;
+  t.n <- t.n + 1
+
+let length t = t.n
+let to_list t = List.rev t.ops
+
+let suffix t ~from =
+  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  drop from (to_list t)
+
+let apply ctrl op =
+  match op with
+  | Add_group { group; members } ->
+      ignore (Controller.add_group ctrl ~group members : Controller.updates)
+  | Remove_group { group } ->
+      ignore (Controller.remove_group ctrl ~group : Controller.updates)
+  | Join { group; host; role } ->
+      ignore (Controller.join ctrl ~group ~host ~role : Controller.updates)
+  | Leave { group; host } ->
+      ignore (Controller.leave ctrl ~group ~host : Controller.updates)
+  | Fail_spine s ->
+      ignore (Controller.fail_spine ctrl s : Controller.failure_report)
+  | Recover_spine s ->
+      ignore (Controller.recover_spine ctrl s : Controller.failure_report)
+  | Fail_core c ->
+      ignore (Controller.fail_core ctrl c : Controller.failure_report)
+  | Recover_core c ->
+      ignore (Controller.recover_core ctrl c : Controller.failure_report)
+  | Fail_link { leaf; plane } ->
+      ignore (Controller.fail_link ctrl ~leaf ~plane : Controller.failure_report)
+  | Recover_link { leaf; plane } ->
+      ignore
+        (Controller.recover_link ctrl ~leaf ~plane : Controller.failure_report)
+
+let pp_op ppf = function
+  | Add_group { group; members } ->
+      Format.fprintf ppf "add_group %d (%d members)" group (List.length members)
+  | Remove_group { group } -> Format.fprintf ppf "remove_group %d" group
+  | Join { group; host; _ } -> Format.fprintf ppf "join %d host %d" group host
+  | Leave { group; host } -> Format.fprintf ppf "leave %d host %d" group host
+  | Fail_spine s -> Format.fprintf ppf "fail_spine %d" s
+  | Recover_spine s -> Format.fprintf ppf "recover_spine %d" s
+  | Fail_core c -> Format.fprintf ppf "fail_core %d" c
+  | Recover_core c -> Format.fprintf ppf "recover_core %d" c
+  | Fail_link { leaf; plane } -> Format.fprintf ppf "fail_link %d.%d" leaf plane
+  | Recover_link { leaf; plane } ->
+      Format.fprintf ppf "recover_link %d.%d" leaf plane

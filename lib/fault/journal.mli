@@ -1,0 +1,40 @@
+(** Append-only operation journal for crash-consistent recovery.
+
+    Every externally-driven controller mutation is recorded as a pure value
+    {e before} being applied, so that a crashed controller can be rebuilt as
+    [restore latest_snapshot] + replay of the journal suffix written since
+    that snapshot. Replay re-executes the controller's own entry points —
+    the journal stores intent, not effects — so a recovered controller
+    recomputes bit-identical encodings, ledger occupancy and churn counters
+    (the controller is deterministic given the same op order). *)
+
+type op =
+  | Add_group of { group : int; members : (int * Controller.role) list }
+  | Remove_group of { group : int }
+  | Join of { group : int; host : int; role : Controller.role }
+  | Leave of { group : int; host : int }
+  | Fail_spine of int
+  | Recover_spine of int
+  | Fail_core of int
+  | Recover_core of int
+  | Fail_link of { leaf : int; plane : int }
+  | Recover_link of { leaf : int; plane : int }
+
+type t
+
+val create : unit -> t
+val append : t -> op -> unit
+
+val length : t -> int
+(** Total ops ever appended; journal positions are indices into this. *)
+
+val to_list : t -> op list
+(** In append order. *)
+
+val suffix : t -> from:int -> op list
+(** Ops appended at position [from] and later, in append order. *)
+
+val apply : Controller.t -> op -> unit
+(** Re-executes the op against a controller, discarding its report. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,45 @@
+type t = {
+  fabric_hooks : Controller.fabric_hooks option;
+  snapshot_every : int;
+  mutable ctrl : Controller.t;
+  journal : Journal.t;
+  mutable snap : Controller.snapshot;
+  mutable snap_at : int;  (* journal position the snapshot covers *)
+}
+
+let checkpoint t =
+  t.snap <- Controller.snapshot t.ctrl;
+  t.snap_at <- Journal.length t.journal;
+  Elmo_obs.Obs.incr "replica.checkpoints"
+
+let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true) topo
+    params =
+  let ctrl = Controller.create ?fabric_hooks ~incremental topo params in
+  {
+    fabric_hooks;
+    snapshot_every;
+    ctrl;
+    journal = Journal.create ();
+    snap = Controller.snapshot ctrl;
+    snap_at = 0;
+  }
+
+let controller t = t.ctrl
+let journal t = t.journal
+
+let apply t op =
+  Journal.append t.journal op;
+  Journal.apply t.ctrl op;
+  if Journal.length t.journal - t.snap_at >= t.snapshot_every then
+    checkpoint t
+
+let recovered t =
+  Elmo_obs.Obs.with_span "replica.recover" (fun () ->
+      let ctrl = Controller.restore ?fabric_hooks:t.fabric_hooks t.snap in
+      let suffix = Journal.suffix t.journal ~from:t.snap_at in
+      List.iter (Journal.apply ctrl) suffix;
+      Elmo_obs.Obs.observe "replica.replayed_ops"
+        (float_of_int (List.length suffix));
+      ctrl)
+
+let crash t = t.ctrl <- recovered t

@@ -1,0 +1,44 @@
+(** Crash-consistent controller replica: snapshot + journal-suffix replay.
+
+    Couples a live {!Controller.t} with an append-only {!Journal} and a
+    rolling {!Controller.snapshot}. Every mutation goes through {!apply},
+    which journals the op before executing it and takes a fresh checkpoint
+    every [snapshot_every] ops. {!crash} simulates a controller process
+    crash: the live controller is discarded and rebuilt from the latest
+    snapshot plus replay of the journal suffix. Because the controller is
+    deterministic in its op order, the recovered instance is bit-identical
+    (s-rule occupancy, per-group headers, churn counters) to one that never
+    crashed — the property the crash-recovery test asserts across
+    randomized crash points.
+
+    Restoration itself does not touch the fabric ({!Controller.restore}
+    re-emits nothing — switch state survives a controller crash); only the
+    replayed suffix drives hooks, and those re-installs are idempotent. *)
+
+type t
+
+val create :
+  ?snapshot_every:int ->
+  ?fabric_hooks:Controller.fabric_hooks ->
+  ?incremental:bool ->
+  Topology.t ->
+  Params.t ->
+  t
+(** [snapshot_every] defaults to 64 ops between automatic checkpoints. *)
+
+val controller : t -> Controller.t
+val journal : t -> Journal.t
+
+val apply : t -> Journal.op -> unit
+(** Journal, execute, auto-checkpoint. *)
+
+val checkpoint : t -> unit
+(** Force a checkpoint at the current journal position. *)
+
+val recovered : t -> Controller.t
+(** A fresh controller rebuilt from the latest snapshot + journal suffix;
+    the live controller is untouched (use this to {e compare} recovery
+    against the never-crashed instance). *)
+
+val crash : t -> unit
+(** Replace the live controller with {!recovered} — the crash itself. *)

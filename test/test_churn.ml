@@ -33,16 +33,7 @@ let test_setup_registers_all_groups () =
 let test_churn_keeps_delivery_correct () =
   let placement, groups = small_world 3 in
   let fabric = Fabric.create topo in
-  let hooks =
-    {
-      Controller.install_leaf =
-        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-      install_pod =
-        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-    }
-  in
+  let hooks = Fabric.controller_hooks fabric in
   (* Small tables force s-rule churn through the fabric hooks. *)
   let params = Params.create ~hmax_leaf:2 ~hmax_spine:1 ~header_budget:None ~fmax:6 () in
   let ctrl = Controller.create ~fabric_hooks:hooks topo params in

@@ -5,17 +5,7 @@ let make ?fabric () =
   match fabric with
   | None -> (Controller.create topo Params.default, Fabric.create topo)
   | Some fabric ->
-      let hooks =
-        {
-          Controller.install_leaf =
-            (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-          remove_leaf =
-            (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-          install_pod =
-            (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-          remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-        }
-      in
+      let hooks = Fabric.controller_hooks fabric in
       (Controller.create ~fabric_hooks:hooks topo Params.default, fabric)
 
 let members_both hosts = List.map (fun x -> (x, Controller.Both)) hosts
@@ -128,16 +118,7 @@ let test_remove_group_releases_srules () =
 let test_fabric_hooks_mirror_srules () =
   let params = Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None () in
   let fabric = Fabric.create topo in
-  let hooks =
-    {
-      Controller.install_leaf =
-        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-      install_pod =
-        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-    }
-  in
+  let hooks = Fabric.controller_hooks fabric in
   let ctrl = Controller.create ~fabric_hooks:hooks topo params in
   ignore (Controller.add_group ctrl ~group:1 (members_both fig3_hosts));
   Alcotest.(check bool) "delivers via s-rules" true
@@ -451,6 +432,47 @@ let test_set_cover_duplicates_observable () =
       Alcotest.(check bool) "duplicates do occur under multi-plane covers" true
         (dup_hosts <> [])
 
+let test_link_fail_recover_idempotent () =
+  let ctrl, fabric = link_setup () in
+  let header () = Controller.header ctrl ~group:1 ~sender:0 in
+  let baseline = header () in
+  (* Double-fail is a no-op on top of a single fail... *)
+  Fabric.fail_link fabric ~leaf:5 ~plane:0;
+  ignore (Controller.fail_link ctrl ~leaf:5 ~plane:0);
+  let failed_once = header () in
+  Fabric.fail_link fabric ~leaf:5 ~plane:0;
+  ignore (Controller.fail_link ctrl ~leaf:5 ~plane:0);
+  Alcotest.(check bool) "double fail_link changes nothing" true
+    (header () = failed_once);
+  (* ...and so is double-recover: one recover restores the baseline header,
+     a second leaves it untouched. *)
+  Fabric.recover_link fabric ~leaf:5 ~plane:0;
+  ignore (Controller.recover_link ctrl ~leaf:5 ~plane:0);
+  Alcotest.(check bool) "recover restores the pre-failure header" true
+    (header () = baseline);
+  Fabric.recover_link fabric ~leaf:5 ~plane:0;
+  ignore (Controller.recover_link ctrl ~leaf:5 ~plane:0);
+  Alcotest.(check bool) "double recover_link changes nothing" true
+    (header () = baseline);
+  Alcotest.(check bool) "delivery intact after the fail/recover cycle" true
+    (match inject_current ctrl fabric ~group:1 ~sender:0 with
+    | None -> false
+    | Some report ->
+        List.for_all
+          (fun m -> m = 0 || List.mem_assoc m report.Fabric.delivered)
+          fig3_hosts)
+
+let test_recover_link_reports_affected () =
+  let ctrl, fabric = link_setup () in
+  Fabric.fail_link fabric ~leaf:5 ~plane:0;
+  let down = Controller.fail_link ctrl ~leaf:5 ~plane:0 in
+  Fabric.recover_link fabric ~leaf:5 ~plane:0;
+  let up = Controller.recover_link ctrl ~leaf:5 ~plane:0 in
+  (* Recovery moves the same groups back onto the restored plane — it is a
+     topology change with its own update fan-out, not a free undo. *)
+  Alcotest.(check int) "recovery touches what the failure touched"
+    down.Controller.affected_groups up.Controller.affected_groups
+
 let tests =
   tests
   @ [
@@ -462,6 +484,10 @@ let tests =
         test_leaf_isolated_degrades_to_unicast;
       Alcotest.test_case "set-cover duplicates observable" `Quick
         test_set_cover_duplicates_observable;
+      Alcotest.test_case "fail/recover link idempotency" `Quick
+        test_link_fail_recover_idempotent;
+      Alcotest.test_case "recover_link reports its fan-out" `Quick
+        test_recover_link_reports_affected;
     ]
 
 (* Metamorphic property: after ANY interleaving of switch/link failures,

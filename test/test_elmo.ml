@@ -26,6 +26,7 @@ let () =
       ("apps", Test_apps.tests);
       ("churn", Test_churn.tests);
       ("experiments", Test_experiments.tests);
+      ("fault", Test_fault.tests);
       ("extensions", Test_extensions.tests);
       ("nonclos", Test_nonclos.tests);
       ("reliable", Test_reliable.tests);

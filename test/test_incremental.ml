@@ -10,18 +10,7 @@ let group = 7
 
 let make params =
   let fabric = Fabric.create topo in
-  let hooks =
-    {
-      Controller.install_leaf =
-        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-      remove_leaf =
-        (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-      install_pod =
-        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-      remove_pod =
-        (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-    }
-  in
+  let hooks = Fabric.controller_hooks fabric in
   (Controller.create ~fabric_hooks:hooks topo params, fabric)
 
 let receivers members =

@@ -77,16 +77,7 @@ let test_end_to_end_delivery () =
       ~host_capacity:20 ~tenant_sizes:[| 12; 10 |]
   in
   let fabric = Fabric.create topo in
-  let hooks =
-    {
-      Controller.install_leaf =
-        (fun ~leaf ~group bm -> Fabric.install_leaf_srule fabric ~leaf ~group bm);
-      remove_leaf = (fun ~leaf ~group -> Fabric.remove_leaf_srule fabric ~leaf ~group);
-      install_pod =
-        (fun ~pod ~group bm -> Fabric.install_pod_srule fabric ~pod ~group bm);
-      remove_pod = (fun ~pod ~group -> Fabric.remove_pod_srule fabric ~pod ~group);
-    }
-  in
+  let hooks = Fabric.controller_hooks fabric in
   let ctrl = Controller.create ~fabric_hooks:hooks topo Params.default in
   let api = Tenant_api.create ctrl placement ~quota_per_tenant:10 in
   ok (Tenant_api.create_group api ~tenant:0 ~address:ip);
