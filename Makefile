@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-parallel bench-faults clean
+.PHONY: all check test lint bench bench-churn bench-parallel bench-faults bench-verify clean
 
 all:
 	dune build
@@ -34,6 +34,12 @@ bench-parallel:
 # blackhole counts that must stay at zero).
 bench-faults:
 	dune exec bench/main.exe -- faults
+
+# Symbolic-verification throughput: compile every installed group to its
+# canonical delivery predicate and check it against the membership intent;
+# writes BENCH_verify.json (ELMO_VERIFY_GROUPS scales the group count).
+bench-verify:
+	dune exec bench/main.exe -- verify
 
 clean:
 	dune clean

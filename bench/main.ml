@@ -5,7 +5,7 @@
    Usage: main.exe [target ...]
    Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
             table3 ablation twotier nonclos legacy bisection strawman churn
-            parallel faults micro all (default: all)
+            parallel faults verify micro all (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
    ELMO_FULL=1 runs the paper's full million groups.
@@ -700,6 +700,107 @@ let faults () =
   close_out oc;
   printf "wrote BENCH_faults.json@."
 
+(* {1 Symbolic verification: compile+check throughput} *)
+
+let verify () =
+  hr
+    "Verify: symbolic delivery predicates, compile+check throughput \
+     (BENCH_verify.json)";
+  let topo =
+    Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
+      ~hosts_per_leaf:32 ~cores_per_plane:4
+  in
+  let params = Params.create ~r:12 ~header_budget:None () in
+  let ngroups =
+    match Sys.getenv_opt "ELMO_VERIFY_GROUPS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_VERIFY_GROUPS must be a positive integer (got %S)@." s;
+            exit 1)
+    | None -> 10_000
+  in
+  printf "topology: %a; %d groups, sizes 2-16@." Topology.pp topo ngroups;
+  let ctrl = Controller.create topo params in
+  let rng = Rng.create 41 in
+  let n = Topology.num_hosts topo in
+  let t0 = Unix.gettimeofday () in
+  for g = 0 to ngroups - 1 do
+    let size = 2 + Rng.int rng 15 in
+    let members =
+      List.init size (fun _ -> Rng.int rng n) |> List.sort_uniq Int.compare
+    in
+    ignore
+      (Controller.add_group ctrl ~group:g
+         (List.map (fun h -> (h, Controller.Both)) members))
+  done;
+  let t1 = Unix.gettimeofday () in
+  let cfg = Controller.installed_config ctrl in
+  let t2 = Unix.gettimeofday () in
+  (* Compile-only pass: one shared universe, so recurring delivery shapes
+     hash-cons to the same predicate. *)
+  let ctx = Pred.create_ctx () in
+  List.iter
+    (fun gid -> ignore (Verify.compile ctx cfg ~group:gid))
+    (Installed_config.group_ids cfg);
+  let t3 = Unix.gettimeofday () in
+  (* Full check: compile vs intent per group, first witness on divergence. *)
+  let result = Verify.check_config cfg in
+  let t4 = Unix.gettimeofday () in
+  let install_s = t1 -. t0
+  and view_s = t2 -. t1
+  and compile_s = t3 -. t2
+  and check_s = t4 -. t3 in
+  let rate groups s = if s > 0.0 then float_of_int groups /. s else 0.0 in
+  let checked, ok =
+    match result with
+    | Ok ngroups -> (ngroups, true)
+    | Error w ->
+        printf "counterexample: %a@." Verify.pp_witness w;
+        (0, false)
+  in
+  printf "@.%-24s %-10s %-14s@." "phase" "seconds" "groups/s";
+  printf "%-24s %-10.3f %-14s@." "install (add_group)" install_s
+    (Printf.sprintf "%.0f" (rate ngroups install_s));
+  printf "%-24s %-10.3f %-14s@." "installed_config view" view_s
+    (Printf.sprintf "%.0f" (rate ngroups view_s));
+  printf "%-24s %-10.3f %-14s@." "symbolic compile" compile_s
+    (Printf.sprintf "%.0f" (rate ngroups compile_s));
+  printf "%-24s %-10.3f %-14s@." "check (compile==intent)" check_s
+    (Printf.sprintf "%.0f" (rate ngroups check_s));
+  printf "result: %s@."
+    (if ok then
+       Printf.sprintf "%d groups verified, installed state == intent" checked
+     else "COUNTEREXAMPLE - installed state loses a receiver");
+  let prov =
+    Provenance.capture ~seed:41
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:1 ()
+  in
+  let oc = open_out "BENCH_verify.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "verify",
+  "provenance": %s,
+  "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
+  "groups": %d,
+  "install_s": %.4f,
+  "view_s": %.4f,
+  "compile_s": %.4f,
+  "compile_groups_per_sec": %.1f,
+  "check_s": %.4f,
+  "check_groups_per_sec": %.1f,
+  "verified_ok": %b%s
+}
+|}
+    (Provenance.to_json prov) ngroups install_s view_s compile_s
+    (rate ngroups compile_s) check_s (rate ngroups check_s) ok
+    (metrics_field ());
+  close_out oc;
+  printf "wrote BENCH_verify.json@.";
+  if not ok then exit 1
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let micro () =
@@ -799,6 +900,7 @@ let targets =
     ("churn", churn);
     ("parallel", parallel);
     ("faults", faults);
+    ("verify", verify);
     ("micro", micro);
   ]
 

@@ -294,6 +294,98 @@ let faults_cmd =
           blackholes).")
     Term.(const run $ seed_arg $ events_arg $ rate_arg $ trace_arg $ metrics_arg)
 
+let verify_cmd =
+  let groups_small =
+    Arg.(
+      value & opt int 128
+      & info [ "groups"; "g" ] ~docv:"N"
+          ~doc:"Multicast groups to install before checking.")
+  in
+  let corrupt_arg =
+    let doc =
+      "Self-test: after installing, drop one receiver's port from the \
+       leaf-layer rules of the first multicast group, so the check must \
+       produce a counterexample and exit nonzero."
+    in
+    Arg.(value & flag & info [ "corrupt" ] ~doc)
+  in
+  let example_arg =
+    Arg.(
+      value & flag
+      & info [ "example" ]
+          ~doc:
+            "Use the paper's running-example topology instead of the \
+             Facebook fabric.")
+  in
+  (* Clear [host]'s port from every leaf-layer assignment of the view's
+     first multicast group: p-rules covering its leaf, the leaf's s-rule,
+     and the default p-rule. The symbolic check must then name exactly
+     that endpoint. *)
+  let sabotage topo (cfg : Installed_config.t) =
+    let clear (g : Installed_config.group_view) =
+      match (g.Installed_config.enc, g.Installed_config.receivers) with
+      | Some enc, _ :: _ :: _ ->
+          let host = List.hd g.Installed_config.receivers in
+          let leaf = Topology.leaf_of_host topo host in
+          let port = Topology.host_port_on_leaf topo host in
+          let layer = enc.Encoding.d_leaf in
+          List.iter
+            (fun (r : Prule.prule) ->
+              if Prule.rule_mem r leaf then Bitmap.clear r.Prule.bitmap port)
+            layer.Clustering.prules;
+          List.iter
+            (fun (l, bm) -> if l = leaf then Bitmap.clear bm port)
+            layer.Clustering.srules;
+          (match layer.Clustering.default with
+          | Some (_, bm) -> Bitmap.clear bm port
+          | None -> ());
+          Format.printf "corrupted group %d: dropped leaf%d port %d@."
+            g.Installed_config.gid leaf port;
+          true
+      | _ -> false
+    in
+    if not (List.exists clear cfg.Installed_config.groups) then begin
+      Format.printf "--corrupt: no multicast group to corrupt@.";
+      exit 2
+    end
+  in
+  let run groups seed corrupt example =
+    let topo =
+      if example then Topology.running_example ()
+      else Topology.facebook_fabric ()
+    in
+    let ctrl = Controller.create topo Params.default in
+    let rng = Rng.create seed in
+    let n = Topology.num_hosts topo in
+    for g = 0 to groups - 1 do
+      let size = 2 + Rng.int rng 15 in
+      let members =
+        List.init size (fun _ -> Rng.int rng n) |> List.sort_uniq Int.compare
+      in
+      ignore
+        (Controller.add_group ctrl ~group:g
+           (List.map (fun h -> (h, Controller.Both)) members))
+    done;
+    let cfg = Controller.installed_config ctrl in
+    if corrupt then sabotage topo cfg;
+    Format.printf "checking %d groups against their own trees (%a)...@."
+      groups Topology.pp topo;
+    match Verify.check_config cfg with
+    | Ok n ->
+        Format.printf "ok: %d groups, installed state == intended delivery@." n
+    | Error w ->
+        Format.printf "counterexample: %a@." Verify.pp_witness w;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Symbolic forwarding check: compile every group's installed rules \
+          to its canonical delivery predicate and compare against the \
+          membership intent; print the first counterexample as \
+          group/switch/port and exit nonzero.")
+    Term.(const run $ groups_small $ seed_arg $ corrupt_arg $ example_arg)
+
 let p4_cmd =
   let role_arg =
     let parse = function
@@ -342,6 +434,9 @@ let main =
             clouds (SIGCOMM 2019)."
   in
   Cmd.group info
-    [ scalability_cmd; churn_cmd; faults_cmd; ablation_cmd; nonclos_cmd; p4_cmd ]
+    [
+      scalability_cmd; churn_cmd; faults_cmd; ablation_cmd; nonclos_cmd;
+      verify_cmd; p4_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -255,24 +255,6 @@ type fault_result = {
   faults : Fault.stats;
 }
 
-(* Probe one group on one side: compute the controller's current header,
-   inject it, and check that every member other than the sender received a
-   copy. Returns [None] when the group currently has no multicast encoding
-   path to probe (unicast fallback — delivered by the hypervisor, not the
-   fabric). *)
-let probe_side ctrl fabric ~group ~sender =
-  match Controller.encoding ctrl ~group with
-  | None -> None
-  | Some enc -> (
-      match Controller.header ctrl ~group ~sender with
-      | None -> None
-      | Some header ->
-          let report = Fabric.inject fabric ~sender ~group ~header ~payload:64 in
-          let ok =
-            Fabric.deliveries_correct report ~tree:enc.Encoding.tree ~sender
-          in
-          Some (ok, report.Fabric.transmissions))
-
 let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
   Obs.with_span "churn.fault_run"
     ~attrs:[ ("events", Obs.Int events); ("rate", Obs.Float rate) ]
@@ -347,8 +329,8 @@ let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
       | [] | [ _ ] -> ()
       | ms ->
           let sender = List.nth ms (Rng.int rng (List.length ms)) in
-          let c = probe_side clean clean_fab ~group:g ~sender in
-          let f = probe_side faulty faulty_fab ~group:g ~sender in
+          let c = Verify.probe clean clean_fab ~group:g ~sender in
+          let f = Verify.probe faulty faulty_fab ~group:g ~sender in
           (match c, f with
           | Some (_, ctx), Some (fok, ftx) ->
               incr probes;

@@ -1268,6 +1268,51 @@ let snapshot t =
     snap_compensations = t.compensations;
   }
 
+(* {1 Installed-configuration views}
+
+   The pure [Installed_config.t] view feeds the symbolic verification layer
+   ([lib/verify]). Both producers deep-copy: a view stays valid across later
+   controller mutations, exactly like a snapshot. *)
+
+let view_override ov =
+  {
+    Installed_config.up_leaf_ports = Bitmap.copy ov.up_leaf_ports;
+    up_spine_ports = Option.map Bitmap.copy ov.up_spine_ports;
+    unicast = ov.unicast;
+  }
+
+let view_of_group ~gid ~members ~enc ~overrides =
+  let of_role want =
+    List.filter_map (fun (h, r) -> if want r then Some h else None) members
+    |> List.sort_uniq Int.compare
+  in
+  {
+    Installed_config.gid;
+    receivers = of_role (function Receiver | Both -> true | Sender -> false);
+    senders = of_role (function Sender | Both -> true | Receiver -> false);
+    enc = Option.map Encoding.copy enc;
+    overrides =
+      List.map (fun (host, ov) -> (host, view_override ov)) overrides
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+  }
+
+let installed_config t =
+  let groups =
+    Hashtbl.fold
+      (fun gid st acc ->
+        let overrides =
+          Hashtbl.fold (fun host ov acc -> (host, ov) :: acc) st.applied []
+        in
+        view_of_group ~gid ~members:st.members ~enc:st.enc ~overrides :: acc)
+      t.groups []
+  in
+  Installed_config.make ~spine_ok:(Array.copy t.spine_ok)
+    ~core_ok:(Array.copy t.core_ok) ~link_ok:(Array.copy t.link_ok)
+    ~denied_leaf:(Array.copy t.denied_leaf)
+    ~denied_pod:(Array.copy t.denied_pod)
+    ~stale_sites:(Hashtbl.fold (fun _ e acc -> e :: acc) t.stale [])
+    t.topo t.params groups
+
 let restore ?fabric_hooks ?clock snap =
   let t =
     create ?fabric_hooks ?clock ~incremental:snap.snap_incremental
@@ -1305,3 +1350,18 @@ let restore ?fabric_hooks ?clock snap =
   t.compensations <- snap.snap_compensations;
   t.srules <- Srule_state.copy snap.snap_srules;
   t
+
+let installed_config_of_snapshot snap =
+  let groups =
+    List.map
+      (fun (gid, members, enc, overrides) ->
+        view_of_group ~gid ~members ~enc ~overrides)
+      snap.snap_groups
+  in
+  Installed_config.make ~spine_ok:(Array.copy snap.snap_spine_ok)
+    ~core_ok:(Array.copy snap.snap_core_ok)
+    ~link_ok:(Array.copy snap.snap_link_ok)
+    ~denied_leaf:(Array.copy snap.snap_denied_leaf)
+    ~denied_pod:(Array.copy snap.snap_denied_pod)
+    ~stale_sites:(List.map snd snap.snap_stale)
+    snap.snap_topo snap.snap_params groups

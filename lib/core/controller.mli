@@ -219,3 +219,19 @@ val snapshot : t -> snapshot
 
 val restore :
   ?fabric_hooks:fabric_hooks -> ?clock:Elmo_obs.Clock.t -> snapshot -> t
+
+(** {1 Installed-configuration views}
+
+    The pure {!Installed_config.t} view of everything this controller has
+    installed — memberships, encodings, overrides, health/denial state and
+    compensated stale sites — consumed by the symbolic verification layer
+    ([lib/verify]). Both producers deep-copy, so a view stays valid across
+    later mutations. *)
+
+val installed_config : t -> Installed_config.t
+(** The live controller's current installed configuration. *)
+
+val installed_config_of_snapshot : snapshot -> Installed_config.t
+(** The same view extracted from a crash-consistent checkpoint, without
+    building a controller: what a {!Replica}'s recovery target looked like
+    at checkpoint time. *)

@@ -1,0 +1,68 @@
+(* Pure view of an installed configuration: see the interface for the
+   design rationale. This module must stay free of controller internals —
+   [Controller] depends on it, not the other way around. *)
+
+type override = {
+  up_leaf_ports : Bitmap.t;
+  up_spine_ports : Bitmap.t option;
+  unicast : bool;
+}
+
+type group_view = {
+  gid : int;
+  receivers : int list;
+  senders : int list;
+  enc : Encoding.t option;
+  overrides : (int * override) list;
+}
+
+type t = {
+  topo : Topology.t;
+  params : Params.t;
+  groups : group_view list;
+  spine_ok : bool array;
+  core_ok : bool array;
+  link_ok : bool array;
+  denied_leaf : bool array;
+  denied_pod : bool array;
+  stale_sites : (int * Srule_state.site) list;
+}
+
+let make ?spine_ok ?core_ok ?link_ok ?denied_leaf ?denied_pod
+    ?(stale_sites = []) topo params groups =
+  let default len v = function Some a -> a | None -> Array.make len v in
+  {
+    topo;
+    params;
+    groups = List.sort (fun a b -> Int.compare a.gid b.gid) groups;
+    spine_ok = default (Topology.num_spines topo) true spine_ok;
+    core_ok = default (max 1 (Topology.num_cores topo)) true core_ok;
+    link_ok =
+      default
+        (Topology.num_leaves topo * topo.Topology.spines_per_pod)
+        true link_ok;
+    denied_leaf = default (Topology.num_leaves topo) false denied_leaf;
+    denied_pod = default topo.Topology.pods false denied_pod;
+    stale_sites =
+      List.sort
+        (fun (g1, s1) (g2, s2) ->
+          match Int.compare g1 g2 with
+          | 0 -> Int.compare (Srule_state.site_key s1) (Srule_state.site_key s2)
+          | c -> c)
+        stale_sites;
+  }
+
+let group t gid = List.find_opt (fun g -> g.gid = gid) t.groups
+let group_ids t = List.map (fun g -> g.gid) t.groups
+
+let link_ok t ~leaf ~plane =
+  t.link_ok.((leaf * t.topo.Topology.spines_per_pod) + plane)
+
+let spine_ok t ~pod ~plane =
+  t.spine_ok.((pod * t.topo.Topology.spines_per_pod) + plane)
+
+let is_stale t ~group site =
+  let key = Srule_state.site_key site in
+  List.exists
+    (fun (g, s) -> g = group && Srule_state.site_key s = key)
+    t.stale_sites

@@ -1,0 +1,80 @@
+(** Pure, immutable view of everything a controller has installed — the
+    input language of the symbolic forwarding-equivalence layer
+    ({!Verify} in [lib/verify]).
+
+    The view deliberately contains only what the data plane can observe:
+    per-group memberships and encodings (p-rules, s-rules, defaults),
+    per-sender upstream overrides, switch/link health as the controller
+    believes it, switches denied for s-rule installs, and stale fabric
+    sites carrying compensated (truthful) entries. It is a plain record of
+    plain data — no hooks, no clocks, no ledger — so it can be produced
+    equally by a live {!Controller.t}, a {!Controller.snapshot}, a
+    {!Replica.t}, or built by hand in tests. All bitmaps and arrays are
+    owned by the view (producers deep-copy), so a view stays valid across
+    later controller mutations. *)
+
+type override = {
+  up_leaf_ports : Bitmap.t;  (** planes the sender's leaf forwards up on *)
+  up_spine_ports : Bitmap.t option;
+      (** core ports (within each chosen plane) when the tree leaves the
+          sender's pod; [None] on single-pod trees *)
+  unicast : bool;  (** degrade this sender to hypervisor unicast *)
+}
+(** Mirror of the controller's per-sender upstream override (§3.3): when a
+    flow's ECMP path crosses a failed element, the multipath flags of its
+    upstream rules are replaced by these explicit port sets. *)
+
+type group_view = {
+  gid : int;
+  receivers : int list;  (** member hosts with a receiving role, ascending *)
+  senders : int list;  (** member hosts with a sending role, ascending *)
+  enc : Encoding.t option;
+      (** the installed encoding; [None] when the group has no receivers
+          (or was degraded to pure unicast) *)
+  overrides : (int * override) list;
+      (** sender host -> installed override, ascending by host *)
+}
+
+type t = {
+  topo : Topology.t;
+  params : Params.t;
+  groups : group_view list;  (** ascending by [gid] *)
+  spine_ok : bool array;  (** per physical spine *)
+  core_ok : bool array;  (** per physical core (length ≥ 1) *)
+  link_ok : bool array;  (** leaf↔plane links, index [leaf * spp + plane] *)
+  denied_leaf : bool array;
+      (** leaves excluded from s-rule eligibility after exhausted installs *)
+  denied_pod : bool array;
+  stale_sites : (int * Srule_state.site) list;
+      (** (group, site) fabric entries whose removal failed and now hold a
+          compensated truthful bitmap, ascending by (group, site key) *)
+}
+
+val make :
+  ?spine_ok:bool array ->
+  ?core_ok:bool array ->
+  ?link_ok:bool array ->
+  ?denied_leaf:bool array ->
+  ?denied_pod:bool array ->
+  ?stale_sites:(int * Srule_state.site) list ->
+  Topology.t ->
+  Params.t ->
+  group_view list ->
+  t
+(** Builds a view; health arrays default to all-healthy, denial arrays to
+    all-allowed and [stale_sites] to empty. Group views are sorted by
+    [gid]. The arrays are used as given (not copied): callers constructing
+    views by hand own them. *)
+
+val group : t -> int -> group_view option
+(** The view of one group, if present. *)
+
+val group_ids : t -> int list
+(** All group ids, ascending. *)
+
+val link_ok : t -> leaf:int -> plane:int -> bool
+val spine_ok : t -> pod:int -> plane:int -> bool
+(** Health of the physical spine [pod * spp + plane]. *)
+
+val is_stale : t -> group:int -> Srule_state.site -> bool
+(** Does the view record a compensated stale fabric entry at this site? *)

@@ -43,3 +43,7 @@ let recovered t =
       ctrl)
 
 let crash t = t.ctrl <- recovered t
+
+let installed_config t = Controller.installed_config t.ctrl
+
+let checkpoint_config t = Controller.installed_config_of_snapshot t.snap

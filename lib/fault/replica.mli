@@ -42,3 +42,11 @@ val recovered : t -> Controller.t
 
 val crash : t -> unit
 (** Replace the live controller with {!recovered} — the crash itself. *)
+
+val installed_config : t -> Installed_config.t
+(** The live controller's {!Installed_config.t} view (for symbolic
+    equivalence checks against {!recovered}). *)
+
+val checkpoint_config : t -> Installed_config.t
+(** The installed-configuration view of the {e latest checkpoint} — built
+    straight from the snapshot, without restoring a controller. *)

@@ -1,0 +1,345 @@
+type witness = { w_group : int; w_switch : Pred.switch; w_port : int }
+
+let pp_witness ppf w =
+  Format.fprintf ppf "%d/%a/%d" w.w_group Pred.pp_switch w.w_switch w.w_port
+
+let bitmap_opt_get bm i =
+  match bm with Some bm -> Bitmap.get bm i | None -> false
+
+(* Downstream assignment of one logical switch under the installed state,
+   resolved as the switch parser does: p-rule identifier scan, then the
+   group-table entry — the compensated truthful bitmap when the site is
+   stale, the clustering's s-rule otherwise — then the default p-rule,
+   which applies to any switch falling through. [None] means the switch
+   forwards nothing (equivalently, an empty bitmap). *)
+let assigned cfg ~group ~site (enc : Encoding.t) =
+  let layer, id, truthful =
+    match site with
+    | Srule_state.Leaf l ->
+        (enc.Encoding.d_leaf, l, Tree.leaf_bitmap enc.Encoding.tree l)
+    | Srule_state.Pod p ->
+        (enc.Encoding.d_spine, p, Tree.spine_bitmap enc.Encoding.tree p)
+  in
+  match
+    List.find_opt (fun r -> Prule.rule_mem r id) layer.Clustering.prules
+  with
+  | Some r -> Some r.Prule.bitmap
+  | None ->
+      if Installed_config.is_stale cfg ~group site then truthful
+      else (
+        match List.assoc_opt id layer.Clustering.srules with
+        | Some bm -> Some bm
+        | None -> (
+            match layer.Clustering.default with
+            | Some (_, bm) -> Some bm
+            | None -> None))
+
+let compile ctx cfg ~group =
+  match Installed_config.group cfg group with
+  | None -> Pred.of_pairs ctx []
+  | Some g -> (
+      match (g.Installed_config.receivers, g.Installed_config.enc) with
+      | [], _ | _, None -> Pred.of_pairs ctx []
+      | receivers, Some enc ->
+          let topo = cfg.Installed_config.topo in
+          let spec = Tree.of_members topo receivers in
+          let tree = enc.Encoding.tree in
+          (* On a multi-pod topology some sender always sits outside any
+             given pod, so cross-pod reachability (core bitmap + downstream
+             spine assignment) is required for every receiver pod — the
+             encoder sets the core bit even for single-pod trees. *)
+          let cross_pod = topo.Topology.pods > 1 in
+          let acc = ref [] in
+          let add sw port = acc := (sw, port) :: !acc in
+          List.iter
+            (fun (p, spec_spine) ->
+              let core_covered =
+                (not cross_pod) || Bitmap.get tree.Tree.core_bitmap p
+              in
+              if cross_pod && core_covered then add Pred.Core p;
+              let in_pod = Tree.spine_bitmap tree p in
+              let down_spine =
+                if cross_pod then
+                  assigned cfg ~group ~site:(Srule_state.Pod p) enc
+                else None
+              in
+              Bitmap.iter
+                (fun lp ->
+                  let spine_covered =
+                    bitmap_opt_get in_pod lp
+                    && ((not cross_pod)
+                       || (core_covered && bitmap_opt_get down_spine lp))
+                  in
+                  if spine_covered then begin
+                    add (Pred.Spine p) lp;
+                    let l = (p * topo.Topology.leaves_per_pod) + lp in
+                    match
+                      ( Tree.leaf_bitmap spec l,
+                        assigned cfg ~group ~site:(Srule_state.Leaf l) enc,
+                        Tree.leaf_bitmap tree l )
+                    with
+                    | Some spec_ports, Some down_leaf, Some tree_ports ->
+                        Bitmap.iter
+                          (fun q ->
+                            if Bitmap.get down_leaf q && Bitmap.get tree_ports q
+                            then add (Pred.Leaf l) q)
+                          spec_ports
+                    | _, _, _ -> ()
+                  end)
+                spec_spine)
+            spec.Tree.spine_bitmaps;
+          Pred.of_pairs ctx !acc)
+
+let intent ctx cfg ~group =
+  match Installed_config.group cfg group with
+  | None -> Pred.of_pairs ctx []
+  | Some g -> (
+      match g.Installed_config.receivers with
+      | [] -> Pred.of_pairs ctx []
+      | receivers ->
+          let topo = cfg.Installed_config.topo in
+          let spec = Tree.of_members topo receivers in
+          let cross_pod = topo.Topology.pods > 1 in
+          let acc = ref [] in
+          let add sw port = acc := (sw, port) :: !acc in
+          List.iter
+            (fun (p, bm) ->
+              if cross_pod then add Pred.Core p;
+              Bitmap.iter (fun lp -> add (Pred.Spine p) lp) bm)
+            spec.Tree.spine_bitmaps;
+          List.iter
+            (fun (l, bm) -> Bitmap.iter (fun q -> add (Pred.Leaf l) q) bm)
+            spec.Tree.leaf_bitmaps;
+          Pred.of_pairs ctx !acc)
+
+let compile_sender ctx cfg ~group ~sender =
+  match Installed_config.group cfg group with
+  | None -> None
+  | Some g -> (
+      match g.Installed_config.enc with
+      | None -> None
+      | Some enc -> (
+          let ov = List.assoc_opt sender g.Installed_config.overrides in
+          match ov with
+          | Some o when o.Installed_config.unicast -> None
+          | ov ->
+              let topo = cfg.Installed_config.topo in
+              let tree = enc.Encoding.tree in
+              let cpp = topo.Topology.cores_per_plane in
+              let lpp = topo.Topology.leaves_per_pod in
+              let sl = Topology.leaf_of_host topo sender in
+              let sp = Topology.pod_of_leaf topo sl in
+              let hash = Ecmp.flow_hash ~group ~sender in
+              let acc = ref [] in
+              let add sw port = acc := (sw, port) :: !acc in
+              (* Co-located delivery: the sender leaf's tree ports minus
+                 the sender itself (the hypervisor serves co-resident
+                 member VMs directly). *)
+              (match Tree.leaf_bitmap tree sl with
+              | None -> ()
+              | Some bm ->
+                  let sport = Topology.host_port_on_leaf topo sender in
+                  Bitmap.iter
+                    (fun q -> if q <> sport then add (Pred.Leaf sl) q)
+                    bm);
+              let at_leaf_down l =
+                match assigned cfg ~group ~site:(Srule_state.Leaf l) enc with
+                | None -> ()
+                | Some bm -> Bitmap.iter (fun q -> add (Pred.Leaf l) q) bm
+              in
+              let at_spine_down ~plane p =
+                match assigned cfg ~group ~site:(Srule_state.Pod p) enc with
+                | None -> ()
+                | Some bm ->
+                    Bitmap.iter
+                      (fun lp ->
+                        let leaf = (p * lpp) + lp in
+                        if Installed_config.link_ok cfg ~leaf ~plane then begin
+                          add (Pred.Spine p) lp;
+                          at_leaf_down leaf
+                        end)
+                      bm
+              in
+              let at_core ~plane c =
+                if cfg.Installed_config.core_ok.(c) then
+                  (* The header's core bitmap: tree pods minus the
+                     sender's own (reached via the upstream spine). *)
+                  Bitmap.iter
+                    (fun p ->
+                      if p <> sp then begin
+                        add Pred.Core p;
+                        if Installed_config.spine_ok cfg ~pod:p ~plane then
+                          at_spine_down ~plane p
+                      end)
+                    tree.Tree.core_bitmap
+              in
+              let other_leaves_in_pod =
+                List.exists
+                  (fun (l, _) -> l <> sl && Topology.pod_of_leaf topo l = sp)
+                  tree.Tree.leaf_bitmaps
+              in
+              let other_pods =
+                List.exists (fun (p, _) -> p <> sp) tree.Tree.spine_bitmaps
+              in
+              let beyond_leaf = other_leaves_in_pod || other_pods in
+              let at_spine_up plane =
+                (* In-pod downstream: the sender pod's tree leaves minus
+                   the sender's own, link-gated per plane. *)
+                (match Tree.spine_bitmap tree sp with
+                | None -> ()
+                | Some bm ->
+                    let slp = Topology.leaf_port_on_spine topo sl in
+                    Bitmap.iter
+                      (fun lp ->
+                        if lp <> slp then begin
+                          let leaf = (sp * lpp) + lp in
+                          if Installed_config.link_ok cfg ~leaf ~plane then begin
+                            add (Pred.Spine sp) lp;
+                            at_leaf_down leaf
+                          end
+                        end)
+                      bm);
+                let cores =
+                  match ov with
+                  | Some { Installed_config.up_spine_ports = Some ports; _ }
+                    when other_pods ->
+                      List.map
+                        (fun q -> (plane * cpp) + q)
+                        (Bitmap.to_list ports)
+                  | _ ->
+                      if other_pods && cpp > 0 then
+                        [ Ecmp.core_choice topo ~hash ~plane ]
+                      else []
+                in
+                List.iter (at_core ~plane) cores
+              in
+              if beyond_leaf then begin
+                let planes =
+                  match ov with
+                  | Some o -> Bitmap.to_list o.Installed_config.up_leaf_ports
+                  | None -> [ Ecmp.spine_choice topo ~hash ]
+                in
+                List.iter
+                  (fun plane ->
+                    if
+                      Installed_config.link_ok cfg ~leaf:sl ~plane
+                      && Installed_config.spine_ok cfg ~pod:sp ~plane
+                    then at_spine_up plane)
+                  planes
+              end;
+              Some (Pred.of_pairs ctx !acc)))
+
+let receiver_endpoints ctx cfg ~group ~sender =
+  match Installed_config.group cfg group with
+  | None -> Pred.of_pairs ctx []
+  | Some g ->
+      let topo = cfg.Installed_config.topo in
+      g.Installed_config.receivers
+      |> List.filter_map (fun h ->
+             if h = sender then None
+             else
+               Some
+                 ( Pred.Leaf (Topology.leaf_of_host topo h),
+                   Topology.host_port_on_leaf topo h ))
+      |> Pred.of_pairs ctx
+
+let header_pred ctx topo ~sender (h : Prule.header) =
+  let lpp = topo.Topology.leaves_per_pod in
+  let sl = Topology.leaf_of_host topo sender in
+  let sp = Topology.pod_of_leaf topo sl in
+  let acc = ref [] in
+  let add sw port = acc := (sw, port) :: !acc in
+  let matched rules id default =
+    match List.find_opt (fun r -> Prule.rule_mem r id) rules with
+    | Some r -> Some r.Prule.bitmap
+    | None -> default
+  in
+  let at_leaf_down l =
+    match matched h.Prule.d_leaf l h.Prule.d_leaf_default with
+    | None -> ()
+    | Some bm -> Bitmap.iter (fun q -> add (Pred.Leaf l) q) bm
+  in
+  let at_spine_down p =
+    match matched h.Prule.d_spine p h.Prule.d_spine_default with
+    | None -> ()
+    | Some bm ->
+        Bitmap.iter
+          (fun lp ->
+            add (Pred.Spine p) lp;
+            at_leaf_down ((p * lpp) + lp))
+          bm
+  in
+  let at_core () =
+    match h.Prule.core with
+    | None -> ()
+    | Some bm ->
+        Bitmap.iter
+          (fun p ->
+            add Pred.Core p;
+            at_spine_down p)
+          bm
+  in
+  let at_spine_up () =
+    match h.Prule.u_spine with
+    | None -> ()
+    | Some u ->
+        Bitmap.iter
+          (fun lp ->
+            add (Pred.Spine sp) lp;
+            at_leaf_down ((sp * lpp) + lp))
+          u.Prule.down;
+        if u.Prule.multipath then begin
+          if topo.Topology.cores_per_plane > 0 then at_core ()
+        end
+        else if not (Bitmap.is_empty u.Prule.up) then at_core ()
+  in
+  let u = h.Prule.u_leaf in
+  Bitmap.iter (fun q -> add (Pred.Leaf sl) q) u.Prule.down;
+  if u.Prule.multipath || not (Bitmap.is_empty u.Prule.up) then at_spine_up ();
+  Pred.of_pairs ctx !acc
+
+let equiv = Pred.equiv
+let subsumes = Pred.subsumes
+
+let witness ~group (sw, port) =
+  { w_group = group; w_switch = sw; w_port = port }
+
+let diff ~group a b = Option.map (witness ~group) (Pred.first_diff a b)
+
+let check_equiv ~group a b =
+  match Pred.first_diff a b with
+  | None -> Ok ()
+  | Some e -> Error (witness ~group e)
+
+let check_subsumes ~group ~big ~small =
+  match Pred.first_missing ~big ~small with
+  | None -> Ok ()
+  | Some e -> Error (witness ~group e)
+
+let check_config cfg =
+  let ctx = Pred.create_ctx () in
+  let rec go n = function
+    | [] -> Ok n
+    | gid :: rest -> (
+        let c = compile ctx cfg ~group:gid in
+        let i = intent ctx cfg ~group:gid in
+        match check_equiv ~group:gid c i with
+        | Ok () -> go (n + 1) rest
+        | Error w -> Error w)
+  in
+  go 0 (Installed_config.group_ids cfg)
+
+let check_controller ctrl = check_config (Controller.installed_config ctrl)
+
+let probe ctrl fabric ~group ~sender =
+  match Controller.encoding ctrl ~group with
+  | None -> None
+  | Some enc -> (
+      match Controller.header ctrl ~group ~sender with
+      | None -> None
+      | Some header ->
+          let report = Fabric.inject fabric ~sender ~group ~header ~payload:64 in
+          let ok =
+            Fabric.deliveries_correct report ~tree:enc.Encoding.tree ~sender
+          in
+          Some (ok, report.Fabric.transmissions))

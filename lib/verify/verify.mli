@@ -1,0 +1,129 @@
+(** The symbolic forwarding-equivalence layer: compiles an installed
+    configuration ({!Installed_config.t}) into canonical delivery
+    predicates ({!Pred.t}) and decides equivalence/subsumption with
+    counterexample witnesses.
+
+    Three compilers interpret the same rule language at different levels:
+
+    - {!compile} — sender-agnostic: the set of tree edges the installed
+      downstream state (p-rules, compensated stale entries, s-rules,
+      default p-rules) guarantees to {e every} sender, intersected with
+      the group's specification tree (the {!Tree.t} of its receivers).
+      Spurious ports from rule sharing are abstracted away, so two
+      encodings of the same membership — e.g. the incremental engine's
+      and a from-scratch re-encode's — compile to the {e same} predicate
+      exactly when they deliver to the same receivers.
+    - {!compile_sender} — per-sender: the exact delivery edges of one
+      sender's packet, mirroring the data-plane walk (upstream rules,
+      per-sender overrides, ECMP choices, switch/link health) without
+      abstracting spurious ports. The chaos oracle's zero-blackhole
+      property is [subsumes ~big:(compile_sender faulted) ~small:
+      (receiver_endpoints ...)]. Note this is a {e coverage} statement:
+      duplicate delivery is invisible to a set-based predicate and stays
+      the packet-level probe's job.
+    - {!header_pred} — header-only: interprets a raw {!Prule.header} on an
+      all-healthy fabric with {e empty} group tables (p-rules and default
+      only). Because it depends on nothing but the header's own bits, it
+      is the codec round-trip oracle: encode/decode must preserve it.
+
+    All predicates from one checking session must be interned in one
+    {!Pred.ctx}. *)
+
+type witness = {
+  w_group : int;
+  w_switch : Pred.switch;
+  w_port : int;
+}
+(** A counterexample: the canonically first forwarding edge on which two
+    predicates disagree. Because predicates sort core before spines before
+    leaves, the witness names the {e topmost} divergence. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+(** Renders [gid/switch/port], e.g. [7/leaf3/5]. *)
+
+(** {1 Compilers} *)
+
+val compile : Pred.ctx -> Installed_config.t -> group:int -> Pred.t
+(** The canonical delivery predicate of one group: for every receiver pod,
+    leaf and host port of the specification tree, the edge is present iff
+    the installed state forwards on it under {e both} reachability modes
+    (in-pod via the upstream spine rule's tree bitmap; cross-pod — on
+    multi-pod topologies — via the core bitmap and the downstream spine
+    assignment), with each layer gated on its parent. Downstream
+    assignments follow the switch parser: p-rule scan, then the
+    compensated truthful entry at a stale site, then the s-rule, then the
+    default p-rule. A group with no receivers or no installed encoding
+    compiles to the empty predicate. *)
+
+val intent : Pred.ctx -> Installed_config.t -> group:int -> Pred.t
+(** What the group's membership {e means}: every edge of the specification
+    tree present. [compile cfg g] equals [intent cfg g] exactly when the
+    installed state loses no receiver. *)
+
+val compile_sender :
+  Pred.ctx -> Installed_config.t -> group:int -> sender:int -> Pred.t option
+(** The exact delivery edges of [sender]'s packet under the installed
+    state and recorded health: upstream overrides replace multipath, ECMP
+    plane/core choices use {!Ecmp.flow_hash}, and dead spines, cores and
+    leaf↔spine links cut the walk exactly where {!Fabric.inject} would
+    lose the packet. Unlike {!compile} this does {e not} intersect with
+    the specification tree — spurious ports from rule sharing appear, as
+    they do on the wire. [None] when the group has no encoding or the
+    sender is degraded to hypervisor unicast (nothing traverses the
+    fabric). *)
+
+val receiver_endpoints :
+  Pred.ctx -> Installed_config.t -> group:int -> sender:int -> Pred.t
+(** The endpoint-only obligation of a sender: one [Leaf] edge per receiver
+    other than the sender itself. The [small] side of the zero-blackhole
+    subsumption. *)
+
+val header_pred :
+  Pred.ctx -> Topology.t -> sender:int -> Prule.header -> Pred.t
+(** Interprets a raw header from [sender]'s leaf on an all-healthy fabric
+    with empty group tables: upstream rules walk up (any plane — the
+    logical predicate is plane-free), the core rule fans out to pods, and
+    each downstream layer matches p-rules then the default. Depends only
+    on the header's bits, making it the codec round-trip invariant. *)
+
+(** {1 Decision procedures} *)
+
+val equiv : Pred.t -> Pred.t -> bool
+(** {!Pred.equiv} — constant-time pointer equality within one universe. *)
+
+val subsumes : big:Pred.t -> small:Pred.t -> bool
+(** {!Pred.subsumes}. *)
+
+val diff : group:int -> Pred.t -> Pred.t -> witness option
+(** The first edge present in exactly one predicate, as a witness. *)
+
+val check_equiv : group:int -> Pred.t -> Pred.t -> (unit, witness) result
+(** [Ok ()] iff the edge sets are equal; otherwise the first divergence. *)
+
+val check_subsumes :
+  group:int -> big:Pred.t -> small:Pred.t -> (unit, witness) result
+(** [Ok ()] iff every edge of [small] is in [big]; otherwise the first
+    missing edge. *)
+
+val check_config : Installed_config.t -> (int, witness) result
+(** Checks [compile = intent] for every group of the view, in ascending
+    group order. [Ok n] after checking [n] groups; [Error w] names the
+    first counterexample — the first receiver-path edge the installed
+    state fails to cover. *)
+
+val check_controller : Controller.t -> (int, witness) result
+(** {!check_config} on the controller's own {!Controller.installed_config}
+    view — a live controller checked against its own trees. *)
+
+(** {1 Packet-level probe}
+
+    The packet interpretation of the same semantics, extracted here so the
+    churn driver and the fault tests share one copy. *)
+
+val probe :
+  Controller.t -> Fabric.t -> group:int -> sender:int -> (bool * int) option
+(** Compute the controller's current header for [(group, sender)], inject
+    it into the fabric, and report [(all receivers other than the sender
+    got exactly one copy, link transmissions)]. [None] when the group
+    currently has no multicast path to probe (no encoding, or unicast
+    fallback — delivered by the hypervisor, not the fabric). *)

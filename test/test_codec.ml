@@ -87,6 +87,23 @@ let prop_stage_roundtrip t name =
       in
       List.for_all check stages)
 
+(* The symbolic meaning survives the wire: encoding then decoding an
+   arbitrary header preserves its delivery predicate under the header-only
+   interpretation ([Verify.header_pred]), for any sender position. Stronger
+   than structural equality alone would suggest: it pins down that the
+   codec cannot reorder, merge or drop rules in a way that changes what any
+   switch would forward. *)
+let prop_predicate_roundtrip t name =
+  let arb = QCheck.pair (arb_header t) (QCheck.int_range 0 (Topology.num_hosts t - 1)) in
+  QCheck.Test.make ~name ~count:300 arb (fun (h, sender) ->
+      let ctx = Pred.create_ctx () in
+      let before = Verify.header_pred ctx t ~sender h in
+      let after =
+        Verify.header_pred ctx t ~sender
+          (Header_codec.decode t (Header_codec.encode t h))
+      in
+      Verify.equiv before after)
+
 let prop_parts_concat t name =
   QCheck.Test.make ~name ~count:200 (arb_header t) (fun h ->
       Header_codec.encode_per_rule_writes t h
@@ -161,6 +178,10 @@ let tests =
     QCheck_alcotest.to_alcotest
       (prop_size_accounting topo "size accounting (example topo)");
     QCheck_alcotest.to_alcotest (prop_size_accounting fabric "size accounting (fabric)");
+    QCheck_alcotest.to_alcotest
+      (prop_predicate_roundtrip topo "predicate unchanged by codec (example topo)");
+    QCheck_alcotest.to_alcotest
+      (prop_predicate_roundtrip fabric "predicate unchanged by codec (fabric)");
     QCheck_alcotest.to_alcotest (prop_stage_sizes topo "stage sizes (example topo)");
     QCheck_alcotest.to_alcotest (prop_stage_roundtrip topo "stage roundtrip");
     QCheck_alcotest.to_alcotest (prop_parts_concat topo "parts concat = per-rule bytes");

@@ -30,6 +30,7 @@ let () =
       ("extensions", Test_extensions.tests);
       ("nonclos", Test_nonclos.tests);
       ("reliable", Test_reliable.tests);
+      ("verify", Test_verify.tests);
       ("p4gen", Test_p4gen.tests);
       ("vxlan", Test_vxlan.tests);
       ("tenant-api", Test_tenant_api.tests);

@@ -37,15 +37,13 @@ let faulty_setup schedule =
   in
   (ctrl, fabric, fault)
 
+(* The shared packet probe ([Verify.probe], also used by [Churn.fault_run]).
+   These tests expect a multicast path to exist, so [None] (no encoding /
+   unicast fallback) counts as a failure. *)
 let delivery_ok ctrl fabric ~group ~sender =
-  match Controller.encoding ctrl ~group with
+  match Verify.probe ctrl fabric ~group ~sender with
+  | Some (ok, _) -> ok
   | None -> false
-  | Some enc -> (
-      match Controller.header ctrl ~group ~sender with
-      | None -> false
-      | Some header ->
-          let report = Fabric.inject fabric ~sender ~group ~header ~payload:64 in
-          Fabric.deliveries_correct report ~tree:enc.Encoding.tree ~sender)
 
 (* {1 Retry / backoff} *)
 
@@ -289,6 +287,7 @@ let test_crash_recovery_bit_identical () =
   in
   Alcotest.(check int) "100 distinct crash points" 100
     (List.length crash_points);
+  let ctx = Pred.create_ctx () in
   let checked = ref 0 in
   List.iteri
     (fun i op ->
@@ -299,7 +298,44 @@ let test_crash_recovery_bit_identical () =
         Alcotest.(check bool)
           (Printf.sprintf "recovery at event %d is bit-identical" (i + 1))
           true
-          (same_controller_state recovered (Replica.controller replica) ~groups)
+          (same_controller_state recovered (Replica.controller replica) ~groups);
+        (* Symbolic equivalence: the recovered instance compiles to the
+           same delivery predicates as the never-crashed one — per group
+           and per sender (which also covers overrides and health). *)
+        let live = Replica.installed_config replica in
+        let rec_cfg = Controller.installed_config recovered in
+        List.iter
+          (fun gid ->
+            (match
+               Verify.check_equiv ~group:gid
+                 (Verify.compile ctx live ~group:gid)
+                 (Verify.compile ctx rec_cfg ~group:gid)
+             with
+            | Ok () -> ()
+            | Error w ->
+                Alcotest.failf "event %d: recovery diverges, witness %a"
+                  (i + 1) Verify.pp_witness w);
+            List.iter
+              (fun host ->
+                let side cfg =
+                  Verify.compile_sender ctx cfg ~group:gid ~sender:host
+                in
+                match (side live, side rec_cfg) with
+                | None, None -> ()
+                | Some a, Some b -> (
+                    match Verify.check_equiv ~group:gid a b with
+                    | Ok () -> ()
+                    | Error w ->
+                        Alcotest.failf
+                          "event %d sender %d: recovery diverges, witness %a"
+                          (i + 1) host Verify.pp_witness w)
+                | Some _, None | None, Some _ ->
+                    Alcotest.failf
+                      "event %d sender %d: unicast degrade diverges after \
+                       recovery"
+                      (i + 1) host)
+              members.(gid))
+          (List.init groups Fun.id)
       end)
     ops;
   Alcotest.(check int) "all crash points exercised" 100 !checked;
@@ -469,29 +505,62 @@ let prop_faulted_chaos_never_blackholes =
       done;
       if (Controller.install_stats ctrl).Controller.stale_entries > 0 then
         false
-      else
-        match Controller.encoding ctrl ~group:1 with
-        | None -> true
-        | Some enc ->
-            let tree = enc.Encoding.tree in
-            List.for_all
-              (fun (sender, role) ->
-                match role with
-                | Controller.Receiver -> true
-                | Controller.Sender | Controller.Both -> (
-                    match Controller.header ctrl ~group:1 ~sender with
-                    | None -> true (* explicit unicast degrade *)
-                    | Some header ->
-                        let report =
-                          Fabric.inject fabric ~sender ~group:1 ~header
-                            ~payload:64
+      else begin
+        (* Zero-blackhole, stated symbolically: for every sender the
+           compiled per-sender delivery predicate must subsume the
+           receiver endpoints ([None] = explicit unicast degrade, the
+           hypervisor delivers). The fabric is truthful here (stale
+           markers drained, health flipped in lockstep), so the symbolic
+           walk must also agree endpoint-for-endpoint with a real packet
+           injection — the two interpretations cross-validate on every
+           generated fault state. *)
+        let cfg = Controller.installed_config ctrl in
+        let ctx = Pred.create_ctx () in
+        List.for_all
+          (fun (sender, role) ->
+            match role with
+            | Controller.Receiver -> true
+            | Controller.Sender | Controller.Both -> (
+                match Verify.compile_sender ctx cfg ~group:1 ~sender with
+                | None ->
+                    (* the controller must agree this sender is degraded *)
+                    Controller.header ctrl ~group:1 ~sender = None
+                | Some delivered -> (
+                    let symbolic = Pred.leaf_endpoints delivered ~topo in
+                    let injected =
+                      match Controller.header ctrl ~group:1 ~sender with
+                      | None -> None
+                      | Some header ->
+                          let report =
+                            Fabric.inject fabric ~sender ~group:1 ~header
+                              ~payload:64
+                          in
+                          Some (List.map fst report.Fabric.delivered)
+                    in
+                    match injected with
+                    | None ->
+                        QCheck.Test.fail_reportf
+                          "sender %d: symbolic path but no header" sender
+                    | Some hosts when List.sort_uniq compare hosts <> symbolic
+                      ->
+                        QCheck.Test.fail_reportf
+                          "sender %d: symbolic endpoints disagree with \
+                           injection"
+                          sender
+                    | Some _ -> (
+                        let need =
+                          Verify.receiver_endpoints ctx cfg ~group:1 ~sender
                         in
-                        Array.for_all
-                          (fun m ->
-                            m = sender
-                            || List.mem_assoc m report.Fabric.delivered)
-                          tree.Tree.members))
-              (Controller.members ctrl ~group:1))
+                        match
+                          Verify.check_subsumes ~group:1 ~big:delivered
+                            ~small:need
+                        with
+                        | Ok () -> true
+                        | Error w ->
+                            QCheck.Test.fail_reportf
+                              "blackhole, witness %a" Verify.pp_witness w))))
+          (Controller.members ctrl ~group:1)
+      end)
 
 (* {1 Twin-controller fault run} *)
 

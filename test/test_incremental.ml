@@ -1,8 +1,10 @@
 (* Randomized oracle for the incremental encoding engine: drive long mixed
-   join/leave streams through an incremental controller, then check the live
-   (fast-path-mutated) encoding against a from-scratch [Tree.of_members] /
-   [Encoding.encode] view of the same membership — same receiver set, same
-   Hmax/Kmax/R/Fmax budgets, packets still delivered exactly. *)
+   join/leave streams through an incremental controller and check, after
+   EVERY event, that the live (fast-path-mutated) state and a from-scratch
+   controller over the same membership compile to the same symbolic delivery
+   predicate — and that neither loses a receiver (compile == intent). The
+   heavier structural checks (budgets, ledger occupancy, exact bitmaps) and
+   packet-level delivery checks still run periodically. *)
 
 let topo = Topology.running_example ()
 let h = topo.Topology.hosts_per_leaf
@@ -154,10 +156,42 @@ let random_role rng =
   | 1 -> Controller.Receiver
   | _ -> Controller.Both
 
+(* The exhaustive symbolic oracle: a from-scratch controller over the same
+   memberships must compile to pointer-identical delivery predicates for
+   every group, and the live compile must equal the membership's intent (no
+   receiver silently lost). Runs after every single event — no sampling. *)
+let check_symbolic ctx msg ctrl =
+  let live = Controller.installed_config ctrl in
+  let scratch = Controller.create (Controller.topology ctrl) (Controller.params ctrl) in
+  List.iter
+    (fun gid ->
+      match Controller.members ctrl ~group:gid with
+      | [] -> ()
+      | ms -> ignore (Controller.add_group scratch ~group:gid ms))
+    (Installed_config.group_ids live);
+  let scfg = Controller.installed_config scratch in
+  List.iter
+    (fun gid ->
+      let inc = Verify.compile ctx live ~group:gid in
+      let scr = Verify.compile ctx scfg ~group:gid in
+      (match Verify.check_equiv ~group:gid inc scr with
+      | Ok () -> ()
+      | Error w ->
+          Alcotest.failf "%s: incremental != scratch, witness %a" msg
+            Verify.pp_witness w);
+      match Verify.check_equiv ~group:gid inc (Verify.intent ctx live ~group:gid) with
+      | Ok () -> ()
+      | Error w ->
+          Alcotest.failf "%s: installed state loses a receiver, witness %a"
+            msg Verify.pp_witness w)
+    (Installed_config.group_ids live)
+
 (* One oracle run: [events] uniformly mixed joins/leaves on a single group,
-   equivalence-checked every 50 events and delivery-checked every 100. *)
+   symbolically checked after every event, structurally checked every 50
+   and delivery-checked (packet level) every 100. *)
 let run_stream ~seed ~events params =
   let ctrl, fabric = make params in
+  let ctx = Pred.create_ctx () in
   let rng = Rng.create seed in
   let n = Topology.num_hosts topo in
   let initial =
@@ -182,6 +216,7 @@ let run_stream ~seed ~events params =
       ignore (Controller.leave ctrl ~group ~host)
     end;
     let msg = Printf.sprintf "seed %d event %d" seed ev in
+    check_symbolic ctx msg ctrl;
     if ev mod 50 = 0 || ev = events then check_equivalent msg params ctrl ~group;
     if ev mod 100 = 0 || ev = events then check_delivery msg ctrl fabric ~group
   done;

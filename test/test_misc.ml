@@ -68,10 +68,48 @@ let test_tree_validate_and_ecmp_ranges () =
     (Invalid_argument "Ecmp.core_choice: two-tier topology has no cores")
     (fun () -> ignore (Ecmp.core_choice tt ~hash:7 ~plane:0))
 
+(* End-to-end CLI smoke: `elmo-sim verify` exits 0 on a healthy controller
+   and nonzero with a gid/switch/port counterexample under --corrupt. *)
+let test_sim_verify_cli () =
+  (* Resolve the CLI next to this test binary so the check is independent
+     of the working directory (`dune runtest` vs `dune exec`). *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/elmo_sim.exe"
+  in
+  let read_all file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let run args =
+    let out = Filename.temp_file "elmo_sim_verify" ".out" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s verify --example --groups 8 %s > %s 2>&1"
+           (Filename.quote exe) args (Filename.quote out))
+    in
+    let text = read_all out in
+    Sys.remove out;
+    (code, text)
+  in
+  let ok, ok_out = run "" in
+  if ok <> 0 then Alcotest.failf "healthy verify exited %d:\n%s" ok ok_out;
+  Alcotest.(check bool) "reports group count" true
+    (Astring.String.is_infix ~affix:"ok: 8 groups" ok_out);
+  let bad, bad_out = run "--corrupt" in
+  Alcotest.(check bool) "corrupted run exits nonzero" true (bad <> 0);
+  Alcotest.(check bool) "prints a gid/switch/port counterexample" true
+    (Astring.String.is_infix ~affix:"counterexample: 0/leaf" bad_out)
+
 let tests =
   [
     Alcotest.test_case "update-set algebra" `Quick test_update_algebra;
     Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
     Alcotest.test_case "multi-DC with three sites" `Quick test_multidc_three_sites;
     Alcotest.test_case "validate and ECMP ranges" `Quick test_tree_validate_and_ecmp_ranges;
+    Alcotest.test_case "elmo-sim verify CLI" `Quick test_sim_verify_cli;
   ]

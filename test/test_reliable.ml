@@ -85,6 +85,65 @@ let test_in_order_prefix_semantics () =
   Alcotest.(check bool) "repair completes" true (Reliable.repair_until_complete s);
   Alcotest.(check int) "prefix resumes" 3 (Reliable.delivered_in_order s remote)
 
+(* The same session, expressed symbolically over a hand-built view (no
+   controller involved): healthy, the per-sender predicate subsumes every
+   receiver endpoint; with the flow's spine down it must not — the witness
+   names exactly the first remote receiver the repair protocol will have to
+   fill in — and after recovery the predicate is pointer-identical to the
+   healthy one again. *)
+let view ?spine_ok () =
+  let tree = Tree.of_members topo members in
+  let srules = Srule_state.create topo ~fmax:100 in
+  let enc = Encoding.encode Params.default srules tree in
+  let g =
+    {
+      Installed_config.gid = 5;
+      receivers = members;
+      senders = [ 0 ];
+      enc = Some enc;
+      overrides = [];
+    }
+  in
+  Installed_config.make ?spine_ok topo Params.default [ g ]
+
+let test_symbolic_coverage_mirrors_outage () =
+  let ctx = Pred.create_ctx () in
+  let healthy = view () in
+  let need = Verify.receiver_endpoints ctx healthy ~group:5 ~sender:0 in
+  let healthy_pred =
+    match Verify.compile_sender ctx healthy ~group:5 ~sender:0 with
+    | None -> Alcotest.fail "healthy session must have a multicast path"
+    | Some d -> d
+  in
+  Alcotest.(check bool) "healthy: covers every receiver" true
+    (Verify.subsumes ~big:healthy_pred ~small:need);
+  Alcotest.(check bool) "healthy: compile matches intent" true
+    (Verify.equiv
+       (Verify.compile ctx healthy ~group:5)
+       (Verify.intent ctx healthy ~group:5));
+  (* Fail the spine this flow rides — the view's health, not the fabric's. *)
+  let victim = failing_spine ~group:5 ~sender:0 in
+  let spine_ok = Array.make (Topology.num_spines topo) true in
+  spine_ok.(victim) <- false;
+  let failed = view ~spine_ok () in
+  (match Verify.compile_sender ctx failed ~group:5 ~sender:0 with
+  | None -> Alcotest.fail "outage is a lossy path, not a unicast degrade"
+  | Some d -> (
+      match Verify.check_subsumes ~group:5 ~big:d ~small:need with
+      | Ok () -> Alcotest.fail "a dead spine must lose the remote receivers"
+      | Error w ->
+          (* first receiver beyond the sender's leaf, in canonical order *)
+          Alcotest.(check string) "outage witness" "5/leaf5/2"
+            (Format.asprintf "%a" Verify.pp_witness w)));
+  (* Recovery: a fresh all-healthy view compiles to the same predicate —
+     pointer-identical, since both live in one universe. *)
+  let recovered = view () in
+  match Verify.compile_sender ctx recovered ~group:5 ~sender:0 with
+  | None -> Alcotest.fail "recovered session must have a multicast path"
+  | Some d ->
+      Alcotest.(check bool) "recovered == healthy (hash-consed)" true
+        (Verify.equiv healthy_pred d)
+
 let test_non_receiver_raises () =
   let _, s = session () in
   Alcotest.check_raises "sender is not a receiver" Not_found (fun () ->
@@ -98,5 +157,7 @@ let tests =
     Alcotest.test_case "recovery after failure" `Quick test_recovery_after_failure;
     Alcotest.test_case "duplicates discarded" `Quick test_duplicates_discarded;
     Alcotest.test_case "in-order prefix" `Quick test_in_order_prefix_semantics;
+    Alcotest.test_case "symbolic coverage mirrors the outage" `Quick
+      test_symbolic_coverage_mirrors_outage;
     Alcotest.test_case "non-receiver raises" `Quick test_non_receiver_raises;
   ]
