@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-parallel bench-faults bench-verify clean
+.PHONY: all check test lint bench bench-churn bench-parallel bench-faults bench-shard bench-verify clean
 
 all:
 	dune build
@@ -34,6 +34,13 @@ bench-parallel:
 # blackhole counts that must stay at zero).
 bench-faults:
 	dune exec bench/main.exe -- faults
+
+# Sharded-commit scaling: batch install and churn throughput of the per-pod
+# control plane across 1/2/4/8 domains, with occupancy-checksum, conflict
+# and predicate-identity cross-checks vs the sequential controller; writes
+# BENCH_shard.json (ELMO_SHARD_GROUPS scales the group count).
+bench-shard:
+	dune exec bench/main.exe -- shard
 
 # Symbolic-verification throughput: compile every installed group to its
 # canonical delivery predicate and check it against the membership intent;

@@ -370,12 +370,38 @@ let verify_cmd =
     if corrupt then sabotage topo cfg;
     Format.printf "checking %d groups against their own trees (%a)...@."
       groups Topology.pp topo;
-    match Verify.check_config cfg with
+    let cache = Verify.create_cache () in
+    (match Verify.check_config_cached cache cfg ~dirty:(Controller.drain_dirty ctrl) with
     | Ok n ->
         Format.printf "ok: %d groups, installed state == intended delivery@." n
     | Error w ->
         Format.printf "counterexample: %a@." Verify.pp_witness w;
-        exit 1
+        exit 1);
+    (* Demonstrate the incremental oracle: one membership event should
+       invalidate exactly one group's cached predicates. *)
+    if not corrupt then begin
+      let gid = 0 in
+      (match Controller.members ctrl ~group:gid with
+      | (host, _) :: _ ->
+          ignore (Controller.leave ctrl ~group:gid ~host);
+          ignore (Controller.join ctrl ~group:gid ~host ~role:Controller.Both)
+      | [] -> ());
+      let dirty = Controller.drain_dirty ctrl in
+      match
+        Verify.check_config_cached cache
+          (Controller.installed_config ctrl)
+          ~dirty
+      with
+      | Ok n ->
+          let hits, misses = Verify.cache_stats cache in
+          Format.printf
+            "re-check after churn on group %d: %d groups ok, %d recompiled, \
+             cache %d hits / %d misses@."
+            gid n (List.length dirty) hits misses
+      | Error w ->
+          Format.printf "counterexample after churn: %a@." Verify.pp_witness w;
+          exit 1
+    end
   in
   Cmd.v
     (Cmd.info "verify"

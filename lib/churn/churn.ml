@@ -167,6 +167,14 @@ let run rng ctrl placement groups ~events ~events_per_second ~li =
   let host_active h = placement.Vm_placement.host_load.(h) > 0 in
   let all _ = true in
   let stats1 = Controller.churn_stats ctrl in
+  (* Export where the run's load landed across the control plane's per-pod
+     shards, for the metrics dump and the shard benchmark. *)
+  List.iter
+    (fun (s : Controller.shard_stat) ->
+      Obs.gauge
+        (Printf.sprintf "churn.shard.%d.events" s.Controller.shard_pod)
+        (float_of_int s.Controller.shard_churn_events))
+    (Controller.shard_stats ctrl);
   {
     events = !performed;
     fast_path = stats1.Controller.fast_path - stats0.Controller.fast_path;

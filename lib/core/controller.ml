@@ -64,6 +64,15 @@ type install_stats = {
   stale_entries : int;
 }
 
+type shard_stat = {
+  shard_pod : int;
+  shard_groups : int;  (* batch groups committed on this shard *)
+  shard_conflicts : int;
+  shard_single_pod : int;
+  shard_cross_pod : int;
+  shard_churn_events : int;  (* join/leave events on this pod's hosts *)
+}
+
 type t = {
   topo : Topology.t;
   params : Params.t;
@@ -93,6 +102,15 @@ type t = {
   mutable install_exhausted : int;
   mutable degradations : int;
   mutable compensations : int;
+  shard_batch : Shard.stats array;
+      (* cumulative per-pod commit-phase accounting from sharded batches;
+         updated only on the calling domain, after [Shard.run] returns *)
+  shard_events : int array;
+      (* per-pod join/leave events, attributed to the changed host's pod *)
+  dirty : (int, unit) Hashtbl.t;
+      (* groups whose installed view may have changed since the last
+         [drain_dirty] — feeds the verify layer's predicate-cache
+         invalidation *)
 }
 
 let create ?fabric_hooks ?clock ?(incremental = true) topo params =
@@ -124,6 +142,9 @@ let create ?fabric_hooks ?clock ?(incremental = true) topo params =
     install_exhausted = 0;
     degradations = 0;
     compensations = 0;
+    shard_batch = Array.make topo.Topology.pods Shard.zero;
+    shard_events = Array.make topo.Topology.pods 0;
+    dirty = Hashtbl.create 64;
   }
 
 let topology t = t.topo
@@ -144,6 +165,24 @@ let find_group t group =
   match Hashtbl.find_opt t.groups group with
   | Some st -> st
   | None -> raise Not_found
+
+(* {1 Dirty-group tracking}
+
+   Every mutation that can change a group's installed view — membership,
+   encoding, overrides, stale markers — marks the group dirty. The verify
+   layer drains the set to invalidate exactly the cached delivery
+   predicates that could have changed, instead of recompiling every group
+   after every event. Marking is conservative: a marked group whose view
+   happens to be unchanged merely costs one recompile. *)
+
+let mark_dirty t group = Hashtbl.replace t.dirty group ()
+
+let drain_dirty t =
+  let gids = Hashtbl.fold (fun g () acc -> g :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.sort Int.compare gids
+
+let dirty_count t = Hashtbl.length t.dirty
 
 (* {1 Reliable rule installation}
 
@@ -227,9 +266,14 @@ let reliable t hooks ~group op =
 let stale_key t ~group site = (group * t.stale_stride) + Srule_state.site_key site
 let mark_stale t ~group site =
   Obs.incr "controller.stale_marked";
+  mark_dirty t group;
   Hashtbl.replace t.stale (stale_key t ~group site) (group, site)
 
-let unmark_stale t ~group site = Hashtbl.remove t.stale (stale_key t ~group site)
+let unmark_stale t ~group site =
+  if Hashtbl.mem t.stale (stale_key t ~group site) then begin
+    mark_dirty t group;
+    Hashtbl.remove t.stale (stale_key t ~group site)
+  end
 
 (* {1 Encoding lifecycle} *)
 
@@ -450,6 +494,7 @@ let flow_impacted t ~group tree ~sender =
           target_pods)
 
 let refresh_overrides t ~group st =
+  mark_dirty t group;
   Hashtbl.reset st.applied;
   match st.enc with
   | None -> ()
@@ -831,6 +876,7 @@ let add_group t ~group members =
   @@ fun () ->
   let st = { members; enc = None; applied = Hashtbl.create 1 } in
   Hashtbl.add t.groups group st;
+  mark_dirty t group;
   encode_group t st;
   install_with_degrade t ~group st;
   if not (all_healthy t) then refresh_overrides t ~group st;
@@ -850,11 +896,141 @@ let add_group t ~group members =
   }
 
 (* Two-phase batch install (§5.1.3 control-plane setup): encode all groups
-   in parallel against a frozen capacity snapshot, then commit sequentially
-   in ascending group order. A commit whose recorded capacity probes no
-   longer hold against the live ledger re-encodes that one group in place —
-   so the result is bit-identical to running {!add_group} sequentially in
-   the same order, for any domain count. *)
+   in parallel against a frozen capacity snapshot, then commit. Hook-free
+   controllers commit through the per-pod shard scheduler ({!Shard}):
+   single-pod groups proceed on their shard with no global ordering, and
+   cross-pod groups serialize in gid order only against the groups they
+   actually share a pod with — yet outcomes stay bit-identical to running
+   {!add_group} sequentially in ascending gid order, for any domain count.
+   Fabric-attached controllers keep the fully-sequential interleaved
+   commit+install loop: the hooks are single-domain, and a degradation
+   during one group's install (denied switch, stale marker) is observable
+   by the commits and re-encodes of every later group. *)
+
+(* Post-commit registration of one batch group — always on the calling
+   domain, in ascending gid order, identical for both commit paths. *)
+let register_batch_group t ~group st hyp leaves pods =
+  Hashtbl.add t.groups group st;
+  mark_dirty t group;
+  install_with_degrade t ~group st;
+  if not (all_healthy t) then refresh_overrides t ~group st;
+  hyp := List.rev_append (List.map fst st.members) !hyp;
+  match st.enc with
+  | None -> ()
+  | Some e ->
+      leaves :=
+        List.rev_append
+          (List.map fst e.Encoding.d_leaf.Clustering.srules)
+          !leaves;
+      pods :=
+        List.rev_append
+          (List.map fst e.Encoding.d_spine.Clustering.srules)
+          !pods
+
+let batch_updates hyp leaves pods =
+  {
+    hypervisors = List.sort_uniq compare !hyp;
+    leaves = List.sort_uniq compare !leaves;
+    pods = List.sort_uniq compare !pods;
+  }
+
+(* The optimistic capacity decisions no longer hold: re-run Algorithm 1
+   against the live ledger, exactly as the sequential path would have. The
+   tree is a pure function of the receiver set, so the optimistic one is
+   reusable — and on the sharded path it also bounds where the re-encode
+   may probe (the group's own pods). *)
+let conflict_reencode t ~group enc =
+  Obs.incr "controller.batch_conflicts";
+  Obs.instant "install_all.conflict" ~attrs:[ ("group", Obs.Int group) ];
+  Obs.with_span "controller.conflict_reencode"
+    ~attrs:[ ("group", Obs.Int group) ]
+    (fun () ->
+      Encoding.encode
+        ~srule_ok_leaf:(srule_ok_leaf t)
+        ~srule_ok_pod:(srule_ok_pod t) t.params t.srules enc.Encoding.tree)
+
+(* Sequential phase 2 for fabric-attached controllers: commit and install
+   interleave per group, in gid order, exactly as before sharding. *)
+let commit_sequential t batch sts encoded =
+  let hyp = ref [] and leaves = ref [] and pods = ref [] in
+  Obs.with_span "install_all.commit" (fun () ->
+      Array.iteri
+        (fun i (group, _) ->
+          let st = sts.(i) in
+          (match encoded.(i) with
+          | None -> ()
+          | Some (enc, txn) -> (
+              match Srule_state.commit t.srules txn with
+              | Ok () -> st.enc <- Some enc
+              | Error _ ->
+                  t.conflicts <- t.conflicts + 1;
+                  st.enc <- Some (conflict_reencode t ~group enc)));
+          register_batch_group t ~group st hyp leaves pods)
+        batch);
+  batch_updates hyp leaves pods
+
+(* Sharded phase 2 for hook-free controllers. Each group's commit — and its
+   conflict re-encode — reads and writes the ledger only at the pods its
+   tree spans, so {!Shard.run} can execute commits of pod-disjoint groups
+   concurrently on the shared ledger while keeping conflict sets in gid
+   order. Without hooks, installation bookkeeping mutates nothing (no
+   fabric, no degradation, no stale markers), so registration runs as a
+   sequential pass afterwards with no observable difference from
+   interleaving it. *)
+let commit_sharded ?pool t batch sts encoded =
+  let hyp = ref [] and leaves = ref [] and pods = ref [] in
+  Obs.with_span "install_all.commit" (fun () ->
+      let tasks = ref [] in
+      Array.iteri
+        (fun i (group, _) ->
+          match encoded.(i) with
+          | None -> ()
+          | Some (enc, txn) ->
+              let st = sts.(i) in
+              let gpods = Shard.pods_of_tree t.topo enc.Encoding.tree in
+              (* A transaction that escaped its tree's pods would break
+                 shard ownership; the probe log is the checkable witness. *)
+              assert (
+                List.for_all
+                  (fun s -> List.mem (Shard.pod_of_site t.topo s) gpods)
+                  (Srule_state.txn_sites txn));
+              let run () =
+                match Srule_state.commit t.srules txn with
+                | Ok () ->
+                    st.enc <- Some enc;
+                    false
+                | Error _ ->
+                    st.enc <- Some (conflict_reencode t ~group enc);
+                    true
+              in
+              tasks := { Shard.gid = group; pods = gpods; run } :: !tasks)
+        batch;
+      let tasks = Array.of_list (List.rev !tasks) in
+      let stats = Shard.run ?pool ~pods:t.topo.Topology.pods tasks in
+      let conflicts =
+        Array.fold_left (fun acc s -> acc + s.Shard.conflicts) 0 stats
+      in
+      t.conflicts <- t.conflicts + conflicts;
+      Array.iteri
+        (fun p b ->
+          let a = t.shard_batch.(p) in
+          t.shard_batch.(p) <-
+            {
+              Shard.committed = a.Shard.committed + b.Shard.committed;
+              conflicts = a.Shard.conflicts + b.Shard.conflicts;
+              single_pod = a.Shard.single_pod + b.Shard.single_pod;
+              cross_pod = a.Shard.cross_pod + b.Shard.cross_pod;
+            };
+          if b.Shard.committed > 0 then
+            Obs.incr_indexed ~n:b.Shard.committed "shard.committed" p;
+          if b.Shard.conflicts > 0 then
+            Obs.incr_indexed ~n:b.Shard.conflicts "shard.conflicts" p)
+        stats;
+      Array.iteri
+        (fun i (group, _) -> register_batch_group t ~group sts.(i) hyp leaves pods)
+        batch);
+  batch_updates hyp leaves pods
+
 let install_all ?(domains = 1) t batch =
   let batch =
     List.sort (fun (g1, _) (g2, _) -> compare g1 g2) batch |> Array.of_list
@@ -893,70 +1069,35 @@ let install_all ?(domains = 1) t batch =
               (Tree.of_members t.topo rcvs),
             txn )
   in
-  let encoded =
-    Obs.with_span "install_all.encode" (fun () ->
-        if domains <= 1 then Array.map encode_one sts
-        else begin
-          (* Worker domains get per-domain observability shards (merged back
-             at pool shutdown); the chunk probe is active only on the wall
-             clock. *)
-          let worker_init, worker_exit = Obs.worker_hooks () in
-          Domain_pool.with_pool ~worker_init ~worker_exit domains (fun pool ->
+  (* The pool (when [domains > 1]) spans both phases: phase 1 fans the
+     optimistic encodes out over it, phase 2 reuses the same workers for
+     the sharded commit. *)
+  let run_phases pool =
+    let encoded =
+      Obs.with_span "install_all.encode" (fun () ->
+          match pool with
+          | None -> Array.map encode_one sts
+          | Some pool ->
               Domain_pool.map ?probe:(Obs.pool_probe ()) pool encode_one sts)
-        end)
+    in
+    match t.hooks with
+    | Some _ -> commit_sequential t batch sts encoded
+    | None -> commit_sharded ?pool t batch sts encoded
   in
-  (* Phase 2: sequential commit in group order. *)
-  let hyp = ref [] and leaves = ref [] and pods = ref [] in
-  Obs.with_span "install_all.commit" (fun () ->
-      Array.iteri
-        (fun i (group, _) ->
-          let st = sts.(i) in
-          (match encoded.(i) with
-          | None -> ()
-          | Some (enc, txn) -> (
-              match Srule_state.commit t.srules txn with
-              | Ok () -> st.enc <- Some enc
-              | Error _ ->
-                  t.conflicts <- t.conflicts + 1;
-                  Obs.incr "controller.batch_conflicts";
-                  Obs.instant "install_all.conflict"
-                    ~attrs:[ ("group", Obs.Int group) ];
-                  (* The optimistic capacity decisions no longer hold: re-run
-                     Algorithm 1 against the live ledger, exactly as the
-                     sequential path would have. The tree is a pure function of
-                     the receiver set, so the optimistic one is reusable. *)
-                  st.enc <-
-                    Some
-                      (Obs.with_span "controller.conflict_reencode"
-                         ~attrs:[ ("group", Obs.Int group) ]
-                         (fun () ->
-                           Encoding.encode
-                             ~srule_ok_leaf:(srule_ok_leaf t)
-                             ~srule_ok_pod:(srule_ok_pod t) t.params t.srules
-                             enc.Encoding.tree))));
-          Hashtbl.add t.groups group st;
-          install_with_degrade t ~group st;
-          if not (all_healthy t) then refresh_overrides t ~group st;
-          hyp := List.rev_append (List.map fst st.members) !hyp;
-          match st.enc with
-          | None -> ()
-          | Some e ->
-              leaves :=
-                List.rev_append
-                  (List.map fst e.Encoding.d_leaf.Clustering.srules)
-                  !leaves;
-              pods :=
-                List.rev_append
-                  (List.map fst e.Encoding.d_spine.Clustering.srules)
-                  !pods)
-        batch);
+  let updates =
+    if domains <= 1 then run_phases None
+    else begin
+      (* Worker domains get per-domain observability shards (merged back
+         at pool shutdown); the chunk probe is active only on the wall
+         clock. *)
+      let worker_init, worker_exit = Obs.worker_hooks () in
+      Domain_pool.with_pool ~worker_init ~worker_exit domains (fun pool ->
+          run_phases (Some pool))
+    end
+  in
   reconcile t;
   check_invariants t ~op:"install_all";
-  {
-    hypervisors = List.sort_uniq compare !hyp;
-    leaves = List.sort_uniq compare !leaves;
-    pods = List.sort_uniq compare !pods;
-  }
+  updates
 
 let batch_conflicts t = t.conflicts
 
@@ -971,6 +1112,7 @@ let remove_group t ~group =
     | None -> ([], [])
   in
   Hashtbl.remove t.groups group;
+  mark_dirty t group;
   reconcile t;
   check_invariants t ~op:"remove_group";
   {
@@ -986,6 +1128,9 @@ let join t ~group ~host ~role =
   Obs.with_span "controller.join"
     ~attrs:[ ("group", Obs.Int group); ("host", Obs.Int host) ]
   @@ fun () ->
+  mark_dirty t group;
+  let hp = Topology.pod_of_host t.topo host in
+  t.shard_events.(hp) <- t.shard_events.(hp) + 1;
   st.members <- st.members @ [ (host, role) ];
   let u =
     match role with
@@ -1015,6 +1160,9 @@ let leave t ~group ~host =
   Obs.with_span "controller.leave"
     ~attrs:[ ("group", Obs.Int group); ("host", Obs.Int host) ]
   @@ fun () ->
+  mark_dirty t group;
+  let hp = Topology.pod_of_host t.topo host in
+  t.shard_events.(hp) <- t.shard_events.(hp) + 1;
   st.members <- List.remove_assoc host st.members;
   let u =
     match role with
@@ -1045,6 +1193,20 @@ let install_stats t =
     compensations = t.compensations;
     stale_entries = Hashtbl.length t.stale;
   }
+
+let shard_stats t =
+  Array.to_list
+    (Array.mapi
+       (fun p (s : Shard.stats) ->
+         {
+           shard_pod = p;
+           shard_groups = s.Shard.committed;
+           shard_conflicts = s.Shard.conflicts;
+           shard_single_pod = s.Shard.single_pod;
+           shard_cross_pod = s.Shard.cross_pod;
+           shard_churn_events = t.shard_events.(p);
+         })
+       t.shard_batch)
 
 let header t ~group ~sender =
   let st = find_group t group in
@@ -1221,6 +1383,8 @@ type snapshot = {
   snap_install_exhausted : int;
   snap_degradations : int;
   snap_compensations : int;
+  snap_shard_batch : Shard.stats array;
+  snap_shard_events : int array;
 }
 
 let copy_override ov =
@@ -1266,6 +1430,8 @@ let snapshot t =
     snap_install_exhausted = t.install_exhausted;
     snap_degradations = t.degradations;
     snap_compensations = t.compensations;
+    snap_shard_batch = Array.copy t.shard_batch;
+    snap_shard_events = Array.copy t.shard_events;
   }
 
 (* {1 Installed-configuration views}
@@ -1348,7 +1514,13 @@ let restore ?fabric_hooks ?clock snap =
   t.install_exhausted <- snap.snap_install_exhausted;
   t.degradations <- snap.snap_degradations;
   t.compensations <- snap.snap_compensations;
+  blit snap.snap_shard_events t.shard_events;
+  Array.blit snap.snap_shard_batch 0 t.shard_batch 0
+    (Array.length snap.snap_shard_batch);
   t.srules <- Srule_state.copy snap.snap_srules;
+  (* A restored controller is a new instance: any predicate cache keyed to
+     it starts cold, and every group counts as dirty until drained. *)
+  Hashtbl.iter (fun g _ -> mark_dirty t g) t.groups;
   t
 
 let installed_config_of_snapshot snap =

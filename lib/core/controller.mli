@@ -100,13 +100,18 @@ val install_all : ?domains:int -> t -> (int * (int * role) list) list -> updates
     processed in ascending group order: phase 1 encodes every group
     concurrently on [domains] worker domains (default 1: inline) against an
     immutable {!Srule_state.snapshot}; phase 2 commits the optimistic
-    s-rule reservations sequentially, re-encoding the rare group whose
-    capacity decisions an earlier commit invalidated. The resulting
-    encodings, s-rule ledger and merged updates are bit-identical to
-    calling {!add_group} per group in ascending group order, for any
-    [domains]. Raises [Invalid_argument] (before any state change) on a
-    duplicate group — in the batch or already installed — or a duplicate
-    member host within one group. *)
+    s-rule reservations. On a hook-free controller the commit phase is
+    {e sharded by pod} ({!Shard}): the same worker domains run the commits
+    (and the rare conflict re-encodes) concurrently for groups whose trees
+    span disjoint pods, serializing gid order only within each pod's
+    conflict set; a fabric-attached controller keeps the fully-sequential
+    interleaved commit+install loop, since hook effects (degradations,
+    stale markers) during one group's install are observable by later
+    groups. Either way the resulting encodings, s-rule ledger and merged
+    updates are bit-identical to calling {!add_group} per group in
+    ascending group order, for any [domains]. Raises [Invalid_argument]
+    (before any state change) on a duplicate group — in the batch or
+    already installed — or a duplicate member host within one group. *)
 
 val batch_conflicts : t -> int
 (** Cumulative count of {!install_all} groups whose optimistic reservations
@@ -136,6 +141,47 @@ type churn_stats = {
 val churn_stats : t -> churn_stats
 (** Cumulative counts over the controller's lifetime. Sender joins/leaves
     touch no rules and count in neither bucket. *)
+
+(** {1 Per-pod shards}
+
+    The control plane's batch commit state partitions by pod (see
+    {!Shard}); the controller keeps cumulative per-pod accounting so the
+    benchmark and observability layers can see where batch and churn load
+    lands. *)
+
+type shard_stat = {
+  shard_pod : int;
+  shard_groups : int;
+      (** batch groups committed on this shard; a cross-pod group counts
+          once, on its lowest pod *)
+  shard_conflicts : int;
+      (** of which the optimistic reservations were invalidated *)
+  shard_single_pod : int;  (** committed via the single-shard fast path *)
+  shard_cross_pod : int;  (** committed via the cross-shard barrier *)
+  shard_churn_events : int;
+      (** join/leave events, attributed to the changed host's pod *)
+}
+
+val shard_stats : t -> shard_stat list
+(** One entry per pod, ascending. Batch counters cover only the sharded
+    commit path (hook-free {!install_all}); churn counters cover every
+    {!join}/{!leave}. *)
+
+(** {1 Dirty-group tracking}
+
+    Every mutation that can change a group's installed view — membership,
+    encoding, overrides, stale markers — marks the group dirty. The verify
+    layer drains the set to invalidate exactly the cached delivery
+    predicates that could have changed ([Verify.check_config_cached])
+    instead of recompiling every group after every event. *)
+
+val drain_dirty : t -> int list
+(** Groups marked dirty since the last drain, sorted ascending; clears the
+    set. A freshly created (or {!restore}d) controller reports every group
+    it holds. *)
+
+val dirty_count : t -> int
+(** Number of currently dirty groups, without draining. *)
 
 (** {1 Reliable installation, degradation and reconciliation}
 

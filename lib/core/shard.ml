@@ -1,0 +1,178 @@
+module Obs = Elmo_obs.Obs
+
+(* Per-pod sharding of the batch commit phase.
+
+   Ownership rule: pod [p] owns the ledger cells of its leaves
+   ([leaf_used.(l)] for [pod_of_leaf l = p]) and its own spine counter
+   ([pod_used.(p)]). A group's encode consults external state only through
+   the capacity probes of the switches in its tree, so a group's commit —
+   and its conflict re-encode — reads and writes nothing outside the pods
+   its tree spans ({!Srule_state.txn_sites} is the checkable witness). The
+   scheduler below exploits that: each pod keeps a gid-ordered queue of the
+   tasks touching it, and a task runs exactly when it heads {e every} queue
+   of its pods. While it runs it stays at those heads, so no other task can
+   touch the same pods; tasks with disjoint pod sets run concurrently on
+   one shared ledger.
+
+   Determinism: per pod, tasks execute in ascending gid order, and a task
+   only ever observes its own pods' cells — which by induction hold exactly
+   the values the fully-sequential gid-order commit would have produced at
+   its turn. Commit outcomes, conflict re-encodes and final occupancy are
+   therefore bit-identical to the sequential controller for any worker
+   count, including the inline (no-pool) path. Gid order is global only
+   {e within} each pod's queue — the cross-pod conflict sets — never across
+   independent pods.
+
+   Liveness: the minimum-gid pending task always heads all of its queues
+   (anything ahead of it would have a smaller gid and still be pending), so
+   a worker can always make progress; a worker waits only while another
+   live worker is executing, whose completion broadcast wakes it. *)
+
+type task = {
+  gid : int;
+  pods : int list;  (* sorted ascending, non-empty *)
+  run : unit -> bool;  (* commit the group; [true] = conflict re-encoded *)
+}
+
+type stats = {
+  committed : int;
+  conflicts : int;
+  single_pod : int;
+  cross_pod : int;
+}
+
+let zero = { committed = 0; conflicts = 0; single_pod = 0; cross_pod = 0 }
+
+exception Scheduler_invariant of string
+(* A violated internal invariant of the commit scheduler — never raised
+   unless the module itself is buggy. Declared (rather than [assert false])
+   so the failure names itself. *)
+
+let pod_of_site topo = function
+  | Srule_state.Leaf l -> Topology.pod_of_leaf topo l
+  | Srule_state.Pod p -> p
+
+let pods_of_tree topo (tree : Tree.t) =
+  List.map (fun (l, _) -> Topology.pod_of_leaf topo l) tree.Tree.leaf_bitmaps
+  @ List.map fst tree.Tree.spine_bitmaps
+  |> List.sort_uniq Int.compare
+
+(* Mutable per-pod accumulator, written only under the scheduler lock. *)
+type acc = {
+  mutable a_committed : int;
+  mutable a_conflicts : int;
+  mutable a_single : int;
+  mutable a_cross : int;
+}
+
+let run ?pool ~pods:npods tasks =
+  let n = Array.length tasks in
+  if npods < 1 then invalid_arg "Shard.run: need at least one pod"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  Array.iteri
+    (fun i t ->
+      if t.pods = [] then invalid_arg "Shard.run: task with no pods"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+      if i > 0 && tasks.(i - 1).gid >= t.gid then
+        invalid_arg "Shard.run: tasks must be in strictly ascending gid order") (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+    tasks;
+  Obs.with_span "shard.commit"
+    ~attrs:[ ("tasks", Obs.Int n); ("pods", Obs.Int npods) ]
+  @@ fun () ->
+  let accs =
+    Array.init npods (fun _ ->
+        { a_committed = 0; a_conflicts = 0; a_single = 0; a_cross = 0 })
+  in
+  if n > 0 then begin
+    (* Per-pod queues of task indices, gid-ascending (tasks are sorted, so
+       appending in index order preserves it). *)
+    let queues = Array.make npods [] in
+    Array.iteri
+      (fun i t -> List.iter (fun p -> queues.(p) <- i :: queues.(p)) t.pods)
+      tasks;
+    Array.iteri (fun p q -> queues.(p) <- List.rev q) queues;
+    let running = Array.make n false in
+    let remaining = ref n in
+    (* Lowest-gid failure wins, so an exception out of a commit or conflict
+       re-encode surfaces deterministically regardless of interleaving. *)
+    let failure = ref None in
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let nworkers = match pool with Some p -> Domain_pool.size p | None -> 1 in
+    (* Shard affinity: each worker resumes scanning at the pod it last
+       committed on, so consecutive single-pod tasks of one pod tend to stay
+       on one domain (warm ledger cells) without any hard pinning. *)
+    let last_pod = Array.init nworkers (fun w -> w mod npods) in
+    let ready i =
+      (not running.(i))
+      && List.for_all
+           (fun p -> match queues.(p) with j :: _ -> j = i | [] -> false)
+           tasks.(i).pods
+    in
+    let find_ready w =
+      let start = last_pod.(w) in
+      let rec scan k =
+        if k = npods then None
+        else
+          let p = (start + k) mod npods in
+          match queues.(p) with
+          | i :: _ when ready i ->
+              last_pod.(w) <- p;
+              Some i
+          | _ -> scan (k + 1)
+      in
+      scan 0
+    in
+    let worker w =
+      Mutex.lock m;
+      let continue = ref true in
+      while !continue do
+        if !remaining = 0 then continue := false
+        else begin
+          match find_ready w with
+          | Some i ->
+              running.(i) <- true;
+              Mutex.unlock m;
+              let result = try Ok (tasks.(i).run ()) with e -> Error e in
+              Mutex.lock m;
+              let t = tasks.(i) in
+              (match result with
+              | Ok conflicted ->
+                  let a = accs.(List.hd t.pods) in
+                  a.a_committed <- a.a_committed + 1;
+                  if conflicted then a.a_conflicts <- a.a_conflicts + 1;
+                  (match t.pods with
+                  | [ _ ] -> a.a_single <- a.a_single + 1
+                  | _ -> a.a_cross <- a.a_cross + 1)
+              | Error e -> (
+                  match !failure with
+                  | Some (g0, _) when g0 <= t.gid -> ()
+                  | Some _ | None -> failure := Some (t.gid, e)));
+              List.iter
+                (fun p ->
+                  match queues.(p) with
+                  | j :: rest when j = i -> queues.(p) <- rest
+                  | _ ->
+                      raise
+                        (Scheduler_invariant
+                           "completed task was not at its queue head"))
+                t.pods;
+              decr remaining;
+              Condition.broadcast c
+          | None -> if !remaining > 0 then Condition.wait c m
+        end
+      done;
+      Mutex.unlock m
+    in
+    (match pool with
+    | None -> worker 0
+    | Some pool -> Domain_pool.run_workers pool worker);
+    match !failure with Some (_, e) -> raise e | None -> ()
+  end;
+  Array.map
+    (fun a ->
+      {
+        committed = a.a_committed;
+        conflicts = a.a_conflicts;
+        single_pod = a.a_single;
+        cross_pod = a.a_cross;
+      })
+    accs

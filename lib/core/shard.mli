@@ -1,0 +1,65 @@
+(** Per-pod sharded commit scheduler for the two-phase batch controller.
+
+    Elmo's s-rule capacity is a per-switch resource and switches belong to
+    pods, so the commit phase partitions naturally: pod [p] owns the ledger
+    cells of its leaves and its own spine counter, and a group's commit (or
+    conflict re-encode) touches only the pods its tree spans. The scheduler
+    keeps one gid-ordered task queue per pod and runs a task exactly when it
+    heads every queue of its pods — single-pod groups (the common case)
+    proceed on their shard without any global ordering, while cross-pod
+    groups form a deterministic two-phase barrier across exactly the shards
+    they touch. Outcomes (commit vs conflict, final occupancy) are
+    bit-identical to fully-sequential ascending-gid commit for any worker
+    count; gid order is enforced only {e within} each pod's queue, never
+    globally.
+
+    The module schedules; it does not know about encodings. The controller
+    supplies one closure per group that performs the commit against the
+    shared {!Srule_state.t} (see its concurrent-commit contract) and
+    reports whether it conflicted. *)
+
+exception Scheduler_invariant of string
+(** Internal scheduler invariant violation; never raised unless the module
+    itself is buggy. *)
+
+type task = {
+  gid : int;  (** group id; tasks must be strictly ascending *)
+  pods : int list;
+      (** pods the group's tree spans — sorted, non-empty; the task runs
+          with exclusive ownership of these shards *)
+  run : unit -> bool;
+      (** performs the commit (and any conflict re-encode); returns [true]
+          iff the commit conflicted. Runs on a worker domain; must touch
+          only the task's pods' ledger cells and state private to the
+          group. *)
+}
+
+type stats = {
+  committed : int;  (** tasks that ran to completion on this shard *)
+  conflicts : int;  (** of which the optimistic commit was invalidated *)
+  single_pod : int;  (** lock-free fast-path tasks (one pod) *)
+  cross_pod : int;  (** tasks that barriered across several shards *)
+}
+(** Per-shard batch accounting. A cross-pod task is attributed to its
+    lowest pod, so totals across shards count every task exactly once. *)
+
+val zero : stats
+
+val pod_of_site : Topology.t -> Srule_state.site -> int
+(** The pod owning a ledger site: [pod_of_leaf] for a leaf, itself for a
+    pod. *)
+
+val pods_of_tree : Topology.t -> Tree.t -> int list
+(** Sorted pods spanned by a tree's leaf and spine bitmaps — the shards a
+    group encoded from that tree can ever probe. *)
+
+val run : ?pool:Domain_pool.t -> pods:int -> task array -> stats array
+(** [run ?pool ~pods tasks] executes every task exactly once under the
+    ownership discipline above and returns per-pod stats (length [pods]).
+    Without a pool the same scheduler runs inline on the calling domain —
+    identical outcomes, no spawning. Tasks must be strictly
+    gid-ascending with non-empty pod lists (raises [Invalid_argument]
+    otherwise). If a task raises, the remaining tasks still drain and the
+    lowest-gid exception is re-raised on the caller; the batch's ledger
+    state is then unspecified, exactly as for an exception out of the
+    sequential commit loop. *)

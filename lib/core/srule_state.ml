@@ -130,6 +130,22 @@ let txn_reserve_pod txn p = txn_probe txn (Pod p) txn.snap.snap_pod.(p)
 let txn_reserved txn =
   Hashtbl.fold (fun _ n acc -> acc + n) txn.extra 0
 
+(* Every site the transaction has probed (granted or not), deduplicated.
+   This is exactly the set of live-ledger cells {!commit} will read — and a
+   subset of them the cells it will write — so a sharded committer can check
+   that a group's transaction stays inside the pods its tree claims. *)
+let txn_sites txn =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc { p_site; granted = _ } ->
+      let k = site_key p_site in
+      if Hashtbl.mem seen k then acc
+      else begin
+        Hashtbl.add seen k ();
+        p_site :: acc
+      end)
+    [] txn.log
+
 let commit t txn =
   if txn.closed then invalid_arg "Srule_state.commit: transaction already committed"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
   Obs.with_span "srule.commit" @@ fun () ->

@@ -19,11 +19,7 @@ let groups_from_env default =
       | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
       | None -> default)
 
-let domains_from_env default =
-  match Sys.getenv_opt "ELMO_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
-  | None -> default
+let domains_from_env default = Domains.from_env default
 
 let paper_scale_groups = 1_000_000
 let paper_scale_fmax = 30_000

@@ -32,7 +32,9 @@ val default_config : unit -> config
 
 val domains_from_env : int -> int
 (** [domains_from_env default] reads [ELMO_DOMAINS] (a positive integer),
-    falling back to [default]. *)
+    falling back to [default]. Alias of {!Domains.from_env}, which warns
+    (once) when the request exceeds the machine's recommended domain
+    count. *)
 
 type point = {
   r : int;

@@ -10,23 +10,36 @@ type op =
   | Fail_link of { leaf : int; plane : int }
   | Recover_link of { leaf : int; plane : int }
 
+(* An op tagged with the pods whose shard state it can touch, computed by
+   the writer against the pre-op controller state ([None] = global: the op
+   can touch every shard). The tags drive shard-scoped recovery
+   ([Replica.recover_shard]): an untagged journal degrades gracefully —
+   every op is treated as global and shard recovery becomes full
+   recovery. *)
+type entry = { e_op : op; e_pods : int list option }
+
 type t = {
-  mutable ops : op list;  (* newest first *)
+  mutable entries : entry list;  (* newest first *)
   mutable n : int;
 }
 
-let create () = { ops = []; n = 0 }
+let create () = { entries = []; n = 0 }
 
-let append t op =
-  t.ops <- op :: t.ops;
+let append ?pods t op =
+  t.entries <- { e_op = op; e_pods = pods } :: t.entries;
   t.n <- t.n + 1
 
 let length t = t.n
-let to_list t = List.rev t.ops
+let entries t = List.rev t.entries
+let to_list t = List.rev_map (fun e -> e.e_op) t.entries
 
-let suffix t ~from =
-  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
-  drop from (to_list t)
+let suffix_entries t ~from =
+  let rec drop k l =
+    if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+  in
+  drop from (entries t)
+
+let suffix t ~from = List.map (fun e -> e.e_op) (suffix_entries t ~from)
 
 let apply ctrl op =
   match op with

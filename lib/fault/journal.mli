@@ -20,10 +20,21 @@ type op =
   | Fail_link of { leaf : int; plane : int }
   | Recover_link of { leaf : int; plane : int }
 
+type entry = { e_op : op; e_pods : int list option }
+(** An op tagged with the pods whose shard state it can touch — computed
+    by the writer against the {e pre-op} controller state (group
+    membership, failed switch location). [None] marks a global op (e.g. a
+    core failure) that every shard-scoped replay must include. The tags
+    drive {!Replica.recover_shard}; an untagged journal degrades
+    gracefully — every op counts as global and shard recovery becomes full
+    recovery. *)
+
 type t
 
 val create : unit -> t
-val append : t -> op -> unit
+
+val append : ?pods:int list -> t -> op -> unit
+(** Appends the op, tagged with [pods] when given (global otherwise). *)
 
 val length : t -> int
 (** Total ops ever appended; journal positions are indices into this. *)
@@ -31,8 +42,14 @@ val length : t -> int
 val to_list : t -> op list
 (** In append order. *)
 
+val entries : t -> entry list
+(** In append order, with shard tags. *)
+
 val suffix : t -> from:int -> op list
 (** Ops appended at position [from] and later, in append order. *)
+
+val suffix_entries : t -> from:int -> entry list
+(** Like {!suffix}, with shard tags. *)
 
 val apply : Controller.t -> op -> unit
 (** Re-executes the op against a controller, discarding its report. *)

@@ -1,3 +1,5 @@
+module Obs = Elmo_obs.Obs
+
 type t = {
   fabric_hooks : Controller.fabric_hooks option;
   snapshot_every : int;
@@ -10,7 +12,7 @@ type t = {
 let checkpoint t =
   t.snap <- Controller.snapshot t.ctrl;
   t.snap_at <- Journal.length t.journal;
-  Elmo_obs.Obs.incr "replica.checkpoints"
+  Obs.incr "replica.checkpoints"
 
 let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true) topo
     params =
@@ -27,20 +29,100 @@ let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true) topo
 let controller t = t.ctrl
 let journal t = t.journal
 
+(* The pods an op can touch, computed against the {e pre-op} controller
+   state. Group ops are tagged with the pods of every member host (senders
+   included: sender-side upstream state and failure overrides live in the
+   sender's pod); spine and link events belong to the pod that owns the
+   switch, since only flows with a member in that pod traverse it; core
+   events are global — any cross-pod group may route through the core. *)
+let pods_of_op t op =
+  let topo = Controller.topology t.ctrl in
+  let pod_of_host h = Topology.pod_of_host topo h in
+  let member_pods group =
+    match Controller.members t.ctrl ~group with
+    | ms -> List.map (fun (h, _) -> pod_of_host h) ms
+    | exception Not_found -> []
+  in
+  match op with
+  | Journal.Add_group { members; _ } ->
+      Some (List.sort_uniq Int.compare (List.map (fun (h, _) -> pod_of_host h) members))
+  | Journal.Remove_group { group } ->
+      Some (List.sort_uniq Int.compare (member_pods group))
+  | Journal.Join { group; host; _ } | Journal.Leave { group; host } ->
+      Some (List.sort_uniq Int.compare (pod_of_host host :: member_pods group))
+  | Journal.Fail_spine s | Journal.Recover_spine s ->
+      Some [ s / topo.Topology.spines_per_pod ]
+  | Journal.Fail_link { leaf; _ } | Journal.Recover_link { leaf; _ } ->
+      Some [ Topology.pod_of_leaf topo leaf ]
+  | Journal.Fail_core _ | Journal.Recover_core _ -> None
+
 let apply t op =
-  Journal.append t.journal op;
+  Journal.append ?pods:(pods_of_op t op) t.journal op;
   Journal.apply t.ctrl op;
   if Journal.length t.journal - t.snap_at >= t.snapshot_every then
     checkpoint t
 
 let recovered t =
-  Elmo_obs.Obs.with_span "replica.recover" (fun () ->
+  Obs.with_span "replica.recover" (fun () ->
       let ctrl = Controller.restore ?fabric_hooks:t.fabric_hooks t.snap in
       let suffix = Journal.suffix t.journal ~from:t.snap_at in
       List.iter (Journal.apply ctrl) suffix;
-      Elmo_obs.Obs.observe "replica.replayed_ops"
-        (float_of_int (List.length suffix));
+      Obs.observe "replica.replayed_ops" (float_of_int (List.length suffix));
       ctrl)
+
+(* Shard-scoped recovery: replay only the suffix ops that can touch
+   [pod]'s shard — its transitive component. Connectivity must be
+   transitive because group ops chain: a join's tag shares pods with the
+   preceding membership ops of the same group, so any op affecting a
+   component group pulls in the whole chain that built that group's
+   state. Global (untagged) ops always replay. For every group whose
+   members stay inside the component, the recovered controller is
+   bit-identical to a full {!recovered} — skipped ops touch only disjoint
+   pods, which the per-pod commit confinement keeps invisible to the
+   component (global counters and out-of-component groups may differ). *)
+let recover_shard t ~pod =
+  Obs.with_span "replica.recover_shard" ~attrs:[ ("pod", Obs.Int pod) ]
+  @@ fun () ->
+  let ctrl = Controller.restore ?fabric_hooks:t.fabric_hooks t.snap in
+  let topo = Controller.topology ctrl in
+  let suffix = Journal.suffix_entries t.journal ~from:t.snap_at in
+  let in_comp = Array.make topo.Topology.pods false in
+  in_comp.(pod) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun e ->
+        match e.Journal.e_pods with
+        | None -> ()
+        | Some ps ->
+            if List.exists (fun p -> in_comp.(p)) ps then
+              List.iter
+                (fun p ->
+                  if not in_comp.(p) then begin
+                    in_comp.(p) <- true;
+                    changed := true
+                  end)
+                ps)
+      suffix
+  done;
+  let relevant e =
+    match e.Journal.e_pods with
+    | None -> true
+    | Some ps -> List.exists (fun p -> in_comp.(p)) ps
+  in
+  let replayed = ref 0 in
+  List.iter
+    (fun e ->
+      if relevant e then begin
+        incr replayed;
+        Journal.apply ctrl e.Journal.e_op
+      end)
+    suffix;
+  Obs.observe "replica.shard_replayed_ops" (float_of_int !replayed);
+  Obs.observe "replica.shard_skipped_ops"
+    (float_of_int (List.length suffix - !replayed));
+  ctrl
 
 let crash t = t.ctrl <- recovered t
 

@@ -30,7 +30,8 @@ val controller : t -> Controller.t
 val journal : t -> Journal.t
 
 val apply : t -> Journal.op -> unit
-(** Journal, execute, auto-checkpoint. *)
+(** Journal (tagged with the pods the op can touch, computed against the
+    pre-op state), execute, auto-checkpoint. *)
 
 val checkpoint : t -> unit
 (** Force a checkpoint at the current journal position. *)
@@ -39,6 +40,16 @@ val recovered : t -> Controller.t
 (** A fresh controller rebuilt from the latest snapshot + journal suffix;
     the live controller is untouched (use this to {e compare} recovery
     against the never-crashed instance). *)
+
+val recover_shard : t -> pod:int -> Controller.t
+(** Shard-scoped recovery: rebuild from the latest snapshot, replaying
+    only the journal-suffix ops whose pod tags are {e transitively
+    connected} to [pod] (ops sharing a pod chain into one component) plus
+    every global op. For groups whose members stay inside that component
+    the result is bit-identical to {!recovered} — skipped ops touch only
+    disjoint pods, which the per-pod commit confinement keeps invisible —
+    while replaying a fraction of the suffix after localized churn.
+    Out-of-component groups and global counters may differ. *)
 
 val crash : t -> unit
 (** Replace the live controller with {!recovered} — the crash itself. *)

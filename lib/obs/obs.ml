@@ -26,6 +26,11 @@ let incr ?(n = 1) name =
   | Some m -> Metrics.incr m ~n name
   | None -> ()
 
+let incr_indexed ?(n = 1) name idx =
+  match (Ctx.current ()).Ctx.metrics with
+  | Some m -> Metrics.incr m ~n (Printf.sprintf "%s.%d" name idx)
+  | None -> ()
+
 let observe name v =
   match (Ctx.current ()).Ctx.metrics with
   | Some m -> Metrics.observe m name v

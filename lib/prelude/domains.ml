@@ -1,0 +1,29 @@
+(* One shared home for worker-domain count selection, so every entry point
+   (bench targets, elmo-sim, experiments) parses ELMO_DOMAINS and clamps the
+   request the same way. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Warn at most once per process: the benches sweep domains ∈ {1,2,4,8} and
+   would otherwise repeat the same line per run. An [Atomic] rather than a
+   [ref] so the helper stays domain-safe wherever it ends up called from. *)
+let warned = Atomic.make false
+
+let clamp n =
+  let n = if n < 1 then 1 else n in
+  let cores = recommended () in
+  if n > cores && Atomic.compare_and_set warned false true then
+    Format.eprintf
+      "elmo: requested %d worker domains but this machine recommends %d \
+       (Domain.recommended_domain_count); extra domains only add scheduling \
+       overhead@."
+      n cores;
+  n
+
+let from_env default =
+  match Sys.getenv_opt "ELMO_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> clamp n
+      | Some _ | None -> clamp default)
+  | None -> clamp default

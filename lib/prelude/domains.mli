@@ -1,0 +1,20 @@
+(** Worker-domain count selection, shared by every entry point.
+
+    Exists so [bench/main.ml], [bin/elmo_sim.ml] and the experiment configs
+    agree on how [ELMO_DOMAINS] is parsed and how out-of-range requests are
+    handled, instead of each keeping its own copy. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val clamp : int -> int
+(** [clamp n] is [max 1 n]; additionally prints a warning on stderr — once
+    per process, not once per call — when [n] exceeds
+    {!recommended}[ ()], since extra domains beyond the core count only add
+    scheduling overhead. *)
+
+val from_env : int -> int
+(** [from_env default] reads [ELMO_DOMAINS] (a positive integer); a missing
+    or malformed value falls back to [default]. The result goes through
+    {!clamp}, so requesting more domains than the machine has cores warns
+    once. *)

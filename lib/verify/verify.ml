@@ -329,7 +329,69 @@ let check_config cfg =
   in
   go 0 (Installed_config.group_ids cfg)
 
+(* {1 Incremental checking}
+
+   [compile] and [intent] depend only on the group's own view (members,
+   encoding, overrides) and the stale table — never on another group and
+   never on the health arrays — so a group whose view did not change since
+   the last check compiles to the same predicate. The cache keeps one
+   persistent hash-consing context and the (compile, intent) pair of every
+   group that last checked [Ok]; a check then recompiles only the groups
+   the caller marked dirty (e.g. from [Controller.drain_dirty]), making
+   the per-event oracle cost proportional to the event's footprint instead
+   of the total group count. *)
+
+type cache = {
+  c_ctx : Pred.ctx;
+  c_preds : (int, Pred.t * Pred.t) Hashtbl.t;
+      (* gid -> (compile, intent), both interned in [c_ctx]; present only
+         for groups whose last check passed, so a cached group needs no
+         re-check — equal then means equal now *)
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+let create_cache () =
+  {
+    c_ctx = Pred.create_ctx ();
+    c_preds = Hashtbl.create 256;
+    c_hits = 0;
+    c_misses = 0;
+  }
+
+let cache_ctx cache = cache.c_ctx
+let cached_preds cache gid = Hashtbl.find_opt cache.c_preds gid
+let cache_stats cache = (cache.c_hits, cache.c_misses)
+
+let check_config_cached cache cfg ~dirty =
+  (* Dirty groups (including removed ones, which the view no longer
+     lists) drop out of the cache before the walk. *)
+  List.iter (fun gid -> Hashtbl.remove cache.c_preds gid) dirty;
+  let rec go n = function
+    | [] -> Ok n
+    | gid :: rest -> (
+        match Hashtbl.find_opt cache.c_preds gid with
+        | Some _ ->
+            cache.c_hits <- cache.c_hits + 1;
+            go (n + 1) rest
+        | None -> (
+            cache.c_misses <- cache.c_misses + 1;
+            let c = compile cache.c_ctx cfg ~group:gid in
+            let i = intent cache.c_ctx cfg ~group:gid in
+            match check_equiv ~group:gid c i with
+            | Ok () ->
+                Hashtbl.add cache.c_preds gid (c, i);
+                go (n + 1) rest
+            | Error w -> Error w))
+  in
+  go 0 (Installed_config.group_ids cfg)
+
 let check_controller ctrl = check_config (Controller.installed_config ctrl)
+
+let check_controller_cached cache ctrl =
+  check_config_cached cache
+    (Controller.installed_config ctrl)
+    ~dirty:(Controller.drain_dirty ctrl)
 
 let probe ctrl fabric ~group ~sender =
   match Controller.encoding ctrl ~group with

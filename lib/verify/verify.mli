@@ -115,6 +115,46 @@ val check_controller : Controller.t -> (int, witness) result
 (** {!check_config} on the controller's own {!Controller.installed_config}
     view — a live controller checked against its own trees. *)
 
+(** {1 Incremental checking}
+
+    {!compile} and {!intent} depend only on the group's own view and the
+    stale table — never on another group, never on the health arrays — so
+    an untouched group compiles to the same predicate it did last time. A
+    {!cache} keeps one persistent hash-consing context plus the
+    (compile, intent) pair of every group whose last check passed;
+    re-checking after an event then recompiles only the groups the caller
+    marks dirty, making the per-event oracle cost proportional to the
+    event's footprint instead of the total group count. *)
+
+type cache
+
+val create_cache : unit -> cache
+
+val cache_ctx : cache -> Pred.ctx
+(** The cache's hash-consing context. Predicates a caller compiles itself
+    (e.g. an independently-built reference controller's) must be interned
+    here to be pointer-comparable with the cached ones. *)
+
+val cached_preds : cache -> int -> (Pred.t * Pred.t) option
+(** The (compile, intent) pair the cache holds for a group, if its last
+    check passed and it has not been invalidated since. *)
+
+val cache_stats : cache -> int * int
+(** Cumulative (hits, misses): groups accepted from cache vs recompiled. *)
+
+val check_config_cached :
+  cache -> Installed_config.t -> dirty:int list -> (int, witness) result
+(** {!check_config} through the cache: every group in [dirty] is dropped
+    and recompiled (a removed group is simply dropped — the view no longer
+    lists it); every other cached group passes without recompilation.
+    Equivalent to {!check_config} whenever [dirty] includes every group
+    whose view changed since the previous call on this cache —
+    {!Controller.drain_dirty} provides exactly that set. *)
+
+val check_controller_cached : cache -> Controller.t -> (int, witness) result
+(** [check_config_cached] on the controller's own view, draining the
+    controller's dirty-group set as the invalidation list. *)
+
 (** {1 Packet-level probe}
 
     The packet interpretation of the same semantics, extracted here so the

@@ -21,6 +21,7 @@ let () =
       ("traffic-fabric", Test_traffic_fabric.tests);
       ("controller", Test_controller.tests);
       ("parallel", Test_parallel.tests);
+      ("shard", Test_shard.tests);
       ("incremental", Test_incremental.tests);
       ("baselines", Test_baselines.tests);
       ("apps", Test_apps.tests);

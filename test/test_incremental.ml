@@ -156,42 +156,55 @@ let random_role rng =
   | 1 -> Controller.Receiver
   | _ -> Controller.Both
 
-(* The exhaustive symbolic oracle: a from-scratch controller over the same
-   memberships must compile to pointer-identical delivery predicates for
-   every group, and the live compile must equal the membership's intent (no
-   receiver silently lost). Runs after every single event — no sampling. *)
-let check_symbolic ctx msg ctrl =
+(* The exhaustive symbolic oracle, incrementalized: the cached checker
+   proves [compile = intent] for every group after every event, but only
+   recompiles the groups the event touched ([Controller.drain_dirty]) —
+   untouched groups pass from the predicate cache. Each touched group is
+   additionally compared against a from-scratch controller re-encoding its
+   membership: any correct encoding of one membership compiles to the same
+   canonical predicate, so the reference controller needs only the touched
+   groups, not the whole configuration. Runs after every single event — no
+   sampling. *)
+let check_symbolic cache msg ctrl =
   let live = Controller.installed_config ctrl in
-  let scratch = Controller.create (Controller.topology ctrl) (Controller.params ctrl) in
-  List.iter
-    (fun gid ->
-      match Controller.members ctrl ~group:gid with
-      | [] -> ()
-      | ms -> ignore (Controller.add_group scratch ~group:gid ms))
-    (Installed_config.group_ids live);
-  let scfg = Controller.installed_config scratch in
-  List.iter
-    (fun gid ->
-      let inc = Verify.compile ctx live ~group:gid in
-      let scr = Verify.compile ctx scfg ~group:gid in
-      (match Verify.check_equiv ~group:gid inc scr with
-      | Ok () -> ()
-      | Error w ->
-          Alcotest.failf "%s: incremental != scratch, witness %a" msg
-            Verify.pp_witness w);
-      match Verify.check_equiv ~group:gid inc (Verify.intent ctx live ~group:gid) with
-      | Ok () -> ()
-      | Error w ->
-          Alcotest.failf "%s: installed state loses a receiver, witness %a"
-            msg Verify.pp_witness w)
-    (Installed_config.group_ids live)
+  let dirty = Controller.drain_dirty ctrl in
+  (match Verify.check_config_cached cache live ~dirty with
+  | Ok _ -> ()
+  | Error w ->
+      Alcotest.failf "%s: installed state loses a receiver, witness %a" msg
+        Verify.pp_witness w);
+  let gids = Installed_config.group_ids live in
+  let touched = List.filter (fun gid -> List.mem gid gids) dirty in
+  if touched <> [] then begin
+    let ctx = Verify.cache_ctx cache in
+    let scratch =
+      Controller.create (Controller.topology ctrl) (Controller.params ctrl)
+    in
+    List.iter
+      (fun gid ->
+        match Controller.members ctrl ~group:gid with
+        | [] -> ()
+        | ms -> ignore (Controller.add_group scratch ~group:gid ms))
+      touched;
+    let scfg = Controller.installed_config scratch in
+    List.iter
+      (fun gid ->
+        let inc = Verify.compile ctx live ~group:gid in
+        let scr = Verify.compile ctx scfg ~group:gid in
+        match Verify.check_equiv ~group:gid inc scr with
+        | Ok () -> ()
+        | Error w ->
+            Alcotest.failf "%s: incremental != scratch, witness %a" msg
+              Verify.pp_witness w)
+      touched
+  end
 
 (* One oracle run: [events] uniformly mixed joins/leaves on a single group,
    symbolically checked after every event, structurally checked every 50
    and delivery-checked (packet level) every 100. *)
 let run_stream ~seed ~events params =
   let ctrl, fabric = make params in
-  let ctx = Pred.create_ctx () in
+  let cache = Verify.create_cache () in
   let rng = Rng.create seed in
   let n = Topology.num_hosts topo in
   let initial =
@@ -216,7 +229,7 @@ let run_stream ~seed ~events params =
       ignore (Controller.leave ctrl ~group ~host)
     end;
     let msg = Printf.sprintf "seed %d event %d" seed ev in
-    check_symbolic ctx msg ctrl;
+    check_symbolic cache msg ctrl;
     if ev mod 50 = 0 || ev = events then check_equivalent msg params ctrl ~group;
     if ev mod 100 = 0 || ev = events then check_delivery msg ctrl fabric ~group
   done;

@@ -1,0 +1,393 @@
+(* The per-pod sharded commit path: the Shard scheduler's ordering, stats
+   and failure discipline; the forced-conflict cross-shard matrix proving
+   the sharded controller bit-identical to the sequential one (occupancy,
+   conflict counts, and pointer-identical delivery predicates); shard-scoped
+   crash recovery; the Domains helper; and the verify-layer predicate
+   cache. *)
+
+(* {1 Shard scheduler} *)
+
+let mk gid pods run = { Shard.gid; pods; run }
+
+let test_shard_stats_attribution () =
+  (* Cross-pod tasks are attributed to their lowest pod, so shard totals
+     count every task exactly once. *)
+  let stats =
+    Shard.run ~pods:2
+      [|
+        mk 0 [ 0 ] (fun () -> false);
+        mk 1 [ 0; 1 ] (fun () -> true);
+        mk 2 [ 1 ] (fun () -> false);
+      |]
+  in
+  Alcotest.(check int) "pod0 committed" 2 stats.(0).Shard.committed;
+  Alcotest.(check int) "pod0 conflicts" 1 stats.(0).Shard.conflicts;
+  Alcotest.(check int) "pod0 single" 1 stats.(0).Shard.single_pod;
+  Alcotest.(check int) "pod0 cross" 1 stats.(0).Shard.cross_pod;
+  Alcotest.(check int) "pod1 committed" 1 stats.(1).Shard.committed;
+  Alcotest.(check int) "pod1 conflicts" 0 stats.(1).Shard.conflicts;
+  Alcotest.(check int) "pod1 single" 1 stats.(1).Shard.single_pod;
+  Alcotest.(check int) "pod1 cross" 0 stats.(1).Shard.cross_pod
+
+let test_shard_per_pod_gid_order () =
+  (* Within each pod's queue, tasks must execute in ascending gid order —
+     the property the bit-identity argument rests on. Checked inline and
+     under a real pool. *)
+  let check pool =
+    let m = Mutex.create () in
+    let log = ref [] in
+    let tasks =
+      Array.init 24 (fun i ->
+          mk i
+            [ i mod 3 ]
+            (fun () ->
+              Mutex.lock m;
+              log := (i mod 3, i) :: !log;
+              Mutex.unlock m;
+              false))
+    in
+    let stats = Shard.run ?pool ~pods:3 tasks in
+    let log = List.rev !log in
+    Alcotest.(check int) "every task ran once" 24 (List.length log);
+    for p = 0 to 2 do
+      let gids = List.filter_map (fun (q, g) -> if q = p then Some g else None) log in
+      let sorted = List.sort Int.compare gids in
+      Alcotest.(check (list int))
+        (Printf.sprintf "pod %d runs in gid order" p)
+        sorted gids;
+      Alcotest.(check int)
+        (Printf.sprintf "pod %d committed" p)
+        8 stats.(p).Shard.committed
+    done
+  in
+  check None;
+  Domain_pool.with_pool 4 (fun pool -> check (Some pool))
+
+let test_shard_mutual_exclusion () =
+  (* Tasks bump a plain (non-atomic) per-pod counter for each of their
+     pods; the ownership discipline must make that race-free, so the final
+     counts equal the queue lengths exactly. *)
+  Domain_pool.with_pool 4 (fun pool ->
+      let npods = 4 in
+      let counters = Array.make npods 0 in
+      let expected = Array.make npods 0 in
+      let rng = Rng.create 42 in
+      let tasks =
+        Array.init 200 (fun i ->
+            let a = Rng.int rng npods in
+            let pods =
+              if Rng.int rng 3 = 0 then
+                List.sort_uniq Int.compare [ a; (a + 1) mod npods ]
+              else [ a ]
+            in
+            List.iter (fun p -> expected.(p) <- expected.(p) + 1) pods;
+            mk i pods (fun () ->
+                List.iter (fun p -> counters.(p) <- counters.(p) + 1) pods;
+                false))
+      in
+      ignore (Shard.run ~pool ~pods:npods tasks);
+      Alcotest.(check (array int)) "no lost updates" expected counters)
+
+let test_shard_validation () =
+  Alcotest.check_raises "no pods"
+    (Invalid_argument "Shard.run: need at least one pod") (fun () ->
+      ignore (Shard.run ~pods:0 [||]));
+  Alcotest.check_raises "task with no pods"
+    (Invalid_argument "Shard.run: task with no pods") (fun () ->
+      ignore (Shard.run ~pods:1 [| mk 0 [] (fun () -> false) |]));
+  Alcotest.check_raises "non-ascending gids"
+    (Invalid_argument "Shard.run: tasks must be in strictly ascending gid order")
+    (fun () ->
+      ignore
+        (Shard.run ~pods:1
+           [| mk 1 [ 0 ] (fun () -> false); mk 1 [ 0 ] (fun () -> false) |]))
+
+let test_shard_lowest_gid_failure () =
+  (* Two tasks raise; the lowest-gid exception must surface regardless of
+     interleaving, and the remaining tasks still drain. *)
+  let ran = ref 0 in
+  let count () = incr ran; false in
+  let tasks =
+    [|
+      mk 1 [ 0 ] count;
+      mk 2 [ 0 ] (fun () -> failwith "first"); (* elmo-lint: allow exception-discipline — test fixture *)
+      mk 3 [ 1 ] (fun () -> failwith "second"); (* elmo-lint: allow exception-discipline — test fixture *)
+      mk 4 [ 1 ] count;
+    |]
+  in
+  Alcotest.check_raises "lowest gid wins" (Failure "first") (fun () ->
+      ignore (Shard.run ~pods:2 tasks));
+  Alcotest.(check int) "surviving tasks drained" 2 !ran
+
+(* {1 Forced-conflict cross-shard matrix} *)
+
+let matrix_topo =
+  Topology.create ~pods:4 ~leaves_per_pod:4 ~spines_per_pod:2 ~hosts_per_leaf:8
+    ~cores_per_plane:2
+
+(* One p-rule per layer and a 3-entry group table: with every group spanning
+   2-3 pods, the batch must take the cross-shard path and fight over s-rule
+   slots, exercising conflict re-encodes under concurrent commit. *)
+let tight_params =
+  Params.create ~hmax_leaf:1 ~hmax_spine:1 ~fmax:3 ~header_budget:None ()
+
+let pod_hosts =
+  Array.init matrix_topo.Topology.pods (fun p ->
+      List.init (Topology.num_hosts matrix_topo) Fun.id
+      |> List.filter (fun h -> Topology.pod_of_host matrix_topo h = p)
+      |> Array.of_list)
+
+(* Every group spans 2 or 3 pods with 2-3 hosts in each. *)
+let make_cross_batch seed =
+  let rng = Rng.create seed in
+  List.init 60 (fun i ->
+      let npods = 2 + Rng.int rng 2 in
+      let first = Rng.int rng matrix_topo.Topology.pods in
+      let pods =
+        List.init npods (fun k -> (first + k) mod matrix_topo.Topology.pods)
+      in
+      let members =
+        List.concat_map
+          (fun p ->
+            let hosts = pod_hosts.(p) in
+            List.init
+              (2 + Rng.int rng 2)
+              (fun _ -> hosts.(Rng.int rng (Array.length hosts))))
+          pods
+        |> List.sort_uniq Int.compare
+        |> List.map (fun h -> (h, Controller.Both))
+      in
+      (i + 1, members))
+
+let run_sequential batch =
+  let ctrl = Controller.create matrix_topo tight_params in
+  List.iter
+    (fun (group, members) -> ignore (Controller.add_group ctrl ~group members))
+    batch;
+  ctrl
+
+let test_cross_shard_conflict_matrix () =
+  List.iter
+    (fun seed ->
+      let batch = make_cross_batch seed in
+      let seq_ctrl = run_sequential batch in
+      let seq_occ s =
+        (Srule_state.leaf_occupancy s, Srule_state.spine_occupancy s)
+      in
+      let ref_occ = seq_occ (Controller.srule_state seq_ctrl) in
+      let seq_cfg = Controller.installed_config seq_ctrl in
+      let conflicts =
+        List.map
+          (fun domains ->
+            let label = Printf.sprintf "seed %d/d=%d" seed domains in
+            let ctrl = Controller.create matrix_topo tight_params in
+            ignore (Controller.install_all ~domains ctrl batch);
+            Alcotest.(check bool)
+              (label ^ ": occupancy bit-identical")
+              true
+              (seq_occ (Controller.srule_state ctrl) = ref_occ);
+            (* Pointer-identical delivery predicates: both configurations
+               compile into one hash-consing context, where equivalence is
+               physical equality. *)
+            let ctx = Pred.create_ctx () in
+            let cfg = Controller.installed_config ctrl in
+            List.iter
+              (fun (group, _) ->
+                if
+                  not
+                    (Verify.equiv
+                       (Verify.compile ctx seq_cfg ~group)
+                       (Verify.compile ctx cfg ~group))
+                then
+                  Alcotest.failf "%s: predicate of group %d diverges" label
+                    group)
+              batch;
+            (* Shard accounting: every group counted exactly once, and this
+               batch is cross-pod by construction. *)
+            let shards = Controller.shard_stats ctrl in
+            let total f = List.fold_left (fun a s -> a + f s) 0 shards in
+            Alcotest.(check int)
+              (label ^ ": every group committed on some shard")
+              (List.length batch)
+              (total (fun s -> s.Controller.shard_groups));
+            Alcotest.(check int)
+              (label ^ ": single+cross = committed")
+              (total (fun s -> s.Controller.shard_groups))
+              (total (fun s ->
+                   s.Controller.shard_single_pod + s.Controller.shard_cross_pod));
+            Alcotest.(check bool)
+              (label ^ ": cross-pod groups present")
+              true
+              (total (fun s -> s.Controller.shard_cross_pod) > 0);
+            Controller.batch_conflicts ctrl)
+          [ 1; 2; 4 ]
+      in
+      match conflicts with
+      | c :: rest ->
+          List.iter
+            (fun c' ->
+              Alcotest.(check int)
+                (Printf.sprintf "seed %d: conflicts independent of domains" seed)
+                c c')
+            rest;
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: tight capacity forces conflicts" seed)
+            true (c > 0)
+      | [] -> assert false)
+    [ 5; 19 ]
+
+(* {1 Shard-scoped crash recovery} *)
+
+let small_topo =
+  Topology.create ~pods:2 ~leaves_per_pod:2 ~spines_per_pod:2 ~hosts_per_leaf:4
+    ~cores_per_plane:1
+
+let loose_params = Params.create ~fmax:50 ()
+
+let host_in pod i =
+  List.init (Topology.num_hosts small_topo) Fun.id
+  |> List.filter (fun h -> Topology.pod_of_host small_topo h = pod)
+  |> fun hs -> List.nth hs i
+
+let members_of ctrl group =
+  match Controller.members ctrl ~group with
+  | ms -> Some (List.sort compare ms)
+  | exception Not_found -> None
+
+let test_recover_shard_skips_disjoint_pods () =
+  let replica = Replica.create ~snapshot_every:1000 small_topo loose_params in
+  let add group hosts =
+    Replica.apply replica
+      (Journal.Add_group
+         { group; members = List.map (fun h -> (h, Controller.Both)) hosts })
+  in
+  add 1 [ host_in 0 0; host_in 0 1 ];
+  add 2 [ host_in 1 0; host_in 1 1 ];
+  Replica.checkpoint replica;
+  (* Post-checkpoint: churn in pod 0, plus pod-1-only ops that a pod-0
+     shard recovery must be free to skip. *)
+  Replica.apply replica
+    (Journal.Join { group = 1; host = host_in 0 2; role = Controller.Both });
+  add 3 [ host_in 1 2; host_in 1 3 ];
+  Replica.apply replica (Journal.Leave { group = 2; host = host_in 1 0 });
+  let full = Replica.recovered replica in
+  let shard0 = Replica.recover_shard replica ~pod:0 in
+  Alcotest.(check bool)
+    "component group bit-identical to full recovery" true
+    (members_of full 1 = members_of shard0 1);
+  (* The component group's delivery predicate matches exactly. *)
+  let ctx = Pred.create_ctx () in
+  Alcotest.(check bool)
+    "component group predicate identical" true
+    (Verify.equiv
+       (Verify.compile ctx (Controller.installed_config full) ~group:1)
+       (Verify.compile ctx (Controller.installed_config shard0) ~group:1));
+  Alcotest.(check bool)
+    "out-of-component group added post-checkpoint is skipped" true
+    (members_of shard0 3 = None && members_of full 3 <> None);
+  Alcotest.(check bool)
+    "out-of-component leave is skipped (checkpoint state kept)" true
+    (members_of shard0 2 <> members_of full 2)
+
+let test_recover_shard_transitive_component () =
+  (* A cross-pod group op connects the pods, so recovery from pod 0 must
+     transitively pull in the pod-1 ops too. *)
+  let replica = Replica.create ~snapshot_every:1000 small_topo loose_params in
+  let add group hosts =
+    Replica.apply replica
+      (Journal.Add_group
+         { group; members = List.map (fun h -> (h, Controller.Both)) hosts })
+  in
+  add 1 [ host_in 0 0 ];
+  Replica.checkpoint replica;
+  add 4 [ host_in 0 1; host_in 1 1 ];
+  (* spans both pods *)
+  add 3 [ host_in 1 2; host_in 1 3 ];
+  let full = Replica.recovered replica in
+  let shard0 = Replica.recover_shard replica ~pod:0 in
+  List.iter
+    (fun group ->
+      Alcotest.(check bool)
+        (Printf.sprintf "group %d identical under transitive recovery" group)
+        true
+        (members_of full group = members_of shard0 group))
+    [ 1; 3; 4 ]
+
+(* {1 Domains helper} *)
+
+let test_domains_clamp () =
+  Alcotest.(check int) "clamp 0" 1 (Domains.clamp 0);
+  Alcotest.(check int) "clamp -5" 1 (Domains.clamp (-5));
+  Alcotest.(check int) "clamp 1" 1 (Domains.clamp 1);
+  Alcotest.(check bool) "recommended positive" true (Domains.recommended () > 0)
+
+let test_domains_from_env () =
+  Unix.putenv "ELMO_DOMAINS" "2";
+  Alcotest.(check int) "parses env" 2 (Domains.from_env 1);
+  Unix.putenv "ELMO_DOMAINS" "bogus";
+  Alcotest.(check int) "malformed falls back" 3 (Domains.from_env 3);
+  Unix.putenv "ELMO_DOMAINS" "-1";
+  Alcotest.(check int) "non-positive falls back" 2 (Domains.from_env 2);
+  Unix.putenv "ELMO_DOMAINS" "";
+  Alcotest.(check int) "empty falls back" 4 (Domains.from_env 4)
+
+(* {1 Verify-layer predicate cache} *)
+
+let test_verify_cache_incremental () =
+  let ctrl = Controller.create small_topo loose_params in
+  List.iter
+    (fun group ->
+      ignore
+        (Controller.add_group ctrl ~group
+           [ (host_in 0 group, Controller.Both); (host_in 1 group, Controller.Both) ]))
+    [ 1; 2; 3 ];
+  let cache = Verify.create_cache () in
+  (match Verify.check_controller_cached cache ctrl with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "healthy controller must verify");
+  Alcotest.(check (pair int int)) "cold: all misses" (0, 3)
+    (Verify.cache_stats cache);
+  (match Verify.check_controller_cached cache ctrl with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "re-check must pass");
+  Alcotest.(check (pair int int)) "warm: all hits" (3, 3)
+    (Verify.cache_stats cache);
+  (* A membership change dirties exactly one group. *)
+  ignore (Controller.join ctrl ~group:2 ~host:(host_in 0 3) ~role:Controller.Both);
+  (match Verify.check_controller_cached cache ctrl with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "post-churn check must pass");
+  Alcotest.(check (pair int int)) "one recompile after churn" (5, 4)
+    (Verify.cache_stats cache);
+  (* A removed group drops out of both the config and the cache. *)
+  ignore (Controller.remove_group ctrl ~group:3);
+  (match Verify.check_controller_cached cache ctrl with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "check after removal must pass");
+  Alcotest.(check (pair int int)) "remaining groups all hit" (7, 4)
+    (Verify.cache_stats cache);
+  Alcotest.(check bool) "removed group evicted" true
+    (Verify.cached_preds cache 3 = None)
+
+let tests =
+  [
+    Alcotest.test_case "shard: stats attribution" `Quick
+      test_shard_stats_attribution;
+    Alcotest.test_case "shard: per-pod gid order" `Quick
+      test_shard_per_pod_gid_order;
+    Alcotest.test_case "shard: mutual exclusion" `Quick
+      test_shard_mutual_exclusion;
+    Alcotest.test_case "shard: validation" `Quick test_shard_validation;
+    Alcotest.test_case "shard: lowest-gid failure wins" `Quick
+      test_shard_lowest_gid_failure;
+    Alcotest.test_case "cross-shard: forced-conflict matrix" `Slow
+      test_cross_shard_conflict_matrix;
+    Alcotest.test_case "recovery: shard skips disjoint pods" `Quick
+      test_recover_shard_skips_disjoint_pods;
+    Alcotest.test_case "recovery: transitive pod component" `Quick
+      test_recover_shard_transitive_component;
+    Alcotest.test_case "domains: clamp" `Quick test_domains_clamp;
+    Alcotest.test_case "domains: from_env" `Quick test_domains_from_env;
+    Alcotest.test_case "verify cache: incremental hits" `Quick
+      test_verify_cache_incremental;
+  ]
