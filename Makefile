@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-parallel bench-faults bench-shard bench-verify clean
+.PHONY: all check test lint bench bench-churn bench-hotpath bench-parallel bench-faults bench-shard bench-verify clean
 
 all:
 	dune build
@@ -22,6 +22,13 @@ bench:
 # BENCH_churn.json (events/sec, fast-path hit rate, p99 re-encode time).
 bench-churn:
 	dune exec bench/main.exe -- churn
+
+# Hot-path kernel benchmark: raw apply_delta churn throughput with a
+# Gc.minor_words allocation probe (exits nonzero if the zero-alloc claim
+# breaks at runtime); writes BENCH_hotpath.json and compares events/sec
+# against the incremental controller in BENCH_churn.json when present.
+bench-hotpath:
+	dune exec bench/main.exe -- hotpath
 
 # Domain-scaling benchmark for the two-phase batch controller; writes
 # BENCH_parallel.json (groups/sec at 1/2/4 domains vs the sequential

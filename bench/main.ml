@@ -5,7 +5,7 @@
    Usage: main.exe [target ...]
    Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
             table3 ablation twotier nonclos legacy bisection strawman churn
-            parallel faults shard verify micro all (default: all)
+            hotpath parallel faults shard verify micro all (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
    ELMO_FULL=1 runs the paper's full million groups.
@@ -1178,6 +1178,173 @@ let micro () =
     "@.(paper: controller computes p-/s-rules for a group in 0.20 ms +/- 0.45 \
      ms)@."
 
+(* {1 Hot path: the raw apply_delta kernel, proven allocation-free} *)
+
+(* Pull the incremental controller's events/s out of BENCH_churn.json (if a
+   prior `bench churn` left one) with a plain text scan — the file is our
+   own fixed format, no JSON parser needed. *)
+let churn_reference_events_per_sec () =
+  if not (Sys.file_exists "BENCH_churn.json") then None
+  else begin
+    let ic = open_in "BENCH_churn.json" in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let anchor = {|"mode": "incremental", "events_per_sec": |} in
+    let alen = String.length anchor in
+    let rec find i =
+      if i + alen > String.length text then None
+      else if String.sub text i alen = anchor then Some (i + alen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < String.length text
+          && (match text.[!stop] with
+             | '0' .. '9' | '.' | '-' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub text start (!stop - start))
+  end
+
+let hotpath () =
+  hr "Hot path: zero-alloc apply_delta churn kernel (BENCH_hotpath.json)";
+  let topo =
+    Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
+      ~hosts_per_leaf:32 ~cores_per_plane:4
+  in
+  let events =
+    match Sys.getenv_opt "ELMO_HOTPATH_EVENTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_HOTPATH_EVENTS must be a positive integer (got %S)@." s;
+            exit 1)
+    | None -> 200_000
+  in
+  let group_size = 1_000 in
+  (* The kernel must never fall back mid-run: lift the staleness ceiling
+     above the event count. *)
+  let params =
+    Params.create ~r:12 ~staleness_limit:(events + 8_192) ~header_budget:None ()
+  in
+  let rng = Rng.create 97 in
+  let n = Topology.num_hosts topo in
+  let hosts = Array.init n Fun.id in
+  Rng.shuffle rng hosts;
+  let members = Array.to_list (Array.sub hosts 0 group_size) in
+  let srules = Srule_state.create topo ~fmax:params.Params.fmax in
+  let enc = Encoding.encode params srules (Tree.of_members topo members) in
+  (* Churn a non-member host behind a leaf that keeps >= 2 members, so the
+     join is never New_leaf and the leave never Emptied_leaf. *)
+  let churn_host =
+    let found = ref (-1) in
+    List.iter
+      (fun (l, bm) ->
+        if !found < 0 && Bitmap.popcount bm >= 2 then
+          for port = 0 to topo.Topology.hosts_per_leaf - 1 do
+            if !found < 0 && not (Bitmap.get bm port) then
+              found := (l * topo.Topology.hosts_per_leaf) + port
+          done)
+      enc.Encoding.tree.Tree.leaf_bitmaps;
+    if !found < 0 then begin
+      printf "no churnable host found@.";
+      exit 1
+    end;
+    !found
+  in
+  let join = Encoding.delta_of_host topo ~joining:true churn_host in
+  let leave = Encoding.delta_of_host topo ~joining:false churn_host in
+  let apply i =
+    match Encoding.apply_delta enc (if i land 1 = 0 then join else leave) with
+    | Encoding.Applied _ -> ()
+    | Encoding.Reencode _ -> failwith "hotpath: fast path declined"
+  in
+  printf "topology: %a; group of %d members; churn host %d; %d events@."
+    Topology.pp topo group_size churn_host events;
+  (* Allocation proof first: the runtime counterpart of the zero-alloc lint
+     verdict on this path. *)
+  let report = Allocs.probe ~warmup:64 ~events:4_096 apply in
+  (match report.Allocs.first_alloc with
+  | Some (event, words) ->
+      printf
+        "FAIL: apply_delta allocated %d minor words at probe event %d (%.1f \
+         words total)@."
+        words event report.Allocs.total_words;
+      exit 1
+  | None ->
+      printf "allocation probe: %.1f minor words over 4096 events — clean@."
+        report.Allocs.total_words);
+  (* Throughput + GC accounting over the full run. *)
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to events - 1 do
+    apply i
+  done;
+  let t1 = Unix.gettimeofday () in
+  let gc1 = Gc.quick_stat () in
+  let total_s = t1 -. t0 in
+  let events_per_sec =
+    if total_s > 0.0 then float_of_int events /. total_s else 0.0
+  in
+  let minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words in
+  let minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections in
+  let promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words in
+  printf "events/s: %.0f (%.1f ns/event)@." events_per_sec
+    (if events_per_sec > 0.0 then 1e9 /. events_per_sec else 0.0);
+  printf "gc: %.1f minor words, %d minor collections, %.1f promoted words@."
+    minor_words minor_collections promoted_words;
+  let reference = churn_reference_events_per_sec () in
+  (match reference with
+  | Some r when r > 0.0 ->
+      printf
+        "vs BENCH_churn.json incremental controller: %.1fx (kernel %.0f vs \
+         full path %.0f ev/s)@."
+        (events_per_sec /. r) events_per_sec r;
+      if events_per_sec < r then
+        printf
+          "WARNING: raw kernel slower than the full controller churn path — \
+           regression@."
+  | Some _ | None ->
+      printf "no BENCH_churn.json reference (run `bench churn` first)@.");
+  let prov =
+    Provenance.capture ~seed:97
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:1 ()
+  in
+  let oc = open_out "BENCH_hotpath.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "hotpath",
+  "provenance": %s,
+  "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32},
+  "members_per_group": %d,
+  "events": %d,
+  "events_per_sec": %.1f,
+  "ns_per_event": %.2f,
+  "probe": {"events": 4096, "minor_words_total": %.1f, "minor_words_per_event": %.4f, "clean": %b},
+  "gc": {"minor_words": %.1f, "minor_collections": %d, "promoted_words": %.1f},
+  "churn_reference_events_per_sec": %s%s
+}
+|}
+    (Provenance.to_json prov) group_size events events_per_sec
+    (if events_per_sec > 0.0 then 1e9 /. events_per_sec else 0.0)
+    report.Allocs.total_words report.Allocs.per_event
+    (report.Allocs.first_alloc = None)
+    minor_words minor_collections promoted_words
+    (match reference with
+    | Some r -> Printf.sprintf "%.1f" r
+    | None -> "null")
+    (metrics_field ());
+  close_out oc;
+  printf "wrote BENCH_hotpath.json@."
+
 let targets =
   [
     ("fig4", fig4);
@@ -1197,6 +1364,7 @@ let targets =
     ("bisection", bisection);
     ("strawman", strawman);
     ("churn", churn);
+    ("hotpath", hotpath);
     ("parallel", parallel);
     ("faults", faults);
     ("shard", shard);

@@ -24,10 +24,10 @@ type t = {
 
 let create fabric ~group ~sender encoding =
   let receivers = Hashtbl.create 16 in
-  Array.iter
+  Tree.iter_members
     (fun h ->
       if h <> sender then Hashtbl.replace receivers h { received = Hashtbl.create 16 })
-    encoding.Encoding.tree.Tree.members;
+    encoding.Encoding.tree;
   {
     fabric;
     group;

@@ -14,13 +14,13 @@ let unicast tree ~sender =
   let topo = tree.Tree.topo in
   let transmissions = ref 0 in
   let copies = ref 0 in
-  Array.iter
+  Tree.iter_members
     (fun h ->
       if h <> sender then begin
         transmissions := !transmissions + path_links topo ~src:sender ~dst:h;
         incr copies
       end)
-    tree.Tree.members;
+    tree;
   { transmissions = !transmissions; source_packets = !copies }
 
 let overlay tree ~sender =

@@ -16,37 +16,70 @@ let create width =
 let width t = t.width
 let copy t = { width = t.width; words = Array.copy t.words }
 
-let check_index t i =
-  if i < 0 || i >= t.width then invalid_arg "Bitmap: index out of bounds"
+(* The kernels below are the innermost loops of apply_delta / clustering
+   and carry zero-alloc obligations: top-level tail-recursive loops over
+   the word arrays (no closures, no refs), checked by elmo-lint and by the
+   Gc.minor_words harness in test_zero_alloc.ml. *)
 
+let check_index t i =
+  if i < 0 || i >= t.width then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Bitmap: index out of bounds"
+
+(* elmo-lint: zero-alloc *)
 let set t i =
   check_index t i;
   t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
 
+(* elmo-lint: zero-alloc *)
 let clear t i =
   check_index t i;
   t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
 
+(* elmo-lint: zero-alloc *)
 let get t i =
   check_index t i;
   t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
 
-let popcount_word w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+(* elmo-lint: zero-alloc *)
+let rec popcount_word_loop w acc =
+  if w = 0 then acc else popcount_word_loop (w land (w - 1)) (acc + 1)
 
-let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+(* elmo-lint: zero-alloc *)
+let popcount_word w = popcount_word_loop w 0
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+(* elmo-lint: zero-alloc *)
+let rec popcount_loop words i acc =
+  if i < 0 then acc
+  else popcount_loop words (i - 1) (acc + popcount_word (Array.unsafe_get words i))
 
-let equal a b = a.width = b.width && a.words = b.words
+(* elmo-lint: zero-alloc *)
+let popcount t = popcount_loop t.words (Array.length t.words - 1) 0
+
+(* elmo-lint: zero-alloc *)
+let rec all_zero words i =
+  i < 0 || (Array.unsafe_get words i = 0 && all_zero words (i - 1))
+
+(* elmo-lint: zero-alloc *)
+let is_empty t = all_zero t.words (Array.length t.words - 1)
+
+(* elmo-lint: zero-alloc *)
+let rec words_equal (a : int array) b i =
+  i < 0 || (Array.unsafe_get a i = Array.unsafe_get b i && words_equal a b (i - 1))
+
+(* Widths equal implies equal word counts, so one length suffices. *)
+(* elmo-lint: zero-alloc *)
+let equal a b =
+  a.width = b.width && words_equal a.words b.words (Array.length a.words - 1)
 
 let compare a b =
   let c = Stdlib.compare a.width b.width in
   if c <> 0 then c else Stdlib.compare a.words b.words
 
 let check_width a b =
-  if a.width <> b.width then invalid_arg "Bitmap: width mismatch"
+  if a.width <> b.width then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Bitmap: width mismatch"
 
 let map2 f a b =
   check_width a b;
@@ -56,32 +89,54 @@ let union a b = map2 ( lor ) a b
 let inter a b = map2 ( land ) a b
 let diff a b = map2 (fun x y -> x land lnot y) a b
 
+(* elmo-lint: zero-alloc *)
 let union_into ~dst src =
   check_width dst src;
-  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+  for i = 0 to Array.length src.words - 1 do
+    Array.unsafe_set dst.words i
+      (Array.unsafe_get dst.words i lor Array.unsafe_get src.words i)
+  done
 
+(* elmo-lint: zero-alloc *)
+let rec subset_loop a b i =
+  i < 0
+  || (Array.unsafe_get a i land lnot (Array.unsafe_get b i) = 0
+     && subset_loop a b (i - 1))
+
+(* elmo-lint: zero-alloc *)
 let subset a b =
   check_width a b;
-  let n = Array.length a.words in
-  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
-  go 0
+  subset_loop a.words b.words (Array.length a.words - 1)
 
+(* elmo-lint: zero-alloc *)
+let rec hamming_words a b i acc =
+  if i < 0 then acc
+  else
+    hamming_words a b (i - 1)
+      (acc + popcount_word (Array.unsafe_get a i lxor Array.unsafe_get b i))
+
+(* elmo-lint: zero-alloc *)
 let hamming a b =
   check_width a b;
-  let acc = ref 0 in
-  Array.iteri (fun i w -> acc := !acc + popcount_word (w lxor b.words.(i))) a.words;
-  !acc
+  hamming_words a.words b.words (Array.length a.words - 1) 0
 
+(* elmo-lint: zero-alloc *)
+let rec cost_words a acc_w i acc =
+  if i < 0 then acc
+  else
+    cost_words a acc_w (i - 1)
+      (acc
+      + popcount_word (Array.unsafe_get a i land lnot (Array.unsafe_get acc_w i)))
+
+(* elmo-lint: zero-alloc *)
 let union_cost a acc_bm =
   check_width a acc_bm;
-  let acc = ref 0 in
-  Array.iteri
-    (fun i w -> acc := !acc + popcount_word (w land lnot acc_bm.words.(i)))
-    a.words;
-  !acc
+  cost_words a.words acc_bm.words (Array.length a.words - 1) 0
 
+(* elmo-lint: zero-alloc *)
 let reset t = Array.fill t.words 0 (Array.length t.words) 0
 
+(* elmo-lint: zero-alloc *)
 let copy_into ~dst src =
   check_width dst src;
   Array.blit src.words 0 dst.words 0 (Array.length src.words)

@@ -773,6 +773,7 @@ let try_fast_delta t ~group st ~host ~joining =
     match st.enc with
     | None -> None
     | Some enc -> (
+        let dleaf = Topology.leaf_of_host t.topo host in
         let delta = Encoding.delta_of_host t.topo ~joining host in
         match Encoding.apply_delta enc delta with
         | Encoding.Reencode reason ->
@@ -792,15 +793,13 @@ let try_fast_delta t ~group st ~host ~joining =
                      the bitmap by reference), but mirror it through the hook
                      so installs stay explicit, verified and accounted. *)
                   let bm =
-                    List.assoc a.Encoding.leaf
-                      enc.Encoding.d_leaf.Clustering.srules
+                    List.assoc dleaf enc.Encoding.d_leaf.Clustering.srules
                   in
                   match
-                    reliable t hooks ~group
-                      (Op_install_leaf (a.Encoding.leaf, bm))
+                    reliable t hooks ~group (Op_install_leaf (dleaf, bm))
                   with
                   | Ok () ->
-                      unmark_stale t ~group (Srule_state.Leaf a.Encoding.leaf);
+                      unmark_stale t ~group (Srule_state.Leaf dleaf);
                       true
                   | Error () ->
                       (* The leaf stopped accepting installs mid-run: deny it
@@ -808,7 +807,7 @@ let try_fast_delta t ~group st ~host ~joining =
                          its traffic into the default p-rule. *)
                       t.degradations <- t.degradations + 1;
                       Obs.incr "controller.degradations";
-                      t.denied_leaf.(a.Encoding.leaf) <- true;
+                      t.denied_leaf.(dleaf) <- true;
                       false)
               | _ -> true
             in
@@ -827,7 +826,7 @@ let try_fast_delta t ~group st ~host ~joining =
               if a.Encoding.header_changed then senders st
               else
                 List.filter
-                  (fun h -> Topology.leaf_of_host t.topo h = a.Encoding.leaf)
+                  (fun h -> Topology.leaf_of_host t.topo h = dleaf)
                   (senders st)
             in
             Some
@@ -835,7 +834,7 @@ let try_fast_delta t ~group st ~host ~joining =
                 hypervisors = List.sort_uniq compare (host :: hyp);
                 leaves =
                   (match a.Encoding.site with
-                  | Encoding.Site_srule -> [ a.Encoding.leaf ]
+                  | Encoding.Site_srule -> [ dleaf ]
                   | Encoding.Site_prule | Encoding.Site_default -> []);
                 pods = [];
               }

@@ -6,9 +6,65 @@ type t = {
   d_spine : Clustering.result;
   d_leaf : Clustering.result;
   mutable stale : int;
+  (* Fast-path leaf index, built by every from-scratch encode (and by
+     [copy]): O(1) per-leaf dispatch with no list scans and no option
+     allocation. [idx_kind] holds one dispatch byte per leaf; the arrays
+     hold the leaf's exact tree bitmap, its p-rule (when in one), and the
+     site bitmap to mutate. Absent slots carry the shared dummies. *)
+  idx_kind : Bytes.t;
+  idx_exact : Bitmap.t array;
+  idx_rule : Prule.prule array;
+  idx_site_bm : Bitmap.t array;
+  (* Reusable scratch bitmaps (leaf downstream width) for the prospective
+     budget check and rule refreshes — the fast path never allocates. *)
+  scratch_a : Bitmap.t;
+  scratch_b : Bitmap.t;
 }
 
 exception Internal_error of string
+
+(* Leaf dispatch bytes for [idx_kind]. *)
+let kind_none = '\000'
+let kind_prule = '\001'
+let kind_srule = '\002'
+let kind_default = '\003'
+
+let dummy_bm = Bitmap.create 0
+let dummy_prule = { Prule.bitmap = dummy_bm; switches = [] }
+
+(* Build the per-leaf dispatch index. Write order default → s-rules →
+   p-rules so a p-rule wins any (never expected) overlap — the same
+   precedence the old list-scan dispatch had. *)
+let build_index (d_leaf : Clustering.result) (tree : Tree.t) =
+  let nleaves = Topology.num_leaves tree.Tree.topo in
+  let idx_kind = Bytes.make nleaves kind_none in
+  let idx_exact = Array.make nleaves dummy_bm in
+  let idx_rule = Array.make nleaves dummy_prule in
+  let idx_site_bm = Array.make nleaves dummy_bm in
+  List.iter (fun (l, bm) -> idx_exact.(l) <- bm) tree.Tree.leaf_bitmaps;
+  (match d_leaf.Clustering.default with
+  | Some (ids, bm) ->
+      List.iter
+        (fun l ->
+          Bytes.set idx_kind l kind_default;
+          idx_site_bm.(l) <- bm)
+        ids
+  | None -> ());
+  List.iter
+    (fun (l, bm) ->
+      Bytes.set idx_kind l kind_srule;
+      idx_site_bm.(l) <- bm)
+    d_leaf.Clustering.srules;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun l ->
+          Bytes.set idx_kind l kind_prule;
+          idx_rule.(l) <- r;
+          idx_site_bm.(l) <- r.Prule.bitmap)
+        r.Prule.switches)
+    d_leaf.Clustering.prules;
+  (idx_kind, idx_exact, idx_rule, idx_site_bm)
 
 (* Per-group Hmax within the byte budget (§3.2): worst-case rule sizes are
    known a priori (Kmax identifiers each), the upstream and core sections are
@@ -100,7 +156,21 @@ let encode_cap ~legacy_leaf ~legacy_pod ~srule_ok_leaf ~srule_ok_pod
         (Clustering.run ~r:params.r ~semantics:params.r_semantics
            ~hmax:hmax_spine ~kmax:params.kmax ~has_srule_space:reserve_pod)
   in
-  { tree; params; d_spine; d_leaf; stale = 0 }
+  let idx_kind, idx_exact, idx_rule, idx_site_bm = build_index d_leaf tree in
+  let scratch_width = Topology.leaf_downstream_width tree.Tree.topo in
+  {
+    tree;
+    params;
+    d_spine;
+    d_leaf;
+    stale = 0;
+    idx_kind;
+    idx_exact;
+    idx_rule;
+    idx_site_bm;
+    scratch_a = Bitmap.create scratch_width;
+    scratch_b = Bitmap.create scratch_width;
+  }
 
 let encode_txn ?(legacy_leaf = no_legacy) ?(legacy_pod = no_legacy)
     ?(srule_ok_leaf = all_ok) ?(srule_ok_pod = all_ok) (params : Params.t) txn
@@ -146,151 +216,181 @@ type delta =
 
 type site = Site_prule | Site_srule | Site_default
 
-type applied = { site : site; leaf : int; header_changed : bool }
+type applied = { site : site; header_changed : bool }
 
 type reencode_reason = New_leaf | Emptied_leaf | Budget_exceeded | Stale
 
 type outcome = Applied of applied | Reencode of reencode_reason
+
+(* Preallocated outcomes: a steady-state event returns one of these static
+   values, so the fast path allocates nothing (constructors with constant
+   arguments are static data in native code). *)
+let re_stale = Reencode Stale
+let re_new_leaf = Reencode New_leaf
+let re_emptied = Reencode Emptied_leaf
+let re_budget = Reencode Budget_exceeded
+let a_prule_changed = Applied { site = Site_prule; header_changed = true }
+let a_prule_quiet = Applied { site = Site_prule; header_changed = false }
+let a_srule = Applied { site = Site_srule; header_changed = false }
+let a_default_changed = Applied { site = Site_default; header_changed = true }
+let a_default_quiet = Applied { site = Site_default; header_changed = false }
 
 let delta_of_host topo ~joining host =
   let leaf = Topology.leaf_of_host topo host in
   let port = Topology.host_port_on_leaf topo host in
   if joining then Join { host; leaf; port } else Leave { host; leaf; port }
 
-let leaf_site t leaf =
-  match
-    List.find_opt (fun r -> Prule.rule_mem r leaf) t.d_leaf.Clustering.prules
-  with
-  | Some r -> Some (`P r)
-  | None -> (
-      match List.assoc_opt leaf t.d_leaf.Clustering.srules with
-      | Some bm -> Some (`S bm)
-      | None -> (
-          match t.d_leaf.Clustering.default with
-          | Some (ids, bm) when List.mem leaf ids -> Some (`D bm)
-          | Some _ | None -> None))
+(* elmo-lint: zero-alloc *)
+let rec or_exacts t leaves dst =
+  match leaves with
+  | [] -> ()
+  | l :: rest ->
+      Bitmap.union_into ~dst (Array.unsafe_get t.idx_exact l);
+      or_exacts t rest dst
 
-let exact_leaf_bitmap t leaf =
-  match Tree.leaf_bitmap t.tree leaf with
-  | Some bm -> bm
-  | None -> raise (Internal_error "exact_leaf_bitmap: leaf not in tree")
-
-(* OR the exact bitmaps of [leaves] into [dst] (reset first), reporting
-   whether [dst] changed. *)
-let refresh_or t leaves dst =
-  let old = Bitmap.copy dst in
+(* Recompute [dst] as the OR of the exact bitmaps of [leaves], reporting
+   whether it changed; the old value is parked in [scratch_b]. *)
+(* elmo-lint: zero-alloc *)
+let refresh_rule_bitmap t leaves dst =
+  Bitmap.copy_into ~dst:t.scratch_b dst;
   Bitmap.reset dst;
-  List.iter (fun l -> Bitmap.union_into ~dst (exact_leaf_bitmap t l)) leaves;
-  not (Bitmap.equal old dst)
+  or_exacts t leaves dst;
+  not (Bitmap.equal t.scratch_b dst)
+
+(* Exact bitmap of [l] under the prospective join: for the joining leaf
+   itself, its exact plus the new port (materialized in [scratch_b]); any
+   other sharing leaf is unchanged. *)
+(* elmo-lint: zero-alloc *)
+let prospective_exact t leaf port l =
+  let e = Array.unsafe_get t.idx_exact l in
+  if l = leaf then begin
+    Bitmap.copy_into ~dst:t.scratch_b e;
+    Bitmap.set t.scratch_b port;
+    t.scratch_b
+  end
+  else e
+
+(* elmo-lint: zero-alloc *)
+let rec budget_each t leaf port r_budget switches prospective =
+  match switches with
+  | [] -> true
+  | l :: rest ->
+      Bitmap.hamming (prospective_exact t leaf port l) prospective <= r_budget
+      && budget_each t leaf port r_budget rest prospective
+
+(* elmo-lint: zero-alloc *)
+let rec budget_total t leaf port switches prospective acc =
+  match switches with
+  | [] -> acc
+  | l :: rest ->
+      budget_total t leaf port rest prospective
+        (acc + Bitmap.hamming (prospective_exact t leaf port l) prospective)
+
+(* Allocation-free equivalent of [Clustering.rule_within_budget] on the
+   prospective rule bitmap (the current bitmap plus the new port,
+   materialized in [scratch_a]). *)
+(* elmo-lint: zero-alloc *)
+let shared_join_within_budget t r leaf port =
+  Bitmap.copy_into ~dst:t.scratch_a r.Prule.bitmap;
+  Bitmap.set t.scratch_a port;
+  match t.params.Params.r_semantics with
+  | Params.Per_bitmap ->
+      budget_each t leaf port t.params.Params.r r.Prule.switches t.scratch_a
+  | Params.Sum ->
+      budget_total t leaf port r.Prule.switches t.scratch_a 0
+      <= t.params.Params.r
 
 (* On [Reencode _] NOTHING has been mutated: all structural and budget
    checks run before the tree or any rule bitmap is touched, so the caller
    can diff the old encoding against a fresh one honestly. *)
-let apply_delta_impl t delta =
-  let joining, host, leaf, port =
-    match delta with
-    | Join { host; leaf; port } -> (true, host, leaf, port)
-    | Leave { host; leaf; port } -> (false, host, leaf, port)
-  in
-  if t.stale >= t.params.Params.staleness_limit then Reencode Stale
+(* elmo-lint: zero-alloc *)
+let apply_event t joining host leaf port =
+  if t.stale >= t.params.Params.staleness_limit then re_stale
+  else if leaf < 0 || leaf >= Array.length t.idx_exact then re_new_leaf
   else begin
-    match Tree.leaf_bitmap t.tree leaf with
-    | None -> Reencode New_leaf
-    | Some exact when (not joining) && Bitmap.popcount exact <= 1 ->
-        Reencode Emptied_leaf
-    | Some exact -> (
-        match leaf_site t leaf with
-        | None ->
-            (* Rules out of sync with the tree — cannot happen after a
-               from-scratch encode; rebuild defensively. *)
-            Reencode New_leaf
-        | Some site_found -> (
-            (* Prospective redundancy check for joins into a shared rule,
-               before committing anything. *)
-            let budget_ok =
-              match site_found with
-              | `P r
-                when joining && List.compare_length_with r.Prule.switches 1 > 0
-                ->
-                  let prospective = Bitmap.copy r.Prule.bitmap in
-                  Bitmap.set prospective port;
-                  let exacts =
-                    List.map
-                      (fun l ->
-                        if l = leaf then begin
-                          let e = Bitmap.copy exact in
-                          Bitmap.set e port;
-                          e
-                        end
-                        else exact_leaf_bitmap t l)
-                      r.Prule.switches
-                  in
-                  Clustering.rule_within_budget ~r:t.params.Params.r
-                    ~semantics:t.params.Params.r_semantics ~exacts prospective
-              | `P _ | `S _ | `D _ -> true
-            in
-            if not budget_ok then Reencode Budget_exceeded
+    let exact = Array.unsafe_get t.idx_exact leaf in
+    if exact == dummy_bm then re_new_leaf
+    else if (not joining) && Bitmap.popcount exact <= 1 then re_emptied
+    else begin
+      let kind = Bytes.unsafe_get t.idx_kind leaf in
+      if kind = kind_none then
+        (* Rules out of sync with the tree — cannot happen after a
+           from-scratch encode; rebuild defensively. *)
+        re_new_leaf
+      else begin
+        let r = Array.unsafe_get t.idx_rule leaf in
+        (* Prospective redundancy check for joins into a shared rule,
+           before committing anything. *)
+        let budget_ok =
+          kind <> kind_prule
+          || (not joining)
+          || List.compare_length_with r.Prule.switches 1 <= 0
+          || shared_join_within_budget t r leaf port
+        in
+        if not budget_ok then re_budget
+        else begin
+          (* Commit. The tree mutation flips the leaf's exact bitmap in
+             place; rules aliasing that bitmap (singleton p-rules,
+             s-rules) are already up to date — mutate the rest
+             explicitly. *)
+          let applied =
+            if joining then Tree.add_member t.tree host
+            else Tree.remove_member t.tree host
+          in
+          if not applied then
+            (* Pre-checked above; keep the invariant anyway. *)
+            (* elmo-lint: allow zero-alloc — defensive invariant breach, cold *)
+            raise (Internal_error "apply_delta: tree delta rejected");
+          t.stale <- t.stale + 1;
+          if kind = kind_prule then begin
+            let site_bm = r.Prule.bitmap in
+            let aliased = site_bm == exact in
+            if joining then begin
+              let header_changed = aliased || not (Bitmap.get site_bm port) in
+              if not aliased then Bitmap.set site_bm port;
+              if header_changed then a_prule_changed else a_prule_quiet
+            end
             else begin
-              (* Commit. The tree mutation flips the leaf's exact bitmap in
-                 place; rules aliasing that bitmap (singleton p-rules,
-                 s-rules) are already up to date — mutate the rest
-                 explicitly. *)
-              let tree' =
-                if joining then Tree.add_member t.tree host
-                else Tree.remove_member t.tree host
+              (* Leaving: the shared bitmap may only drop bits no remaining
+                 member needs — recompute the OR over the survivors. *)
+              let header_changed =
+                aliased || refresh_rule_bitmap t r.Prule.switches site_bm
               in
-              (match tree' with
-              | Some tree' -> t.tree <- tree'
-              | None ->
-                  (* Pre-checked above; keep the invariant anyway. *)
-                  raise
-                    (Internal_error "apply_delta: tree delta rejected"));
-              t.stale <- t.stale + 1;
-              match site_found with
-              | `P r ->
-                  let aliased = r.Prule.bitmap == exact in
-                  if joining then begin
-                    let header_changed =
-                      aliased || not (Bitmap.get r.Prule.bitmap port)
-                    in
-                    if not aliased then Bitmap.set r.Prule.bitmap port;
-                    Applied { site = Site_prule; leaf; header_changed }
-                  end
-                  else begin
-                    (* Leaving: the shared bitmap may only drop bits no
-                       remaining member needs — recompute the OR over the
-                       survivors. *)
-                    let header_changed =
-                      if aliased then true
-                      else refresh_or t r.Prule.switches r.Prule.bitmap
-                    in
-                    Applied { site = Site_prule; leaf; header_changed }
-                  end
-              | `S bm ->
-                  (* s-rules are exact per-switch bitmaps. *)
-                  if not (bm == exact) then
-                    if joining then Bitmap.set bm port
-                    else Bitmap.clear bm port;
-                  Applied { site = Site_srule; leaf; header_changed = false }
-              | `D bm ->
-                  let header_changed =
-                    if joining then begin
-                      let fresh = not (Bitmap.get bm port) in
-                      if fresh then Bitmap.set bm port;
-                      fresh
-                    end
-                    else begin
-                      let ids =
-                        match t.d_leaf.Clustering.default with
-                        | Some (ids, _) -> ids
-                        | None -> []
-                      in
-                      refresh_or t ids bm
-                    end
-                  in
-                  Applied { site = Site_default; leaf; header_changed }
-            end))
+              if header_changed then a_prule_changed else a_prule_quiet
+            end
+          end
+          else if kind = kind_srule then begin
+            (* s-rules are exact per-switch bitmaps. *)
+            let bm = Array.unsafe_get t.idx_site_bm leaf in
+            if not (bm == exact) then
+              if joining then Bitmap.set bm port else Bitmap.clear bm port;
+            a_srule
+          end
+          else begin
+            let bm = Array.unsafe_get t.idx_site_bm leaf in
+            let header_changed =
+              if joining then begin
+                let fresh = not (Bitmap.get bm port) in
+                if fresh then Bitmap.set bm port;
+                fresh
+              end
+              else
+                match t.d_leaf.Clustering.default with
+                | Some (ids, _) -> refresh_rule_bitmap t ids bm
+                | None -> refresh_rule_bitmap t [] bm
+            in
+            if header_changed then a_default_changed else a_default_quiet
+          end
+        end
+      end
+    end
   end
+
+(* elmo-lint: zero-alloc *)
+let apply_delta_impl t delta =
+  match delta with
+  | Join { host; leaf; port } -> apply_event t true host leaf port
+  | Leave { host; leaf; port } -> apply_event t false host leaf port
 
 let reason_label = function
   | New_leaf -> "new_leaf"
@@ -303,15 +403,24 @@ let site_label = function
   | Site_srule -> "srule"
   | Site_default -> "default"
 
+(* elmo-lint: zero-alloc *)
 let apply_delta t delta =
-  let outcome = Obs.with_span "encoding.apply_delta" (fun () -> apply_delta_impl t delta) in
   if Obs.enabled () then begin
+    let outcome =
+      (* elmo-lint: allow zero-alloc — span closure on the opt-in traced path *)
+      Obs.with_span "encoding.apply_delta" (fun () -> apply_delta_impl t delta)
+    in
     (* Attribute fast path vs slow-path fallback, by site / reason. *)
-    match outcome with
-    | Applied a -> Obs.incr ("encoding.fast_path." ^ site_label a.site)
-    | Reencode r -> Obs.incr ("encoding.fallback." ^ reason_label r)
-  end;
-  outcome
+    (match outcome with
+    | Applied a ->
+        (* elmo-lint: allow zero-alloc — metric label built on the opt-in observed path *)
+        Obs.incr ("encoding.fast_path." ^ site_label a.site)
+    | Reencode r ->
+        (* elmo-lint: allow zero-alloc — metric label built on the opt-in observed path *)
+        Obs.incr ("encoding.fallback." ^ reason_label r));
+    outcome
+  end
+  else apply_delta_impl t delta
 
 let release srules t =
   List.iter (fun (l, _) -> Srule_state.release_leaf srules l) t.d_leaf.Clustering.srules;
@@ -449,10 +558,19 @@ let copy t =
         Option.map (fun (ids, bm) -> (ids, copy_bm bm)) res.Clustering.default;
     }
   in
+  let tree = copy_tree t.tree in
+  let d_leaf = copy_result t.d_leaf in
+  let idx_kind, idx_exact, idx_rule, idx_site_bm = build_index d_leaf tree in
   {
-    tree = copy_tree t.tree;
+    tree;
     params = t.params;
     d_spine = copy_result t.d_spine;
-    d_leaf = copy_result t.d_leaf;
+    d_leaf;
     stale = t.stale;
+    idx_kind;
+    idx_exact;
+    idx_rule;
+    idx_site_bm;
+    scratch_a = Bitmap.create (Bitmap.width t.scratch_a);
+    scratch_b = Bitmap.create (Bitmap.width t.scratch_b);
   }

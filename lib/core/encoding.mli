@@ -13,7 +13,23 @@ type t = {
   d_leaf : Clustering.result;  (** leaf layer, ids are global leaf numbers *)
   mutable stale : int;
       (** fast-path mutations applied since the last from-scratch encode *)
+  idx_kind : Bytes.t;
+      (** per-leaf dispatch byte: 0 = not in tree, 1 = p-rule, 2 = s-rule,
+          3 = default rule *)
+  idx_exact : Bitmap.t array;
+      (** per-leaf exact tree bitmap (a shared width-0 dummy when absent) *)
+  idx_rule : Prule.prule array;
+      (** per-leaf containing p-rule (a shared dummy when not in one) *)
+  idx_site_bm : Bitmap.t array;
+      (** per-leaf rule bitmap the fast path mutates *)
+  scratch_a : Bitmap.t;  (** scratch for the prospective budget check *)
+  scratch_b : Bitmap.t;  (** scratch for rule refreshes *)
 }
+(** The [idx_*] arrays and scratch bitmaps are internal to the
+    {!apply_delta} fast path: a flat per-leaf index (rebuilt by every
+    from-scratch encode and by {!copy}) that makes steady-state delta
+    application allocation-free — no list scans, no option wrapping, no
+    fresh bitmaps. Treat them as private. *)
 
 exception Internal_error of string
 (** Raised only when an internal invariant is violated (a fresh-snapshot
@@ -85,12 +101,13 @@ type site =
 
 type applied = {
   site : site;
-  leaf : int;
   header_changed : bool;
       (** did the common downstream section change? [false] when the flipped
           bit was already covered (another sharing switch contributed it) or
           the change is confined to an s-rule — then only the changed leaf's
-          co-located senders need new upstream rules. *)
+          co-located senders need new upstream rules. The affected leaf is
+          the delta's [leaf] field; it is not repeated here so every
+          steady-state outcome is a preallocated static value. *)
 }
 
 type reencode_reason =
@@ -107,9 +124,12 @@ val delta_of_host : Topology.t -> joining:bool -> int -> delta
 val apply_delta : t -> delta -> outcome
 (** Applies a membership delta in place when the fast path holds. On
     [Applied] the encoding {e and its tree} reflect the new membership (the
-    tree's members array is rebuilt; [stale] is incremented). On
+    tree's member buffer is updated in place; [stale] is incremented). On
     [Reencode _] {b nothing was mutated} — the caller must run {!encode} on
-    the new membership and release/diff this encoding as usual. *)
+    the new membership and release/diff this encoding as usual.
+
+    Steady-state applications are allocation-free: checked statically by
+    the [zero-alloc] lint rule and at runtime by the hot-path harness. *)
 
 val release : Srule_state.t -> t -> unit
 (** Returns the encoding's s-rule reservations (used on group removal or

@@ -75,8 +75,11 @@ type snapshot
 type txn
 (** A reservation transaction over a snapshot: capacity probes answer
     against snapshot + own reservations and are recorded in a probe log.
-    A txn is single-domain (not thread-safe); each parallel group encode
-    gets its own. *)
+    The log and the reservation set are preallocated flat arrays, so the
+    probe path ({!txn_reserve_leaf} / {!txn_reserve_pod}) and the commit
+    replay are allocation-free apart from cold amortized buffer doubling
+    (checked by the [zero-alloc] lint rule). A txn is single-domain (not
+    thread-safe); each parallel group encode gets its own. *)
 
 val snapshot : t -> snapshot
 

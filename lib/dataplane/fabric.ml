@@ -321,7 +321,7 @@ let inject t ~sender ~group ~header ~payload:_ =
 
 let deliveries_correct report ~tree ~sender =
   let expected =
-    Array.to_list tree.Tree.members |> List.filter (fun h -> h <> sender)
+    Tree.member_list tree |> List.filter (fun h -> h <> sender)
   in
   List.for_all
     (fun h ->

@@ -2,6 +2,14 @@ type attr = Trace.attr = Int of int | Float of float | Str of string | Bool of b
 
 let current = Ctx.current
 let install = Ctx.install
+
+(* The probes below are annotated zero-alloc for the disabled case: with no
+   metrics sink attached they cost one domain-local read and a branch, so
+   hot paths can leave them in unconditionally. The metrics-enabled
+   branches may allocate (cell lookup can create the cell) and carry
+   reasoned suppressions. *)
+
+(* elmo-lint: zero-alloc *)
 let enabled () = (Ctx.current ()).Ctx.active
 
 let with_span ?(attrs = []) name f =
@@ -21,9 +29,12 @@ let with_span ?(attrs = []) name f =
       f
   end
 
+(* elmo-lint: zero-alloc *)
 let incr ?(n = 1) name =
   match (Ctx.current ()).Ctx.metrics with
-  | Some m -> Metrics.incr m ~n name
+  | Some m ->
+      (* elmo-lint: allow zero-alloc — metrics-enabled path: cell lookup may create the cell *)
+      Metrics.incr m ~n name
   | None -> ()
 
 let incr_indexed ?(n = 1) name idx =
@@ -31,14 +42,20 @@ let incr_indexed ?(n = 1) name idx =
   | Some m -> Metrics.incr m ~n (Printf.sprintf "%s.%d" name idx)
   | None -> ()
 
+(* elmo-lint: zero-alloc *)
 let observe name v =
   match (Ctx.current ()).Ctx.metrics with
-  | Some m -> Metrics.observe m name v
+  | Some m ->
+      (* elmo-lint: allow zero-alloc — metrics-enabled path: cell lookup may create the cell *)
+      Metrics.observe m name v
   | None -> ()
 
+(* elmo-lint: zero-alloc *)
 let gauge name v =
   match (Ctx.current ()).Ctx.metrics with
-  | Some m -> Metrics.gauge m name v
+  | Some m ->
+      (* elmo-lint: allow zero-alloc — metrics-enabled path: cell lookup may create the cell *)
+      Metrics.gauge m name v
   | None -> ()
 
 let instant ?(attrs = []) name =

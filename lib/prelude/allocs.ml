@@ -1,0 +1,55 @@
+type report = {
+  total_words : float;
+  per_event : float;
+  first_alloc : (int * int) option;
+}
+
+(* Reading [Gc.minor_words] itself allocates (the result is a boxed float),
+   so a clean measured span still shows the cost of the closing read.
+   Calibrate that cost with a back-to-back read pair and subtract it. *)
+let counter_overhead () =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let probe ~warmup ~events f =
+  if warmup < 0 then invalid_arg "Allocs.probe: warmup must be non-negative"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  if events <= 0 then invalid_arg "Allocs.probe: events must be positive"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  for i = 0 to warmup - 1 do
+    f i
+  done;
+  let overhead = counter_overhead () in
+  let t0 = Gc.minor_words () in
+  for i = warmup to warmup + events - 1 do
+    f i
+  done;
+  let t1 = Gc.minor_words () in
+  let total = Float.max 0.0 (t1 -. t0 -. overhead) in
+  let first_alloc =
+    if total <= 0.0 then None
+    else begin
+      (* The span allocated: re-run the measured events one by one to name
+         the first offender. Events are assumed repeatable (churn loops
+         that join/leave in pairs are). *)
+      let found = ref None in
+      let scanning = ref true in
+      let i = ref warmup in
+      while !scanning && !i < warmup + events do
+        let a = Gc.minor_words () in
+        f !i;
+        let b = Gc.minor_words () in
+        let words = b -. a -. overhead in
+        if words > 0.0 then begin
+          found := Some (!i - warmup, int_of_float words);
+          scanning := false
+        end;
+        incr i
+      done;
+      !found
+    end
+  in
+  {
+    total_words = total;
+    per_event = total /. float_of_int events;
+    first_alloc;
+  }

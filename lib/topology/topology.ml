@@ -40,10 +40,14 @@ let num_switches t = num_leaves t + num_spines t + num_cores t
 let is_two_tier t = t.cores_per_plane = 0
 
 let check_host t h =
-  if h < 0 || h >= num_hosts t then invalid_arg "Topology: host out of range"
+  if h < 0 || h >= num_hosts t then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Topology: host out of range"
 
 let check_leaf t l =
-  if l < 0 || l >= num_leaves t then invalid_arg "Topology: leaf out of range"
+  if l < 0 || l >= num_leaves t then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Topology: leaf out of range"
 
 let leaf_of_host t h =
   check_host t h;

@@ -1,6 +1,10 @@
 type t = {
   topo : Topology.t;
-  members : int array;
+  mutable members : int array;
+      (* capacity buffer: indices [0, nmembers) hold the sorted member
+         hosts; the tail is scratch so the delta fast path never
+         reallocates on the common case *)
+  mutable nmembers : int;
   leaf_bitmaps : (int * Bitmap.t) list;
   spine_bitmaps : (int * Bitmap.t) list;
   core_bitmap : Bitmap.t;
@@ -52,25 +56,45 @@ let of_members topo member_list =
   in
   let core_bitmap = Bitmap.create (Topology.core_downstream_width topo) in
   List.iter (fun (p, _) -> Bitmap.set core_bitmap p) spine_bitmaps;
-  { topo; members; leaf_bitmaps; spine_bitmaps; core_bitmap }
+  {
+    topo;
+    members;
+    nmembers = Array.length members;
+    leaf_bitmaps;
+    spine_bitmaps;
+    core_bitmap;
+  }
 
 let leaves t = List.map fst t.leaf_bitmaps
 let pods t = List.map fst t.spine_bitmaps
-let member_count t = Array.length t.members
+
+(* elmo-lint: zero-alloc *)
+let member_count t = t.nmembers
+
+let member_array t = Array.sub t.members 0 t.nmembers
+let member_list t = Array.to_list (member_array t)
+
+let iter_members f t =
+  for i = 0 to t.nmembers - 1 do
+    f (Array.unsafe_get t.members i)
+  done
+
 let leaf_count t = List.length t.leaf_bitmaps
 let pod_count t = List.length t.spine_bitmaps
 
-let mem_host t h =
-  let rec go lo hi =
-    if lo > hi then false
-    else begin
-      let mid = (lo + hi) / 2 in
-      if t.members.(mid) = h then true
-      else if t.members.(mid) < h then go (mid + 1) hi
-      else go lo (mid - 1)
-    end
-  in
-  go 0 (Array.length t.members - 1)
+(* elmo-lint: zero-alloc *)
+let rec mem_search (a : int array) h lo hi =
+  if lo > hi then -1
+  else begin
+    let mid = (lo + hi) / 2 in
+    let v = Array.unsafe_get a mid in
+    if v = h then mid
+    else if v < h then mem_search a h (mid + 1) hi
+    else mem_search a h lo (mid - 1)
+  end
+
+(* elmo-lint: zero-alloc *)
+let mem_host t h = mem_search t.members h 0 (t.nmembers - 1) >= 0
 
 let leaf_bitmap t l = List.assoc_opt l t.leaf_bitmaps
 let spine_bitmap t p = List.assoc_opt p t.spine_bitmaps
@@ -81,59 +105,75 @@ let equal_bitmaps a b =
 let copy t =
   {
     t with
-    members = Array.copy t.members;
+    members = member_array t;  (* compacts the capacity tail *)
     leaf_bitmaps = List.map (fun (l, bm) -> (l, Bitmap.copy bm)) t.leaf_bitmaps;
     spine_bitmaps = List.map (fun (p, bm) -> (p, Bitmap.copy bm)) t.spine_bitmaps;
     core_bitmap = Bitmap.copy t.core_bitmap;
   }
 
 (* Incremental membership (the encoder's delta fast path). The leaf bitmap
-   is mutated IN PLACE — deliberately: singleton p-rules and s-rules alias
-   the tree's bitmaps, so an in-place flip updates those rules for free. The
-   members array is rebuilt (sorted), sharing everything else. Both return
-   [None] when the change is structural (a new leaf appears / a leaf
+   and the members buffer are mutated IN PLACE — deliberately: singleton
+   p-rules and s-rules alias the tree's bitmaps, so an in-place flip
+   updates those rules for free, and the capacity-backed members buffer
+   makes the steady-state join/leave allocation-free (checked by the
+   zero-alloc lint rule and the Gc.minor_words harness). Both return
+   [false] when the change is structural (a new leaf appears / a leaf
    empties) and leave the tree untouched; the caller must re-encode. *)
 
+(* Allocation-free assoc lookup for the leaf bitmap: [no_bitmap] is the
+   "leaf not participating" sentinel (an option result would allocate). *)
+let no_bitmap = Bitmap.create 0
+
+(* elmo-lint: zero-alloc *)
+let rec find_leaf_bm bms (l : int) =
+  match bms with
+  | [] -> no_bitmap
+  | (l', bm) :: rest -> if l' = l then bm else find_leaf_bm rest l
+
+(* elmo-lint: zero-alloc *)
+let rec insert_pos (a : int array) n h i =
+  if i >= n || Array.unsafe_get a i >= h then i else insert_pos a n h (i + 1)
+
+let grow_members t =
+  (* elmo-lint: allow zero-alloc — cold capacity doubling, amortized O(1) *)
+  let bigger = Array.make (max 8 (2 * Array.length t.members)) 0 in
+  Array.blit t.members 0 bigger 0 t.nmembers;
+  t.members <- bigger
+
+(* elmo-lint: zero-alloc *)
 let add_member t h =
   if h < 0 || h >= Topology.num_hosts t.topo then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
     invalid_arg "Tree.add_member: host out of range";
-  if mem_host t h then invalid_arg "Tree.add_member: already a member";
-  let l = Topology.leaf_of_host t.topo h in
-  match List.assoc_opt l t.leaf_bitmaps with
-  | None -> None
-  | Some bm ->
-      Bitmap.set bm (Topology.host_port_on_leaf t.topo h);
-      let n = Array.length t.members in
-      let members = Array.make (n + 1) h in
-      let i = ref 0 in
-      while !i < n && t.members.(!i) < h do
-        members.(!i) <- t.members.(!i);
-        incr i
-      done;
-      Array.blit t.members !i members (!i + 1) (n - !i);
-      Some { t with members }
+  if mem_host t h then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Tree.add_member: already a member";
+  let bm = find_leaf_bm t.leaf_bitmaps (Topology.leaf_of_host t.topo h) in
+  if bm == no_bitmap then false
+  else begin
+    Bitmap.set bm (Topology.host_port_on_leaf t.topo h);
+    if t.nmembers >= Array.length t.members then grow_members t;
+    let pos = insert_pos t.members t.nmembers h 0 in
+    Array.blit t.members pos t.members (pos + 1) (t.nmembers - pos);
+    Array.unsafe_set t.members pos h;
+    t.nmembers <- t.nmembers + 1;
+    true
+  end
 
+(* elmo-lint: zero-alloc *)
 let remove_member t h =
-  if not (mem_host t h) then invalid_arg "Tree.remove_member: not a member";
-  let l = Topology.leaf_of_host t.topo h in
-  match List.assoc_opt l t.leaf_bitmaps with
-  | None -> None
-  | Some bm ->
-      if Bitmap.popcount bm <= 1 then None
-      else begin
-        Bitmap.clear bm (Topology.host_port_on_leaf t.topo h);
-        let n = Array.length t.members in
-        let members = Array.make (n - 1) 0 in
-        let j = ref 0 in
-        Array.iter
-          (fun m ->
-            if m <> h then begin
-              members.(!j) <- m;
-              incr j
-            end)
-          t.members;
-        Some { t with members }
-      end
+  let pos = mem_search t.members h 0 (t.nmembers - 1) in
+  if pos < 0 then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Tree.remove_member: not a member";
+  let bm = find_leaf_bm t.leaf_bitmaps (Topology.leaf_of_host t.topo h) in
+  if bm == no_bitmap || Bitmap.popcount bm <= 1 then false
+  else begin
+    Bitmap.clear bm (Topology.host_port_on_leaf t.topo h);
+    Array.blit t.members (pos + 1) t.members pos (t.nmembers - pos - 1);
+    t.nmembers <- t.nmembers - 1;
+    true
+  end
 
 let ideal_link_transmissions t ~sender =
   let topo = t.topo in

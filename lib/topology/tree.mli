@@ -9,7 +9,12 @@
 
 type t = {
   topo : Topology.t;
-  members : int array;  (** member hosts, sorted, deduplicated *)
+  mutable members : int array;
+      (** capacity buffer: indices [[0, nmembers)] hold the member hosts,
+          sorted and deduplicated; the tail is scratch so the membership
+          fast path stays allocation-free. Use {!member_array} /
+          {!member_list} / {!iter_members} rather than reading the field. *)
+  mutable nmembers : int;  (** live prefix length of [members] *)
   leaf_bitmaps : (int * Bitmap.t) list;
       (** (leaf id, downstream host-port bitmap), ascending by leaf id *)
   spine_bitmaps : (int * Bitmap.t) list;
@@ -29,6 +34,17 @@ val pods : t -> int list
 (** Participating pod ids, ascending. *)
 
 val member_count : t -> int
+
+val member_array : t -> int array
+(** Fresh array of the member hosts, sorted (compacts the capacity tail). *)
+
+val member_list : t -> int list
+(** Member hosts, sorted. *)
+
+val iter_members : (int -> unit) -> t -> unit
+(** Applies the function to every member host in ascending order, without
+    allocating an intermediate list or array. *)
+
 val leaf_count : t -> int
 val pod_count : t -> int
 
@@ -44,22 +60,25 @@ val leaf_bitmap : t -> int -> Bitmap.t option
 (** Exact downstream bitmap of a leaf, if participating. *)
 
 val copy : t -> t
-(** Deep copy (fresh bitmaps and members array) — a stable snapshot across
-    later in-place mutations by {!add_member} / {!remove_member}. *)
+(** Deep copy (fresh bitmaps and a compacted members array) — a stable
+    snapshot across later in-place mutations by {!add_member} /
+    {!remove_member}. *)
 
-val add_member : t -> int -> t option
+val add_member : t -> int -> bool
 (** [add_member t h] is the membership-delta fast path: when [h]'s leaf
     already participates, sets the host's port bit {e in place} (aliasing
-    rule bitmaps see the flip too) and returns a tree with an updated
-    members array sharing everything else. [None] — with the tree untouched
-    — when the host's leaf does not participate (structural change: the
-    caller must rebuild via {!of_members}). Raises [Invalid_argument] on an
-    out-of-range or already-member host. *)
+    rule bitmaps see the flip too), splices the host into the sorted
+    members buffer without allocating (amortized — the capacity doubles on
+    the cold overflow path) and returns [true]. [false] — with the tree
+    untouched — when the host's leaf does not participate (structural
+    change: the caller must rebuild via {!of_members}). Raises
+    [Invalid_argument] on an out-of-range or already-member host. *)
 
-val remove_member : t -> int -> t option
-(** Dual of {!add_member}: clears the host's port bit in place. [None] when
-    the host is the last member on its leaf (the leaf would vanish from the
-    tree — structural). Raises [Invalid_argument] if not a member. *)
+val remove_member : t -> int -> bool
+(** Dual of {!add_member}: clears the host's port bit in place. [false]
+    when the host is the last member on its leaf (the leaf would vanish
+    from the tree — structural). Raises [Invalid_argument] if not a
+    member. *)
 
 val spine_bitmap : t -> int -> Bitmap.t option
 (** Exact downstream bitmap of a pod's logical spine, if participating. *)

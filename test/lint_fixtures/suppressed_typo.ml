@@ -1,0 +1,5 @@
+(* The allow names a rule-id that does not exist ('zero-aloc'): it
+   suppresses nothing and must itself be flagged. *)
+
+(* elmo-lint: allow zero-aloc — typo: this suppresses nothing *)
+let id x = x

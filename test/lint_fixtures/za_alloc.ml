@@ -1,0 +1,4 @@
+(* An annotated function that allocates directly: the tuple is the first
+   event in the body and becomes the witness. *)
+(* elmo-lint: zero-alloc *)
+let bad_pair x = (x, x + 1)

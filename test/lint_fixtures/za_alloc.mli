@@ -1,0 +1,1 @@
+val bad_pair : int -> int * int

@@ -1,0 +1,6 @@
+(* A clean kernel: int-array loop, arithmetic and self-recursion only. *)
+
+(* elmo-lint: zero-alloc *)
+let rec sum_to words i acc =
+  if i < 0 then acc
+  else sum_to words (i - 1) (acc + Array.unsafe_get words i)

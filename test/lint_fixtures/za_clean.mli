@@ -1,0 +1,1 @@
+val sum_to : int array -> int -> int -> int

@@ -1,0 +1,7 @@
+(* The annotated entry is clean itself; the allocation is reached only
+   through the callee, so the witness is a two-hop chain. *)
+
+let helper n = [ n ]
+
+(* elmo-lint: zero-alloc *)
+let entry n = List.length (helper n)

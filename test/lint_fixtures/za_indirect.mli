@@ -1,0 +1,2 @@
+val helper : int -> int list
+val entry : int -> int

@@ -1,0 +1,1 @@
+val get_or_grow : int array -> int -> int

@@ -52,7 +52,7 @@ let test_churn_keeps_delivery_correct () =
       | None -> ()
       | Some enc ->
           let tree = enc.Encoding.tree in
-          let sender = tree.Tree.members.(0) in
+          let sender = (Tree.member_array tree).(0) in
           (match Controller.header ctrl ~group ~sender with
           | None -> ()
           | Some header ->

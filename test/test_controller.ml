@@ -594,7 +594,7 @@ let prop_chaos_never_breaks_delivery =
                       Array.for_all
                         (fun m ->
                           m = sender || List.mem_assoc m report.Fabric.delivered)
-                        tree.Tree.members))
+                        (Tree.member_array tree)))
             (Controller.members ctrl ~group:1))
 
 let tests = tests @ [ QCheck_alcotest.to_alcotest prop_chaos_never_breaks_delivery ]

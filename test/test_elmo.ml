@@ -23,6 +23,7 @@ let () =
       ("parallel", Test_parallel.tests);
       ("shard", Test_shard.tests);
       ("incremental", Test_incremental.tests);
+      ("zero-alloc", Test_zero_alloc.tests);
       ("baselines", Test_baselines.tests);
       ("apps", Test_apps.tests);
       ("churn", Test_churn.tests);

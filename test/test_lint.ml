@@ -97,6 +97,53 @@ let test_suppression_without_reason () =
 
 let test_clean () = check "clean fixture" [] (analyze [ "clean" ])
 
+let messages findings = List.map (fun f -> f.Lint.message) findings
+
+let test_zero_alloc_direct () =
+  let findings = analyze [ "za_alloc" ] in
+  check "annotated fn allocating directly"
+    [ (src "za_alloc", 4, "zero-alloc") ]
+    findings;
+  Alcotest.(check (list string))
+    "witness names the construct and the allocating site"
+    [ "bad_pair allocates tuple (test/lint_fixtures/za_alloc.ml:4)" ]
+    (messages findings)
+
+let test_zero_alloc_interprocedural () =
+  (* The allocation lives in the callee; the finding anchors at the
+     annotated entry and the witness spells out the call chain. *)
+  let findings = analyze [ "za_indirect" ] in
+  check "allocation reached only through a callee"
+    [ (src "za_indirect", 7, "zero-alloc") ]
+    findings;
+  Alcotest.(check (list string))
+    "call-chain witness"
+    [
+      "entry \xe2\x86\x92 helper allocates constructor :: \
+       (test/lint_fixtures/za_indirect.ml:4)";
+    ]
+    (messages findings)
+
+let test_zero_alloc_suppressed () =
+  check "reasoned allow silences the cold slow path" []
+    (analyze [ "za_suppressed" ])
+
+let test_zero_alloc_clean () =
+  check "clean kernel has no findings" [] (analyze [ "za_clean" ])
+
+let test_unknown_rule_in_allow () =
+  (* A typo'd rule-id would otherwise silently suppress nothing. *)
+  let findings = analyze [ "suppressed_typo" ] in
+  check "unknown rule-id in allow is flagged"
+    [ (src "suppressed_typo", 4, "bare-allow") ]
+    findings;
+  match messages findings with
+  | [ msg ] ->
+      Alcotest.(check bool) "message names the bogus id" true
+        (Astring.String.is_infix ~affix:"unknown rule 'zero-aloc'" msg)
+  | other ->
+      Alcotest.failf "expected one finding, got %d" (List.length other)
+
 let all_fixtures =
   [
     "bad_clock";
@@ -109,6 +156,11 @@ let all_fixtures =
     "clean";
     "suppressed_bare";
     "suppressed_ok";
+    "suppressed_typo";
+    "za_alloc";
+    "za_clean";
+    "za_indirect";
+    "za_suppressed";
   ]
 
 let test_aggregate () =
@@ -129,6 +181,9 @@ let test_aggregate () =
       (src "bad_random", 3, "determinism");
       (src "bad_random", 4, "determinism");
       (src "suppressed_bare", 3, "bare-allow");
+      (src "suppressed_typo", 4, "bare-allow");
+      (src "za_alloc", 4, "zero-alloc");
+      (src "za_indirect", 7, "zero-alloc");
     ]
     (analyze all_fixtures)
 
@@ -145,6 +200,7 @@ let test_rule_id_roundtrip () =
       Lint.Exception_discipline;
       Lint.Domain_safety;
       Lint.Interface_hygiene;
+      Lint.Zero_alloc;
       Lint.Bare_allow;
     ];
   Alcotest.(check bool) "unknown id" true (Lint.rule_of_id "no-such-rule" = None)
@@ -177,6 +233,15 @@ let tests =
     Alcotest.test_case "bare suppression" `Quick
       test_suppression_without_reason;
     Alcotest.test_case "clean fixture" `Quick test_clean;
+    Alcotest.test_case "zero-alloc direct allocation" `Quick
+      test_zero_alloc_direct;
+    Alcotest.test_case "zero-alloc via callee" `Quick
+      test_zero_alloc_interprocedural;
+    Alcotest.test_case "zero-alloc suppressed slow path" `Quick
+      test_zero_alloc_suppressed;
+    Alcotest.test_case "zero-alloc clean kernel" `Quick test_zero_alloc_clean;
+    Alcotest.test_case "unknown rule-id in allow" `Quick
+      test_unknown_rule_in_allow;
     Alcotest.test_case "aggregate ordering" `Quick test_aggregate;
     Alcotest.test_case "rule id roundtrip" `Quick test_rule_id_roundtrip;
     Alcotest.test_case "finding format" `Quick test_pp_finding;

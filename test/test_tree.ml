@@ -37,7 +37,7 @@ let test_mem_host () =
 let test_dedup_and_sort () =
   let t = Tree.of_members topo [ 5; 3; 5; 3; 1 ] in
   Alcotest.(check int) "deduplicated" 3 (Tree.member_count t);
-  Alcotest.(check (array int)) "sorted" [| 1; 3; 5 |] t.Tree.members
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 5 |] (Tree.member_array t)
 
 let test_invalid () =
   Alcotest.check_raises "empty" (Invalid_argument "Tree.of_members: empty group")

@@ -9,6 +9,7 @@ type rule =
   | Exception_discipline
   | Domain_safety
   | Interface_hygiene
+  | Zero_alloc
   | Bare_allow
 
 let rule_id = function
@@ -17,6 +18,7 @@ let rule_id = function
   | Exception_discipline -> "exception-discipline"
   | Domain_safety -> "domain-safety"
   | Interface_hygiene -> "interface-hygiene"
+  | Zero_alloc -> "zero-alloc"
   | Bare_allow -> "bare-allow"
 
 let rule_of_id = function
@@ -25,6 +27,7 @@ let rule_of_id = function
   | "exception-discipline" -> Some Exception_discipline
   | "domain-safety" -> Some Domain_safety
   | "interface-hygiene" -> Some Interface_hygiene
+  | "zero-alloc" -> Some Zero_alloc
   | "bare-allow" -> Some Bare_allow
   | _ -> None
 
@@ -122,13 +125,21 @@ let load_cmt ?source_root ~is_target path =
 
 type allow = { a_line : int; a_rule : string; a_reasoned : bool }
 
+(* Per-source scan result: suppressions plus the lines carrying a bare
+   [(* elmo-lint: zero-alloc *)] annotation (which marks the binding on the
+   same or the following line as a zero-allocation obligation). *)
+type file_scan = { fs_allows : allow list; fs_marks : int list }
+
+let empty_scan = { fs_allows = []; fs_marks = [] }
+
 (* Grammar: [(* elmo-lint: allow <rule-id> — <reason> *)] anywhere on the
    line; the separator may be an em-dash, "--", "-" or ":". The scan is
    textual (one comment per line) — good enough for a convention the lint
    itself polices. *)
-let scan_allows path =
+let scan_file path =
   let ic = open_in path in
   let allows = ref [] in
+  let marks = ref [] in
   let lineno = ref 0 in
   (try
      while true do
@@ -170,11 +181,12 @@ let scan_allows path =
                allows :=
                  { a_line = !lineno; a_rule = rid; a_reasoned = reason <> [] }
                  :: !allows
+           | [ "zero-alloc" ] -> marks := !lineno :: !marks
            | _ -> ())
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !allows
+  { fs_allows = List.rev !allows; fs_marks = List.rev !marks }
 
 (* ------------------------------------------------------------------ *)
 (* Type shape: is structural comparison / hashing benign here?        *)
@@ -387,6 +399,420 @@ and module_mutables me =
   | _ -> []
 
 (* ------------------------------------------------------------------ *)
+(* Allocation analysis (zero-alloc)                                   *)
+
+(* A binding annotated with [(* elmo-lint: zero-alloc *)] (on the binding's
+   line or the line above) must not allocate on any path. Each top-level
+   binding gets a summary: direct allocation sites (non-constant
+   constructors, tuples, records, arrays, closures, partial applications,
+   boxed floats, polymorphic-compare fallbacks) interleaved with the calls
+   its body makes, in source order. Verdicts propagate interprocedurally
+   across every module loaded into the lint run (targets and --deps), and
+   the first allocating chain is reported as a witness anchored at the
+   annotated definition. Suppressions ([allow zero-alloc — reason]) apply
+   per event site, including inside callees.
+
+   Soundness caveats (see DESIGN.md): structured constants are recognized
+   as static data, but any local closure is flagged — lift helpers to the
+   top level; value aliases ([let f = g]) and calls through function
+   arguments are opaque and reported as unproven; cycles are assumed clean
+   (a recursive group allocates only if some member has its own event). *)
+
+type zevent =
+  | Z_site of { z_line : int; z_desc : string }
+  | Z_call of { z_line : int; z_path : string }
+
+type fsummary = {
+  f_mod : string;  (* short module name, after the wrapping prefix *)
+  f_name : string;
+  f_file : string;
+  f_line : int;
+  f_annotated : bool;
+  f_events : zevent list;
+}
+
+type zverdict =
+  | Z_clean
+  | Z_bad of {
+      bz_chain : (string * string) list;  (* (module, name) root..leaf *)
+      bz_file : string;
+      bz_line : int;
+      bz_desc : string;
+    }
+
+(* "Elmo_core__Encoding" -> "Encoding"; unwrapped names pass through. *)
+let short_mod m =
+  let n = String.length m in
+  let rec last i best =
+    if i + 1 >= n then best
+    else last (i + 1) (if m.[i] = '_' && m.[i + 1] = '_' then Some (i + 2) else best)
+  in
+  match last 0 None with Some j -> String.sub m j (n - j) | None -> m
+
+(* Immutable structured constants are lifted to static data by the
+   native compiler; extension constructors (exceptions) never are. *)
+let rec constant_expr e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_constant _ -> true
+  | Typedtree.Texp_construct (_, cd, args) -> (
+      match cd.Types.cstr_tag with
+      | Types.Cstr_extension _ -> false
+      | _ -> List.for_all constant_expr args)
+  | Typedtree.Texp_tuple es -> List.for_all constant_expr es
+  | Typedtree.Texp_variant (_, None) -> true
+  | _ -> false
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let is_float_array_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [ elt ], _) ->
+      Path.same p Predef.path_array && is_float_ty elt
+  | _ -> false
+
+(* Compare at an immediate (or float) representation compiles to a
+   primitive without a caml_compare fallback and without boxing. *)
+let compare_immediate ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      List.exists (Path.same p)
+        Predef.[ path_int; path_char; path_bool; path_unit; path_float ]
+  | _ -> false
+
+let zcompare_ops =
+  [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare"; "Stdlib.<"; "Stdlib.<=";
+    "Stdlib.>"; "Stdlib.>="; "Stdlib.min"; "Stdlib.max" ]
+
+(* Externals proven allocation-free: int/bool primitives plus the
+   non-allocating accessors of the flat containers. Anything not listed
+   here and not summarized in the loaded cmt set is reported as unproven. *)
+let zclean_exact =
+  [ "Stdlib.+"; "Stdlib.-"; "Stdlib.*"; "Stdlib./"; "Stdlib.mod";
+    "Stdlib.land"; "Stdlib.lor"; "Stdlib.lxor"; "Stdlib.lnot";
+    "Stdlib.lsl"; "Stdlib.lsr"; "Stdlib.asr"; "Stdlib.succ";
+    "Stdlib.pred"; "Stdlib.abs"; "Stdlib.~-"; "Stdlib.~+"; "Stdlib.not";
+    "Stdlib.&&"; "Stdlib.||"; "Stdlib.&"; "Stdlib.or"; "Stdlib.==";
+    "Stdlib.!="; "Stdlib.ignore"; "Stdlib.fst"; "Stdlib.snd";
+    "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.!"; "Stdlib.:=";
+    "Stdlib.incr"; "Stdlib.decr" ]
+
+let zclean_qualified =
+  [ "Array.length"; "Array.get"; "Array.set"; "Array.unsafe_get";
+    "Array.unsafe_set"; "Array.fill"; "Array.blit";
+    "Bytes.length"; "Bytes.get"; "Bytes.set"; "Bytes.unsafe_get";
+    "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit";
+    "String.length"; "String.get"; "String.unsafe_get";
+    "Char.code"; "Char.chr"; "Char.unsafe_chr";
+    "Int.equal"; "Int.compare";
+    "List.length"; "List.compare_length_with"; "List.is_empty";
+    "List.mem"; "List.memq";
+    "Hashtbl.mem"; "Hashtbl.length";
+    "Domain.DLS.get"; "Sys.opaque_identity" ]
+
+let zclean path =
+  List.mem path zclean_exact
+  || List.exists
+       (fun s -> path = s || String.ends_with ~suffix:("." ^ s) path)
+       zclean_qualified
+
+(* Well-known allocating externals, named for a sharper witness. *)
+let zknown_allocators =
+  [ ("Stdlib.^", "string append (^)");
+    ("Stdlib.@", "list append (@)");
+    ("Stdlib.^^", "format concat (^^)") ]
+
+let mutable_record_literal fields =
+  Array.exists
+    (fun (ld, _) -> ld.Types.lbl_mut = Asttypes.Mutable)
+    fields
+
+(* Walk one function body collecting allocation events in source order.
+   [suppressed] filters events whose line carries (or follows) an
+   [allow zero-alloc] comment. *)
+let collect_zevents ~suppressed bodies =
+  let events = ref [] in
+  let add_site line desc =
+    if not (suppressed line) then
+      events := Z_site { z_line = line; z_desc = desc } :: !events
+  in
+  let add_call line path =
+    if not (suppressed line) then
+      events := Z_call { z_line = line; z_path = path } :: !events
+  in
+  let expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    let line = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum in
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_function _ -> add_site line "closure"
+    | Typedtree.Texp_tuple _ when not (constant_expr e) ->
+        add_site line "tuple"
+    | Typedtree.Texp_construct (_, cd, args) ->
+        if args <> [] && not (constant_expr e) then
+          add_site line ("constructor " ^ cd.Types.cstr_name)
+    | Typedtree.Texp_variant (_, Some _) when not (constant_expr e) ->
+        add_site line "polymorphic variant"
+    | Typedtree.Texp_record { extended_expression = Some _; _ } ->
+        add_site line "record copy ({ ... with ... })"
+    | Typedtree.Texp_record { fields; _ } ->
+        let static =
+          (not (mutable_record_literal fields))
+          && Array.for_all
+               (fun (_, def) ->
+                 match def with
+                 | Typedtree.Overridden (_, e') -> constant_expr e'
+                 | Typedtree.Kept _ -> false)
+               fields
+        in
+        if not static then add_site line "record"
+    | Typedtree.Texp_array [] -> ()
+    | Typedtree.Texp_array _ -> add_site line "array literal"
+    | Typedtree.Texp_lazy _ -> add_site line "lazy block"
+    | Typedtree.Texp_pack _ -> add_site line "first-class module"
+    | Typedtree.Texp_object _ -> add_site line "object"
+    | Typedtree.Texp_new _ -> add_site line "object instantiation"
+    | Typedtree.Texp_letop _ -> add_site line "binding operator (closure)"
+    | Typedtree.Texp_field (_, _, lbl) -> (
+        match lbl.Types.lbl_repres with
+        | Types.Record_float -> add_site line "float record field read (boxes)"
+        | _ -> ())
+    | Typedtree.Texp_apply (fn0, args0) -> (
+        (* Unwrap [f @@ x] and [x |> f] so the real callee is judged. *)
+        let fn, args =
+          match (fn0.Typedtree.exp_desc, args0) with
+          | Typedtree.Texp_ident (p, _, _), [ (_, Some f); (_, Some x) ]
+            when Path.name p = "Stdlib.@@" ->
+              (f, [ (Asttypes.Nolabel, Some x) ])
+          | Typedtree.Texp_ident (p, _, _), [ (_, Some x); (_, Some f) ]
+            when Path.name p = "Stdlib.|>" ->
+              (f, [ (Asttypes.Nolabel, Some x) ])
+          | _ -> (fn0, args0)
+        in
+        let omitted =
+          List.exists (fun (_, a) -> Option.is_none a) args
+        in
+        let partial =
+          match Types.get_desc e.Typedtree.exp_type with
+          | Types.Tarrow _ -> true
+          | _ -> false
+        in
+        if omitted || partial then
+          add_site line "partial application (closure)"
+        else
+          match fn.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (path, _, _) ->
+              let name = Path.name path in
+              if List.mem name zcompare_ops then (
+                match first_arg_type fn.Typedtree.exp_type with
+                | Some arg when not (compare_immediate arg) ->
+                    add_site line
+                      (Printf.sprintf
+                         "polymorphic compare fallback at type %s"
+                         (type_str arg))
+                | _ -> ())
+              else if
+                (String.ends_with ~suffix:"Array.get" name
+                || String.ends_with ~suffix:"Array.unsafe_get" name)
+                && (match first_arg_type fn.Typedtree.exp_type with
+                   | Some arg -> is_float_array_ty arg
+                   | None -> false)
+              then add_site line "float array read (boxes)"
+              else add_call line name
+          | _ -> add_site line "indirect call (not analyzed)")
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  List.iter (fun b -> it.expr it b) bodies;
+  List.rev !events
+
+(* Peel the curried [fun]-spine of a binding down to the body (or bodies:
+   a final dispatch [function] contributes every case, guards included). *)
+let rec peel_function e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function
+      { cases = [ ({ Typedtree.c_guard = None; _ } as c) ]; _ } -> (
+      match c.Typedtree.c_rhs.Typedtree.exp_desc with
+      | Typedtree.Texp_let (Asttypes.Nonrecursive, vbs, inner)
+        when List.exists
+               (fun a -> a.Parsetree.attr_name.Location.txt = "#default")
+               c.Typedtree.c_rhs.Typedtree.exp_attributes ->
+          (* The [let]s that elaborate optional-argument defaults (marked
+             [#default] by the type-checker) are fused into one n-ary
+             function by the compiler: `fun ?(n = 1) name -> ...` takes two
+             arguments, it does not return a closure. Peel through them;
+             the default expressions still run per call, so they stay in
+             the analyzed bodies. *)
+          let bodies, _ = peel_function inner in
+          (List.map (fun vb -> vb.Typedtree.vb_expr) vbs @ bodies, true)
+      | _ ->
+          let bodies, _ = peel_function c.Typedtree.c_rhs in
+          (bodies, true))
+  | Typedtree.Texp_function { cases; _ } ->
+      ( List.concat_map
+          (fun c ->
+            (match c.Typedtree.c_guard with Some g -> [ g ] | None -> [])
+            @ [ c.Typedtree.c_rhs ])
+          cases,
+        true )
+  | _ -> ([ e ], false)
+
+let summarize_binding ~self ~file ~suppressed ~marks vb =
+  match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) ->
+      let line = vb.Typedtree.vb_loc.Location.loc_start.Lexing.pos_lnum in
+      let bodies, is_fn = peel_function vb.Typedtree.vb_expr in
+      let events = collect_zevents ~suppressed bodies in
+      let events =
+        if
+          is_fn
+          && is_float_ty
+               (result_type vb.Typedtree.vb_expr.Typedtree.exp_type)
+          && not (suppressed line)
+        then
+          Z_site
+            { z_line = line; z_desc = "boxed float result" }
+          :: events
+        else events
+      in
+      Some
+        {
+          f_mod = self;
+          f_name = Ident.name id;
+          f_file = file;
+          f_line = line;
+          f_annotated = List.mem line marks || List.mem (line - 1) marks;
+          f_events = events;
+        }
+  | _ -> None
+
+(* [Stdlib.List.length] -> ("List", "length"); unqualified -> [self]. *)
+let zresolve_key ~self path_name =
+  match List.rev (String.split_on_char '.' path_name) with
+  | name :: md :: _ -> (md, name)
+  | [ name ] -> (self, name)
+  | [] -> (self, path_name)
+
+let zero_alloc_findings mods allows_for =
+  let summaries =
+    List.concat_map
+      (fun m ->
+        match (m.structure, m.source) with
+        | Some str, Some file ->
+            let scan = allows_for m in
+            let za_lines =
+              List.filter_map
+                (fun a ->
+                  if a.a_rule = "zero-alloc" then Some a.a_line else None)
+                scan.fs_allows
+            in
+            let suppressed l =
+              List.exists (fun a -> a = l || a = l - 1) za_lines
+            in
+            let self = short_mod m.modname in
+            List.concat_map
+              (fun item ->
+                match item.Typedtree.str_desc with
+                | Typedtree.Tstr_value (_, vbs) ->
+                    List.filter_map
+                      (fun vb ->
+                        match
+                          summarize_binding ~self ~file ~suppressed
+                            ~marks:scan.fs_marks vb
+                        with
+                        | Some fs -> Some (fs, m.is_target)
+                        | None -> None)
+                      vbs
+                | _ -> [])
+              str.Typedtree.str_items
+        | _ -> [])
+      mods
+  in
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (fs, _) -> Hashtbl.replace tbl (fs.f_mod, fs.f_name) fs)
+    summaries;
+  (* Fixpoint with an in-progress marker: a cycle member is clean unless
+     some member carries its own event. *)
+  let memo = Hashtbl.create 256 in
+  let rec eval key fs =
+    match Hashtbl.find_opt memo key with
+    | Some (Some v) -> v
+    | Some None -> Z_clean
+    | None ->
+        Hashtbl.add memo key None;
+        let rec scan = function
+          | [] -> Z_clean
+          | Z_site s :: _ ->
+              Z_bad
+                {
+                  bz_chain = [ (fs.f_mod, fs.f_name) ];
+                  bz_file = fs.f_file;
+                  bz_line = s.z_line;
+                  bz_desc = s.z_desc;
+                }
+          | Z_call c :: rest -> (
+              let ckey = zresolve_key ~self:fs.f_mod c.z_path in
+              match Hashtbl.find_opt tbl ckey with
+              | Some callee -> (
+                  match eval ckey callee with
+                  | Z_clean -> scan rest
+                  | Z_bad b ->
+                      Z_bad
+                        {
+                          b with
+                          bz_chain = (fs.f_mod, fs.f_name) :: b.bz_chain;
+                        })
+              | None ->
+                  if zclean c.z_path then scan rest
+                  else
+                    let desc =
+                      match List.assoc_opt c.z_path zknown_allocators with
+                      | Some d -> d
+                      | None ->
+                          Printf.sprintf
+                            "call to %s (no summary; not on the \
+                             clean-extern whitelist)"
+                            (short_name c.z_path)
+                    in
+                    Z_bad
+                      {
+                        bz_chain = [ (fs.f_mod, fs.f_name) ];
+                        bz_file = fs.f_file;
+                        bz_line = c.z_line;
+                        bz_desc = desc;
+                      })
+        in
+        let v = scan fs.f_events in
+        Hashtbl.replace memo key (Some v);
+        v
+  in
+  List.filter_map
+    (fun (fs, is_target) ->
+      if not (is_target && fs.f_annotated) then None
+      else
+        match eval (fs.f_mod, fs.f_name) fs with
+        | Z_clean -> None
+        | Z_bad b ->
+            let pp_hop (m, n) =
+              if m = fs.f_mod then n else m ^ "." ^ n
+            in
+            let chain =
+              String.concat " \xe2\x86\x92 " (List.map pp_hop b.bz_chain)
+            in
+            Some
+              {
+                file = fs.f_file;
+                line = fs.f_line;
+                rule = Zero_alloc;
+                message =
+                  Printf.sprintf "%s allocates %s (%s:%d)" chain b.bz_desc
+                    b.bz_file b.bz_line;
+              })
+    summaries
+
+(* ------------------------------------------------------------------ *)
 (* Analysis driver                                                    *)
 
 let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
@@ -400,12 +826,12 @@ let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
   let allows_cache = Hashtbl.create 64 in
   let allows_for m =
     match m.source_abs with
-    | None -> []
+    | None -> empty_scan
     | Some path -> (
         match Hashtbl.find_opt allows_cache path with
         | Some l -> l
         | None ->
-            let l = try scan_allows path with Sys_error _ -> [] in
+            let l = try scan_file path with Sys_error _ -> empty_scan in
             Hashtbl.add allows_cache path l;
             l)
   in
@@ -498,6 +924,11 @@ let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
                  m.modname)
       | _ -> ())
     mods;
+  (* Zero-alloc: annotated bindings in target modules must not allocate;
+     summaries span the whole loaded cmt set so callees resolve. *)
+  List.iter
+    (fun f -> findings := f :: !findings)
+    (zero_alloc_findings mods allows_for);
   (* Suppressions: drop findings with a matching allow on the same or the
      preceding line; bare allows surface as findings of their own. *)
   let file_allows = Hashtbl.create 64 in
@@ -505,7 +936,7 @@ let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
     (fun m ->
       match m.source with
       | Some src when not (Hashtbl.mem file_allows src) ->
-          Hashtbl.add file_allows src (allows_for m, m.is_target)
+          Hashtbl.add file_allows src ((allows_for m).fs_allows, m.is_target)
       | _ -> ())
     mods;
   let kept =
@@ -529,19 +960,38 @@ let analyze ?(config = default_config) ?source_root ~targets ?(deps = []) ()
         else
           List.filter_map
             (fun a ->
-              if a.a_reasoned then None
-              else
-                Some
-                  {
-                    file = src;
-                    line = a.a_line;
-                    rule = Bare_allow;
-                    message =
-                      Printf.sprintf
-                        "suppression of [%s] carries no reason (write \
-                         'elmo-lint: allow %s — <why>')"
-                        a.a_rule a.a_rule;
-                  })
+              match rule_of_id a.a_rule with
+              | None ->
+                  (* A typo'd rule-id suppresses nothing — surface it
+                     loudly rather than letting the author believe the
+                     finding is handled. *)
+                  Some
+                    {
+                      file = src;
+                      line = a.a_line;
+                      rule = Bare_allow;
+                      message =
+                        Printf.sprintf
+                          "allow names unknown rule '%s' — nothing is \
+                           suppressed (known rules: determinism, \
+                           poly-compare, exception-discipline, \
+                           domain-safety, interface-hygiene, zero-alloc)"
+                          a.a_rule;
+                    }
+              | Some _ ->
+                  if a.a_reasoned then None
+                  else
+                    Some
+                      {
+                        file = src;
+                        line = a.a_line;
+                        rule = Bare_allow;
+                        message =
+                          Printf.sprintf
+                            "suppression of [%s] carries no reason (write \
+                             'elmo-lint: allow %s — <why>')"
+                            a.a_rule a.a_rule;
+                      })
             allows
           @ acc)
       file_allows []

@@ -41,8 +41,26 @@ type rule =
   | Interface_hygiene
       (** Every implementation ships an [.mli] (detected as a sibling
           [.cmti] of the [.cmt]). *)
+  | Zero_alloc
+      (** A top-level binding annotated [(* elmo-lint: zero-alloc *)] (on
+          the binding's line or the line above) must not allocate on any
+          path. Per-function summaries over the typed AST record direct
+          allocation sites — non-constant constructors, tuples, records,
+          arrays, closures and partial applications, boxed floats and
+          float-record reads, [@]/[^], polymorphic-compare fallbacks —
+          and the calls the body makes; verdicts propagate through every
+          module loaded into the lint run, and the finding's message
+          carries the first allocating call chain as a witness:
+          [f → g → h allocates <construct> (path:line)]. Calls that reach
+          neither a summarized binding nor the clean-extern whitelist are
+          conservatively reported as unproven. Cold slow paths are
+          silenced per site with a reasoned [allow zero-alloc] on the
+          allocating line or the line above (honored inside callees
+          too). *)
   | Bare_allow
-      (** An [elmo-lint: allow] suppression that carries no reason. *)
+      (** An [elmo-lint: allow] suppression that carries no reason, or
+          one naming an unknown rule-id (a typo'd allow suppresses
+          nothing). *)
 
 val rule_id : rule -> string
 (** Stable kebab-case id used in output and in suppression comments. *)
