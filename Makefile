@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-hotpath bench-parallel bench-faults bench-shard bench-verify clean
+.PHONY: all check test lint bench bench-churn bench-hotpath bench-parallel bench-faults bench-shard bench-telemetry bench-verify clean
 
 all:
 	dune build
@@ -48,6 +48,14 @@ bench-faults:
 # BENCH_shard.json (ELMO_SHARD_GROUPS scales the group count).
 bench-shard:
 	dune exec bench/main.exe -- shard
+
+# Telemetry baseline: Zipf-skewed packet workload through the oblivious
+# encoder with the dataplane recorder attached; writes BENCH_telemetry.json
+# (per-link max/mean utilization, elephant groups vs exact counts, sketch
+# bound validation — the "before" number for a TE-aware encoder;
+# ELMO_TE_GROUPS / ELMO_TE_PACKETS scale the workload).
+bench-telemetry:
+	dune exec bench/main.exe -- te-baseline
 
 # Symbolic-verification throughput: compile every installed group to its
 # canonical delivery predicate and check it against the membership intent;

@@ -5,7 +5,8 @@
    Usage: main.exe [target ...]
    Targets: fig4 fig5 uniform constrained table2 failures fig6 sflow fig7
             table3 ablation twotier nonclos legacy bisection strawman churn
-            hotpath parallel faults shard verify micro all (default: all)
+            hotpath parallel faults shard te-baseline verify micro all
+            (default: all)
 
    Scale: ELMO_GROUPS=<n> sets the sampled group count (default 100_000);
    ELMO_FULL=1 runs the paper's full million groups.
@@ -22,6 +23,11 @@ module Obs_clock = Elmo_obs.Clock
 module Obs_metrics = Elmo_obs.Metrics
 module Obs_trace = Elmo_obs.Trace
 module Provenance = Elmo_obs.Provenance
+module Tel_report = Elmo_telemetry.Report
+module Tel_recorder = Elmo_telemetry.Recorder
+module Tel_series = Elmo_telemetry.Link_series
+module Tel_sketch = Elmo_telemetry.Sketch
+module Tel_flight = Elmo_telemetry.Flight_recorder
 
 let printf = Format.printf
 
@@ -31,6 +37,20 @@ let metrics_field () =
   match Obs_ctx.metrics (Obs.current ()) with
   | Some m -> Printf.sprintf ",\n  \"metrics\": %s" (Obs_metrics.to_json m)
   | None -> ""
+
+(* Run [f] with a metrics registry guaranteed present: targets whose JSON
+   embeds a "metrics" block install a local registry when the user did not
+   pass --metrics/--trace, and restore the previous context afterwards.
+   With an ambient registry already active, [f] runs under it unchanged so
+   --metrics keeps aggregating across targets. *)
+let with_local_metrics f =
+  let prev = Obs.current () in
+  if Obs_ctx.active prev then f ()
+  else begin
+    let metrics = Obs_metrics.create () in
+    Obs.install (Obs_ctx.make ~metrics ~clock:(Obs_ctx.clock prev) ());
+    Fun.protect ~finally:(fun () -> Obs.install prev) f
+  end
 
 let hr title =
   printf "@.============================================================@.";
@@ -631,6 +651,7 @@ let shard () =
   hr
     "Shard: per-pod sharded commit, batch + churn scaling across domains \
      (BENCH_shard.json)";
+  with_local_metrics @@ fun () ->
   let topo =
     Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
       ~hosts_per_leaf:32 ~cores_per_plane:4
@@ -1318,6 +1339,17 @@ let hotpath () =
       ~params:(Format.asprintf "%a" Params.pp params)
       ~domains:1 ()
   in
+  (* Instrumented epilogue: a short burst of the same kernel under a local
+     metrics registry, AFTER the probe and the timed loop — metrics-on costs
+     an allocation per probe (Hashtbl lookup), so the measured region must
+     stay metrics-off. The JSON write sits inside so metrics_field () sees
+     the registry. *)
+  with_local_metrics @@ fun () ->
+  for i = 0 to 1_023 do
+    Obs.with_span "hotpath.apply_delta" (fun () -> apply i)
+  done;
+  Obs.gauge "hotpath.events_per_sec" events_per_sec;
+  Obs.gauge "hotpath.minor_words" minor_words;
   let oc = open_out "BENCH_hotpath.json" in
   Printf.fprintf oc
     {|{
@@ -1345,6 +1377,145 @@ let hotpath () =
   close_out oc;
   printf "wrote BENCH_hotpath.json@."
 
+(* {1 Telemetry baseline: measured utilization under the oblivious encoder} *)
+
+(* The "before" number for the traffic-engineering roadmap item: a skewed
+   (Zipf) WVE workload through the current placement-oblivious encoder,
+   measured by the dataplane recorder. A future TE-aware encoder reruns
+   this target and compares max/mean link utilization and the elephant
+   set. *)
+let te_baseline () =
+  hr
+    "TE baseline: link utilization + elephants, oblivious encoder \
+     (BENCH_telemetry.json)";
+  let topo =
+    Topology.create ~pods:8 ~leaves_per_pod:8 ~spines_per_pod:4
+      ~hosts_per_leaf:32 ~cores_per_plane:4
+  in
+  let env name default =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "%s must be a positive integer (got %S)@." name s;
+            exit 1)
+    | None -> default
+  in
+  let total_groups = env "ELMO_TE_GROUPS" 2_000 in
+  let packets = env "ELMO_TE_PACKETS" 20_000 in
+  with_local_metrics @@ fun () ->
+  let flight = Tel_flight.create ~capacity:256 () in
+  let cfg =
+    {
+      (Tel_report.default_config topo) with
+      Tel_report.groups = total_groups;
+      tenants = 40;
+      packets;
+      churn_events = max 200 (total_groups / 10);
+      seed = 33;
+      (* Just under the hottest host links' peak: the watermark path (and
+         its flight-recorder notes) exercises on every default run. *)
+      watermark = 0.02;
+    }
+  in
+  printf "topology: %a; %d groups over %d tenants; %d packets of %d B; \
+          zipf %g; k=%d; watermark %g@."
+    Topology.pp topo cfg.Tel_report.groups cfg.Tel_report.tenants
+    cfg.Tel_report.packets cfg.Tel_report.payload cfg.Tel_report.zipf
+    cfg.Tel_report.k cfg.Tel_report.watermark;
+  let res = Tel_report.run ~flight cfg in
+  printf "%a@." Tel_report.pp res;
+  let ls = Tel_recorder.links res.Tel_report.recorder in
+  let sk = Tel_recorder.sketch res.Tel_report.recorder in
+  let anomaly =
+    (not res.Tel_report.sketch_ok) || res.Tel_report.missed_heavy > 0
+  in
+  (* Flight dump on anomaly (sketch bound violated) or on the expected
+     watermark breaches — the always-on recorder's tail shows the
+     control-plane ops leading up to them. *)
+  if anomaly then
+    Tel_flight.dump_to_file ~reason:"sketch_violation" flight
+      "FLIGHT_te_baseline.json"
+  else if Tel_series.watermark_events ls > 0 then
+    Tel_flight.dump_to_file ~reason:"watermark" flight
+      "FLIGHT_te_baseline.json";
+  if Sys.file_exists "FLIGHT_te_baseline.json" then
+    printf "wrote FLIGHT_te_baseline.json@.";
+  let kind_name = function
+    | Tel_series.Host_link -> "host"
+    | Tel_series.Leaf_spine -> "leaf-spine"
+    | Tel_series.Spine_core -> "spine-core"
+  in
+  let link_json (r : Tel_report.link_row) =
+    Printf.sprintf
+      {|    {"link": %d, "kind": "%s", "a": %d, "b": %d, "bytes": %d, "max_util": %.6f, "mean_util": %.6f}|}
+      r.Tel_report.row_link
+      (kind_name r.Tel_report.row_kind)
+      r.Tel_report.row_a r.Tel_report.row_b r.Tel_report.row_bytes
+      r.Tel_report.row_max_util r.Tel_report.row_mean_util
+  in
+  let elephant_json (e : Tel_report.elephant) =
+    Printf.sprintf
+      {|    {"group": %d, "est": %d, "err": %d, "exact": %d, "within_bound": %b}|}
+      e.Tel_report.eg e.Tel_report.est e.Tel_report.err
+      e.Tel_report.exact_bytes e.Tel_report.within
+  in
+  let prov =
+    Provenance.capture ~seed:cfg.Tel_report.seed
+      ~params:(Format.asprintf "%a" Params.pp cfg.Tel_report.params)
+      ~domains:1 ()
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "te_baseline",
+  "provenance": %s,
+  "topology": {"pods": 8, "leaves_per_pod": 8, "spines_per_pod": 4, "hosts_per_leaf": 32, "link_gbps": %g},
+  "groups": %d,
+  "tenants": %d,
+  "packets": %d,
+  "injected": %d,
+  "no_header": %d,
+  "churn_events": %d,
+  "payload": %d,
+  "zipf": %g,
+  "seed": %d,
+  "utilization": {"max": %.6f, "mean": %.6f, "active_links": %d, "links": %d, "cap_bytes_per_window": %d, "watermark": %g, "watermark_events": %d},
+  "links": [
+%s
+  ],
+  "elephants": [
+%s
+  ],
+  "sketch": {"k": %d, "ok": %b, "missed_heavy": %d, "total_bytes": %d, "evictions": %d},
+  "churn": {"fast_path": %d, "reencoded": %d}%s
+}
+|}
+    (Provenance.to_json prov)
+    (Topology.link_gbps topo) cfg.Tel_report.groups cfg.Tel_report.tenants
+    cfg.Tel_report.packets res.Tel_report.injected res.Tel_report.no_header
+    cfg.Tel_report.churn_events cfg.Tel_report.payload cfg.Tel_report.zipf
+    cfg.Tel_report.seed
+    (Tel_recorder.max_utilization res.Tel_report.recorder)
+    (Tel_recorder.mean_utilization res.Tel_report.recorder)
+    (Tel_series.active_links ls) (Tel_series.nlinks ls)
+    (Tel_series.cap_bytes ls) (Tel_series.watermark ls)
+    (Tel_series.watermark_events ls)
+    (String.concat ",\n" (List.map link_json (Tel_report.link_rows res ~n:20)))
+    (String.concat ",\n"
+       (List.map elephant_json (Tel_report.elephants res ~n:16)))
+    (Tel_sketch.k sk) res.Tel_report.sketch_ok res.Tel_report.missed_heavy
+    (Tel_sketch.total sk) (Tel_sketch.evictions sk)
+    res.Tel_report.churn.Controller.fast_path
+    res.Tel_report.churn.Controller.reencoded (metrics_field ());
+  close_out oc;
+  printf "wrote BENCH_telemetry.json@.";
+  if anomaly then begin
+    printf "FAIL: sketch error bound violated against exact counts@.";
+    exit 1
+  end
+
 let targets =
   [
     ("fig4", fig4);
@@ -1368,6 +1539,7 @@ let targets =
     ("parallel", parallel);
     ("faults", faults);
     ("shard", shard);
+    ("te-baseline", te_baseline);
     ("verify", verify);
     ("micro", micro);
   ]

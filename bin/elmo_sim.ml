@@ -412,6 +412,134 @@ let verify_cmd =
           group/switch/port and exit nonzero.")
     Term.(const run $ groups_small $ seed_arg $ corrupt_arg $ example_arg)
 
+let top_cmd =
+  let groups_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "groups"; "g" ] ~docv:"N" ~doc:"Multicast groups to install.")
+  in
+  let packets_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "packets" ] ~docv:"N"
+          ~doc:"Packets to inject (Zipf-skewed across groups).")
+  in
+  let churn_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "churn" ] ~docv:"N"
+          ~doc:"Membership events before the packet phase.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "k" ] ~docv:"K" ~doc:"Heavy-hitter sketch slots.")
+  in
+  let watermark_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "watermark" ] ~docv:"FRAC"
+          ~doc:
+            "Per-window link-utilization fraction above which a watermark \
+             event fires (0 disables).")
+  in
+  let expose_arg =
+    Arg.(
+      value & flag
+      & info [ "expose" ]
+          ~doc:"Print the Prometheus text exposition after the table.")
+  in
+  let example_arg =
+    Arg.(
+      value & flag
+      & info [ "example" ]
+          ~doc:
+            "Use the paper's running-example topology instead of a small \
+             Clos.")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight recorder's retained event ring to $(docv) as \
+             JSON after the run.")
+  in
+  let run groups packets churn seed k watermark expose example flight_dump
+      trace_file =
+    let topo =
+      if example then Topology.running_example ()
+      else
+        Topology.create ~pods:4 ~leaves_per_pod:4 ~spines_per_pod:2
+          ~hosts_per_leaf:16 ~cores_per_plane:2
+    in
+    (* top always measures: install a metrics registry even without
+       --metrics so the telemetry gauges have somewhere to land. *)
+    let clock = Obs_clock.of_kind (Obs_clock.kind_of_env ()) in
+    let trace = Option.map (fun _ -> Obs_trace.create ~clock ()) trace_file in
+    let metrics = Obs_metrics.create () in
+    Obs.install (Obs_ctx.make ~metrics ?trace ~clock ());
+    Fun.protect
+      ~finally:(fun () -> Obs.install Obs_ctx.disabled)
+      (fun () ->
+        let cfg =
+          {
+            (Elmo_telemetry.Report.default_config topo) with
+            Elmo_telemetry.Report.groups;
+            packets;
+            churn_events = churn;
+            seed;
+            k;
+            watermark;
+          }
+        in
+        let prov =
+          Provenance.capture ~seed
+            ~params:(Format.asprintf "%a" Params.pp cfg.Elmo_telemetry.Report.params)
+            ~domains:1 ()
+        in
+        Format.printf "provenance: %a@." Provenance.pp prov;
+        Format.printf "topology: %a (%.0f Gbps links)@." Topology.pp topo
+          (Topology.link_gbps topo);
+        let res = Elmo_telemetry.Report.run cfg in
+        Format.printf "@.%a@." Elmo_telemetry.Report.pp res;
+        if expose then
+          Format.printf "@.exposition:@.%s@." (Obs_metrics.expose metrics);
+        (match flight_dump with
+        | Some file ->
+            Elmo_telemetry.Flight_recorder.dump_to_file ~reason:"top"
+              (Elmo_telemetry.Flight_recorder.ambient ())
+              file;
+            Format.printf "wrote flight-recorder dump to %s@." file
+        | None -> ());
+        (match (trace, trace_file) with
+        | Some tr, Some file ->
+            Obs_trace.write_chrome tr file;
+            Format.printf "wrote %s (%d events)@." file
+              (Obs_trace.event_count tr)
+        | _ -> ());
+        if not res.Elmo_telemetry.Report.sketch_ok
+           || res.Elmo_telemetry.Report.missed_heavy > 0
+        then begin
+          Elmo_telemetry.Flight_recorder.dump_to_file
+            ~reason:"sketch_bound_violation"
+            (Elmo_telemetry.Flight_recorder.ambient ())
+            "FLIGHT_sketch_violation.json";
+          Format.printf "sketch bound violated — wrote FLIGHT_sketch_violation.json@.";
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "One-shot dataplane telemetry snapshot: run a skewed packet \
+          workload over an instrumented fabric and print the hottest links, \
+          elephant groups (sketch vs exact), churn fast-path rate and shard \
+          commits.")
+    Term.(
+      const run $ groups_arg $ packets_arg $ churn_arg $ seed_arg $ k_arg
+      $ watermark_arg $ expose_arg $ example_arg $ flight_dump_arg $ trace_arg)
+
 let p4_cmd =
   let role_arg =
     let parse = function
@@ -462,7 +590,7 @@ let main =
   Cmd.group info
     [
       scalability_cmd; churn_cmd; faults_cmd; ablation_cmd; nonclos_cmd;
-      verify_cmd; p4_cmd;
+      verify_cmd; top_cmd; p4_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -263,10 +263,18 @@ type fault_result = {
   faults : Fault.stats;
 }
 
-let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
+let fault_run ?flight ~seed topo params ~groups ~group_size ~events ~rate
+    ~probe_every =
   Obs.with_span "churn.fault_run"
     ~attrs:[ ("events", Obs.Int events); ("rate", Obs.Float rate) ]
   @@ fun () ->
+  let fr =
+    match flight with
+    | Some fr -> fr
+    | None -> Elmo_telemetry.Flight_recorder.ambient ()
+  in
+  let record_op op = Elmo_telemetry.Flight_recorder.record_op fr op in
+  let note label ~a ~b = Elmo_telemetry.Flight_recorder.note fr label ~a ~b in
   let rng = Rng.create seed in
   let clean_fab = Fabric.create topo in
   let faulty_fab = Fabric.create topo in
@@ -305,7 +313,8 @@ let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
     members.(g) <- Array.to_list hosts;
     let ms = List.map (fun h -> (h, Controller.Both)) members.(g) in
     ignore (Controller.add_group clean ~group:g ms : Controller.updates);
-    ignore (Controller.add_group faulty ~group:g ms : Controller.updates)
+    ignore (Controller.add_group faulty ~group:g ms : Controller.updates);
+    record_op (Journal.Add_group { group = g; members = ms })
   done;
   let is_member g h = List.exists (fun x -> x = h) members.(g) in
   let pick_non_member g =
@@ -346,15 +355,30 @@ let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
               faulty_tx := !faulty_tx + ftx;
               if not fok then begin
                 incr blackholes;
-                Obs.incr "churn.fault_blackholes"
+                Obs.incr "churn.fault_blackholes";
+                note "probe.blackhole" ~a:g ~b:sender
               end
           | _, Some (fok, _) ->
               incr probes;
-              if not fok then incr blackholes
+              if not fok then begin
+                incr blackholes;
+                note "probe.blackhole" ~a:g ~b:sender
+              end
           | _, None -> ())
     done
   in
   let performed = ref 0 in
+  (* Track retry-budget exhaustion as it happens: the flight recorder gets
+     a note per newly-exhausted operation, so a dump after an anomaly shows
+     which events drove the controller into degradation. *)
+  let exhausted_seen = ref 0 in
+  let check_exhaustion ev =
+    let s = Controller.install_stats faulty in
+    if s.Controller.exhausted > !exhausted_seen then begin
+      note "install.exhausted" ~a:ev ~b:s.Controller.exhausted;
+      exhausted_seen := s.Controller.exhausted
+    end
+  in
   for ev = 1 to events do
     let g = Rng.int rng (max 1 groups) in
     let want_join =
@@ -371,7 +395,8 @@ let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
                : Controller.updates);
            ignore
              (Controller.join faulty ~group:g ~host ~role:Controller.Both
-               : Controller.updates)
+               : Controller.updates);
+           record_op (Journal.Join { group = g; host; role = Controller.Both })
      else
        match members.(g) with
        | [] -> ()
@@ -380,7 +405,9 @@ let fault_run ~seed topo params ~groups ~group_size ~events ~rate ~probe_every =
            members.(g) <- List.filter (fun h -> h <> host) ms;
            incr performed;
            ignore (Controller.leave clean ~group:g ~host : Controller.updates);
-           ignore (Controller.leave faulty ~group:g ~host : Controller.updates));
+           ignore (Controller.leave faulty ~group:g ~host : Controller.updates);
+           record_op (Journal.Leave { group = g; host }));
+    check_exhaustion ev;
     if probe_every > 0 && ev mod probe_every = 0 then probe_all ()
   done;
   probe_all ();

@@ -100,6 +100,7 @@ type fault_result = {
 }
 
 val fault_run :
+  ?flight:Elmo_telemetry.Flight_recorder.t ->
   seed:int ->
   Topology.t ->
   Params.t ->
@@ -113,4 +114,10 @@ val fault_run :
     [group_size] (all roles [Both]), probing every [probe_every] events and
     once at the end. [rate] is the overall per-operation fault probability
     ({!Fault.random}); [rate = 0.0] wires the faulty side reliably too,
-    making it a self-check (expect [extra_traffic = 0.0]). *)
+    making it a self-check (expect [extra_traffic = 0.0]).
+
+    Every membership op is recorded into [flight] (default: the ambient
+    {!Elmo_telemetry.Flight_recorder}), along with ["probe.blackhole"]
+    notes (group, sender) and ["install.exhausted"] notes (event index,
+    cumulative count) as they happen — so a dump on anomaly shows the ops
+    that led up to it. *)

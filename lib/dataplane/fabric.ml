@@ -1,3 +1,20 @@
+type node =
+  | Host_node of int
+  | Leaf_node of int
+  | Spine_node of int
+  | Core_node of int
+
+type hop = { hop_from : node; hop_to : node; hop_header_bytes : int }
+
+(* Per-traversal observation callbacks. [tel_hop] fires on every link
+   traversal with the hop record the trace already allocated (so an attached
+   hook adds no per-hop allocation of its own); [tel_packet] fires once at
+   the end of each inject with the packet's total wire bytes. *)
+type telemetry = {
+  tel_hop : payload:int -> hop -> unit;
+  tel_packet : group:int -> sender:int -> bytes:int -> unit;
+}
+
 type t = {
   topo : Topology.t;
   leaf_tables : (int, Bitmap.t) Hashtbl.t array;
@@ -7,6 +24,7 @@ type t = {
   link_up : bool array;  (* leaf <-> pod spine links, index leaf * spp + plane *)
   leaf_legacy : bool array;  (* cannot parse Elmo headers (§7) *)
   spine_legacy : bool array;
+  mutable telemetry : telemetry option;
 }
 
 let create topo =
@@ -20,9 +38,11 @@ let create topo =
       Array.make (Topology.num_leaves topo * topo.Topology.spines_per_pod) true;
     leaf_legacy = Array.make (Topology.num_leaves topo) false;
     spine_legacy = Array.make (Topology.num_spines topo) false;
+    telemetry = None;
   }
 
 let topology t = t.topo
+let set_telemetry t tel = t.telemetry <- tel
 
 let install_leaf_srule t ~leaf ~group bm = Hashtbl.replace t.leaf_tables.(leaf) group bm
 let remove_leaf_srule t ~leaf ~group = Hashtbl.remove t.leaf_tables.(leaf) group
@@ -114,14 +134,6 @@ let recover_spine t s = t.spine_up.(s) <- true
 let fail_core t c = t.core_up.(c) <- false
 let recover_core t c = t.core_up.(c) <- true
 
-type node =
-  | Host_node of int
-  | Leaf_node of int
-  | Spine_node of int
-  | Core_node of int
-
-type hop = { hop_from : node; hop_to : node; hop_header_bytes : int }
-
 type report = {
   delivered : (int * int) list;
   transmissions : int;
@@ -150,12 +162,18 @@ type acc = {
   mutable lost : int;
   hosts : (int, int) Hashtbl.t;
   mutable trace : hop list;  (* reversed *)
+  payload : int;
+  tel : telemetry option;
 }
 
 let hop acc ~src ~dst bytes =
   acc.transmissions <- acc.transmissions + 1;
   acc.header_bytes <- acc.header_bytes + bytes;
-  acc.trace <- { hop_from = src; hop_to = dst; hop_header_bytes = bytes } :: acc.trace
+  let h = { hop_from = src; hop_to = dst; hop_header_bytes = bytes } in
+  acc.trace <- h :: acc.trace;
+  match acc.tel with
+  | None -> ()
+  | Some tel -> tel.tel_hop ~payload:acc.payload h
 
 let deliver acc ~src host =
   hop acc ~src ~dst:(Host_node host) 0;
@@ -175,7 +193,7 @@ let match_rule ~legacy rules id table group default =
         | Some bm -> Some bm
         | None -> default)
 
-let inject t ~sender ~group ~header ~payload:_ =
+let inject t ~sender ~group ~header ~payload =
   let topo = t.topo in
   let acc =
     {
@@ -184,6 +202,8 @@ let inject t ~sender ~group ~header ~payload:_ =
       lost = 0;
       hosts = Hashtbl.create 16;
       trace = [];
+      payload;
+      tel = t.telemetry;
     }
   in
   let hash = Ecmp.flow_hash ~group ~sender in
@@ -307,6 +327,11 @@ let inject t ~sender ~group ~header ~payload:_ =
   let full = encode Header_codec.Full in
   hop acc ~src:(Host_node sender) ~dst:(Leaf_node sl) (Bytes.length full);
   at_leaf_up full;
+  (match t.telemetry with
+  | None -> ()
+  | Some tel ->
+      tel.tel_packet ~group ~sender
+        ~bytes:((payload * acc.transmissions) + acc.header_bytes));
   let delivered =
     Hashtbl.fold (fun h n l -> (h, n) :: l) acc.hosts []
     |> List.sort (fun (a, _) (b, _) -> compare a b)

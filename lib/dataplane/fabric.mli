@@ -105,11 +105,31 @@ val pp_node : Format.formatter -> node -> unit
 val pp_trace : Format.formatter -> hop list -> unit
 (** Traceroute-style rendering of a multicast packet's replication tree. *)
 
+type telemetry = {
+  tel_hop : payload:int -> hop -> unit;
+      (** fired on every link traversal (including host deliveries), with
+          the packet's payload size and the hop record the trace already
+          allocated — an attached hook costs no extra per-hop allocation *)
+  tel_packet : group:int -> sender:int -> bytes:int -> unit;
+      (** fired once per {!inject}, after the traversal completes;
+          [bytes] is the packet's total wire bytes,
+          [payload * transmissions + header_bytes] *)
+}
+(** Passive per-traversal observation callbacks (lib/telemetry feeds its
+    link time series and heavy-hitter sketch from these). Hooks never
+    influence forwarding. *)
+
+val set_telemetry : t -> telemetry option -> unit
+(** Attach ([Some]) or detach ([None]) the telemetry hook. [create] starts
+    with no hook; with none attached, [inject] behaves identically to a
+    build without telemetry. *)
+
 val inject :
   t -> sender:int -> group:int -> header:Prule.header -> payload:int -> report
 (** Sends one packet from [sender]'s hypervisor with the given Elmo header.
-    ECMP hashing is deterministic in [(group, sender)]. [payload] only sizes
-    the report; forwarding decisions never read it. *)
+    ECMP hashing is deterministic in [(group, sender)]. [payload] sizes the
+    report and the telemetry byte counts; forwarding decisions never read
+    it. *)
 
 val deliveries_correct :
   report -> tree:Tree.t -> sender:int -> bool

@@ -21,13 +21,15 @@ type entry = { e_op : op; e_pods : int list option }
 type t = {
   mutable entries : entry list;  (* newest first *)
   mutable n : int;
+  observer : (op -> unit) option;
 }
 
-let create () = { entries = []; n = 0 }
+let create ?observer () = { entries = []; n = 0; observer }
 
 let append ?pods t op =
   t.entries <- { e_op = op; e_pods = pods } :: t.entries;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  match t.observer with None -> () | Some f -> f op
 
 let length t = t.n
 let entries t = List.rev t.entries

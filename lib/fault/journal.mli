@@ -31,10 +31,14 @@ type entry = { e_op : op; e_pods : int list option }
 
 type t
 
-val create : unit -> t
+val create : ?observer:(op -> unit) -> unit -> t
+(** [observer] (if given) is called with every op right after it is
+    recorded — the tap the telemetry flight recorder rides on. It must not
+    append to this journal. *)
 
 val append : ?pods:int list -> t -> op -> unit
-(** Appends the op, tagged with [pods] when given (global otherwise). *)
+(** Appends the op, tagged with [pods] when given (global otherwise), then
+    notifies the observer. *)
 
 val length : t -> int
 (** Total ops ever appended; journal positions are indices into this. *)

@@ -14,14 +14,14 @@ let checkpoint t =
   t.snap_at <- Journal.length t.journal;
   Obs.incr "replica.checkpoints"
 
-let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true) topo
-    params =
+let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true)
+    ?observer topo params =
   let ctrl = Controller.create ?fabric_hooks ~incremental topo params in
   {
     fabric_hooks;
     snapshot_every;
     ctrl;
-    journal = Journal.create ();
+    journal = Journal.create ?observer ();
     snap = Controller.snapshot ctrl;
     snap_at = 0;
   }

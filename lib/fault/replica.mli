@@ -21,10 +21,13 @@ val create :
   ?snapshot_every:int ->
   ?fabric_hooks:Controller.fabric_hooks ->
   ?incremental:bool ->
+  ?observer:(Journal.op -> unit) ->
   Topology.t ->
   Params.t ->
   t
-(** [snapshot_every] defaults to 64 ops between automatic checkpoints. *)
+(** [snapshot_every] defaults to 64 ops between automatic checkpoints.
+    [observer] taps the underlying journal (see {!Journal.create}) — the
+    telemetry flight recorder attaches here. *)
 
 val controller : t -> Controller.t
 val journal : t -> Journal.t

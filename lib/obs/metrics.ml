@@ -189,6 +189,57 @@ let to_json t =
   Buffer.add_char b '}';
   Buffer.contents b
 
+let bucket_bound i = if i <= 0 then 1.0 else Float.ldexp 1.0 i
+
+let dump_buckets t name =
+  match Hashtbl.find_opt (merged t).cells name with
+  | Some (Hist_c h) ->
+      Some (Array.mapi (fun i c -> (bucket_bound i, c)) h.h_buckets)
+  | Some (Counter_c _ | Gauge_c _) | None -> None
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names just
+   need the dots (and any other punctuation) folded to underscores. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let expose t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = "elmo_" ^ sanitize name in
+      match v with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n c)
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" n (Jsonx.float g))
+      | Histogram h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          (match dump_buckets t name with
+          | None -> ()
+          | Some buckets ->
+              let cum = ref 0 in
+              Array.iter
+                (fun (bound, c) ->
+                  if c > 0 then begin
+                    cum := !cum + c;
+                    Buffer.add_string b
+                      (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                         (Jsonx.float bound) !cum)
+                  end)
+                buckets);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" n (Jsonx.float h.sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+    (dump t);
+  Buffer.contents b
+
 let pp ppf t =
   List.iter
     (fun (name, v) ->

@@ -57,4 +57,23 @@ val to_json : t -> string
 (** One JSON object: counters as ints, gauges as floats, histograms as
     [{"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}]. *)
 
+val bucket_bound : int -> float
+(** Upper bound of log2 bucket [i]: 1.0 for bucket 0, [2^i] for [i >= 1].
+    Bucket 0 holds samples [<= 1.0] (inclusive, and NaN); bucket [i >= 1]
+    holds [(2^(i-1), 2^i)] with one wrinkle inherited from [Float.frexp]:
+    an exact power of two [2^e] (for [e >= 1]) lands in bucket [e + 1], so
+    the bound is exclusive there too. *)
+
+val dump_buckets : t -> string -> (float * int) array option
+(** Raw merged bucket counts of histogram [name] as
+    [(bucket_bound i, count)] per bucket, or [None] if the name is unbound
+    or not a histogram. Lets tests and exposition see the distribution, not
+    just the p50/p95/p99 summary. *)
+
+val expose : t -> string
+(** Prometheus text-format exposition of the merged view: each metric as
+    [elmo_<name>] (punctuation folded to [_]) with a [# TYPE] line;
+    histograms render cumulative [_bucket{le="..."}] lines (empty buckets
+    elided) plus [_sum]/[_count]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+module Obs = Elmo_obs.Obs
+module Jsonx = Elmo_obs.Jsonx
+
+(* Always-on bounded ring of recent control-plane ops and anomaly notes.
+   Recording is cheap (one ring slot overwrite); rendering happens only in
+   [dump], on anomaly. Notes carry two int payloads rather than a formatted
+   string so recording allocates only the event constructor itself. *)
+
+type event =
+  | Pad
+  | Op of { seq : int; op : Journal.op }
+  | Note of { seq : int; label : string; a : int; b : int }
+
+type t = { ring : event array; cap : int; mutable next_seq : int }
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then
+    invalid_arg "Flight_recorder.create: capacity must be positive";
+  { ring = Array.make capacity Pad; cap = capacity; next_seq = 0 }
+
+let record t ev =
+  t.ring.(t.next_seq mod t.cap) <- ev;
+  t.next_seq <- t.next_seq + 1
+
+let record_op t op = record t (Op { seq = t.next_seq; op })
+let note t label ~a ~b = record t (Note { seq = t.next_seq; label; a; b })
+let observer t op = record_op t op
+
+let recorded t = t.next_seq
+let capacity t = t.cap
+
+let events t =
+  let n = min t.next_seq t.cap in
+  List.init n (fun i -> t.ring.((t.next_seq - n + i) mod t.cap))
+
+let pp_event ppf = function
+  | Pad -> Format.fprintf ppf "(pad)"
+  | Op { seq; op } -> Format.fprintf ppf "#%d %a" seq Journal.pp_op op
+  | Note { seq; label; a; b } ->
+      Format.fprintf ppf "#%d note %s a=%d b=%d" seq label a b
+
+let dump ?(reason = "manual") t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"flight_recorder\": {\"reason\": ";
+  Buffer.add_string b (Jsonx.string reason);
+  Buffer.add_string b (Printf.sprintf ", \"recorded\": %d" t.next_seq);
+  Buffer.add_string b (Printf.sprintf ", \"capacity\": %d" t.cap);
+  Buffer.add_string b ", \"events\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ", ";
+      match ev with
+      | Pad -> Buffer.add_string b "{\"kind\": \"pad\"}"
+      | Op { seq; op } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"seq\": %d, \"kind\": \"op\", \"what\": %s}" seq
+               (Jsonx.string (Format.asprintf "%a" Journal.pp_op op)))
+      | Note { seq; label; a; b = nb } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"seq\": %d, \"kind\": \"note\", \"label\": %s, \"a\": %d, \"b\": %d}"
+               seq (Jsonx.string label) a nb))
+    (events t);
+  Buffer.add_string b "]}}";
+  Obs.instant "flight.dump" ~attrs:[ ("reason", Obs.Str reason) ];
+  Buffer.contents b
+
+let dump_to_file ?reason t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (dump ?reason t);
+      output_char oc '\n')
+
+(* The ambient per-domain recorder: always on, so anomaly sites anywhere in
+   the process can dump the recent past without plumbing a handle. *)
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
+let ambient () = Domain.DLS.get key

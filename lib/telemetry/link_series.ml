@@ -1,0 +1,214 @@
+(* Per-link byte/packet time series over a ring of fixed-duration windows.
+
+   Links are the physical edges of the Clos fabric, numbered densely:
+   - host links: [0, hosts) — host h <-> its leaf;
+   - leaf-spine links: [leaf_off, leaf_off + leaves*spp) —
+     index leaf_off + leaf*spp + plane;
+   - spine-core links: [spine_off, spine_off + spines*cpp) —
+     index spine_off + spine*cpp + (core mod cpp).
+
+   The record path is int-only array arithmetic (proved allocation-free by
+   the lint + Allocs.probe); watermark crossings are detected inline but
+   only *noted* into a preallocated pending buffer — the allocating event
+   emission happens in the caller's drain (Recorder.record_packet). *)
+
+type t = {
+  hosts : int;
+  hpl : int;  (* hosts per leaf *)
+  spp : int;  (* spines per pod *)
+  cpp : int;  (* cores per plane *)
+  leaf_off : int;
+  spine_off : int;
+  nlinks : int;
+  windows : int;
+  window_s : float;
+  cap_bytes : int;  (* capacity of one link over one window *)
+  wm_bytes : int;  (* watermark threshold in bytes; 0 = disabled *)
+  watermark : float;
+  win_bytes : int array array;  (* windows x nlinks *)
+  win_pkts : int array array;
+  tot_bytes : int array;  (* run totals per link *)
+  tot_pkts : int array;
+  pending : int array;  (* links that crossed the watermark, undrained *)
+  mutable pending_n : int;
+  mutable cur : int;  (* current window slot *)
+  mutable elapsed : int;  (* windows ever started (>= 1) *)
+  mutable total_bytes : int;
+  mutable total_hops : int;
+  mutable watermark_events : int;
+}
+
+let create ?(windows = 8) ?(window_s = 1e-3) ?(watermark = 0.0) topo =
+  if windows <= 0 then invalid_arg "Link_series.create: windows must be positive";
+  if not (window_s > 0.0) then
+    invalid_arg "Link_series.create: window_s must be positive";
+  if watermark < 0.0 || watermark > 1.0 then
+    invalid_arg "Link_series.create: watermark must be in [0, 1]";
+  let hosts = Topology.num_hosts topo in
+  let leaves = Topology.num_leaves topo in
+  let spines = Topology.num_spines topo in
+  let spp = topo.Topology.spines_per_pod in
+  let cpp = topo.Topology.cores_per_plane in
+  let leaf_off = hosts in
+  let spine_off = hosts + (leaves * spp) in
+  let nlinks = spine_off + (spines * cpp) in
+  let cap_bytes =
+    max 1 (int_of_float (Topology.link_gbps topo *. 1e9 /. 8.0 *. window_s))
+  in
+  let wm_bytes =
+    if watermark > 0.0 then
+      max 1 (int_of_float (watermark *. float_of_int cap_bytes))
+    else 0
+  in
+  {
+    hosts;
+    hpl = topo.Topology.hosts_per_leaf;
+    spp;
+    cpp;
+    leaf_off;
+    spine_off;
+    nlinks;
+    windows;
+    window_s;
+    cap_bytes;
+    wm_bytes;
+    watermark;
+    win_bytes = Array.init windows (fun _ -> Array.make nlinks 0);
+    win_pkts = Array.init windows (fun _ -> Array.make nlinks 0);
+    tot_bytes = Array.make nlinks 0;
+    tot_pkts = Array.make nlinks 0;
+    pending = Array.make (max 16 (min 1024 nlinks)) 0;
+    pending_n = 0;
+    cur = 0;
+    elapsed = 1;
+    total_bytes = 0;
+    total_hops = 0;
+    watermark_events = 0;
+  }
+
+(* {1 Link numbering} *)
+
+(* elmo-lint: zero-alloc *)
+let host_link _t ~host = host
+
+(* elmo-lint: zero-alloc *)
+let leaf_spine_link t ~leaf ~spine = t.leaf_off + (leaf * t.spp) + (spine mod t.spp)
+
+(* elmo-lint: zero-alloc *)
+let spine_core_link t ~spine ~core = t.spine_off + (spine * t.cpp) + (core mod t.cpp)
+
+(* {1 Recording} *)
+
+(* elmo-lint: zero-alloc *)
+let record t ~link ~bytes =
+  let row = Array.unsafe_get t.win_bytes t.cur in
+  let before = Array.unsafe_get row link in
+  let after = before + bytes in
+  Array.unsafe_set row link after;
+  let prow = Array.unsafe_get t.win_pkts t.cur in
+  Array.unsafe_set prow link (Array.unsafe_get prow link + 1);
+  Array.unsafe_set t.tot_bytes link (Array.unsafe_get t.tot_bytes link + bytes);
+  Array.unsafe_set t.tot_pkts link (Array.unsafe_get t.tot_pkts link + 1);
+  t.total_bytes <- t.total_bytes + bytes;
+  t.total_hops <- t.total_hops + 1;
+  if t.wm_bytes > 0 && before < t.wm_bytes && after >= t.wm_bytes then begin
+    t.watermark_events <- t.watermark_events + 1;
+    if t.pending_n < Array.length t.pending then begin
+      Array.unsafe_set t.pending t.pending_n link;
+      t.pending_n <- t.pending_n + 1
+    end
+  end
+
+let advance t =
+  t.cur <- (t.cur + 1) mod t.windows;
+  Array.fill t.win_bytes.(t.cur) 0 t.nlinks 0;
+  Array.fill t.win_pkts.(t.cur) 0 t.nlinks 0;
+  t.elapsed <- t.elapsed + 1
+
+let has_pending t = t.pending_n > 0
+
+let drain_pending t f =
+  for i = 0 to t.pending_n - 1 do
+    f t.pending.(i)
+  done;
+  t.pending_n <- 0
+
+(* {1 Rollups} *)
+
+let nlinks t = t.nlinks
+let windows t = t.windows
+let window_s t = t.window_s
+let cap_bytes t = t.cap_bytes
+let watermark t = t.watermark
+let watermark_events t = t.watermark_events
+let total_bytes t = t.total_bytes
+let total_hops t = t.total_hops
+let link_bytes t ~link = t.tot_bytes.(link)
+let link_pkts t ~link = t.tot_pkts.(link)
+let window_bytes t ~link = t.win_bytes.(t.cur).(link)
+
+let live_windows t = min t.windows t.elapsed
+
+let max_window_bytes t ~link =
+  let m = ref 0 in
+  for w = 0 to live_windows t - 1 do
+    let slot = (t.cur - w + (2 * t.windows)) mod t.windows in
+    if t.win_bytes.(slot).(link) > !m then m := t.win_bytes.(slot).(link)
+  done;
+  !m
+
+let utilization_of_bytes t b = float_of_int b /. float_of_int t.cap_bytes
+
+let max_utilization t ~link =
+  utilization_of_bytes t (max_window_bytes t ~link)
+
+let mean_utilization t ~link =
+  float_of_int t.tot_bytes.(link)
+  /. (float_of_int t.elapsed *. float_of_int t.cap_bytes)
+
+let active_links t =
+  let n = ref 0 in
+  for l = 0 to t.nlinks - 1 do
+    if t.tot_pkts.(l) > 0 then incr n
+  done;
+  !n
+
+let top t ~n =
+  let idx = Array.init t.nlinks Fun.id in
+  Array.sort
+    (fun a b ->
+      match Int.compare t.tot_bytes.(b) t.tot_bytes.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    idx;
+  let n = min n t.nlinks in
+  let rec take i acc =
+    if i < 0 then acc
+    else
+      let l = idx.(i) in
+      if t.tot_pkts.(l) = 0 then take (i - 1) acc
+      else take (i - 1) (l :: acc)
+  in
+  take (n - 1) []
+
+type link_kind = Host_link | Leaf_spine | Spine_core
+
+let describe t link =
+  if link < 0 || link >= t.nlinks then
+    invalid_arg "Link_series.describe: link out of range";
+  if link < t.leaf_off then (Host_link, link, link / t.hpl)
+  else if link < t.spine_off then begin
+    let i = link - t.leaf_off in
+    let leaf = i / t.spp in
+    (Leaf_spine, leaf, i mod t.spp)
+  end
+  else begin
+    let i = link - t.spine_off in
+    (Spine_core, i / t.cpp, i mod t.cpp)
+  end
+
+let pp_link t ppf link =
+  match describe t link with
+  | Host_link, h, leaf -> Format.fprintf ppf "host %d <-> leaf %d" h leaf
+  | Leaf_spine, leaf, plane -> Format.fprintf ppf "leaf %d <-> spine plane %d" leaf plane
+  | Spine_core, spine, ci -> Format.fprintf ppf "spine %d <-> core slot %d" spine ci

@@ -1,0 +1,94 @@
+(** Per-link byte/packet time series over a ring of fixed-duration
+    windows — the measured-utilization signal the traffic-engineering
+    roadmap item needs.
+
+    Every physical edge of the Clos fabric gets a dense link id:
+    - host links [0, hosts): host [h] to its leaf;
+    - leaf-spine links: one per (leaf, plane) pair;
+    - spine-core links: one per (spine, core-slot) pair.
+
+    Byte counts accumulate into the current window of a [windows]-deep
+    ring (rotated by {!advance}, which the feeding {!Recorder} calls every
+    [advance_every] packets — windows are packet-count epochs standing in
+    for wall-clock [window_s] slices, keeping the series deterministic)
+    and into per-link run totals. Utilization = bytes / [cap_bytes] where
+    [cap_bytes] is one link's capacity ({!Topology.link_gbps}) over one
+    window.
+
+    The {!record} path is allocation-free (lint-annotated and probed).
+    Watermark crossings are detected inline but only noted into a
+    preallocated pending buffer; the caller drains them
+    ({!drain_pending}) outside the hot path to emit events. *)
+
+type t
+
+val create : ?windows:int -> ?window_s:float -> ?watermark:float -> Topology.t -> t
+(** [windows] ring depth (default 8); [window_s] window duration in
+    seconds (default 1e-3, sizing [cap_bytes]); [watermark] utilization
+    fraction in [0, 1] above which a window's crossing is counted
+    (default 0 = disabled). Raises [Invalid_argument] on non-positive
+    [windows]/[window_s] or an out-of-range watermark. *)
+
+(** {1 Link numbering} *)
+
+val host_link : t -> host:int -> int
+val leaf_spine_link : t -> leaf:int -> spine:int -> int
+(** Physical spine id; the link is identified by the spine's plane. *)
+
+val spine_core_link : t -> spine:int -> core:int -> int
+
+(** {1 Recording (hot path)} *)
+
+val record : t -> link:int -> bytes:int -> unit
+(** Add one packet of [bytes] to [link]'s current window and run totals;
+    allocation-free. A watermark crossing bumps {!watermark_events} and
+    queues the link for {!drain_pending}. *)
+
+val advance : t -> unit
+(** Rotate to the next window (zeroing it). *)
+
+val has_pending : t -> bool
+val drain_pending : t -> (int -> unit) -> unit
+(** Call [f] with each link that crossed the watermark since the last
+    drain, then clear the queue. *)
+
+(** {1 Rollups} *)
+
+val nlinks : t -> int
+val windows : t -> int
+val window_s : t -> float
+val cap_bytes : t -> int
+val watermark : t -> float
+val watermark_events : t -> int
+val total_bytes : t -> int
+val total_hops : t -> int
+val link_bytes : t -> link:int -> int
+(** Run-total bytes. *)
+
+val link_pkts : t -> link:int -> int
+val window_bytes : t -> link:int -> int
+(** Bytes in the current (still-open) window. *)
+
+val max_window_bytes : t -> link:int -> int
+(** Max over the live windows of the ring. *)
+
+val max_utilization : t -> link:int -> float
+(** [max_window_bytes / cap_bytes]. *)
+
+val mean_utilization : t -> link:int -> float
+(** Run-total bytes over capacity across all elapsed windows. *)
+
+val active_links : t -> int
+(** Links that carried at least one packet. *)
+
+val top : t -> n:int -> int list
+(** Up to [n] busiest active links by run-total bytes (ties by id). *)
+
+type link_kind = Host_link | Leaf_spine | Spine_core
+
+val describe : t -> int -> link_kind * int * int
+(** [describe t link] names the link's endpoints: [(Host_link, host,
+    leaf)], [(Leaf_spine, leaf, plane)], or [(Spine_core, spine,
+    core_slot)]. Raises [Invalid_argument] out of range. *)
+
+val pp_link : t -> Format.formatter -> int -> unit

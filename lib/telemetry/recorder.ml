@@ -1,0 +1,141 @@
+module Obs = Elmo_obs.Obs
+
+(* Glue between the fabric's telemetry callbacks and the measurement
+   structures: per-hop link accounting into [Link_series], per-packet group
+   bytes into [Sketch]. The hop path is allocation-free; everything that
+   allocates (watermark instants, flight-recorder notes, window rotation
+   bookkeeping) runs in the per-packet path. *)
+
+type t = {
+  links : Link_series.t;
+  sketch : Sketch.t;
+  advance_every : int;  (* packets per window *)
+  flight : Flight_recorder.t option;  (* None = the ambient recorder *)
+  mutable packets : int;
+}
+
+let create ?(windows = 8) ?(window_s = 1e-3) ?(k = 16) ?(advance_every = 64)
+    ?(watermark = 0.0) ?flight topo =
+  if advance_every <= 0 then
+    invalid_arg "Recorder.create: advance_every must be positive";
+  {
+    links = Link_series.create ~windows ~window_s ~watermark topo;
+    sketch = Sketch.create k;
+    advance_every;
+    flight;
+    packets = 0;
+  }
+
+let links t = t.links
+let sketch t = t.sketch
+let packets t = t.packets
+
+(* One fabric hop -> one link-series record. Wire bytes of the copy on this
+   link = payload + the Elmo header still attached at this depth. Nested
+   single-constructor matches keep the dispatch tuple-free (a tuple
+   scrutinee would allocate). *)
+(* elmo-lint: zero-alloc *)
+let record_hop t ~payload (h : Fabric.hop) =
+  let bytes = payload + h.Fabric.hop_header_bytes in
+  let ls = t.links in
+  match h.Fabric.hop_from with
+  | Fabric.Host_node host ->
+      Link_series.record ls ~link:(Link_series.host_link ls ~host) ~bytes
+  | Fabric.Leaf_node leaf -> (
+      match h.Fabric.hop_to with
+      | Fabric.Host_node host ->
+          Link_series.record ls ~link:(Link_series.host_link ls ~host) ~bytes
+      | Fabric.Spine_node spine ->
+          Link_series.record ls
+            ~link:(Link_series.leaf_spine_link ls ~leaf ~spine)
+            ~bytes
+      | Fabric.Leaf_node _ | Fabric.Core_node _ -> ())
+  | Fabric.Spine_node spine -> (
+      match h.Fabric.hop_to with
+      | Fabric.Leaf_node leaf ->
+          Link_series.record ls
+            ~link:(Link_series.leaf_spine_link ls ~leaf ~spine)
+            ~bytes
+      | Fabric.Core_node core ->
+          Link_series.record ls
+            ~link:(Link_series.spine_core_link ls ~spine ~core)
+            ~bytes
+      | Fabric.Host_node _ | Fabric.Spine_node _ -> ())
+  | Fabric.Core_node core -> (
+      match h.Fabric.hop_to with
+      | Fabric.Spine_node spine ->
+          Link_series.record ls
+            ~link:(Link_series.spine_core_link ls ~spine ~core)
+            ~bytes
+      | Fabric.Host_node _ | Fabric.Leaf_node _ | Fabric.Core_node _ -> ())
+
+let emit_crossing t link =
+  let ls = t.links in
+  let wb = Link_series.window_bytes ls ~link in
+  Obs.instant "telemetry.watermark"
+    ~attrs:[ ("link", Obs.Int link); ("window_bytes", Obs.Int wb) ];
+  let fr =
+    match t.flight with Some fr -> fr | None -> Flight_recorder.ambient ()
+  in
+  Flight_recorder.note fr "watermark" ~a:link ~b:wb
+
+let record_packet t ~group ~sender:_ ~bytes =
+  Sketch.update t.sketch ~key:group ~weight:bytes;
+  t.packets <- t.packets + 1;
+  if Link_series.has_pending t.links then
+    Link_series.drain_pending t.links (emit_crossing t);
+  if t.packets mod t.advance_every = 0 then Link_series.advance t.links
+
+let telemetry t =
+  {
+    Fabric.tel_hop = (fun ~payload h -> record_hop t ~payload h);
+    tel_packet =
+      (fun ~group ~sender ~bytes -> record_packet t ~group ~sender ~bytes);
+  }
+
+let attach t fab = Fabric.set_telemetry fab (Some (telemetry t))
+let detach fab = Fabric.set_telemetry fab None
+
+(* Fold the rollups into the ambient metrics registry so `--metrics` dumps
+   and the Prometheus exposition carry them. *)
+let publish t =
+  let ls = t.links in
+  let maxu = ref 0.0 and meanu = ref 0.0 and active = ref 0 in
+  for l = 0 to Link_series.nlinks ls - 1 do
+    if Link_series.link_pkts ls ~link:l > 0 then begin
+      incr active;
+      let mu = Link_series.max_utilization ls ~link:l in
+      if mu > !maxu then maxu := mu;
+      meanu := !meanu +. Link_series.mean_utilization ls ~link:l
+    end
+  done;
+  let meanu = if !active = 0 then 0.0 else !meanu /. float_of_int !active in
+  Obs.gauge "telemetry.max_link_utilization" !maxu;
+  Obs.gauge "telemetry.mean_link_utilization" meanu;
+  Obs.gauge "telemetry.active_links" (float_of_int !active);
+  Obs.gauge "telemetry.watermark_events"
+    (float_of_int (Link_series.watermark_events ls));
+  Obs.gauge "telemetry.sketch_total_bytes" (float_of_int (Sketch.total t.sketch));
+  Obs.gauge "telemetry.sketch_evictions"
+    (float_of_int (Sketch.evictions t.sketch));
+  Obs.gauge "telemetry.packets" (float_of_int t.packets)
+
+let max_utilization t =
+  let ls = t.links in
+  let m = ref 0.0 in
+  for l = 0 to Link_series.nlinks ls - 1 do
+    let mu = Link_series.max_utilization ls ~link:l in
+    if mu > !m then m := mu
+  done;
+  !m
+
+let mean_utilization t =
+  let ls = t.links in
+  let sum = ref 0.0 and active = ref 0 in
+  for l = 0 to Link_series.nlinks ls - 1 do
+    if Link_series.link_pkts ls ~link:l > 0 then begin
+      incr active;
+      sum := !sum +. Link_series.mean_utilization ls ~link:l
+    end
+  done;
+  if !active = 0 then 0.0 else !sum /. float_of_int !active

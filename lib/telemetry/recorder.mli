@@ -1,0 +1,59 @@
+(** Fabric-facing telemetry recorder: wires {!Fabric.set_telemetry} to a
+    {!Link_series} (per-hop link accounting) and a {!Sketch} (per-packet
+    heavy-hitter weights by group id).
+
+    The per-hop path is allocation-free; per-packet work (sketch update,
+    watermark-event emission, window rotation every [advance_every]
+    packets) runs once per {!Fabric.inject}. Attaching a recorder never
+    changes forwarding, delivery, or report contents — only observes
+    them. *)
+
+type t
+
+val create :
+  ?windows:int ->
+  ?window_s:float ->
+  ?k:int ->
+  ?advance_every:int ->
+  ?watermark:float ->
+  ?flight:Flight_recorder.t ->
+  Topology.t ->
+  t
+(** [windows]/[window_s]/[watermark] size the {!Link_series} (defaults 8 /
+    1e-3 / 0); [k] sizes the {!Sketch} (default 16); [advance_every]
+    packets per ring window (default 64, must be positive); [flight]
+    receives watermark notes (default: the calling domain's
+    {!Flight_recorder.ambient}). *)
+
+val links : t -> Link_series.t
+val sketch : t -> Sketch.t
+val packets : t -> int
+
+val record_hop : t -> payload:int -> Fabric.hop -> unit
+(** Account one hop to its link: [payload + hop_header_bytes] wire bytes.
+    Allocation-free. Host-to/from-leaf hops land on the host link,
+    leaf-spine and spine-core hops on theirs; delivery hops reuse the
+    host link. *)
+
+val record_packet : t -> group:int -> sender:int -> bytes:int -> unit
+(** Per-inject bookkeeping: sketch update, watermark drain (emitting
+    ["telemetry.watermark"] instants + flight-recorder notes), window
+    rotation. *)
+
+val telemetry : t -> Fabric.telemetry
+val attach : t -> Fabric.t -> unit
+(** [Fabric.set_telemetry fab (Some (telemetry t))]. *)
+
+val detach : Fabric.t -> unit
+
+val publish : t -> unit
+(** Write the rollups as ambient gauges
+    ([telemetry.max_link_utilization], [.mean_link_utilization],
+    [.active_links], [.watermark_events], [.sketch_total_bytes],
+    [.sketch_evictions], [.packets]). *)
+
+val max_utilization : t -> float
+(** Max over links of per-window peak utilization. *)
+
+val mean_utilization : t -> float
+(** Mean over {e active} links of run-mean utilization. *)

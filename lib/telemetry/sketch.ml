@@ -1,0 +1,103 @@
+(* Space-saving (Misra–Gries style) heavy-hitter sketch over int keys.
+
+   k counters, each a (key, count, err) triple stored in parallel int
+   arrays so the update path allocates nothing. On a miss with all slots
+   full, the minimum-count slot is evicted: the newcomer inherits the
+   evicted count as its overestimation error. Classic guarantees (Metwally
+   et al., "Efficient computation of frequent and top-k elements"):
+   est - err <= true <= est for every tracked key, and any key whose true
+   weight exceeds total/k is guaranteed to be tracked. *)
+
+type t = {
+  keys : int array;  (* -1 = empty slot *)
+  counts : int array;
+  errs : int array;
+  k : int;
+  mutable total : int;
+  mutable evictions : int;
+}
+
+let create k =
+  if k <= 0 then invalid_arg "Sketch.create: k must be positive";
+  {
+    keys = Array.make k (-1);
+    counts = Array.make k 0;
+    errs = Array.make k 0;
+    k;
+    total = 0;
+    evictions = 0;
+  }
+
+(* elmo-lint: zero-alloc *)
+let rec scan_key (keys : int array) key i n =
+  if i >= n then -1
+  else if Array.unsafe_get keys i = key then i
+  else scan_key keys key (i + 1) n
+
+(* elmo-lint: zero-alloc *)
+let rec scan_min (counts : int array) best i n =
+  if i >= n then best
+  else
+    let best =
+      if Array.unsafe_get counts i < Array.unsafe_get counts best then i
+      else best
+    in
+    scan_min counts best (i + 1) n
+
+(* elmo-lint: zero-alloc *)
+let update t ~key ~weight =
+  if key < 0 then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Sketch.update: key must be non-negative";
+  if weight < 0 then
+    (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+    invalid_arg "Sketch.update: weight must be non-negative";
+  t.total <- t.total + weight;
+  let i = scan_key t.keys key 0 t.k in
+  if i >= 0 then
+    Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + weight)
+  else begin
+    let m = scan_min t.counts 0 1 t.k in
+    let old = Array.unsafe_get t.counts m in
+    if Array.unsafe_get t.keys m >= 0 then t.evictions <- t.evictions + 1;
+    Array.unsafe_set t.keys m key;
+    Array.unsafe_set t.counts m (old + weight);
+    Array.unsafe_set t.errs m old
+  end
+
+type entry = { key : int; est : int; err : int }
+
+let entries t =
+  let l = ref [] in
+  for i = t.k - 1 downto 0 do
+    if t.keys.(i) >= 0 then
+      l := { key = t.keys.(i); est = t.counts.(i); err = t.errs.(i) } :: !l
+  done;
+  List.sort
+    (fun a b ->
+      match Int.compare b.est a.est with 0 -> Int.compare a.key b.key | c -> c)
+    !l
+
+let top t ~n =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take n (entries t)
+
+let min_count t =
+  (* Empty slots hold count 0, so this is 0 until the sketch fills up. *)
+  let m = ref t.counts.(0) in
+  for i = 1 to t.k - 1 do
+    if t.counts.(i) < !m then m := t.counts.(i)
+  done;
+  !m
+
+let mem t key = scan_key t.keys key 0 t.k >= 0
+let total t = t.total
+let k t = t.k
+let evictions t = t.evictions
+
+let pp_entry ppf e =
+  Format.fprintf ppf "key %d: %d bytes (err <= %d)" e.key e.est e.err

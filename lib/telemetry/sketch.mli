@@ -1,0 +1,44 @@
+(** Deterministic space-saving (Misra–Gries) heavy-hitter sketch.
+
+    Tracks the top-[k] int keys by accumulated weight in O(k) space with
+    an allocation-free update path. On a miss with all [k] slots occupied
+    the minimum-count slot is evicted and the newcomer inherits its count
+    as overestimation error.
+
+    Guarantees (checked by the test suite against exact counts):
+    - for every tracked key, [est - err <= true_weight <= est];
+    - every key whose true weight exceeds [total / k] is tracked;
+    - an untracked key's true weight is at most {!min_count}. *)
+
+type t
+
+val create : int -> t
+(** [create k] tracks at most [k] keys. Raises [Invalid_argument] if
+    [k <= 0]. *)
+
+val update : t -> key:int -> weight:int -> unit
+(** Add [weight] to [key]'s counter (evicting the minimum slot on a miss).
+    Allocation-free. Raises [Invalid_argument] on a negative key or
+    weight. *)
+
+type entry = { key : int; est : int; err : int }
+(** A tracked key: [est] overestimates its true weight by at most
+    [err]. *)
+
+val entries : t -> entry list
+(** All tracked keys, by descending estimate (ties by ascending key). *)
+
+val top : t -> n:int -> entry list
+(** First [n] of {!entries}. *)
+
+val min_count : t -> int
+(** Minimum counter value across all [k] slots (0 while the sketch has
+    empty slots) — the upper bound on any untracked key's true weight. *)
+
+val mem : t -> int -> bool
+val total : t -> int
+(** Sum of all weights ever fed to {!update}. *)
+
+val k : t -> int
+val evictions : t -> int
+val pp_entry : Format.formatter -> entry -> unit

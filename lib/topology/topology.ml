@@ -4,6 +4,7 @@ type t = {
   spines_per_pod : int;
   hosts_per_leaf : int;
   cores_per_plane : int;
+  link_gbps : float;
 }
 
 let validate t =
@@ -13,12 +14,25 @@ let validate t =
   if t.hosts_per_leaf <= 0 then invalid_arg "Topology: hosts_per_leaf must be positive";
   if t.cores_per_plane < 0 then invalid_arg "Topology: cores_per_plane must be non-negative";
   if t.pods > 1 && t.cores_per_plane = 0 then
-    invalid_arg "Topology: multi-pod topology requires a core plane"
+    invalid_arg "Topology: multi-pod topology requires a core plane";
+  if not (t.link_gbps > 0.0) then
+    invalid_arg "Topology: link_gbps must be positive"
 
-let create ~pods ~leaves_per_pod ~spines_per_pod ~hosts_per_leaf ~cores_per_plane =
-  let t = { pods; leaves_per_pod; spines_per_pod; hosts_per_leaf; cores_per_plane } in
+let create ~pods ~leaves_per_pod ~spines_per_pod ~hosts_per_leaf
+    ~cores_per_plane =
+  let t =
+    { pods; leaves_per_pod; spines_per_pod; hosts_per_leaf; cores_per_plane;
+      link_gbps = 10.0 }
+  in
   validate t;
   t
+
+let with_link_gbps t link_gbps =
+  let t = { t with link_gbps } in
+  validate t;
+  t
+
+let link_gbps t = t.link_gbps
 
 let facebook_fabric () =
   create ~pods:12 ~leaves_per_pod:48 ~spines_per_pod:4 ~hosts_per_leaf:48

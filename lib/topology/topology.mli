@@ -30,6 +30,10 @@ type t = private {
   spines_per_pod : int;
   hosts_per_leaf : int;
   cores_per_plane : int;
+  link_gbps : float;
+      (** uniform capacity of every physical link, in Gbit/s — the
+          denominator the telemetry layer turns per-link byte counts into
+          utilization with *)
 }
 
 val create :
@@ -39,8 +43,15 @@ val create :
   hosts_per_leaf:int ->
   cores_per_plane:int ->
   t
-(** Raises [Invalid_argument] on non-positive pod/leaf/spine/host counts or a
-    negative core count, and on a multi-pod topology with no core plane. *)
+(** Raises [Invalid_argument] on non-positive pod/leaf/spine/host counts, a
+    negative core count, or a multi-pod topology with no core plane. Link
+    capacity defaults to 10 Gbit/s; override with {!with_link_gbps}. *)
+
+val with_link_gbps : t -> float -> t
+(** Functional update of the uniform link capacity. Raises
+    [Invalid_argument] if non-positive. *)
+
+val link_gbps : t -> float
 
 val facebook_fabric : unit -> t
 (** The paper's evaluation topology: 12 pods, 48 leaves and 4 spines per pod,

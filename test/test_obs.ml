@@ -119,6 +119,72 @@ let test_metrics_shard_merge () =
   | Some (Metrics.Gauge g) -> Alcotest.check feq "shard gauge" 7.0 g
   | _ -> Alcotest.fail "gauge lost in join")
 
+(* {1 Bucket boundaries and Prometheus exposition} *)
+
+(* Pin the log2 bucket layout: bucket 0 holds v <= 1 (and NaN), bucket
+   e >= 1 holds (2^(e-1), 2^e] by bound — except an exact power 2^e lands
+   in bucket e+1 because frexp 2^e = (0.5, e+1). The bounds paired by
+   dump_buckets make that wrinkle harmless: every observation stays <= its
+   bucket's upper bound. *)
+let test_dump_buckets () =
+  let m = Metrics.create () in
+  List.iter
+    (Metrics.observe m "h")
+    [ 0.5; 1.0; 1.5; 2.0; 3.9; 4.0; 1023.9; 1024.0 ];
+  let buckets =
+    match Metrics.dump_buckets m "h" with
+    | Some b -> b
+    | None -> Alcotest.fail "histogram missing from dump_buckets"
+  in
+  Alcotest.check feq "bound 0" 1.0 (fst buckets.(0));
+  Alcotest.check feq "bound 1" 2.0 (fst buckets.(1));
+  Alcotest.check feq "bound 10" 1024.0 (fst buckets.(10));
+  Alcotest.check feq "bound 11" 2048.0 (fst buckets.(11));
+  List.iter
+    (fun (i, expect) ->
+      Alcotest.(check int) (Printf.sprintf "bucket %d" i) expect (snd buckets.(i)))
+    [ (0, 2); (1, 1); (2, 2); (3, 1); (4, 0); (10, 1); (11, 1) ];
+  Alcotest.(check int) "all observations bucketed" 8
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+  (* Every observation respects its bucket's upper bound (the bound pairing
+     is what expose feeds into le="..."). *)
+  Array.iteri
+    (fun i (bound, c) ->
+      if c > 0 && i > 0 then
+        Alcotest.(check bool) "bounds ordered" true (bound > fst buckets.(i - 1)))
+    buckets;
+  Metrics.incr m "n";
+  Alcotest.(check bool) "counter has no buckets" true
+    (Option.is_none (Metrics.dump_buckets m "n"));
+  Alcotest.(check bool) "absent name has no buckets" true
+    (Option.is_none (Metrics.dump_buckets m "missing"))
+
+let test_expose () =
+  let m = Metrics.create () in
+  Metrics.incr m ~n:5 "a.count";
+  Metrics.gauge m "b.gauge" 2.5;
+  List.iter (Metrics.observe m "c.hist") [ 0.5; 1.5; 3.0 ];
+  let text = Metrics.expose m in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " present") true
+        (Astring.String.is_infix ~affix text))
+    [
+      "# TYPE elmo_a_count counter\nelmo_a_count 5\n";
+      "# TYPE elmo_b_gauge gauge\nelmo_b_gauge 2.500\n";
+      "# TYPE elmo_c_hist histogram\n";
+      (* cumulative buckets: 0.5 <= 1; 1.5 <= 2; 3.0 <= 4 *)
+      {|elmo_c_hist_bucket{le="1.000"} 1|};
+      {|elmo_c_hist_bucket{le="2.000"} 2|};
+      {|elmo_c_hist_bucket{le="4.000"} 3|};
+      {|elmo_c_hist_bucket{le="+Inf"} 3|};
+      "elmo_c_hist_sum 5.000\n";
+      "elmo_c_hist_count 3\n";
+    ];
+  (* Dotted names fold to the Prometheus charset; no raw dots survive. *)
+  Alcotest.(check bool) "names sanitized" false
+    (Astring.String.is_infix ~affix:"a.count" text)
+
 (* {1 Spans and the disabled default} *)
 
 let test_disabled_noop () =
@@ -367,6 +433,8 @@ let tests =
     Alcotest.test_case "logical clock" `Quick test_logical_clock;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
     Alcotest.test_case "metrics shard merge" `Quick test_metrics_shard_merge;
+    Alcotest.test_case "dump_buckets boundaries" `Quick test_dump_buckets;
+    Alcotest.test_case "prometheus exposition" `Quick test_expose;
     Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
     Alcotest.test_case "span emission" `Quick test_span_emission;
     Alcotest.test_case "trace byte-identical" `Quick test_trace_byte_identical;
