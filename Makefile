@@ -1,4 +1,4 @@
-.PHONY: all check test lint bench bench-churn bench-hotpath bench-parallel bench-faults bench-shard bench-telemetry bench-verify clean
+.PHONY: all check test lint bench bench-churn bench-hotpath bench-parallel bench-faults bench-recovery bench-shard bench-telemetry bench-verify clean
 
 all:
 	dune build
@@ -41,6 +41,13 @@ bench-parallel:
 # blackhole counts that must stay at zero).
 bench-faults:
 	dune exec bench/main.exe -- faults
+
+# Durable-recovery benchmark: fenced failover latency vs snapshot cadence
+# plus a seeded bit-flip/torn-write corruption sweep; every recovery is
+# re-verified symbolically (exits nonzero on any violation); writes
+# BENCH_recovery.json (ELMO_RECOVERY_EVENTS / ELMO_RECOVERY_TRIALS scale it).
+bench-recovery:
+	dune exec bench/main.exe -- recovery
 
 # Sharded-commit scaling: batch install and churn throughput of the per-pod
 # control plane across 1/2/4/8 domains, with occupancy-checksum, conflict

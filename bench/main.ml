@@ -979,6 +979,199 @@ let faults () =
   close_out oc;
   printf "wrote BENCH_faults.json@."
 
+(* {1 Durable recovery: fenced failover latency and corruption tolerance} *)
+
+let recovery () =
+  hr
+    "Recovery: fenced failover from the durable journal (BENCH_recovery.json)";
+  let topo = Topology.running_example () in
+  let params =
+    Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:6 ()
+  in
+  let events =
+    match Sys.getenv_opt "ELMO_RECOVERY_EVENTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | Some _ | None ->
+            printf "ELMO_RECOVERY_EVENTS must be a positive integer (got %S)@."
+              s;
+            exit 1)
+    | None -> 400
+  in
+  let seed = 29 in
+  (* Deterministic churn run journaled at the given snapshot cadence: four
+     groups, join/leave plus spine failure toggles. *)
+  let build ~snapshot_every =
+    let fabric = Fabric.create topo in
+    let replica =
+      Replica.create ~snapshot_every
+        ~fabric_hooks:(Fabric.controller_hooks_at fabric ~epoch:0)
+        ~durable:true topo params
+    in
+    let rng = Rng.create seed in
+    let n = Topology.num_hosts topo in
+    let ngroups = 4 in
+    let member = Array.init ngroups (fun _ -> Array.make n false) in
+    let size g =
+      Array.fold_left (fun a m -> if m then a + 1 else a) 0 member.(g)
+    in
+    for g = 0 to ngroups - 1 do
+      let members =
+        List.init (4 + Rng.int rng 8) (fun _ -> Rng.int rng n)
+        |> List.sort_uniq Int.compare
+      in
+      List.iter (fun h -> member.(g).(h) <- true) members;
+      Replica.apply replica
+        (Journal.Add_group
+           {
+             group = g;
+             members = List.map (fun h -> (h, Controller.Both)) members;
+           })
+    done;
+    let spines = Topology.num_spines topo in
+    let spine_down = Array.make spines false in
+    for _ = 1 to events do
+      let g = Rng.int rng ngroups and h = Rng.int rng n in
+      match Rng.int rng 8 with
+      | 0 when size g > 2 && member.(g).(h) ->
+          member.(g).(h) <- false;
+          Replica.apply replica (Journal.Leave { group = g; host = h })
+      | 1 ->
+          let s = Rng.int rng spines in
+          spine_down.(s) <- not spine_down.(s);
+          Replica.apply replica
+            (if spine_down.(s) then Journal.Fail_spine s
+             else Journal.Recover_spine s)
+      | _ when not member.(g).(h) ->
+          member.(g).(h) <- true;
+          Replica.apply replica
+            (Journal.Join { group = g; host = h; role = Controller.Both })
+      | _ -> ()
+    done;
+    Wire.contents (Option.get (Replica.wire replica))
+  in
+  let violations = ref 0 in
+  let check (outcome : Supervisor.outcome) =
+    (match
+       Verify.check_controller (Replica.controller outcome.Supervisor.replica)
+     with
+    | Ok (_ : int) -> ()
+    | Error w ->
+        incr violations;
+        printf "VIOLATION: recovered controller diverges: %a@."
+          Verify.pp_witness w);
+    if outcome.Supervisor.blackholes <> [] then begin
+      incr violations;
+      printf "VIOLATION: %d blackholes after failover@."
+        (List.length outcome.Supervisor.blackholes)
+    end
+  in
+  (* Failover latency vs snapshot cadence: sparse snapshots mean long
+     replay suffixes; every recovery is re-verified against its intent. *)
+  let reps = 20 in
+  printf "@.%-15s %-9s %-9s %-11s %-12s %-14s@." "snapshot_every" "records"
+    "bytes" "suffix_ops" "failover_ms" "replay ops/s";
+  let sweep =
+    List.map
+      (fun snapshot_every ->
+        let bytes = build ~snapshot_every in
+        let run () =
+          let fabric = Fabric.create topo in
+          match Supervisor.failover ~fabric bytes with
+          | Ok o -> o
+          | Error e ->
+              printf "unexpected failover failure: %s@." e;
+              exit 1
+        in
+        let o0 = run () in
+        check o0;
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (run ())
+        done;
+        let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+        let loaded = o0.Supervisor.loaded in
+        let nrec = List.length loaded.Wire.l_records in
+        let suffix = List.length loaded.Wire.l_suffix in
+        let ops_s = float_of_int suffix /. dt in
+        printf "%-15d %-9d %-9d %-11d %-12.3f %-14.0f@." snapshot_every nrec
+          (Bytes.length bytes) suffix (1e3 *. dt) ops_s;
+        (snapshot_every, nrec, Bytes.length bytes, suffix, dt, ops_s))
+      [ 8; 32; 128; 1_000_000 ]
+  in
+  (* Corruption tolerance: seeded bit flips and torn writes over one
+     canonical log; every recovered outcome is re-verified, and detected
+     corruption must be reported (truncation/fallback), never silent. *)
+  let trials =
+    match Sys.getenv_opt "ELMO_RECOVERY_TRIALS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+    | None -> 200
+  in
+  let canonical = build ~snapshot_every:64 in
+  let rng = Rng.create 31 in
+  let full = ref 0
+  and truncated = ref 0
+  and fallback = ref 0
+  and unrecoverable = ref 0 in
+  for _ = 1 to trials do
+    let mutated =
+      if Rng.int rng 2 = 0 then
+        Wire.flip_bit canonical (Rng.int rng (8 * Bytes.length canonical))
+      else
+        Wire.truncate_at canonical
+          (8 + Rng.int rng (Bytes.length canonical - 8))
+    in
+    let fabric = Fabric.create topo in
+    match Supervisor.failover ~fabric mutated with
+    | Error _ -> incr unrecoverable
+    | Ok o ->
+        check o;
+        let l = o.Supervisor.loaded in
+        if l.Wire.l_dropped_snapshots > 0 then incr fallback
+        else if Option.is_some l.Wire.l_truncated_at then incr truncated
+        else incr full
+  done;
+  printf
+    "@.corruption matrix: %d trials — %d full, %d truncated, %d snapshot \
+     fallback, %d unrecoverable, %d violations@."
+    trials !full !truncated !fallback !unrecoverable !violations;
+  let prov =
+    Provenance.capture ~seed
+      ~params:(Format.asprintf "%a" Params.pp params)
+      ~domains:1 ()
+  in
+  let sweep_json (snapshot_every, nrec, nbytes, suffix, dt, ops_s) =
+    Printf.sprintf
+      {|    {"snapshot_every": %d, "records": %d, "bytes": %d, "suffix_ops": %d, "failover_ms": %.4f, "replay_ops_per_sec": %.1f}|}
+      snapshot_every nrec nbytes suffix (1e3 *. dt) ops_s
+  in
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "recovery",
+  "provenance": %s,
+  "topology": {"pods": 4, "leaves_per_pod": 2, "spines_per_pod": 2, "hosts_per_leaf": 8},
+  "events": %d,
+  "failover_reps": %d,
+  "snapshot_sweep": [
+%s
+  ],
+  "corruption": {"trials": %d, "full": %d, "truncated": %d, "snapshot_fallback": %d, "unrecoverable": %d, "violations": %d},
+  "zero_violations": %b%s
+}
+|}
+    (Provenance.to_json prov) events reps
+    (String.concat ",\n" (List.map sweep_json sweep))
+    trials !full !truncated !fallback !unrecoverable !violations
+    (!violations = 0) (metrics_field ());
+  close_out oc;
+  printf "wrote BENCH_recovery.json@.";
+  if !violations > 0 then begin
+    printf "recovery violations present - failing@.";
+    exit 1
+  end
+
 (* {1 Symbolic verification: compile+check throughput} *)
 
 let verify () =
@@ -1538,6 +1731,7 @@ let targets =
     ("hotpath", hotpath);
     ("parallel", parallel);
     ("faults", faults);
+    ("recovery", recovery);
     ("shard", shard);
     ("te-baseline", te_baseline);
     ("verify", verify);

@@ -540,6 +540,220 @@ let top_cmd =
       const run $ groups_arg $ packets_arg $ churn_arg $ seed_arg $ k_arg
       $ watermark_arg $ expose_arg $ example_arg $ flight_dump_arg $ trace_arg)
 
+let recover_cmd =
+  let module Flight = Elmo_telemetry.Flight_recorder in
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Wire-format journal to recover from (or create with --write).")
+  in
+  let write_arg =
+    Arg.(
+      value & flag
+      & info [ "write" ]
+          ~doc:
+            "Generate a deterministic fixture journal at --journal (seeded \
+             churn on the running example, snapshots included) and exit, \
+             instead of recovering.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Churn events in the generated fixture.")
+  in
+  let flip_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "corrupt-flip" ] ~docv:"BIT"
+          ~doc:
+            "Flip bit $(docv) of the journal bytes before recovering \
+             (bit-rot simulation).")
+  in
+  let truncate_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "corrupt-truncate" ] ~docv:"OFF"
+          ~doc:
+            "Truncate the journal at byte $(docv) before recovering \
+             (torn-write simulation).")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Write the recovery flight recording (replayed ops, truncation/\
+             fallback/fence notes) to $(docv) as JSON.")
+  in
+  (* Deterministic fixture: seeded membership churn over four groups with
+     spine failures mixed in, checkpointed mid-stream so the log exercises
+     both the snapshot and the replay suffix. *)
+  let gen_fixture path ~events ~seed =
+    let topo = Topology.running_example () in
+    let params =
+      Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:6 ()
+    in
+    let fabric = Fabric.create topo in
+    let replica =
+      Replica.create ~snapshot_every:1_000_000
+        ~fabric_hooks:(Fabric.controller_hooks_at fabric ~epoch:0)
+        ~durable:true topo params
+    in
+    let rng = Rng.create seed in
+    let n = Topology.num_hosts topo in
+    let ngroups = 4 in
+    let member = Array.init ngroups (fun _ -> Array.make n false) in
+    let size g = Array.fold_left (fun a m -> if m then a + 1 else a) 0 member.(g) in
+    for g = 0 to ngroups - 1 do
+      let members =
+        List.init (4 + Rng.int rng 8) (fun _ -> Rng.int rng n)
+        |> List.sort_uniq Int.compare
+      in
+      List.iter (fun h -> member.(g).(h) <- true) members;
+      Replica.apply replica
+        (Journal.Add_group
+           {
+             group = g;
+             members = List.map (fun h -> (h, Controller.Both)) members;
+           })
+    done;
+    let spines = Topology.num_spines topo in
+    let spine_down = Array.make spines false in
+    for i = 1 to events do
+      if i = events / 2 then Replica.checkpoint replica;
+      let g = Rng.int rng ngroups and h = Rng.int rng n in
+      match Rng.int rng 8 with
+      | 0 when size g > 2 && member.(g).(h) ->
+          member.(g).(h) <- false;
+          Replica.apply replica (Journal.Leave { group = g; host = h })
+      | 1 ->
+          let s = Rng.int rng spines in
+          spine_down.(s) <- not spine_down.(s);
+          Replica.apply replica
+            (if spine_down.(s) then Journal.Fail_spine s
+             else Journal.Recover_spine s)
+      | _ when not member.(g).(h) ->
+          member.(g).(h) <- true;
+          Replica.apply replica
+            (Journal.Join { group = g; host = h; role = Controller.Both })
+      | _ -> ()
+    done;
+    let wire = Option.get (Replica.wire replica) in
+    Wire.to_file path (Wire.contents wire);
+    Format.printf "wrote fixture journal %s: %d records, %d bytes@." path
+      (Wire.records wire) (Wire.size wire)
+  in
+  let run journal write events seed flip truncate flight_dump =
+    if write then gen_fixture journal ~events ~seed
+    else begin
+      let fr = Flight.create ~capacity:1024 () in
+      let dump_flight reason =
+        match flight_dump with
+        | Some file ->
+            Flight.dump_to_file ~reason fr file;
+            Format.printf "wrote flight-recorder dump to %s@." file
+        | None -> ()
+      in
+      let fail_unrecoverable msg =
+        Format.printf "unrecoverable: %s@." msg;
+        Flight.note fr "recover.unrecoverable" ~a:0 ~b:0;
+        dump_flight "unrecoverable";
+        exit 2
+      in
+      match Wire.of_file journal with
+      | Error msg -> fail_unrecoverable msg
+      | Ok bytes -> (
+          let bytes =
+            match truncate with
+            | Some off ->
+                Flight.note fr "corrupt.truncate" ~a:off ~b:0;
+                Wire.truncate_at bytes off
+            | None -> bytes
+          in
+          let bytes =
+            match flip with
+            | Some bit -> (
+                Flight.note fr "corrupt.flip_bit" ~a:bit ~b:0;
+                match Wire.flip_bit bytes bit with
+                | flipped -> flipped
+                | exception Invalid_argument _ ->
+                    fail_unrecoverable
+                      (Printf.sprintf "--corrupt-flip %d: log is only %d bits"
+                         bit
+                         (8 * Bytes.length bytes)))
+            | None -> bytes
+          in
+          (* Peek at the log to learn the topology the fabric must have;
+             failover re-loads the same bytes for recovery proper. *)
+          match Wire.load bytes with
+          | Error msg -> fail_unrecoverable msg
+          | Ok peek -> (
+              match peek.Wire.l_snapshot with
+              | None -> fail_unrecoverable "no decodable snapshot in the log"
+              | Some snap -> (
+                  let topo = Controller.snapshot_topology snap in
+                  let fabric = Fabric.create topo in
+                  match
+                    Supervisor.failover ~observer:(Flight.observer fr) ~fabric
+                      bytes
+                  with
+                  | Error msg -> fail_unrecoverable msg
+                  | Ok outcome ->
+                      let loaded = outcome.Supervisor.loaded in
+                      (match loaded.Wire.l_truncated_at with
+                      | Some off -> Flight.note fr "wire.truncated" ~a:off ~b:0
+                      | None -> ());
+                      if loaded.Wire.l_dropped_snapshots > 0 then
+                        Flight.note fr "wire.snapshot_fallback"
+                          ~a:loaded.Wire.l_dropped_snapshots ~b:0;
+                      Flight.note fr "fence.epoch" ~a:outcome.Supervisor.epoch
+                        ~b:loaded.Wire.l_epoch;
+                      Format.printf "loaded: %a@." Wire.pp_loaded loaded;
+                      Format.printf "fence: epoch %d (log wrote epoch %d)@."
+                        outcome.Supervisor.epoch loaded.Wire.l_epoch;
+                      Format.printf "reconcile: %a@." Supervisor.pp_reconcile
+                        outcome.Supervisor.reconcile;
+                      let divergent =
+                        match
+                          Verify.check_controller
+                            (Replica.controller outcome.Supervisor.replica)
+                        with
+                        | Ok (groups : int) ->
+                            Format.printf
+                              "verify: %d groups, installed state == intended \
+                               delivery@."
+                              groups;
+                            false
+                        | Error w ->
+                            Format.printf "verify counterexample: %a@."
+                              Verify.pp_witness w;
+                            true
+                      in
+                      (match outcome.Supervisor.blackholes with
+                      | [] -> Format.printf "blackholes: none@."
+                      | ws ->
+                          Format.printf "blackholes: %d (first: %a)@."
+                            (List.length ws) Verify.pp_witness (List.hd ws));
+                      dump_flight "recover";
+                      if divergent || outcome.Supervisor.blackholes <> [] then
+                        exit 1)))
+    end
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash recovery from a durable wire-format journal: load (tolerating \
+          torn or corrupt tails), fence the fabric at a fresh epoch, replay, \
+          reconcile against the fabric and prove zero blackholes. Exit 0 on a \
+          verified recovery, 1 on divergence/blackholes, 2 when the log is \
+          unrecoverable.")
+    Term.(
+      const run $ journal_arg $ write_arg $ events_arg $ seed_arg $ flip_arg
+      $ truncate_arg $ flight_dump_arg)
+
 let p4_cmd =
   let role_arg =
     let parse = function
@@ -590,7 +804,7 @@ let main =
   Cmd.group info
     [
       scalability_cmd; churn_cmd; faults_cmd; ablation_cmd; nonclos_cmd;
-      verify_cmd; top_cmd; p4_cmd;
+      verify_cmd; top_cmd; recover_cmd; p4_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -42,6 +42,88 @@ module Writer = struct
     Buffer.to_bytes copy.buf
 end
 
+module Sink = struct
+  type t = {
+    data : bytes;
+    mutable byte : int; (* next byte index in [data] *)
+    mutable cur : int; (* partial byte, bits fill from MSB *)
+    mutable used : int; (* bits used in [cur], 0..7 *)
+    mutable total : int;
+  }
+
+  let of_bytes ?(pos = 0) data =
+    if pos < 0 || pos > Bytes.length data then
+      invalid_arg "Bitio.Sink.of_bytes: position out of range";
+    { data; byte = pos; cur = 0; used = 0; total = 0 }
+
+  (* elmo-lint: zero-alloc *)
+  let reset t ~pos =
+    if pos < 0 || pos > Bytes.length t.data then
+      (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+      invalid_arg "Bitio.Sink.reset: position out of range";
+    t.byte <- pos;
+    t.cur <- 0;
+    t.used <- 0;
+    t.total <- 0
+
+  (* elmo-lint: zero-alloc *)
+  let flush t =
+    if t.byte >= Bytes.length t.data then
+      (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+      invalid_arg "Bitio.Sink: output buffer too small";
+    Bytes.unsafe_set t.data t.byte (Char.unsafe_chr t.cur);
+    t.byte <- t.byte + 1;
+    t.cur <- 0;
+    t.used <- 0
+
+  (* elmo-lint: zero-alloc *)
+  let bit t b =
+    if b then t.cur <- t.cur lor (1 lsl (7 - t.used));
+    t.used <- t.used + 1;
+    t.total <- t.total + 1;
+    if t.used = 8 then flush t
+
+  (* elmo-lint: zero-alloc *)
+  let rec bits_loop t value i =
+    if i >= 0 then begin
+      bit t (value land (1 lsl i) <> 0);
+      bits_loop t value (i - 1)
+    end
+
+  (* elmo-lint: zero-alloc *)
+  let bits t value n =
+    if n < 0 || n > 62 then
+      (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+      invalid_arg "Bitio.Sink.bits: width out of range";
+    if n < 62 && (value < 0 || value lsr n <> 0) then
+      (* elmo-lint: allow zero-alloc — error path: raising Invalid_argument allocates *)
+      invalid_arg "Bitio.Sink.bits: value does not fit";
+    bits_loop t value (n - 1)
+
+  (* elmo-lint: zero-alloc *)
+  let bitmap t bm =
+    for i = 0 to Bitmap.width bm - 1 do
+      bit t (Bitmap.get bm i)
+    done
+
+  (* elmo-lint: zero-alloc *)
+  let align_byte t =
+    while t.used <> 0 do
+      bit t false
+    done
+
+  (* elmo-lint: zero-alloc *)
+  let bit_length t = t.total
+
+  (* elmo-lint: zero-alloc *)
+  let byte_pos t = t.byte
+
+  (* elmo-lint: zero-alloc *)
+  let finish t =
+    align_byte t;
+    t.byte
+end
+
 module Reader = struct
   type t = { data : bytes; mutable pos : int }
 

@@ -27,6 +27,44 @@ module Writer : sig
   (** Final padding to a whole byte with zeros. *)
 end
 
+module Sink : sig
+  (** A non-allocating {!Writer}: bits go straight into a caller-provided
+      byte buffer. The write path allocates nothing on the OCaml heap
+      (enforced by the zero-alloc lint rule and an [Allocs.probe] test);
+      only the error path — overflowing the buffer or passing an
+      out-of-range width — allocates, by raising [Invalid_argument]. *)
+
+  type t
+
+  val of_bytes : ?pos:int -> bytes -> t
+  (** [of_bytes ?pos b] writes into [b] starting at byte [pos] (default 0).
+      Raises [Invalid_argument] if [pos] is out of range. *)
+
+  val reset : t -> pos:int -> unit
+  (** Rewinds the sink to byte [pos] of the same buffer, allocation-free —
+      so a steady-state encode loop can reuse one sink across events. *)
+
+  val bit : t -> bool -> unit
+  (** Raises [Invalid_argument] if the buffer is full at a byte flush. *)
+
+  val bits : t -> int -> int -> unit
+  (** [bits s value n] appends the low [n] bits of [value], MSB first —
+      same contract as {!Writer.bits}. *)
+
+  val bitmap : t -> Bitmap.t -> unit
+  val align_byte : t -> unit
+
+  val bit_length : t -> int
+  (** Bits written so far. *)
+
+  val byte_pos : t -> int
+  (** Index of the next byte to be written (complete bytes only). *)
+
+  val finish : t -> int
+  (** Pads to a byte boundary and returns the end position: the written
+      record occupies [b[pos .. finish t)]. *)
+end
+
 module Reader : sig
   type t
 

@@ -1522,6 +1522,217 @@ let restore ?fabric_hooks ?clock snap =
   Hashtbl.iter (fun g _ -> mark_dirty t g) t.groups;
   t
 
+(* {1 Durable snapshot codec}
+
+   The byte-level form of [snapshot], for the crash-safe wire format
+   (lib/fault's Wire). [read_snapshot] is a hostile-input boundary: every
+   switch id, bitmap width, array length, and stale key is validated
+   against the topology decoded from the same record — in particular the
+   boolean state arrays, which [restore] blits by source length and would
+   otherwise silently partial-restore from a short corrupt array. All
+   violations raise [Byteio.Reader.Corrupt], which Wire.load turns into
+   fallback to the previous good snapshot. *)
+
+let write_role w = function
+  | Sender -> Byteio.Writer.u8 w 0
+  | Receiver -> Byteio.Writer.u8 w 1
+  | Both -> Byteio.Writer.u8 w 2
+
+let read_role r =
+  match Byteio.Reader.u8 r with
+  | 0 -> Sender
+  | 1 -> Receiver
+  | 2 -> Both
+  | _ -> raise Byteio.Reader.Corrupt (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+
+let write_site w = function
+  | Srule_state.Leaf l ->
+      Byteio.Writer.u8 w 0;
+      Byteio.Writer.int w l
+  | Srule_state.Pod p ->
+      Byteio.Writer.u8 w 1;
+      Byteio.Writer.int w p
+
+let read_site ~topo r =
+  match Byteio.Reader.u8 r with
+  | 0 ->
+      let l = Byteio.Reader.int r in
+      Byteio.Reader.check (0 <= l && l < Topology.num_leaves topo);
+      Srule_state.Leaf l
+  | 1 ->
+      let p = Byteio.Reader.int r in
+      Byteio.Reader.check (0 <= p && p < topo.Topology.pods);
+      Srule_state.Pod p
+  | _ -> raise Byteio.Reader.Corrupt (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+
+let write_override w ov =
+  Byteio.Writer.bitmap w ov.up_leaf_ports;
+  Byteio.Writer.option w Byteio.Writer.bitmap ov.up_spine_ports;
+  Byteio.Writer.bool w ov.unicast
+
+let read_override ~topo r =
+  let up_leaf_ports = Byteio.Reader.bitmap r in
+  Byteio.Reader.check
+    (Bitmap.width up_leaf_ports = Topology.leaf_upstream_width topo);
+  let up_spine_ports = Byteio.Reader.option r Byteio.Reader.bitmap in
+  (match up_spine_ports with
+  | Some bm ->
+      Byteio.Reader.check (Bitmap.width bm = Topology.spine_upstream_width topo)
+  | None -> ());
+  let unicast = Byteio.Reader.bool r in
+  { up_leaf_ports; up_spine_ports; unicast }
+
+let write_snapshot w snap =
+  Topology.write w snap.snap_topo;
+  Params.write w snap.snap_params;
+  Byteio.Writer.bool w snap.snap_incremental;
+  Byteio.Writer.list w
+    (fun w (gid, members, enc, overrides) ->
+      Byteio.Writer.int w gid;
+      Byteio.Writer.list w
+        (fun w (host, role) ->
+          Byteio.Writer.int w host;
+          write_role w role)
+        members;
+      Byteio.Writer.option w (fun w e -> Encoding.write w e) enc;
+      Byteio.Writer.list w
+        (fun w (host, ov) ->
+          Byteio.Writer.int w host;
+          write_override w ov)
+        overrides)
+    snap.snap_groups;
+  Srule_state.write w snap.snap_srules;
+  Byteio.Writer.int w snap.snap_fast_hits;
+  Byteio.Writer.int w snap.snap_reencodes;
+  Byteio.Writer.int w snap.snap_conflicts;
+  Byteio.Writer.bool_array w snap.snap_spine_ok;
+  Byteio.Writer.bool_array w snap.snap_core_ok;
+  Byteio.Writer.bool_array w snap.snap_link_ok;
+  Byteio.Writer.bool_array w snap.snap_denied_leaf;
+  Byteio.Writer.bool_array w snap.snap_denied_pod;
+  Byteio.Writer.list w
+    (fun w (key, (group, site)) ->
+      Byteio.Writer.int w key;
+      Byteio.Writer.int w group;
+      write_site w site)
+    snap.snap_stale;
+  Byteio.Writer.int w snap.snap_install_attempts;
+  Byteio.Writer.int w snap.snap_install_retries;
+  Byteio.Writer.int w snap.snap_install_exhausted;
+  Byteio.Writer.int w snap.snap_degradations;
+  Byteio.Writer.int w snap.snap_compensations;
+  Byteio.Writer.u32 w (Array.length snap.snap_shard_batch);
+  Array.iter
+    (fun (s : Shard.stats) ->
+      Byteio.Writer.int w s.Shard.committed;
+      Byteio.Writer.int w s.Shard.conflicts;
+      Byteio.Writer.int w s.Shard.single_pod;
+      Byteio.Writer.int w s.Shard.cross_pod)
+    snap.snap_shard_batch;
+  Byteio.Writer.int_array w snap.snap_shard_events
+
+let snapshot_topology snap = snap.snap_topo
+
+let read_snapshot r =
+  let topo = Topology.read r in
+  let params = Params.read r in
+  let incremental = Byteio.Reader.bool r in
+  let host rd =
+    let h = Byteio.Reader.int rd in
+    Byteio.Reader.check (0 <= h && h < Topology.num_hosts topo);
+    h
+  in
+  let groups =
+    Byteio.Reader.list r (fun rd ->
+        let gid = Byteio.Reader.int rd in
+        Byteio.Reader.check (gid >= 0);
+        let members =
+          Byteio.Reader.list rd (fun rd ->
+              let h = host rd in
+              let role = read_role rd in
+              (h, role))
+        in
+        let enc = Byteio.Reader.option rd (fun rd -> Encoding.read topo rd) in
+        let overrides =
+          Byteio.Reader.list rd (fun rd ->
+              let h = host rd in
+              let ov = read_override ~topo rd in
+              (h, ov))
+        in
+        (gid, members, enc, overrides))
+  in
+  let srules = Srule_state.read ~topo r in
+  let fast_hits = Byteio.Reader.int r in
+  let reencodes = Byteio.Reader.int r in
+  let conflicts = Byteio.Reader.int r in
+  let barray expect rd =
+    let a = Byteio.Reader.bool_array rd in
+    Byteio.Reader.check (Array.length a = expect);
+    a
+  in
+  let spine_ok = barray (Topology.num_spines topo) r in
+  let core_ok = barray (max 1 (Topology.num_cores topo)) r in
+  let link_ok =
+    barray (Topology.num_leaves topo * topo.Topology.spines_per_pod) r
+  in
+  let denied_leaf = barray (Topology.num_leaves topo) r in
+  let denied_pod = barray topo.Topology.pods r in
+  let stale_stride = (2 * max (Topology.num_leaves topo) topo.Topology.pods) + 2 in
+  let stale =
+    Byteio.Reader.list r (fun rd ->
+        let key = Byteio.Reader.int rd in
+        let group = Byteio.Reader.int rd in
+        Byteio.Reader.check (group >= 0);
+        let site = read_site ~topo rd in
+        (* The key is derived state; recompute and compare rather than
+           trusting the stored value. *)
+        Byteio.Reader.check
+          (key = (group * stale_stride) + Srule_state.site_key site);
+        (key, (group, site)))
+  in
+  let install_attempts = Byteio.Reader.int r in
+  let install_retries = Byteio.Reader.int r in
+  let install_exhausted = Byteio.Reader.int r in
+  let degradations = Byteio.Reader.int r in
+  let compensations = Byteio.Reader.int r in
+  let nshards = Byteio.Reader.u32 r in
+  Byteio.Reader.check (nshards = topo.Topology.pods);
+  let shard_batch =
+    Array.init nshards (fun _ -> Shard.zero)
+  in
+  for i = 0 to nshards - 1 do
+    let committed = Byteio.Reader.int r in
+    let conflicts = Byteio.Reader.int r in
+    let single_pod = Byteio.Reader.int r in
+    let cross_pod = Byteio.Reader.int r in
+    shard_batch.(i) <- { Shard.committed; conflicts; single_pod; cross_pod }
+  done;
+  let shard_events = Byteio.Reader.int_array r in
+  Byteio.Reader.check (Array.length shard_events = topo.Topology.pods);
+  {
+    snap_topo = topo;
+    snap_params = params;
+    snap_incremental = incremental;
+    snap_groups = groups;
+    snap_srules = srules;
+    snap_fast_hits = fast_hits;
+    snap_reencodes = reencodes;
+    snap_conflicts = conflicts;
+    snap_spine_ok = spine_ok;
+    snap_core_ok = core_ok;
+    snap_link_ok = link_ok;
+    snap_denied_leaf = denied_leaf;
+    snap_denied_pod = denied_pod;
+    snap_stale = stale;
+    snap_install_attempts = install_attempts;
+    snap_install_retries = install_retries;
+    snap_install_exhausted = install_exhausted;
+    snap_degradations = degradations;
+    snap_compensations = compensations;
+    snap_shard_batch = shard_batch;
+    snap_shard_events = shard_events;
+  }
+
 let installed_config_of_snapshot snap =
   let groups =
     List.map

@@ -266,6 +266,22 @@ val snapshot : t -> snapshot
 val restore :
   ?fabric_hooks:fabric_hooks -> ?clock:Elmo_obs.Clock.t -> snapshot -> t
 
+val write_snapshot : Byteio.Writer.t -> snapshot -> unit
+(** Durable byte-level form of a snapshot, for the crash-safe wire format
+    ([lib/fault]'s [Wire]). Encoding aliasing graphs are preserved (see
+    {!Encoding.write}), so a snapshot that round-trips through bytes
+    restores bit-identically. *)
+
+val read_snapshot : Byteio.Reader.t -> snapshot
+(** Inverse of {!write_snapshot}. A hostile-input boundary: every switch
+    id, bitmap width, array length, and stale key is validated against the
+    topology decoded from the same record; raises {!Byteio.Reader.Corrupt}
+    on any violation (never a partial or silently wrong snapshot). *)
+
+val snapshot_topology : snapshot -> Topology.t
+(** The topology captured in the snapshot — what journal-op payloads
+    written after it must be validated against. *)
+
 (** {1 Installed-configuration views}
 
     The pure {!Installed_config.t} view of everything this controller has

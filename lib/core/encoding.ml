@@ -521,6 +521,187 @@ let srule_entries t =
 let prule_count t =
   List.length t.d_spine.Clustering.prules + List.length t.d_leaf.Clustering.prules
 
+(* {1 Durable wire codec}
+
+   The byte-level analogue of [copy]: the delta fast path depends on
+   physical sharing between the tree's exact bitmaps and rule bitmaps
+   (singleton p-rules and s-rules alias the tree's leaf bitmaps), so the
+   serialized form carries the aliasing graph explicitly. Each distinct
+   bitmap object is written inline exactly once, at its first occurrence,
+   and every later occurrence is a back-reference into the pool of bitmaps
+   written so far ([==]-keyed on the write side, index-keyed on the read
+   side). Reading therefore reconstructs the exact object graph, which is
+   what makes a restored encoding bit-identical — predicate-pointer-
+   identical under lib/verify — to the never-crashed original. *)
+
+let write_bm pool w bm =
+  let rec find i = function
+    | [] -> -1
+    | o :: _ when o == bm -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  (* The pool list is newest-first; stored indices count from the oldest so
+     both sides agree without reversing. *)
+  match find 0 !pool with
+  | -1 ->
+      pool := bm :: !pool;
+      Byteio.Writer.u8 w 0;
+      Byteio.Writer.bitmap w bm
+  | i ->
+      Byteio.Writer.u8 w 1;
+      Byteio.Writer.u32 w (List.length !pool - 1 - i)
+
+let read_bm pool ~width r =
+  match Byteio.Reader.u8 r with
+  | 0 ->
+      let bm = Byteio.Reader.bitmap r in
+      Byteio.Reader.check (Bitmap.width bm = width);
+      pool := bm :: !pool;
+      bm
+  | 1 ->
+      let n = List.length !pool in
+      let idx = Byteio.Reader.u32 r in
+      Byteio.Reader.check (idx < n);
+      let bm = List.nth !pool (n - 1 - idx) in
+      Byteio.Reader.check (Bitmap.width bm = width);
+      bm
+  | _ -> raise Byteio.Reader.Corrupt (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+
+let write_result pool w (res : Clustering.result) =
+  Byteio.Writer.list w
+    (fun w (r : Prule.prule) ->
+      write_bm pool w r.Prule.bitmap;
+      Byteio.Writer.list w Byteio.Writer.int r.Prule.switches)
+    res.Clustering.prules;
+  Byteio.Writer.list w
+    (fun w (id, bm) ->
+      Byteio.Writer.int w id;
+      write_bm pool w bm)
+    res.Clustering.srules;
+  Byteio.Writer.option w
+    (fun w (ids, bm) ->
+      Byteio.Writer.list w Byteio.Writer.int ids;
+      write_bm pool w bm)
+    res.Clustering.default
+
+let read_result pool ~width ~nswitches r =
+  let switch_id rd =
+    let id = Byteio.Reader.int rd in
+    Byteio.Reader.check (0 <= id && id < nswitches);
+    id
+  in
+  let prules =
+    Byteio.Reader.list r (fun rd ->
+        let bitmap = read_bm pool ~width rd in
+        let switches = Byteio.Reader.list rd switch_id in
+        { Prule.bitmap; switches })
+  in
+  let srules =
+    Byteio.Reader.list r (fun rd ->
+        let id = switch_id rd in
+        let bm = read_bm pool ~width rd in
+        (id, bm))
+  in
+  let default =
+    Byteio.Reader.option r (fun rd ->
+        let ids = Byteio.Reader.list rd switch_id in
+        let bm = read_bm pool ~width rd in
+        (ids, bm))
+  in
+  { Clustering.prules; srules; default }
+
+let write w t =
+  let pool = ref [] in
+  let tree = t.tree in
+  Params.write w t.params;
+  Byteio.Writer.list w
+    (fun w (l, bm) ->
+      Byteio.Writer.int w l;
+      write_bm pool w bm)
+    tree.Tree.leaf_bitmaps;
+  Byteio.Writer.list w
+    (fun w (p, bm) ->
+      Byteio.Writer.int w p;
+      write_bm pool w bm)
+    tree.Tree.spine_bitmaps;
+  write_bm pool w tree.Tree.core_bitmap;
+  Byteio.Writer.list w Byteio.Writer.int (Tree.member_list tree);
+  write_result pool w t.d_spine;
+  write_result pool w t.d_leaf;
+  Byteio.Writer.int w t.stale
+
+let read topo r =
+  let pool = ref [] in
+  let params = Params.read r in
+  let site ~count rd =
+    let id = Byteio.Reader.int rd in
+    Byteio.Reader.check (0 <= id && id < count);
+    id
+  in
+  let leaf_width = Topology.leaf_downstream_width topo in
+  let spine_width = Topology.spine_downstream_width topo in
+  let leaf_bitmaps =
+    Byteio.Reader.list r (fun rd ->
+        let l = site ~count:(Topology.num_leaves topo) rd in
+        let bm = read_bm pool ~width:leaf_width rd in
+        (l, bm))
+  in
+  let spine_bitmaps =
+    Byteio.Reader.list r (fun rd ->
+        let p = site ~count:topo.Topology.pods rd in
+        let bm = read_bm pool ~width:spine_width rd in
+        (p, bm))
+  in
+  let core_bitmap = read_bm pool ~width:topo.Topology.pods r in
+  let members =
+    Byteio.Reader.list r (fun rd -> site ~count:(Topology.num_hosts topo) rd)
+  in
+  (* Structural invariants of Tree.t: ids strictly ascending (leaf/spine
+     sections and the sorted members prefix), no empty tree. *)
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        if a < b then ascending rest else raise Byteio.Reader.Corrupt (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+    | _ -> ()
+  in
+  ascending (List.map fst leaf_bitmaps);
+  ascending (List.map fst spine_bitmaps);
+  ascending members;
+  Byteio.Reader.check (match members with [] -> false | _ :: _ -> true);
+  Byteio.Reader.check (match leaf_bitmaps with [] -> false | _ :: _ -> true);
+  let tree =
+    {
+      Tree.topo;
+      members = Array.of_list members;
+      nmembers = List.length members;
+      leaf_bitmaps;
+      spine_bitmaps;
+      core_bitmap;
+    }
+  in
+  let d_spine =
+    read_result pool ~width:spine_width ~nswitches:topo.Topology.pods r
+  in
+  let d_leaf =
+    read_result pool ~width:leaf_width ~nswitches:(Topology.num_leaves topo) r
+  in
+  let stale = Byteio.Reader.int r in
+  Byteio.Reader.check (stale >= 0);
+  let idx_kind, idx_exact, idx_rule, idx_site_bm = build_index d_leaf tree in
+  let scratch_width = leaf_width in
+  {
+    tree;
+    params;
+    d_spine;
+    d_leaf;
+    stale;
+    idx_kind;
+    idx_exact;
+    idx_rule;
+    idx_site_bm;
+    scratch_a = Bitmap.create scratch_width;
+    scratch_b = Bitmap.create scratch_width;
+  }
+
 (* Deep copy for checkpoints. The delta fast path depends on physical
    sharing between the tree's exact bitmaps and rule bitmaps (singleton
    p-rules and s-rules alias the tree's leaf bitmaps), so the copy must

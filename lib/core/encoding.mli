@@ -163,3 +163,17 @@ val copy : t -> t
     physically aliases a tree bitmap still does in the copy — the delta fast
     path depends on it). The copy holds no s-rule reservations of its own;
     the caller pairs it with a matching {!Srule_state.copy}. *)
+
+val write : Byteio.Writer.t -> t -> unit
+(** Durable wire codec — the byte-level analogue of {!copy}. Each distinct
+    bitmap object is written inline once and back-referenced thereafter, so
+    the serialized form carries the encoding's aliasing graph and {!read}
+    reconstructs the exact object structure (which is what makes a restored
+    controller predicate-pointer-identical to the original). *)
+
+val read : Topology.t -> Byteio.Reader.t -> t
+(** Inverse of {!write}. Validates every switch id, bitmap width, and
+    structural invariant (ascending tree sections, sorted members, stale
+    count) against the topology; raises {!Byteio.Reader.Corrupt} on any
+    malformed or hostile input. Rebuilds the fast-path leaf index and fresh
+    scratch bitmaps. *)

@@ -20,6 +20,37 @@ val decode : Topology.t -> bytes -> Prule.header
 (** Raises [Bitio.Reader.Truncated] on short input. Trailing padding bits
     are ignored. *)
 
+(** {1 Hostile-input decoding} *)
+
+type decode_error =
+  | Truncated  (** input ends inside a field *)
+  | Id_out_of_range of { spine : bool; id : int }
+      (** a p-rule identifier beyond the topology's switch count *)
+  | Duplicate_id of { spine : bool; id : int }
+      (** one switch claimed by two rules of the same section *)
+  | Trailing_bits
+      (** more than a byte of slack after the header, or nonzero padding *)
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+val decode_checked :
+  Topology.t -> bytes -> (Prule.header, decode_error) result
+(** Total decoder for bytes of unknown provenance: never raises, for any
+    input whatsoever. Beyond {!decode}'s parsing it rejects switch ids
+    outside the topology, a switch claimed twice within one downstream
+    section (which also bounds the section's size), and nonzero or
+    byte-plus trailing slack. Structural checks only — whether an accepted
+    header {e over-delivers} relative to a group's intent is decided by the
+    verify layer ([Verify.admit_header] subsumption). *)
+
+val encode_into : Topology.t -> Prule.header -> Bitio.Sink.t -> int
+(** [encode] into a caller-provided sink: identical bit layout, no heap
+    allocation on the success path (under the [zero-alloc] lint rule, with
+    an [Allocs.probe] harness in the test suite). Returns the sink's end
+    byte position ({!Bitio.Sink.finish}). Raises [Invalid_argument] on the
+    same malformed headers as {!encode}, or if the sink's buffer is too
+    small. *)
+
 val encoded_size : Topology.t -> Prule.header -> int
 (** Size in bytes without materializing (= {!Prule.header_bytes}). *)
 

@@ -66,6 +66,14 @@ val check : t -> bool
 (** Invariant: [0 <= used <= fmax] on every leaf and pod counter. Asserted
     after every batch commit phase and in tests. *)
 
+val write : Byteio.Writer.t -> t -> unit
+(** Durable wire codec (snapshot records). *)
+
+val read : topo:Topology.t -> Byteio.Reader.t -> t
+(** Inverse of {!write}. Validates the persisted array lengths against
+    [topo] and re-checks the occupancy invariant; raises
+    {!Byteio.Reader.Corrupt} on any violation. *)
+
 (** {1 Snapshot / reserve / commit (two-phase batch encoding)} *)
 
 type snapshot

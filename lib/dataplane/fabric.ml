@@ -25,6 +25,10 @@ type t = {
   leaf_legacy : bool array;  (* cannot parse Elmo headers (§7) *)
   spine_legacy : bool array;
   mutable telemetry : telemetry option;
+  mutable fence_epoch : int;
+      (* minimum controller epoch whose mutations the fabric accepts; a
+         fenced ex-primary's late installs bounce off it *)
+  mutable fenced : int;  (* mutations refused below the fence, cumulative *)
 }
 
 let create topo =
@@ -39,6 +43,8 @@ let create topo =
     leaf_legacy = Array.make (Topology.num_leaves topo) false;
     spine_legacy = Array.make (Topology.num_spines topo) false;
     telemetry = None;
+    fence_epoch = 0;
+    fenced = 0;
   }
 
 let topology t = t.topo
@@ -116,6 +122,77 @@ let controller_hooks t =
     read_leaf = (fun ~leaf ~group -> leaf_srule t ~leaf ~group);
     read_pod = (fun ~pod ~group -> pod_srule t ~pod ~group);
   }
+
+(* {1 Epoch fencing (failover)}
+
+   The fabric is the arbiter of controller succession: [set_fence e]
+   records that a controller of epoch [e] has taken over, and the
+   epoch-stamped hooks below refuse every mutation from an older epoch —
+   the classic fencing-token scheme, so a paused ex-primary that wakes up
+   mid-install cannot clobber the new primary's state. Reads answer
+   normally at any epoch: the ex-primary's read-back verification then
+   sees its install never landed and degrades, instead of wrongly
+   believing it succeeded. *)
+
+let set_fence t epoch =
+  if epoch < t.fence_epoch then
+    invalid_arg "Fabric.set_fence: fence epochs are monotonic"; (* elmo-lint: allow exception-discipline — documented API-misuse guard *)
+  t.fence_epoch <- epoch
+
+let fence_epoch t = t.fence_epoch
+let fenced_refusals t = t.fenced
+
+let controller_hooks_at t ~epoch =
+  let admitted () = epoch >= t.fence_epoch in
+  let refuse () =
+    t.fenced <- t.fenced + 1;
+    Error Controller.Refused
+  in
+  {
+    Controller.install_leaf =
+      (fun ~leaf ~group bm ->
+        if not (admitted ()) then refuse ()
+        else begin
+          install_leaf_srule t ~leaf ~group bm;
+          Ok ()
+        end);
+    remove_leaf =
+      (fun ~leaf ~group ->
+        if not (admitted ()) then refuse ()
+        else begin
+          remove_leaf_srule t ~leaf ~group;
+          Ok ()
+        end);
+    install_pod =
+      (fun ~pod ~group bm ->
+        if not (admitted ()) then refuse ()
+        else begin
+          install_pod_srule t ~pod ~group bm;
+          Ok ()
+        end);
+    remove_pod =
+      (fun ~pod ~group ->
+        if not (admitted ()) then refuse ()
+        else begin
+          remove_pod_srule t ~pod ~group;
+          Ok ()
+        end);
+    read_leaf = (fun ~leaf ~group -> leaf_srule t ~leaf ~group);
+    read_pod = (fun ~pod ~group -> pod_srule t ~pod ~group);
+  }
+
+(* {1 Table enumeration (reconcile sweeps)} *)
+
+let leaf_groups t leaf =
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.leaf_tables.(leaf) []
+  |> List.sort_uniq Int.compare
+
+let pod_groups t pod =
+  List.fold_left
+    (fun acc s -> Hashtbl.fold (fun g _ acc -> g :: acc) t.spine_tables.(s) acc)
+    []
+    (Topology.spines_of_pod t.topo pod)
+  |> List.sort_uniq Int.compare
 
 let link_index t ~leaf ~plane =
   if plane < 0 || plane >= t.topo.Topology.spines_per_pod then

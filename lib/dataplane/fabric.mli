@@ -53,6 +53,39 @@ val controller_hooks : t -> Controller.fabric_hooks
     Wrap the result in a fault schedule ([Fault.hooks], lib/fault) to
     exercise the controller's retry/degradation machinery. *)
 
+(** {1 Epoch fencing (controller failover)}
+
+    The fabric arbitrates controller succession with fencing tokens: once
+    {!set_fence} records a new primary's epoch, mutations issued through
+    {!controller_hooks_at} with an older epoch are refused
+    ([Error Refused]) — a paused ex-primary waking up mid-install cannot
+    clobber the new primary's state. Reads answer normally at any epoch,
+    so the fenced controller's read-back verification observes that its
+    install never landed and degrades honestly. *)
+
+val set_fence : t -> int -> unit
+(** Admit mutations only from controllers of this epoch or newer.
+    Monotonic; raises [Invalid_argument] on an attempt to lower it. *)
+
+val fence_epoch : t -> int
+(** Current fence ([0] until the first {!set_fence}). *)
+
+val fenced_refusals : t -> int
+(** Mutations refused below the fence since creation. *)
+
+val controller_hooks_at : t -> epoch:int -> Controller.fabric_hooks
+(** Like {!controller_hooks}, stamped with the issuing controller's epoch:
+    mutations are refused while [epoch < fence_epoch]; reads always
+    answer. [controller_hooks] itself is unstamped and never fenced. *)
+
+val leaf_groups : t -> int -> int list
+(** Group ids with an entry in the leaf's group table, ascending — the
+    reconcile sweep's orphan scan. *)
+
+val pod_groups : t -> int -> int list
+(** Group ids with an entry on at least one physical spine of the pod,
+    ascending. *)
+
 (** {1 Incremental deployment (§7)} *)
 
 val fail_link : t -> leaf:int -> plane:int -> unit

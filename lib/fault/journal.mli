@@ -58,4 +58,15 @@ val suffix_entries : t -> from:int -> entry list
 val apply : Controller.t -> op -> unit
 (** Re-executes the op against a controller, discarding its report. *)
 
+val write_entry : Byteio.Writer.t -> entry -> unit
+(** Durable wire codec for one journal entry (the payload of a [Wire] op
+    record). *)
+
+val read_entry : topo:Topology.t -> Byteio.Reader.t -> entry
+(** Inverse of {!write_entry}. Validates every switch/host/pod id against
+    [topo] — replay re-executes controller entry points, which raise on
+    out-of-range arguments, so a flipped bit must surface as
+    {!Byteio.Reader.Corrupt} at load time rather than an exception
+    mid-replay. *)
+
 val pp_op : Format.formatter -> op -> unit

@@ -7,27 +7,51 @@ type t = {
   journal : Journal.t;
   mutable snap : Controller.snapshot;
   mutable snap_at : int;  (* journal position the snapshot covers *)
+  mutable wire : Wire.t option;
+  mutable epoch : int;  (* fencing epoch stamped on appended records *)
 }
 
 let checkpoint t =
   t.snap <- Controller.snapshot t.ctrl;
   t.snap_at <- Journal.length t.journal;
+  (match t.wire with
+  | Some w -> Wire.append_snapshot w ~epoch:t.epoch t.snap
+  | None -> ());
   Obs.incr "replica.checkpoints"
 
 let create ?(snapshot_every = 64) ?fabric_hooks ?(incremental = true)
-    ?observer topo params =
+    ?(durable = false) ?observer topo params =
   let ctrl = Controller.create ?fabric_hooks ~incremental topo params in
+  let snap = Controller.snapshot ctrl in
+  let wire =
+    if not durable then None
+    else begin
+      (* Genesis snapshot: the wire is self-contained from byte 0 — a log
+         that loses every later snapshot still recovers from here. *)
+      let w = Wire.create () in
+      Wire.append_snapshot w ~epoch:0 snap;
+      Some w
+    end
+  in
   {
     fabric_hooks;
     snapshot_every;
     ctrl;
     journal = Journal.create ?observer ();
-    snap = Controller.snapshot ctrl;
+    snap;
     snap_at = 0;
+    wire;
+    epoch = 0;
   }
 
 let controller t = t.ctrl
 let journal t = t.journal
+let wire t = t.wire
+let epoch t = t.epoch
+
+let set_epoch t e =
+  if e < t.epoch then invalid_arg "Replica.set_epoch: epoch regression";
+  t.epoch <- e
 
 (* The pods an op can touch, computed against the {e pre-op} controller
    state. Group ops are tagged with the pods of every member host (senders
@@ -57,7 +81,13 @@ let pods_of_op t op =
   | Journal.Fail_core _ | Journal.Recover_core _ -> None
 
 let apply t op =
-  Journal.append ?pods:(pods_of_op t op) t.journal op;
+  let pods = pods_of_op t op in
+  Journal.append ?pods t.journal op;
+  (* Write-ahead: the op record is durable before execution, so a crash
+     mid-execute replays it rather than losing it. *)
+  (match t.wire with
+  | Some w -> Wire.append_op w ~epoch:t.epoch { Journal.e_op = op; e_pods = pods }
+  | None -> ());
   Journal.apply t.ctrl op;
   if Journal.length t.journal - t.snap_at >= t.snapshot_every then
     checkpoint t
@@ -129,3 +159,52 @@ let crash t = t.ctrl <- recovered t
 let installed_config t = Controller.installed_config t.ctrl
 
 let checkpoint_config t = Controller.installed_config_of_snapshot t.snap
+
+let of_wire ?(snapshot_every = 64) ?fabric_hooks ?observer ?epoch
+    (l : Wire.loaded) =
+  match l.Wire.l_snapshot with
+  | None -> Error "wire log has no recoverable snapshot"
+  | Some snap -> (
+      let epoch = match epoch with Some e -> e | None -> l.Wire.l_epoch in
+      if epoch < l.Wire.l_epoch then
+        Error
+          (Printf.sprintf "epoch %d regresses below the log's epoch %d" epoch
+             l.Wire.l_epoch)
+      else
+        match
+          Obs.with_span "replica.of_wire" @@ fun () ->
+          let ctrl = Controller.restore ?fabric_hooks snap in
+          let journal = Journal.create ?observer () in
+          (* Re-append the suffix through the journal so the observer (the
+             flight recorder) sees every replayed op, then execute it. *)
+          List.iter
+            (fun e ->
+              Journal.append ?pods:e.Journal.e_pods journal e.Journal.e_op;
+              Journal.apply ctrl e.Journal.e_op)
+            l.Wire.l_suffix;
+          Obs.observe "replica.replayed_ops"
+            (float_of_int (List.length l.Wire.l_suffix));
+          (* Seed a fresh wire with the post-replay state: the new log is
+             self-contained and the old (possibly corrupt) bytes are never
+             appended to. *)
+          let snap = Controller.snapshot ctrl in
+          let w = Wire.create () in
+          Wire.append_snapshot w ~epoch snap;
+          {
+            fabric_hooks;
+            snapshot_every;
+            ctrl;
+            journal;
+            snap;
+            snap_at = Journal.length journal;
+            wire = Some w;
+            epoch;
+          }
+        with
+        | t -> Ok t
+        | exception exn ->
+            (* Replay executes controller entry points over decoded — but
+               adversarial — state; any failure is a recovery failure, not
+               a crash of the supervisor. *)
+            Error
+              (Printf.sprintf "replay failed: %s" (Printexc.to_string exn)))

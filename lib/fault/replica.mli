@@ -21,16 +21,46 @@ val create :
   ?snapshot_every:int ->
   ?fabric_hooks:Controller.fabric_hooks ->
   ?incremental:bool ->
+  ?durable:bool ->
   ?observer:(Journal.op -> unit) ->
   Topology.t ->
   Params.t ->
   t
 (** [snapshot_every] defaults to 64 ops between automatic checkpoints.
-    [observer] taps the underlying journal (see {!Journal.create}) — the
-    telemetry flight recorder attaches here. *)
+    [durable] (default [false]) attaches a {!Wire.t} log: a genesis
+    snapshot is written at epoch 0, every {!apply} appends the op record
+    {e before} executing it (write-ahead), and every checkpoint appends a
+    snapshot record. [observer] taps the underlying journal (see
+    {!Journal.create}) — the telemetry flight recorder attaches here. *)
+
+val of_wire :
+  ?snapshot_every:int ->
+  ?fabric_hooks:Controller.fabric_hooks ->
+  ?observer:(Journal.op -> unit) ->
+  ?epoch:int ->
+  Wire.loaded ->
+  (t, string) result
+(** Rebuild a durable replica from a loaded wire log: restore the chosen
+    snapshot, replay the suffix (each op passes through the new journal
+    first, so [observer] sees every replayed op), and seed a {e fresh}
+    wire with the post-replay snapshot — the corrupt bytes are never
+    appended to. [epoch] (default: the log's highest epoch) stamps the
+    new log; a failover supervisor passes its bumped fencing epoch.
+    [Error] when the log has no decodable snapshot, [epoch] regresses
+    below the log's, or replay itself fails — never an exception. *)
 
 val controller : t -> Controller.t
 val journal : t -> Journal.t
+
+val wire : t -> Wire.t option
+(** The attached durable log, when [durable] (or {!of_wire}) created one. *)
+
+val epoch : t -> int
+(** The fencing epoch stamped on appended records. *)
+
+val set_epoch : t -> int -> unit
+(** Raise the fencing epoch (monotonic; raises [Invalid_argument] on
+    regression). *)
 
 val apply : t -> Journal.op -> unit
 (** Journal (tagged with the pods the op can touch, computed against the

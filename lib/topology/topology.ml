@@ -99,15 +99,42 @@ let core_downstream_width t = t.pods
 let leaf_upstream_width t = t.spines_per_pod
 let spine_upstream_width t = t.cores_per_plane
 
-let bits_needed n =
-  if n <= 1 then 1
-  else begin
-    let rec go bits cap = if cap >= n then bits else go (bits + 1) (cap * 2) in
-    go 1 2
-  end
+(* Top-level recursion (not a local closure) so callers on the zero-alloc
+   encode path stay provably allocation-free. *)
+let rec bits_needed_loop n bits cap =
+  if cap >= n then bits else bits_needed_loop n (bits + 1) (cap * 2)
+
+let bits_needed n = if n <= 1 then 1 else bits_needed_loop n 1 2
 
 let leaf_id_bits t = bits_needed (num_leaves t)
 let spine_id_bits t = bits_needed t.pods
+
+(* Durable wire codec. [read] funnels both framing errors and semantic
+   violations (a shape [create] would reject) into Byteio.Reader.Corrupt so
+   Wire.load can treat the record as torn. *)
+let write w t =
+  Byteio.Writer.int w t.pods;
+  Byteio.Writer.int w t.leaves_per_pod;
+  Byteio.Writer.int w t.spines_per_pod;
+  Byteio.Writer.int w t.hosts_per_leaf;
+  Byteio.Writer.int w t.cores_per_plane;
+  Byteio.Writer.float w t.link_gbps
+
+let read r =
+  let pods = Byteio.Reader.int r in
+  let leaves_per_pod = Byteio.Reader.int r in
+  let spines_per_pod = Byteio.Reader.int r in
+  let hosts_per_leaf = Byteio.Reader.int r in
+  let cores_per_plane = Byteio.Reader.int r in
+  let link_gbps = Byteio.Reader.float r in
+  match
+    with_link_gbps
+      (create ~pods ~leaves_per_pod ~spines_per_pod ~hosts_per_leaf
+         ~cores_per_plane)
+      link_gbps
+  with
+  | t -> t
+  | exception Invalid_argument _ -> raise Byteio.Reader.Corrupt
 
 let pp ppf t =
   Format.fprintf ppf

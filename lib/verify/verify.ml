@@ -316,6 +316,34 @@ let check_subsumes ~group ~big ~small =
   | None -> Ok ()
   | Some e -> Error (witness ~group e)
 
+(* {1 Hostile-header admission}
+
+   The semantic half of hostile-header hardening, layered over
+   [Header_codec.decode_checked]'s structural half: a decoded header is
+   admitted only when the deliveries its own bits imply are a subset of
+   the caller's intent predicate. Never raises — structural rejection and
+   over-delivery both come back as typed errors. *)
+
+type admit_error =
+  | Malformed of Header_codec.decode_error
+  | Over_delivery of witness
+
+let pp_admit_error ppf = function
+  | Malformed e -> Header_codec.pp_decode_error ppf e
+  | Over_delivery w ->
+      Format.fprintf ppf "over-delivery at %a" pp_witness w
+
+let admit_header ctx topo ~intent ~sender data =
+  match Header_codec.decode_checked topo data with
+  | Error e -> Error (Malformed e)
+  | Ok h -> (
+      let hp = header_pred ctx topo ~sender h in
+      (* group number 0: admission is per-header; the witness's group field
+         is not meaningful here. *)
+      match check_subsumes ~group:0 ~big:intent ~small:hp with
+      | Ok () -> Ok h
+      | Error w -> Error (Over_delivery w))
+
 let check_config cfg =
   let ctx = Pred.create_ctx () in
   let rec go n = function

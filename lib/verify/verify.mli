@@ -86,6 +86,31 @@ val header_pred :
     each downstream layer matches p-rules then the default. Depends only
     on the header's bits, making it the codec round-trip invariant. *)
 
+(** {1 Hostile-header admission} *)
+
+type admit_error =
+  | Malformed of Header_codec.decode_error
+      (** structural rejection by [Header_codec.decode_checked] *)
+  | Over_delivery of witness
+      (** the header's own bits deliver to an edge outside the intent; the
+          witness names the first such edge (its group field is 0 —
+          admission is per-header, not per-group) *)
+
+val pp_admit_error : Format.formatter -> admit_error -> unit
+
+val admit_header :
+  Pred.ctx ->
+  Topology.t ->
+  intent:Pred.t ->
+  sender:int ->
+  bytes ->
+  (Prule.header, admit_error) result
+(** Total admission control for headers of unknown provenance: structural
+    decoding via [Header_codec.decode_checked], then the semantic gate —
+    the header is accepted only when {!header_pred} of its own bits is
+    subsumed by [intent] (interned in the same [ctx]). Never raises, and
+    never accepts a header that would deliver beyond the intent. *)
+
 (** {1 Decision procedures} *)
 
 val equiv : Pred.t -> Pred.t -> bool

@@ -29,6 +29,7 @@ let () =
       ("churn", Test_churn.tests);
       ("experiments", Test_experiments.tests);
       ("fault", Test_fault.tests);
+      ("wire", Test_wire.tests);
       ("telemetry", Test_telemetry.tests);
       ("extensions", Test_extensions.tests);
       ("nonclos", Test_nonclos.tests);

@@ -1,0 +1,822 @@
+(* Durable wire format: byte-level framing round-trips, torn-write
+   truncation semantics, the crash/corruption matrix (every recovery is
+   predicate-pointer-identical to a never-crashed twin or an explicit
+   error — never a silently wrong configuration, never an uncaught
+   exception), fenced supervisor failover, and hostile-header hardening
+   of the packet codec. *)
+
+let topo = Topology.running_example ()
+let h = topo.Topology.hosts_per_leaf
+
+let tight_params =
+  Params.create ~hmax_leaf:1 ~hmax_spine:1 ~header_budget:None ~fmax:6
+    ~install_retries:4 ~install_backoff_us:8 ()
+
+let wide_hosts =
+  List.concat_map (fun l -> [ l * h; (l * h) + 1 ]) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let members_both hosts = List.map (fun x -> (x, Controller.Both)) hosts
+
+(* {1 Record / entry codec} *)
+
+let all_ops =
+  [
+    Journal.Add_group
+      { group = 3; members = [ (0, Controller.Sender); (5, Controller.Both) ] };
+    Journal.Remove_group { group = 3 };
+    Journal.Join { group = 0; host = 7; role = Controller.Receiver };
+    Journal.Leave { group = 0; host = 7 };
+    Journal.Fail_spine 2;
+    Journal.Recover_spine 2;
+    Journal.Fail_core 0;
+    Journal.Recover_core 0;
+    Journal.Fail_link { leaf = 3; plane = 1 };
+    Journal.Recover_link { leaf = 3; plane = 1 };
+  ]
+
+let test_entry_codec_round_trip () =
+  List.iteri
+    (fun i op ->
+      List.iter
+        (fun pods ->
+          let e = { Journal.e_op = op; e_pods = pods } in
+          let w = Byteio.Writer.create () in
+          Journal.write_entry w e;
+          let r = Byteio.Reader.of_bytes (Byteio.Writer.to_bytes w) in
+          let e' = Journal.read_entry ~topo r in
+          Alcotest.(check bool)
+            (Printf.sprintf "op %d round-trips" i)
+            true (e = e');
+          Alcotest.(check int) "fully consumed" 0 (Byteio.Reader.remaining r))
+        [ None; Some []; Some [ 0; 2 ] ])
+    all_ops
+
+let test_entry_codec_rejects_out_of_range () =
+  (* A structurally intact entry whose ids exceed the topology must be
+     rejected at decode time, not blow up controller replay later. *)
+  let w = Byteio.Writer.create () in
+  Journal.write_entry w
+    {
+      Journal.e_op = Journal.Fail_spine (Topology.num_spines topo + 3);
+      e_pods = None;
+    };
+  let r = Byteio.Reader.of_bytes (Byteio.Writer.to_bytes w) in
+  Alcotest.check_raises "spine id out of range" Byteio.Reader.Corrupt
+    (fun () -> ignore (Journal.read_entry ~topo r))
+
+(* {1 Snapshot codec} *)
+
+let seeded_replica ?(durable = true) ?snapshot_every ?fabric_hooks
+    ?observer () =
+  let replica =
+    Replica.create ?snapshot_every ?fabric_hooks ~durable ?observer topo
+      tight_params
+  in
+  Replica.apply replica
+    (Journal.Add_group { group = 0; members = members_both wide_hosts });
+  Replica.apply replica
+    (Journal.Add_group
+       { group = 1; members = members_both [ 0; 1; h; h + 1 ] });
+  replica
+
+let test_snapshot_codec_round_trip () =
+  let replica = seeded_replica () in
+  Replica.apply replica (Journal.Fail_spine 1);
+  Replica.apply replica
+    (Journal.Join { group = 1; host = (2 * h) + 1; role = Controller.Both });
+  Replica.checkpoint replica;
+  let w = Byteio.Writer.create () in
+  Controller.write_snapshot w (Controller.snapshot (Replica.controller replica));
+  let bytes = Byteio.Writer.to_bytes w in
+  let r = Byteio.Reader.of_bytes bytes in
+  let snap = Controller.read_snapshot r in
+  Alcotest.(check int) "fully consumed" 0 (Byteio.Reader.remaining r);
+  let restored = Controller.restore snap in
+  Alcotest.(check bool) "bit-identical controller state" true
+    (Test_fault.same_controller_state restored (Replica.controller replica)
+       ~groups:2);
+  (* Deterministic bytes: snapshot of the restored controller re-serializes
+     to the identical byte sequence (aliasing pool included). *)
+  let w2 = Byteio.Writer.create () in
+  Controller.write_snapshot w2 (Controller.snapshot restored);
+  Alcotest.(check bool) "canonical bytes" true
+    (Bytes.equal bytes (Byteio.Writer.to_bytes w2))
+
+let test_snapshot_codec_rejects_bit_flips () =
+  (* Every single-bit flip of a serialized snapshot either still decodes
+     (flips in dead padding) or raises Corrupt — never any other
+     exception. Sampled positions keep the test fast. *)
+  let replica = seeded_replica () in
+  let w = Byteio.Writer.create () in
+  Controller.write_snapshot w (Controller.snapshot (Replica.controller replica));
+  let bytes = Byteio.Writer.to_bytes w in
+  let rng = Rng.create 77 in
+  let corrupt = ref 0 and survived = ref 0 in
+  for _ = 1 to 300 do
+    let bit = Rng.int rng (8 * Bytes.length bytes) in
+    let mutated = Wire.flip_bit bytes bit in
+    match Controller.read_snapshot (Byteio.Reader.of_bytes mutated) with
+    | (_ : Controller.snapshot) -> incr survived
+    | exception Byteio.Reader.Corrupt -> incr corrupt
+    | exception exn ->
+        Alcotest.failf "bit %d: unexpected exception %s" bit
+          (Printexc.to_string exn)
+  done;
+  Alcotest.(check bool) "flips are mostly caught" true (!corrupt > !survived)
+
+(* {1 Wire framing edge cases} *)
+
+let test_empty_log () =
+  let w = Wire.create () in
+  match Wire.load (Wire.contents w) with
+  | Error e -> Alcotest.failf "empty log failed to load: %s" e
+  | Ok l ->
+      Alcotest.(check int) "no records" 0 (List.length l.Wire.l_records);
+      Alcotest.(check bool) "no snapshot" true (l.Wire.l_snapshot = None);
+      Alcotest.(check bool) "no truncation" true (l.Wire.l_truncated_at = None)
+
+let test_bad_magic () =
+  (match Wire.load (Bytes.of_string "ELMOWAL2") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong magic accepted");
+  (match Wire.load (Bytes.of_string "ELMO") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short magic accepted");
+  match Wire.load (Wire.flip_bit (Wire.contents (Wire.create ())) 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flipped magic accepted"
+
+let test_snapshot_only_load () =
+  (* A durable replica's genesis log: one snapshot, no ops. *)
+  let replica =
+    Replica.create ~durable:true topo tight_params
+  in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  match Wire.load bytes with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+      Alcotest.(check int) "one record" 1 (List.length l.Wire.l_records);
+      Alcotest.(check bool) "snapshot present" true
+        (Option.is_some l.Wire.l_snapshot);
+      Alcotest.(check int) "no base ops" 0 l.Wire.l_replay_base_ops;
+      Alcotest.(check int) "no suffix" 0 (List.length l.Wire.l_suffix);
+      Alcotest.(check bool) "no truncation" true (l.Wire.l_truncated_at = None)
+
+let test_truncation_at_record_boundary () =
+  (* A cut exactly on a record boundary is indistinguishable from a log
+     that simply ends there: fewer records, no truncation report. *)
+  let replica = seeded_replica () in
+  Replica.apply replica (Journal.Fail_spine 0);
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let full = Result.get_ok (Wire.load bytes) in
+  let nrecs = List.length full.Wire.l_records in
+  Alcotest.(check bool) "several records" true (nrecs >= 3);
+  let last = List.nth full.Wire.l_records (nrecs - 1) in
+  let boundary = last.Wire.r_off in
+  let cut = Result.get_ok (Wire.load (Wire.truncate_at bytes boundary)) in
+  Alcotest.(check int) "one record fewer" (nrecs - 1)
+    (List.length cut.Wire.l_records);
+  Alcotest.(check bool) "clean end, no truncation flag" true
+    (cut.Wire.l_truncated_at = None);
+  Alcotest.(check int) "one suffix op fewer" 2 (List.length cut.Wire.l_suffix)
+
+let test_torn_header_truncates () =
+  let replica = seeded_replica () in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let full = Result.get_ok (Wire.load bytes) in
+  let nrecs = List.length full.Wire.l_records in
+  let last = List.nth full.Wire.l_records (nrecs - 1) in
+  (* Cut 5 bytes into the last record's header: a torn write. *)
+  let torn = Result.get_ok (Wire.load (Wire.truncate_at bytes (last.Wire.r_off + 5))) in
+  Alcotest.(check int) "last record dropped" (nrecs - 1)
+    (List.length torn.Wire.l_records);
+  Alcotest.(check bool) "truncation reported at the torn record" true
+    (torn.Wire.l_truncated_at = Some last.Wire.r_off)
+
+let test_corrupt_length_field_truncates () =
+  (* Flipping a bit of the length prefix shifts the CRC window, so the
+     record fails its checksum (1-in-2^32 collisions aside) and the log
+     truncates there rather than mis-framing everything after it. *)
+  let replica = seeded_replica () in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let full = Result.get_ok (Wire.load bytes) in
+  let second = List.nth full.Wire.l_records 1 in
+  let mutated = Wire.flip_bit bytes (8 * second.Wire.r_off) in
+  let l = Result.get_ok (Wire.load mutated) in
+  Alcotest.(check int) "only the first record survives" 1
+    (List.length l.Wire.l_records);
+  Alcotest.(check bool) "truncation reported" true
+    (l.Wire.l_truncated_at = Some second.Wire.r_off)
+
+let test_sequence_gap_truncates () =
+  (* Duplicate the last record's bytes: the copy re-uses its seq, which is
+     no longer prev + 1 — the scan must stop before it. *)
+  let replica = seeded_replica () in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let full = Result.get_ok (Wire.load bytes) in
+  let nrecs = List.length full.Wire.l_records in
+  let last = List.nth full.Wire.l_records (nrecs - 1) in
+  let rec_len = Bytes.length bytes - last.Wire.r_off in
+  let doubled = Bytes.create (Bytes.length bytes + rec_len) in
+  Bytes.blit bytes 0 doubled 0 (Bytes.length bytes);
+  Bytes.blit bytes last.Wire.r_off doubled (Bytes.length bytes) rec_len;
+  let l = Result.get_ok (Wire.load doubled) in
+  Alcotest.(check int) "duplicate rejected" nrecs
+    (List.length l.Wire.l_records);
+  Alcotest.(check bool) "truncation reported at the duplicate" true
+    (l.Wire.l_truncated_at = Some (Bytes.length bytes))
+
+let test_snapshot_fallback_on_forged_payload () =
+  (* A snapshot record whose framing is valid but whose payload is garbage
+     (CRC recomputed over the forged bytes) must fall back to the previous
+     good snapshot and still replay every op record. *)
+  let replica = seeded_replica ~snapshot_every:2 () in
+  List.iter
+    (fun op -> Replica.apply replica op)
+    [
+      Journal.Fail_spine 1;
+      Journal.Join { group = 1; host = (3 * h) + 1; role = Controller.Both };
+      Journal.Leave { group = 0; host = 1 };
+      Journal.Fail_link { leaf = 2; plane = 0 };
+    ];
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let full = Result.get_ok (Wire.load bytes) in
+  let snapshots =
+    List.filter
+      (fun r -> match r.Wire.r_kind with Wire.Snapshot -> true | Wire.Op -> false)
+      full.Wire.l_records
+  in
+  Alcotest.(check bool) "log rolled several snapshots" true
+    (List.length snapshots >= 2);
+  let victim = List.nth snapshots (List.length snapshots - 1) in
+  let forged = Bytes.copy bytes in
+  (* Zero 64 payload bytes, then recompute the record CRC so the framing
+     still checks out. *)
+  let payload_off = victim.Wire.r_off + 21 in
+  Bytes.fill forged payload_off (min 64 victim.Wire.r_payload_len) '\000';
+  let crc =
+    Byteio.crc32 forged ~pos:(victim.Wire.r_off + 8)
+      ~len:(13 + victim.Wire.r_payload_len)
+  in
+  Bytes.set_int32_le forged (victim.Wire.r_off + 4) (Int32.of_int crc);
+  let l = Result.get_ok (Wire.load forged) in
+  Alcotest.(check int) "one snapshot dropped" 1 l.Wire.l_dropped_snapshots;
+  Alcotest.(check bool) "recovered from an older snapshot" true
+    (Option.is_some l.Wire.l_snapshot);
+  Alcotest.(check bool) "no truncation: every op record survives" true
+    (l.Wire.l_truncated_at = None);
+  match Replica.of_wire l with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      Alcotest.(check bool) "fallback recovery is bit-identical" true
+        (Test_fault.same_controller_state (Replica.controller rep)
+           (Replica.controller replica) ~groups:2)
+
+(* {1 Crash / corruption matrix}
+
+   One durable run, then >= 200 byte-level crash points: torn tails at
+   sampled offsets and single-bit flips at sampled positions. Every load +
+   recovery must end in exactly one of two outcomes: (a) a controller
+   whose per-group delivery predicates are pointer-identical to the
+   never-crashed twin's at the surviving op count, or (b) an explicit
+   error (no decodable snapshot / bad magic). Anything else — a wrong
+   configuration accepted silently, an exception escaping — fails. *)
+
+let matrix_groups = 6
+
+let build_matrix_run () =
+  let rng = Rng.create 20260808 in
+  let replica =
+    Replica.create ~snapshot_every:24 ~durable:true topo tight_params
+  in
+  let ctx = Pred.create_ctx () in
+  (* The "never-crashed twin" is the live replica itself: after each op we
+     compile every group's delivery predicate into the shared ctx, so a
+     recovery landing on j surviving ops must be pointer-identical to the
+     state recorded at index j. *)
+  let preds_of () =
+    let cfg = Replica.installed_config replica in
+    Array.init matrix_groups (fun g -> Verify.compile ctx cfg ~group:g)
+  in
+  let members = Array.make matrix_groups [] in
+  members.(0) <- wide_hosts;
+  members.(1) <- [ 0; 1; h; h + 1 ];
+  let hosts = Array.init (Topology.num_hosts topo) Fun.id in
+  for g = 2 to matrix_groups - 1 do
+    members.(g) <- Array.to_list (Rng.sample_without_replacement rng 6 hosts)
+  done;
+  (* Built before crash_rng_ops, which mutates [members] as it generates
+     the churn stream. *)
+  let seed_ops =
+    List.init matrix_groups (fun g ->
+        Journal.Add_group { group = g; members = members_both members.(g) })
+  in
+  let events = 120 in
+  let stream = seed_ops @ Test_fault.crash_rng_ops rng ~members ~events in
+  let total = List.length stream in
+  let preds = Array.make (total + 1) [||] in
+  preds.(0) <- preds_of ();
+  List.iteri
+    (fun i op ->
+      Replica.apply replica op;
+      preds.(i + 1) <- preds_of ())
+    stream;
+  (replica, ctx, preds, rng)
+
+let check_crash_point ~ctx ~preds ~what mutated =
+  match Wire.load mutated with
+  | Error (_ : string) -> `Explicit
+  | Ok l -> (
+      match Replica.of_wire l with
+      | Error (_ : string) -> `Explicit
+      | Ok rep ->
+          let j = l.Wire.l_replay_base_ops + List.length l.Wire.l_suffix in
+          if j >= Array.length preds then
+            Alcotest.failf "%s: surviving op count %d out of range" what j;
+          let cfg = Replica.installed_config rep in
+          Array.iteri
+            (fun g expected ->
+              let got = Verify.compile ctx cfg ~group:g in
+              if not (Verify.equiv got expected) then
+                Alcotest.failf
+                  "%s: recovered group %d diverges from twin at op %d" what g
+                  j)
+            preds.(j);
+          `Recovered)
+  | exception exn ->
+      Alcotest.failf "%s: uncaught exception %s" what (Printexc.to_string exn)
+
+let test_crash_corruption_matrix () =
+  let replica, ctx, preds, rng = build_matrix_run () in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let total = Bytes.length bytes in
+  let points = ref 0 and recovered = ref 0 and explicit = ref 0 in
+  let tally = function
+    | `Recovered -> incr recovered
+    | `Explicit -> incr explicit
+  in
+  (* Torn tails: every prefix length is a potential crash point; sample
+     across the whole file plus a dense band at the end (the likeliest
+     real-world tear: mid-final-record). *)
+  let offsets =
+    Array.to_list (Rng.sample_without_replacement rng 80 (Array.init total Fun.id))
+    @ List.init 30 (fun i -> total - 1 - (i * 7))
+  in
+  List.iter
+    (fun off ->
+      incr points;
+      tally
+        (check_crash_point ~ctx ~preds
+           ~what:(Printf.sprintf "torn at %d" off)
+           (Wire.truncate_at bytes off)))
+    offsets;
+  (* Single-bit corruption across the whole file. *)
+  let bits =
+    Array.to_list
+      (Rng.sample_without_replacement rng 100 (Array.init (8 * total) Fun.id))
+  in
+  List.iter
+    (fun bit ->
+      incr points;
+      tally
+        (check_crash_point ~ctx ~preds
+           ~what:(Printf.sprintf "bit flip at %d" bit)
+           (Wire.flip_bit bytes bit)))
+    bits;
+  Alcotest.(check bool)
+    (Printf.sprintf "matrix covered >= 200 crash points (got %d)" !points)
+    true (!points >= 200);
+  (* The matrix is only meaningful if both outcomes actually occur: most
+     points recover, early tears are explicit failures. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "both outcomes exercised (%d recovered, %d explicit)"
+       !recovered !explicit)
+    true
+    (!recovered > 0 && !explicit > 0);
+  (* And the unmutated log recovers to the full twin. *)
+  match check_crash_point ~ctx ~preds ~what:"clean load" bytes with
+  | `Recovered -> ()
+  | `Explicit -> Alcotest.fail "clean log failed to recover"
+
+(* {1 Chaos across a crash} *)
+
+let test_wedged_pod_churn_across_crash () =
+  (* Pod-wide wedge: installs into pod 0 are refused until the controller
+     degrades, then the pod is unwedged, the degraded state is
+     checkpointed, churn continues, and the standby takes over from the
+     wire log. The recovered controller must be bit-identical (the
+     degradation state rides in the snapshot) and blackhole-free. *)
+  let fabric = Fabric.create topo in
+  let fault = Fault.create ~schedule:Fault.Reliable fabric in
+  let replica =
+    Replica.create ~snapshot_every:1000 ~fabric_hooks:(Fault.hooks fault)
+      ~durable:true topo tight_params
+  in
+  Fault.wedge_pod fault 0 true;
+  Replica.apply replica
+    (Journal.Add_group { group = 0; members = members_both wide_hosts });
+  Replica.apply replica
+    (Journal.Add_group
+       { group = 1; members = members_both [ 0; 1; h; h + 1; (2 * h) ] });
+  Fault.wedge_pod fault 0 false;
+  let st = Controller.install_stats (Replica.controller replica) in
+  Alcotest.(check bool) "wedge forced degradations" true
+    (st.Controller.degradations > 0);
+  (* Checkpoint the degraded state, then churn on across the crash
+     boundary (the suffix replays against the snapshot's denial state, so
+     live and recovered take identical decisions). *)
+  Replica.checkpoint replica;
+  Replica.apply replica
+    (Journal.Join { group = 0; host = (6 * h) + 2; role = Controller.Both });
+  Replica.apply replica (Journal.Fail_spine 7);
+  Replica.apply replica
+    (Journal.Leave { group = 1; host = (2 * h) });
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  match Supervisor.failover ~fabric bytes with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+      Alcotest.(check int) "suffix replayed" 3
+        (List.length outcome.Supervisor.loaded.Wire.l_suffix);
+      Alcotest.(check int) "zero blackholes after failover" 0
+        (List.length outcome.Supervisor.blackholes);
+      Alcotest.(check bool) "recovery is bit-identical" true
+        (Test_fault.same_controller_state
+           (Replica.controller outcome.Supervisor.replica)
+           (Replica.controller replica) ~groups:2)
+
+let repeat n x = List.init n (fun _ -> x)
+
+let test_stale_markers_survive_crash () =
+  (* A removal whose retries exhaust leaves a compensated stale marker;
+     the marker must ride the snapshot record across a crash, and the
+     failover sweep must keep (never remove) the stale fabric entry. *)
+  let second = [ 0; 1; h; h + 1; (2 * h) ] in
+  (* Sequential twin tells us how many install/removal hook operations
+     each group costs, to position the scripted timeouts. *)
+  let twin = Controller.create topo tight_params in
+  ignore (Controller.add_group twin ~group:0 (members_both wide_hosts));
+  let sites g =
+    match Controller.encoding twin ~group:g with
+    | None -> 0
+    | Some enc ->
+        List.length enc.Encoding.d_leaf.Clustering.srules
+        + List.length enc.Encoding.d_spine.Clustering.srules
+  in
+  let k0 = sites 0 in
+  ignore (Controller.add_group twin ~group:1 (members_both second));
+  let k1 = sites 1 in
+  Alcotest.(check bool) "both groups need s-rules" true (k0 > 0 && k1 > 0);
+  (* Installs apply; the first removal of group 1's teardown exhausts its
+     budget (5 attempts), the rest apply, and the reconcile retry exhausts
+     again, forcing the compensating install (script exhausted: applies). *)
+  let script =
+    repeat (k0 + k1) Fault.Applied
+    @ repeat 5 Fault.Timeout
+    @ repeat (k1 - 1) Fault.Applied
+    @ repeat 5 Fault.Timeout
+  in
+  let fabric = Fabric.create topo in
+  let fault = Fault.create ~schedule:(Fault.Scripted script) fabric in
+  let replica =
+    Replica.create ~snapshot_every:1000 ~fabric_hooks:(Fault.hooks fault)
+      ~durable:true topo tight_params
+  in
+  Replica.apply replica
+    (Journal.Add_group { group = 0; members = members_both wide_hosts });
+  Replica.apply replica
+    (Journal.Add_group { group = 1; members = members_both second });
+  Replica.apply replica (Journal.Remove_group { group = 1 });
+  let live_stale =
+    (Replica.installed_config replica).Installed_config.stale_sites
+  in
+  Alcotest.(check int) "exhausted removal left one stale marker" 1
+    (List.length live_stale);
+  (* The stale table enters the snapshot record; crash right after. *)
+  Replica.checkpoint replica;
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  match Supervisor.failover ~fabric bytes with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+      let rec_stale =
+        (Replica.installed_config outcome.Supervisor.replica)
+          .Installed_config.stale_sites
+      in
+      Alcotest.(check bool) "stale markers survive the round-trip" true
+        (live_stale = rec_stale);
+      Alcotest.(check bool) "sweep kept the stale fabric entry" true
+        (outcome.Supervisor.reconcile.Supervisor.stale_kept >= 1);
+      Alcotest.(check int) "zero blackholes after failover" 0
+        (List.length outcome.Supervisor.blackholes);
+      Alcotest.(check bool) "recovery is bit-identical" true
+        (Test_fault.same_controller_state
+           (Replica.controller outcome.Supervisor.replica)
+           (Replica.controller replica) ~groups:1)
+
+(* {1 Supervisor failover} *)
+
+let test_failover_fences_old_primary () =
+  let fabric = Fabric.create topo in
+  let primary =
+    Replica.create ~snapshot_every:16
+      ~fabric_hooks:(Fabric.controller_hooks_at fabric ~epoch:0)
+      ~durable:true topo tight_params
+  in
+  Replica.apply primary
+    (Journal.Add_group { group = 0; members = members_both wide_hosts });
+  Replica.apply primary
+    (Journal.Add_group
+       { group = 1; members = members_both [ 0; h; (2 * h) + 1 ] });
+  (* Checkpoint so recovery restores from the snapshot with no suffix to
+     replay — otherwise the replayed installs would heal the fabric before
+     the sweep gets to prove itself. *)
+  Replica.checkpoint primary;
+  (* Sabotage the fabric behind the controller's back: drop one expected
+     s-rule site and plant an orphan entry — the reconcile sweep must fix
+     both. *)
+  let enc =
+    Option.get (Controller.encoding (Replica.controller primary) ~group:0)
+  in
+  let victim_leaf, _ = List.hd enc.Encoding.d_leaf.Clustering.srules in
+  Fabric.remove_leaf_srule fabric ~leaf:victim_leaf ~group:0;
+  let orphan_bm = Bitmap.create (Topology.leaf_downstream_width topo) in
+  Bitmap.set orphan_bm 0;
+  Fabric.install_leaf_srule fabric ~leaf:1 ~group:999 orphan_bm;
+  let bytes = Wire.contents (Option.get (Replica.wire primary)) in
+  match Supervisor.failover ~fabric bytes with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+      Alcotest.(check int) "fence bumped past the log's epoch" 1
+        outcome.Supervisor.epoch;
+      Alcotest.(check int) "fabric fence matches" 1 (Fabric.fence_epoch fabric);
+      Alcotest.(check bool) "dropped site reinstalled" true
+        (outcome.Supervisor.reconcile.Supervisor.reinstalled >= 1);
+      Alcotest.(check bool) "orphan removed" true
+        (outcome.Supervisor.reconcile.Supervisor.orphans_removed >= 1);
+      Alcotest.(check bool) "orphan gone from the fabric" true
+        (not (List.mem 999 (Fabric.leaf_groups fabric 1)));
+      Alcotest.(check bool) "reinstalled site back on the fabric" true
+        (Option.is_some (Fabric.leaf_srule fabric ~leaf:victim_leaf ~group:0));
+      Alcotest.(check int) "zero blackholes" 0
+        (List.length outcome.Supervisor.blackholes);
+      (* The fenced ex-primary's late install is refused by the fabric;
+         its own reliable-install path degrades honestly instead of
+         clobbering the new primary. *)
+      let refusals_before = Fabric.fenced_refusals fabric in
+      Replica.apply primary
+        (Journal.Join { group = 1; host = (4 * h) + 1; role = Controller.Both });
+      Alcotest.(check bool) "late installs refused below the fence" true
+        (Fabric.fenced_refusals fabric > refusals_before);
+      (* The new primary operates normally at the fenced epoch. *)
+      Replica.apply outcome.Supervisor.replica
+        (Journal.Join { group = 1; host = (5 * h) + 1; role = Controller.Both });
+      (match Verify.check_controller (Replica.controller outcome.Supervisor.replica) with
+      | Ok (_ : int) -> ()
+      | Error w ->
+          Alcotest.failf "new primary violates its own intent: %a"
+            Verify.pp_witness w);
+      match
+        Verify.probe
+          (Replica.controller outcome.Supervisor.replica)
+          fabric ~group:1 ~sender:0
+      with
+      | Some (ok, _) -> Alcotest.(check bool) "new primary delivers" true ok
+      | None -> Alcotest.fail "new primary lost its multicast path"
+
+let test_failover_unrecoverable_is_explicit () =
+  let fabric = Fabric.create topo in
+  let primary =
+    Replica.create ~fabric_hooks:(Fabric.controller_hooks_at fabric ~epoch:0)
+      ~durable:true topo tight_params
+  in
+  Replica.apply primary
+    (Journal.Add_group { group = 0; members = members_both wide_hosts });
+  let bytes = Wire.contents (Option.get (Replica.wire primary)) in
+  (* Tear the log before the genesis snapshot completes: nothing to
+     recover from — the failover must fail loudly AND still fence. *)
+  match Supervisor.failover ~fabric (Wire.truncate_at bytes 40) with
+  | Ok _ -> Alcotest.fail "recovered from a log with no snapshot"
+  | Error (_ : string) ->
+      Alcotest.(check bool) "fabric fenced even on failed recovery" true
+        (Fabric.fence_epoch fabric >= 1)
+
+(* {1 Hostile-header hardening} *)
+
+let header_setup () =
+  let ctrl = Controller.create topo tight_params in
+  ignore (Controller.add_group ctrl ~group:0 (members_both wide_hosts));
+  ignore
+    (Controller.add_group ctrl ~group:1
+       (members_both [ 0; 1; h; (3 * h) + 2 ]));
+  ctrl
+
+let test_decode_checked_round_trip () =
+  let ctrl = header_setup () in
+  List.iter
+    (fun (group, sender) ->
+      let hd = Option.get (Controller.header ctrl ~group ~sender) in
+      let bytes = Header_codec.encode topo hd in
+      match Header_codec.decode_checked topo bytes with
+      | Error e ->
+          Alcotest.failf "valid header rejected: %a" Header_codec.pp_decode_error
+            e
+      | Ok hd' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "group %d sender %d round-trips" group sender)
+            true
+            (Bytes.equal bytes (Header_codec.encode topo hd')))
+    [ (0, 0); (0, (7 * h) + 1); (1, 0); (1, (3 * h) + 2) ]
+
+let test_decode_checked_truncated_total () =
+  let ctrl = header_setup () in
+  let hd = Option.get (Controller.header ctrl ~group:0 ~sender:0) in
+  let bytes = Header_codec.encode topo hd in
+  for len = 0 to Bytes.length bytes - 1 do
+    match Header_codec.decode_checked topo (Bytes.sub bytes 0 len) with
+    | Ok _ | Error _ -> ()
+    | exception exn ->
+        Alcotest.failf "prefix %d raised %s" len (Printexc.to_string exn)
+  done
+
+let test_decode_checked_trailing_bits () =
+  let ctrl = header_setup () in
+  let hd = Option.get (Controller.header ctrl ~group:0 ~sender:0) in
+  let bytes = Header_codec.encode topo hd in
+  let padded = Bytes.make (Bytes.length bytes + 2) '\xff' in
+  Bytes.blit bytes 0 padded 0 (Bytes.length bytes);
+  match Header_codec.decode_checked topo padded with
+  | Error Header_codec.Trailing_bits -> ()
+  | Error e ->
+      Alcotest.failf "expected Trailing_bits, got %a"
+        Header_codec.pp_decode_error e
+  | Ok _ -> Alcotest.fail "nonzero trailing bytes accepted"
+
+let fuzz_inputs () =
+  match Sys.getenv_opt "ELMO_FUZZ_INPUTS" with
+  | Some s -> (try max 100 (int_of_string s) with Failure _ -> 5_000)
+  | None -> 5_000
+
+let test_decode_fuzz_no_exceptions_no_over_delivery () =
+  let ctrl = header_setup () in
+  let ctx = Pred.create_ctx () in
+  let sender = 0 in
+  let hd = Option.get (Controller.header ctrl ~group:0 ~sender) in
+  let valid = Header_codec.encode topo hd in
+  let intent = Verify.header_pred ctx topo ~sender hd in
+  let rng = Rng.create 424242 in
+  let n = fuzz_inputs () in
+  let ok = ref 0 and malformed = ref 0 and over = ref 0 in
+  for i = 1 to n do
+    let input =
+      match i mod 3 with
+      | 0 ->
+          (* Pure noise. *)
+          let len = Rng.int rng 48 in
+          Bytes.init len (fun _ -> Char.chr (Rng.int rng 256))
+      | 1 ->
+          (* Valid encoding with 1-4 flipped bits. *)
+          let b = ref (Bytes.copy valid) in
+          for _ = 0 to Rng.int rng 4 do
+            b := Wire.flip_bit !b (Rng.int rng (8 * Bytes.length valid))
+          done;
+          !b
+      | _ ->
+          (* Torn valid encoding. *)
+          Bytes.sub valid 0 (Rng.int rng (Bytes.length valid + 1))
+    in
+    match Verify.admit_header ctx topo ~intent ~sender input with
+    | Ok admitted ->
+        incr ok;
+        (* Re-verify the admission guarantee independently: the admitted
+           header's own delivery never exceeds the intent. *)
+        let hp = Verify.header_pred ctx topo ~sender admitted in
+        if not (Verify.subsumes ~big:intent ~small:hp) then
+          Alcotest.failf "fuzz %d: admitted header over-delivers" i
+    | Error (Verify.Malformed _) -> incr malformed
+    | Error (Verify.Over_delivery _) -> incr over
+    | exception exn ->
+        Alcotest.failf "fuzz %d: uncaught exception %s" i
+          (Printexc.to_string exn)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzz corpus exercised all outcomes (%d ok, %d malformed, %d over)"
+       !ok !malformed !over)
+    true
+    (!ok > 0 && !malformed > 0);
+  Alcotest.(check int) "all inputs accounted" n (!ok + !malformed + !over)
+
+(* {1 Zero-alloc encode_into} *)
+
+let test_encode_into_matches_encode () =
+  let ctrl = header_setup () in
+  let buf = Bytes.create 1024 in
+  let sink = Bitio.Sink.of_bytes buf in
+  List.iter
+    (fun (group, sender) ->
+      match Controller.header ctrl ~group ~sender with
+      | None -> ()
+      | Some hd ->
+          let expected = Header_codec.encode topo hd in
+          Bitio.Sink.reset sink ~pos:0;
+          let len = Header_codec.encode_into topo hd sink in
+          Alcotest.(check int)
+            (Printf.sprintf "group %d sender %d: same length" group sender)
+            (Bytes.length expected) len;
+          Alcotest.(check bool) "same bytes" true
+            (Bytes.equal expected (Bytes.sub buf 0 len)))
+    (List.concat_map
+       (fun g -> List.map (fun s -> (g, s)) [ 0; 1; h; (5 * h) + 1 ])
+       [ 0; 1 ])
+
+let test_encode_into_overflow_raises () =
+  let ctrl = header_setup () in
+  let hd = Option.get (Controller.header ctrl ~group:0 ~sender:0) in
+  let need = Bytes.length (Header_codec.encode topo hd) in
+  let sink = Bitio.Sink.of_bytes (Bytes.create (need - 1)) in
+  match Header_codec.encode_into topo hd sink with
+  | (_ : int) -> Alcotest.fail "overflowing encode_into returned"
+  | exception Invalid_argument _ -> ()
+
+let test_encode_into_zero_alloc () =
+  let ctrl = header_setup () in
+  let hd = Option.get (Controller.header ctrl ~group:0 ~sender:0) in
+  let buf = Bytes.create 1024 in
+  let sink = Bitio.Sink.of_bytes buf in
+  let report =
+    Allocs.probe ~warmup:64 ~events:2048 (fun _ ->
+        Bitio.Sink.reset sink ~pos:0;
+        ignore (Header_codec.encode_into topo hd sink : int))
+  in
+  match report.Allocs.first_alloc with
+  | None ->
+      Alcotest.(check (float 0.0)) "zero words per event" 0.0
+        report.Allocs.per_event
+  | Some (event, words) ->
+      Alcotest.failf "encode_into allocated %d words at event %d (%.1f total)"
+        words event report.Allocs.total_words
+
+(* {1 Wire file round-trip} *)
+
+let test_file_round_trip () =
+  let replica = seeded_replica () in
+  let bytes = Wire.contents (Option.get (Replica.wire replica)) in
+  let path = Filename.temp_file "elmo_wire" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Wire.to_file path bytes;
+      match Wire.of_file path with
+      | Error e -> Alcotest.fail e
+      | Ok read -> Alcotest.(check bool) "same bytes" true (Bytes.equal bytes read));
+  match Wire.of_file "/nonexistent/elmo.wal" with
+  | Error (_ : string) -> ()
+  | Ok _ -> Alcotest.fail "read a nonexistent file"
+
+let tests =
+  [
+    Alcotest.test_case "entry codec round-trip" `Quick
+      test_entry_codec_round_trip;
+    Alcotest.test_case "entry codec rejects out-of-range" `Quick
+      test_entry_codec_rejects_out_of_range;
+    Alcotest.test_case "snapshot codec round-trip" `Quick
+      test_snapshot_codec_round_trip;
+    Alcotest.test_case "snapshot codec rejects bit flips" `Quick
+      test_snapshot_codec_rejects_bit_flips;
+    Alcotest.test_case "empty log" `Quick test_empty_log;
+    Alcotest.test_case "bad magic" `Quick test_bad_magic;
+    Alcotest.test_case "snapshot-only load" `Quick test_snapshot_only_load;
+    Alcotest.test_case "truncation at record boundary" `Quick
+      test_truncation_at_record_boundary;
+    Alcotest.test_case "torn header truncates" `Quick
+      test_torn_header_truncates;
+    Alcotest.test_case "corrupt length field truncates" `Quick
+      test_corrupt_length_field_truncates;
+    Alcotest.test_case "sequence gap truncates" `Quick
+      test_sequence_gap_truncates;
+    Alcotest.test_case "snapshot fallback on forged payload" `Quick
+      test_snapshot_fallback_on_forged_payload;
+    Alcotest.test_case "crash/corruption matrix" `Slow
+      test_crash_corruption_matrix;
+    Alcotest.test_case "wedged pod churn across crash" `Quick
+      test_wedged_pod_churn_across_crash;
+    Alcotest.test_case "stale markers survive crash" `Quick
+      test_stale_markers_survive_crash;
+    Alcotest.test_case "failover fences old primary" `Quick
+      test_failover_fences_old_primary;
+    Alcotest.test_case "unrecoverable failover is explicit" `Quick
+      test_failover_unrecoverable_is_explicit;
+    Alcotest.test_case "decode_checked round-trip" `Quick
+      test_decode_checked_round_trip;
+    Alcotest.test_case "decode_checked total on prefixes" `Quick
+      test_decode_checked_truncated_total;
+    Alcotest.test_case "decode_checked trailing bits" `Quick
+      test_decode_checked_trailing_bits;
+    Alcotest.test_case "decode fuzz: no exceptions, no over-delivery" `Slow
+      test_decode_fuzz_no_exceptions_no_over_delivery;
+    Alcotest.test_case "encode_into matches encode" `Quick
+      test_encode_into_matches_encode;
+    Alcotest.test_case "encode_into overflow raises" `Quick
+      test_encode_into_overflow_raises;
+    Alcotest.test_case "encode_into zero-alloc" `Quick
+      test_encode_into_zero_alloc;
+    Alcotest.test_case "wire file round-trip" `Quick test_file_round_trip;
+  ]

@@ -711,21 +711,39 @@ let zero_alloc_findings mods allows_for =
               List.exists (fun a -> a = l || a = l - 1) za_lines
             in
             let self = short_mod m.modname in
-            List.concat_map
-              (fun item ->
-                match item.Typedtree.str_desc with
-                | Typedtree.Tstr_value (_, vbs) ->
-                    List.filter_map
-                      (fun vb ->
-                        match
-                          summarize_binding ~self ~file ~suppressed
-                            ~marks:scan.fs_marks vb
-                        with
-                        | Some fs -> Some (fs, m.is_target)
-                        | None -> None)
-                      vbs
-                | _ -> [])
-              str.Typedtree.str_items
+            (* Recurse into submodule structures so e.g. [Bitio.Sink.bits]
+               gets a summary keyed ("Sink", "bits") — matching
+               [zresolve_key], which keeps the last two path components. *)
+            let rec items_under self items =
+              List.concat_map
+                (fun item ->
+                  match item.Typedtree.str_desc with
+                  | Typedtree.Tstr_value (_, vbs) ->
+                      List.filter_map
+                        (fun vb ->
+                          match
+                            summarize_binding ~self ~file ~suppressed
+                              ~marks:scan.fs_marks vb
+                          with
+                          | Some fs -> Some (fs, m.is_target)
+                          | None -> None)
+                        vbs
+                  | Typedtree.Tstr_module mb -> (
+                      let rec structure_of me =
+                        match me.Typedtree.mod_desc with
+                        | Typedtree.Tmod_structure s -> Some s
+                        | Typedtree.Tmod_constraint (me', _, _, _) ->
+                            structure_of me'
+                        | _ -> None
+                      in
+                      match (mb.Typedtree.mb_id, structure_of mb.mb_expr) with
+                      | Some id, Some s ->
+                          items_under (Ident.name id) s.Typedtree.str_items
+                      | _ -> [])
+                  | _ -> [])
+                items
+            in
+            items_under self str.Typedtree.str_items
         | _ -> [])
       mods
   in
